@@ -1,0 +1,55 @@
+// Ablation of the documented modeling decisions (DESIGN.md §3): the commit
+// log force and the restart backoff. Quantifies how much each knob moves
+// the headline numbers, so readers can judge their influence on the
+// reproduced figures.
+
+#include <cstdio>
+
+#include "figure_harness.h"
+
+int main() {
+  using namespace psoodb;
+  auto rc = bench::BenchRunConfig();
+  std::printf(
+      "==================================================================\n"
+      "Ablation: modeling knobs (commit log force, restart backoff)\n"
+      "(HOTCOLD low locality, PS and PS-AA)\n"
+      "==================================================================\n");
+
+  std::printf("\ncommit log force (write prob 0.15):\n");
+  std::printf("%-10s%12s%12s%12s\n", "log I/O", "PS tps", "PS-AA tps",
+              "disk util");
+  for (bool log_io : {true, false}) {
+    config::SystemParams sys;
+    sys.commit_log_io = log_io;
+    auto w = config::MakeHotCold(sys, config::Locality::kLow, 0.15);
+    auto ps = core::RunSimulation(config::Protocol::kPS, sys, w, rc);
+    auto aa = core::RunSimulation(config::Protocol::kPSAA, sys, w, rc);
+    std::printf("%-10s%12.2f%12.2f%12.2f\n", log_io ? "on" : "off",
+                ps.throughput, aa.throughput, aa.disk_util);
+    std::fflush(stdout);
+  }
+
+  std::printf("\nrestart backoff (HICON high locality, write prob 0.30 — \n"
+              "the deadlock-heavy regime):\n");
+  std::printf("%-10s%12s%14s%14s\n", "backoff", "PS-AA tps", "deadlocks",
+              "aborts");
+  for (bool backoff : {true, false}) {
+    config::SystemParams sys;
+    sys.restart_backoff = backoff;
+    auto w = config::MakeHicon(sys, config::Locality::kHigh, 0.30);
+    core::RunConfig limited = rc;
+    limited.max_sim_seconds = 2000;  // the no-backoff run may livelock
+    auto r = core::RunSimulation(config::Protocol::kPSAA, sys, w, limited);
+    std::printf("%-10s%12.2f%14llu%14llu\n", backoff ? "on" : "off",
+                r.throughput, static_cast<unsigned long long>(r.deadlocks),
+                static_cast<unsigned long long>(r.counters.aborts));
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nExpected: the log force costs a few percent of throughput (one\n"
+      "extra disk write per commit); restart backoff is what keeps the\n"
+      "highest-contention configurations from livelocking on repeated\n"
+      "mutual deadlocks (throughput without it collapses).\n\n");
+  return 0;
+}

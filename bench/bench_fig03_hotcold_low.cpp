@@ -1,0 +1,22 @@
+// Reproduces paper Figure 3: HOTCOLD workload, low page locality
+// (TransSize 30 pages, PageLocality 1-7), throughput vs per-object write
+// probability for all five protocols.
+
+#include "figure_harness.h"
+
+int main() {
+  using namespace psoodb;
+  bench::SweepOptions opt;
+  opt.figure = "Figure 3";
+  opt.title = "HOTCOLD workload, low page locality (30 pages x 1-7 objects)";
+  opt.expectation =
+      "PS-AA best as write prob grows; then PS-OA, then PS (hurt by false-"
+      "sharing contention), then PS-OO (object-at-a-time callbacks), OS "
+      "worst (per-object data requests). Near-tie of PS/PS-OA/PS-AA at low "
+      "write probs.";
+  config::SystemParams sys;
+  bench::RunFigure(opt, sys, [](const config::SystemParams& s, double wp) {
+    return config::MakeHotCold(s, config::Locality::kLow, wp);
+  });
+  return 0;
+}

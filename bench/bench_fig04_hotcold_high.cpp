@@ -1,0 +1,21 @@
+// Reproduces paper Figure 4: HOTCOLD workload, high page locality
+// (TransSize 10 pages, PageLocality 8-16).
+
+#include "figure_harness.h"
+
+int main() {
+  using namespace psoodb;
+  bench::SweepOptions opt;
+  opt.figure = "Figure 4";
+  opt.title = "HOTCOLD workload, high page locality (10 pages x 8-16 objects)";
+  opt.expectation =
+      "High locality sweeps PS's contention problems aside: PS does very "
+      "well, PS-AA almost matches it (slight message overhead), and the "
+      "object-level alternatives (PS-OA, PS-OO, OS) fall off with write "
+      "probability as the server becomes CPU-bound on message handling.";
+  config::SystemParams sys;
+  bench::RunFigure(opt, sys, [](const config::SystemParams& s, double wp) {
+    return config::MakeHotCold(s, config::Locality::kHigh, wp);
+  });
+  return 0;
+}

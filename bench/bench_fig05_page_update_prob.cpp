@@ -1,0 +1,40 @@
+// Reproduces paper Figure 5: the per-page update probability as a function
+// of the per-object write probability, for several page localities. The
+// closed form 1-(1-p)^k is cross-checked against a Monte-Carlo estimate
+// driven by the real workload generator.
+
+#include <cstdio>
+
+#include "analytic/page_update_model.h"
+#include "config/params.h"
+
+int main() {
+  using namespace psoodb;
+  std::printf(
+      "==================================================================\n"
+      "Figure 5: page update probability vs object write probability\n"
+      "  closed form 1-(1-p)^k averaged over the locality range, plus a\n"
+      "  Monte-Carlo cross-check using the UNIFORM workload generator\n"
+      "==================================================================\n");
+
+  config::SystemParams sys;
+  std::printf("%-8s %12s %12s %12s %12s %12s\n", "wrprob", "loc 1-7",
+              "(simulated)", "loc 8-16", "(simulated)", "loc 20");
+  for (int i = 0; i <= 10; ++i) {
+    const double p = 0.05 * i;
+    auto wlow = config::MakeUniform(sys, config::Locality::kLow, p);
+    auto whigh = config::MakeUniform(sys, config::Locality::kHigh, p);
+    std::printf("%-8.2f %12.3f %12.3f %12.3f %12.3f %12.3f\n", p,
+                analytic::PageUpdateProbability(p, 1, 7),
+                analytic::SimulatePageUpdateProbability(wlow, sys, 300, 13),
+                analytic::PageUpdateProbability(p, 8, 16),
+                analytic::SimulatePageUpdateProbability(whigh, sys, 300, 13),
+                analytic::PageUpdateProbability(p, 20));
+  }
+  std::printf(
+      "\nPaper result: page-level update probability (and hence page-level\n"
+      "contention/false sharing) rises far faster than the per-object write\n"
+      "probability, especially at high page locality: near 1.0 beyond object\n"
+      "write prob ~0.2 for locality 12 (the HICON Figure 9 discussion).\n\n");
+  return 0;
+}

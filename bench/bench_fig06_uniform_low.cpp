@@ -1,0 +1,19 @@
+// Reproduces paper Figure 6: UNIFORM workload, low page locality.
+
+#include "figure_harness.h"
+
+int main() {
+  using namespace psoodb;
+  bench::SweepOptions opt;
+  opt.figure = "Figure 6";
+  opt.title = "UNIFORM workload, low page locality (30 pages x 1-7 objects)";
+  opt.expectation =
+      "Server disks are the bottleneck, compressing differences. PS suffers "
+      "from higher contention and drops below even OS beyond write prob "
+      "~0.1; PS-AA beats PS-OA slightly, which beats PS-OO.";
+  config::SystemParams sys;
+  bench::RunFigure(opt, sys, [](const config::SystemParams& s, double wp) {
+    return config::MakeUniform(s, config::Locality::kLow, wp);
+  });
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Reproduces paper Figure 7: UNIFORM workload, high page locality.
+
+#include "figure_harness.h"
+
+int main() {
+  using namespace psoodb;
+  bench::SweepOptions opt;
+  opt.figure = "Figure 7";
+  opt.title = "UNIFORM workload, high page locality (10 pages x 8-16 objects)";
+  opt.expectation =
+      "High locality cuts PS's page contention ~9x (contention grows as the "
+      "square of transaction size [Tay85]); PS performs well again and only "
+      "PS-AA manages to match it, while per-object schemes pay a large "
+      "relative overhead.";
+  config::SystemParams sys;
+  bench::RunFigure(opt, sys, [](const config::SystemParams& s, double wp) {
+    return config::MakeUniform(s, config::Locality::kHigh, wp);
+  });
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Reproduces paper Figure 8: HICON workload (shared skew, very high
+// contention), low page locality.
+
+#include "figure_harness.h"
+
+int main() {
+  using namespace psoodb;
+  bench::SweepOptions opt;
+  opt.figure = "Figure 8";
+  opt.title = "HICON workload, low page locality (30 pages x 1-7 objects)";
+  opt.expectation =
+      "Similar story to UNIFORM low locality but with much more data "
+      "contention: PS degrades sharply with write probability; the "
+      "object-granularity page servers (PS-AA best) hold up better.";
+  config::SystemParams sys;
+  bench::RunFigure(opt, sys, [](const config::SystemParams& s, double wp) {
+    return config::MakeHicon(s, config::Locality::kLow, wp);
+  });
+  return 0;
+}

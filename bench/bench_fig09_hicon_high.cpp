@@ -1,0 +1,23 @@
+// Reproduces paper Figure 9: HICON workload, high page locality — the one
+// configuration where the basic page server beats PS-AA at high write
+// probabilities.
+
+#include "figure_harness.h"
+
+int main() {
+  using namespace psoodb;
+  bench::SweepOptions opt;
+  opt.figure = "Figure 9";
+  opt.title = "HICON workload, high page locality (10 pages x 8-16 objects)";
+  opt.expectation =
+      "Under saturated page contention (page write prob ~1.0 beyond object "
+      "write prob 0.2, Figure 5), most page conflicts are also object "
+      "conflicts: object-level locking buys nothing but deadlocks/restarts, "
+      "so plain PS becomes the leader at high write probabilities and PS-AA "
+      "cannot track it.";
+  config::SystemParams sys;
+  bench::RunFigure(opt, sys, [](const config::SystemParams& s, double wp) {
+    return config::MakeHicon(s, config::Locality::kHigh, wp);
+  });
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Reproduces paper Figure 10: PRIVATE workload (CAD-like, no data
+// contention), high page locality.
+
+#include "figure_harness.h"
+
+int main() {
+  using namespace psoodb;
+  bench::SweepOptions opt;
+  opt.figure = "Figure 10";
+  opt.title =
+      "PRIVATE workload (private updatable hot regions, shared read-only "
+      "cold half), high page locality";
+  opt.expectation =
+      "Client caching keeps hot regions resident; messages determine "
+      "performance and no callbacks ever occur. PS and PS-AA (which takes "
+      "page-level write locks here) stay on top; PS-OA ~= PS-OO below them "
+      "(per-object write-lock messages); OS worst.";
+  config::SystemParams sys;
+  bench::RunFigure(opt, sys, [](const config::SystemParams& s, double wp) {
+    return config::MakePrivate(s, wp);
+  });
+  return 0;
+}

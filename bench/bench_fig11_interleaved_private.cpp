@@ -1,0 +1,25 @@
+// Reproduces paper Figure 11: the Interleaved PRIVATE workload — pure false
+// sharing (client pairs' hot objects interleaved on shared pages, zero
+// object-level contention).
+
+#include "figure_harness.h"
+
+int main() {
+  using namespace psoodb;
+  bench::SweepOptions opt;
+  opt.figure = "Figure 11";
+  opt.title =
+      "Interleaved PRIVATE workload (hot objects of client pairs "
+      "interleaved across shared pages: extreme false sharing)";
+  opt.expectation =
+      "Page-level callbacks create a ping-pong effect between paired "
+      "clients, so PS-OO's object-level callbacks make it competitive and "
+      "even best over part of the range (degrading at high write prob from "
+      "write-lock messages); differences are smaller overall; OS still "
+      "worst.";
+  config::SystemParams sys;
+  bench::RunFigure(opt, sys, [](const config::SystemParams& s, double wp) {
+    return config::MakeInterleavedPrivate(s, wp);
+  });
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Reproduces paper Figure 12: database/buffers scaled up 9x (transactions
+// scaled 3x in pages, since contention ~ size^2 / db), HOTCOLD low
+// locality, throughput normalized to PS-AA. The curves must track the
+// unscaled Figure 3 results.
+
+#include "figure_harness.h"
+
+int main() {
+  using namespace psoodb;
+  bench::SweepOptions opt;
+  opt.figure = "Figure 12";
+  opt.title =
+      "Scaled-up HOTCOLD (9x database & buffers, 3x transaction pages), "
+      "low locality, throughput relative to PS-AA";
+  opt.expectation =
+      "The normalized curves track the unscaled Figure 3 results: the "
+      "algorithm tradeoffs are driven by relative, not absolute, conditions "
+      "(OS looks even slightly worse at scale).";
+  opt.normalize_to_psaa = true;
+  config::SystemParams sys;
+  sys.db_pages = 1250 * 9;
+  bench::RunFigure(opt, sys, [](const config::SystemParams& s, double wp) {
+    auto w = config::MakeHotCold(s, config::Locality::kLow, wp);
+    w.trans_size_pages *= 3;  // 90 pages: reestablishes contention level
+    return w;
+  });
+  return 0;
+}

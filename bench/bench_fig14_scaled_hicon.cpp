@@ -1,0 +1,25 @@
+// Reproduces paper Figure 14: 9x scaled HICON, low locality, normalized to
+// PS-AA.
+
+#include "figure_harness.h"
+
+int main() {
+  using namespace psoodb;
+  bench::SweepOptions opt;
+  opt.figure = "Figure 14";
+  opt.title =
+      "Scaled-up HICON (9x database & buffers, 3x transaction pages), "
+      "low locality, throughput relative to PS-AA";
+  opt.expectation =
+      "Normalized curves track the unscaled Figure 8 results; scaling the "
+      "database and the transactions together preserves the tradeoffs.";
+  opt.normalize_to_psaa = true;
+  config::SystemParams sys;
+  sys.db_pages = 1250 * 9;
+  bench::RunFigure(opt, sys, [](const config::SystemParams& s, double wp) {
+    auto w = config::MakeHicon(s, config::Locality::kLow, wp);
+    w.trans_size_pages *= 3;
+    return w;
+  });
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Google-benchmark microbenchmarks of the simulator substrates: event queue
+// throughput, coroutine task dispatch, processor-sharing CPU, lock manager,
+// LRU cache, workload generation, and a full end-to-end simulation step
+// rate. These guard the simulator's own performance (the paper's
+// experiments run millions of events per data point).
+
+#include <benchmark/benchmark.h>
+
+#include "cc/deadlock_detector.h"
+#include "cc/lock_manager.h"
+#include "config/params.h"
+#include "core/system.h"
+#include "resources/cpu.h"
+#include "sim/awaitables.h"
+#include "sim/random.h"
+#include "sim/simulation.h"
+#include "storage/lru_cache.h"
+#include "workload/workload.h"
+
+namespace {
+
+using namespace psoodb;
+
+void BM_EventQueueScheduleFire(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sim.ScheduleCallback(i * 0.001, [&fired] { ++fired; });
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleFire);
+
+sim::Task Hopper(sim::Simulation& sim, int hops) {
+  for (int i = 0; i < hops; ++i) co_await sim.Delay(0.001);
+}
+
+void BM_CoroutineTaskHops(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    for (int i = 0; i < 10; ++i) sim.Spawn(Hopper(sim, 100));
+    sim.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_CoroutineTaskHops);
+
+sim::Task CpuUser(resources::Cpu& cpu, double inst) { co_await cpu.User(inst); }
+
+void BM_ProcessorSharingCpu(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    resources::Cpu cpu(sim, 15);
+    for (int i = 0; i < 100; ++i) sim.Spawn(CpuUser(cpu, 1e4 * (1 + i % 7)));
+    sim.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_ProcessorSharingCpu);
+
+sim::Task TakeLock(cc::LockManager& lm, storage::PageId p, storage::TxnId t) {
+  co_await lm.AcquirePageX(p, t, 0);
+}
+
+void BM_LockManagerAcquireRelease(benchmark::State& state) {
+  sim::Simulation sim;
+  cc::DeadlockDetector det;
+  cc::LockManager lm(sim, det);
+  storage::TxnId txn = 0;
+  for (auto _ : state) {
+    ++txn;
+    for (storage::PageId p = 0; p < 64; ++p) sim.Spawn(TakeLock(lm, p, txn));
+    sim.Run();
+    lm.ReleaseAll(txn);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_LockManagerAcquireRelease);
+
+void BM_LruCacheChurn(benchmark::State& state) {
+  storage::LruCache<int, int> cache(256);
+  sim::Rng rng(1);
+  for (auto _ : state) {
+    int k = static_cast<int>(rng.UniformInt(0, 1023));
+    auto r = cache.Insert(k);
+    benchmark::DoNotOptimize(r.value);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LruCacheChurn);
+
+void BM_WorkloadGeneration(benchmark::State& state) {
+  config::SystemParams sys;
+  auto w = config::MakeHotCold(sys, config::Locality::kLow, 0.2);
+  workload::TransactionSource src(w, sys, 0, 1);
+  for (auto _ : state) {
+    auto refs = src.NextTransaction();
+    benchmark::DoNotOptimize(refs.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WorkloadGeneration);
+
+void BM_DeadlockDetectorChains(benchmark::State& state) {
+  for (auto _ : state) {
+    cc::DeadlockDetector det;
+    for (storage::TxnId t = 1; t < 64; ++t) det.OnWait(t, {t + 1});
+    benchmark::DoNotOptimize(det.HasCycleFrom(1));
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_DeadlockDetectorChains);
+
+void BM_FullSimulationEvents(benchmark::State& state) {
+  // End-to-end simulator event rate: PS-AA under HOTCOLD contention.
+  config::SystemParams sys;
+  sys.num_clients = 4;
+  auto w = config::MakeHotCold(sys, config::Locality::kLow, 0.15);
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    core::RunConfig rc;
+    rc.warmup_commits = 0;
+    rc.measure_commits = 50;
+    auto r = core::RunSimulation(config::Protocol::kPSAA, sys, w, rc);
+    events += r.events;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_FullSimulationEvents)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+// Extension experiment: multiple servers with partitioned data (the paper's
+// Section 3 notes the extension is straightforward; here it is built and
+// measured). Sweeps the server count under the disk-bound UNIFORM workload
+// and under the contention-bound HICON workload — scaling helps exactly
+// when a server *resource* (not data contention) is the bottleneck.
+
+#include <cstdio>
+
+#include "figure_harness.h"
+
+int main() {
+  using namespace psoodb;
+  std::printf(
+      "==================================================================\n"
+      "Extension: partitioned multi-server scaling (PS and PS-AA)\n"
+      "==================================================================\n");
+  auto rc = bench::BenchRunConfig();
+
+  std::printf("\nUNIFORM low locality, write prob 0.05 (disk-bound):\n");
+  std::printf("%-9s%12s%12s%12s%12s\n", "servers", "PS tps", "PS-AA tps",
+              "disk util", "srv CPU");
+  for (int ns : {1, 2, 4, 8}) {
+    config::SystemParams sys;
+    sys.num_servers = ns;
+    auto w = config::MakeUniform(sys, config::Locality::kLow, 0.05);
+    auto ps = core::RunSimulation(config::Protocol::kPS, sys, w, rc);
+    auto aa = core::RunSimulation(config::Protocol::kPSAA, sys, w, rc);
+    std::printf("%-9d%12.2f%12.2f%12.2f%12.2f\n", ns, ps.throughput,
+                aa.throughput, aa.disk_util, aa.server_cpu_util);
+    std::fflush(stdout);
+  }
+
+  std::printf("\nHICON high locality, write prob 0.30 (contention-bound):\n");
+  std::printf("%-9s%12s%12s%14s\n", "servers", "PS tps", "PS-AA tps",
+              "deadlocks");
+  for (int ns : {1, 2, 4}) {
+    config::SystemParams sys;
+    sys.num_servers = ns;
+    auto w = config::MakeHicon(sys, config::Locality::kHigh, 0.30);
+    auto ps = core::RunSimulation(config::Protocol::kPS, sys, w, rc);
+    auto aa = core::RunSimulation(config::Protocol::kPSAA, sys, w, rc);
+    std::printf("%-9d%12.2f%12.2f%14llu\n", ns, ps.throughput, aa.throughput,
+                static_cast<unsigned long long>(aa.deadlocks));
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nExpected: near-linear gains while the disks are the bottleneck;\n"
+      "negligible gains when transactions wait on each other rather than on\n"
+      "server resources (data contention does not partition away).\n\n");
+  return 0;
+}

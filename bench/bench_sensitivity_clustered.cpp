@@ -1,0 +1,44 @@
+// Section 5.6.2 sensitivity experiment: clustered object access pattern
+// (all referenced objects of a page referenced together) vs the default
+// unclustered pattern, HOTCOLD low locality.
+
+#include <cstdio>
+
+#include "figure_harness.h"
+
+int main() {
+  using namespace psoodb;
+  std::printf(
+      "==================================================================\n"
+      "Sensitivity (Section 5.6.2): clustered vs unclustered access\n"
+      "pattern, HOTCOLD low locality\n"
+      "==================================================================\n");
+  auto rc = bench::BenchRunConfig();
+  for (auto pattern :
+       {config::AccessPattern::kUnclustered, config::AccessPattern::kClustered}) {
+    std::printf("\n%s pattern:\n%-8s",
+                pattern == config::AccessPattern::kClustered ? "clustered"
+                                                             : "unclustered",
+                "wrprob");
+    for (auto p : config::AllProtocols()) {
+      std::printf("%10s", config::ProtocolName(p));
+    }
+    std::printf("\n");
+    for (double wp : {0.05, 0.15, 0.30}) {
+      config::SystemParams sys;
+      std::printf("%-8.2f", wp);
+      for (auto p : config::AllProtocols()) {
+        auto w = config::MakeHotCold(sys, config::Locality::kLow, wp);
+        w.pattern = pattern;
+        auto r = core::RunSimulation(p, sys, w, rc);
+        std::printf("%10.2f", r.throughput);
+      }
+      std::printf("\n");
+      std::fflush(stdout);
+    }
+  }
+  std::printf(
+      "\nPaper result: the clustered pattern changes the numbers but not the\n"
+      "story — PS-AA remains the best alternative.\n\n");
+  return 0;
+}

@@ -1,0 +1,114 @@
+#include "figure_harness.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+namespace psoodb::bench {
+
+namespace {
+
+int EnvInt(const char* name, int def) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : def;
+}
+
+bool EnvFull() { return EnvInt("PSOODB_BENCH_FULL", 0) != 0; }
+
+}  // namespace
+
+core::RunConfig BenchRunConfig() {
+  core::RunConfig rc;
+  rc.warmup_commits = EnvInt("PSOODB_BENCH_WARMUP", EnvFull() ? 800 : 300);
+  rc.measure_commits =
+      EnvInt("PSOODB_BENCH_COMMITS", EnvFull() ? 4000 : 1200);
+  return rc;
+}
+
+std::vector<double> BenchWriteProbs() {
+  const int points = EnvInt("PSOODB_BENCH_POINTS", EnvFull() ? 9 : 7);
+  std::vector<double> probs;
+  // 0, 0.05, ... (0.30 at 7 points; 0.40 at 9).
+  for (int i = 0; i < points; ++i) probs.push_back(0.05 * i);
+  return probs;
+}
+
+std::vector<std::vector<core::RunResult>> RunFigure(
+    const SweepOptions& options, const config::SystemParams& sys,
+    const WorkloadFactory& factory) {
+  SweepOptions opt = options;
+  if (opt.write_probs.empty()) opt.write_probs = BenchWriteProbs();
+  const core::RunConfig rc = BenchRunConfig();
+
+  std::printf("==================================================================\n");
+  std::printf("%s: %s\n", opt.figure.c_str(), opt.title.c_str());
+  std::printf("  (x-axis: per-object write probability; y: committed txns/sec;\n");
+  std::printf("   %d clients, %d-page DB, %d measured commits per point)\n",
+              sys.num_clients, sys.db_pages, rc.measure_commits);
+  std::printf("==================================================================\n");
+
+  std::vector<std::vector<core::RunResult>> grid;
+  const auto t0 = std::chrono::steady_clock::now();
+
+  std::printf("%-8s", "wrprob");
+  for (auto p : opt.protocols) std::printf("%10s", config::ProtocolName(p));
+  std::printf("\n");
+
+  for (double wp : opt.write_probs) {
+    std::vector<core::RunResult> row;
+    for (auto p : opt.protocols) {
+      row.push_back(core::RunSimulation(p, sys, factory(sys, wp), rc));
+    }
+    std::printf("%-8.2f", wp);
+    double psaa = 1.0;
+    if (opt.normalize_to_psaa) {
+      for (std::size_t i = 0; i < row.size(); ++i) {
+        if (opt.protocols[i] == config::Protocol::kPSAA) {
+          psaa = row[i].throughput > 0 ? row[i].throughput : 1.0;
+        }
+      }
+    }
+    for (auto& r : row) {
+      if (opt.normalize_to_psaa) {
+        std::printf("%10.3f", r.throughput / psaa);
+      } else {
+        std::printf("%10.2f", r.throughput);
+      }
+      if (r.stalled) std::printf("!");
+      if (r.counters.validity_violations != 0) std::printf("*");
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+    grid.push_back(std::move(row));
+  }
+
+  // Auxiliary metrics at the highest write probability, which the paper's
+  // analysis leans on (messages/txn, server CPU, deadlocks).
+  if (!grid.empty() && grid.back().size() == opt.protocols.size()) {
+    std::printf("\nat wrprob=%.2f:\n", opt.write_probs.back());
+    std::printf("%-12s", "msgs/txn");
+    for (auto& r : grid.back()) std::printf("%10.1f", r.msgs_per_commit);
+    std::printf("\n%-12s", "server cpu");
+    for (auto& r : grid.back()) std::printf("%10.2f", r.server_cpu_util);
+    std::printf("\n%-12s", "disk util");
+    for (auto& r : grid.back()) std::printf("%10.2f", r.disk_util);
+    std::printf("\n%-12s", "deadlocks");
+    for (auto& r : grid.back()) {
+      std::printf("%10llu", static_cast<unsigned long long>(r.deadlocks));
+    }
+    std::printf("\n%-12s", "resp ms");
+    for (auto& r : grid.back()) {
+      std::printf("%10.0f", r.response_time.mean * 1000);
+    }
+    std::printf("\n");
+  }
+
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  std::printf("\nPaper result: %s\n", opt.expectation.c_str());
+  std::printf("[%.1fs]\n\n", wall);
+  return grid;
+}
+
+}  // namespace psoodb::bench

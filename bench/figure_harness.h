@@ -1,0 +1,52 @@
+/// \file figure_harness.h
+/// Shared driver for the per-figure experiment binaries. Each bench binary
+/// reproduces one figure of the paper: it sweeps the object write
+/// probability (the x-axis used throughout Section 5), runs all five
+/// protocols at each point, and prints the throughput series plus the
+/// auxiliary metrics the paper's analysis refers to.
+///
+/// Environment knobs:
+///   PSOODB_BENCH_COMMITS  measured commits per point (default 1200)
+///   PSOODB_BENCH_WARMUP   warmup commits per point  (default 300)
+///   PSOODB_BENCH_POINTS   number of x-axis points   (default 7: 0..0.30)
+///   PSOODB_BENCH_FULL=1   paper-scale runs (4000 commits, 9 points)
+
+#ifndef PSOODB_BENCH_FIGURE_HARNESS_H_
+#define PSOODB_BENCH_FIGURE_HARNESS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "config/params.h"
+#include "core/system.h"
+
+namespace psoodb::bench {
+
+struct SweepOptions {
+  std::string figure;       ///< e.g. "Figure 3"
+  std::string title;        ///< e.g. "HOTCOLD workload, low page locality"
+  std::string expectation;  ///< the paper's qualitative result, printed below
+  std::vector<double> write_probs;        ///< x-axis (filled by env default)
+  std::vector<config::Protocol> protocols = config::AllProtocols();
+  /// Normalize throughput to PS-AA (= 1.0), as Figures 12-14 do.
+  bool normalize_to_psaa = false;
+};
+
+/// Builds the workload for one x-axis point.
+using WorkloadFactory =
+    std::function<config::WorkloadParams(const config::SystemParams&, double)>;
+
+/// Experiment-control values resolved from the environment.
+core::RunConfig BenchRunConfig();
+std::vector<double> BenchWriteProbs();
+
+/// Runs the sweep and prints the figure table. Returns the full result grid
+/// indexed [write_prob][protocol].
+std::vector<std::vector<core::RunResult>> RunFigure(
+    const SweepOptions& options, const config::SystemParams& sys,
+    const WorkloadFactory& factory);
+
+}  // namespace psoodb::bench
+
+#endif  // PSOODB_BENCH_FIGURE_HARNESS_H_

@@ -1,0 +1,49 @@
+// CAD design-team scenario (the workload the paper's introduction
+// motivates): each engineer works on a private part of the design (their
+// hot region) while browsing a shared read-only library of standard parts
+// (the cold half). There is no read-write data sharing at all — the
+// question is purely which architecture serves such a team best, and how
+// expensive fine-grained locking is when nobody actually shares.
+//
+//   $ ./build/examples/cad_session
+
+#include <cstdio>
+
+#include "config/params.h"
+#include "core/system.h"
+
+int main() {
+  using namespace psoodb;
+
+  config::SystemParams sys;
+  sys.num_clients = 8;  // an eight-engineer team
+
+  std::printf(
+      "CAD session: 8 engineers, private 25-page working sets + shared\n"
+      "read-only parts library, 20%% of touched objects modified.\n\n");
+  std::printf("%-8s %12s %12s %14s %12s\n", "design", "txns/sec",
+              "msgs/txn", "lock msgs/txn", "callbacks");
+
+  for (auto protocol : config::AllProtocols()) {
+    auto workload = config::MakePrivate(sys, /*write_prob=*/0.20);
+    core::RunConfig rc;
+    rc.warmup_commits = 300;
+    rc.measure_commits = 1500;
+    auto r = core::RunSimulation(protocol, sys, workload, rc);
+    double lock_msgs =
+        static_cast<double>(r.counters.write_requests) /
+        static_cast<double>(r.measured_commits ? r.measured_commits : 1);
+    std::printf("%-8s %12.2f %12.1f %14.1f %12llu\n",
+                config::ProtocolName(protocol), r.throughput,
+                r.msgs_per_commit, lock_msgs,
+                static_cast<unsigned long long>(r.counters.callbacks_sent));
+  }
+
+  std::printf(
+      "\nReading the table: with zero contention, per-object write-lock\n"
+      "requests (PS-OO/PS-OA) and per-object data requests (OS) are pure\n"
+      "overhead. The adaptive page server takes one page-level write lock\n"
+      "per drawing page, matching the plain page server -- the paper's\n"
+      "argument for adaptivity in engineering-design settings.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// False-sharing demonstration: the same logical work, laid out two ways.
+//
+// In PRIVATE, every client's hot objects live on their own pages. In
+// Interleaved PRIVATE, the *same objects* are relocated so each page holds
+// hot objects of two different clients — no object is ever shared, but
+// pages are. The demo shows how each architecture's callback traffic and
+// throughput react, reproducing the paper's "ping-pong" analysis
+// (Section 5.5).
+//
+//   $ ./build/examples/false_sharing_demo
+
+#include <cstdio>
+
+#include "config/params.h"
+#include "core/system.h"
+
+int main() {
+  using namespace psoodb;
+
+  config::SystemParams sys;
+  sys.num_clients = 8;
+  const double kWriteProb = 0.20;
+
+  std::printf(
+      "Same objects, same accesses, two physical layouts (write prob %.2f).\n"
+      "'callbacks' counts invalidation requests per committed transaction.\n\n",
+      kWriteProb);
+
+  for (int interleaved = 0; interleaved < 2; ++interleaved) {
+    auto workload = interleaved
+                        ? config::MakeInterleavedPrivate(sys, kWriteProb)
+                        : config::MakePrivate(sys, kWriteProb);
+    std::printf("--- %s ---\n",
+                interleaved ? "INTERLEAVED layout (pure false sharing)"
+                            : "PRIVATE layout (perfect clustering)");
+    std::printf("%-8s %10s %12s %12s %14s\n", "design", "txns/sec",
+                "callbacks", "re-requests", "deadlocks");
+    for (auto protocol : config::AllProtocols()) {
+      core::RunConfig rc;
+      rc.warmup_commits = 300;
+      rc.measure_commits = 1200;
+      auto r = core::RunSimulation(protocol, sys, workload, rc);
+      double cb = r.measured_commits
+                      ? static_cast<double>(r.counters.callbacks_sent) /
+                            static_cast<double>(r.measured_commits)
+                      : 0;
+      std::printf("%-8s %10.2f %12.2f %12llu %14llu\n",
+                  config::ProtocolName(protocol), r.throughput, cb,
+                  static_cast<unsigned long long>(
+                      r.counters.unavailable_rerequests),
+                  static_cast<unsigned long long>(r.deadlocks));
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Reading the tables: interleaving makes page-granularity invalidation\n"
+      "(PS, and the adaptive schemes' page callbacks) bounce hot pages\n"
+      "between paired clients, while PS-OO's object-level callbacks let each\n"
+      "client keep caching its own objects -- the one scenario where static\n"
+      "object-granularity replica management shines.\n");
+  return 0;
+}

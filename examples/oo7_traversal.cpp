@@ -1,0 +1,102 @@
+// OO7-style design-hierarchy traversal (the kind of workload the paper's
+// introduction motivates, and the benchmark family [Care93] it cites).
+//
+// A synthetic module hierarchy is laid out over the database: a tree of
+// assemblies whose leaves reference clusters of composite-part objects.
+// Each transaction performs a depth-first traversal from a random assembly,
+// touching every atomic part in the sub-hierarchy, and (for "T2b"-style
+// traversals) updating a fraction of them. Built with the public
+// CustomGenerator hook — no simulator changes needed.
+//
+//   $ ./build/examples/oo7_traversal
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "config/params.h"
+#include "core/system.h"
+#include "sim/random.h"
+
+namespace {
+
+using namespace psoodb;
+
+// Hierarchy geometry (a small OO7 "tiny" flavor sized to the 1250-page DB).
+constexpr int kAssemblies = 64;        // leaf assemblies
+constexpr int kPartsPerComposite = 20; // atomic parts per composite (1 page)
+constexpr int kCompositesPerLeaf = 3;  // composites under each leaf
+
+/// Deterministic traversal workload built over the dense object layout:
+/// composite c occupies page c (its parts are that page's objects), so a
+/// traversal of a leaf touches kCompositesPerLeaf pages with full locality —
+/// unless `scatter` spreads a composite's parts over two pages (poor
+/// clustering, the object server's favorite case [DeWi90]).
+config::CustomGenerator MakeTraversal(const config::SystemParams& sys,
+                                      double update_frac, bool scatter) {
+  return [sys, update_frac, scatter](storage::ClientId client,
+                                     std::uint64_t ordinal) {
+    // Deterministic per (client, ordinal): reproducible runs.
+    sim::Rng rng(sys.seed ^ 0x007007, (static_cast<std::uint64_t>(client) << 32) | ordinal);
+    std::vector<config::CustomAccess> refs;
+    const int opp = sys.objects_per_page;
+    // Pick a leaf assembly; traverse its composites depth-first.
+    const int leaf = static_cast<int>(rng.UniformInt(0, kAssemblies - 1));
+    for (int c = 0; c < kCompositesPerLeaf; ++c) {
+      const int composite = (leaf * kCompositesPerLeaf + c) %
+                            (kAssemblies * kCompositesPerLeaf);
+      for (int part = 0; part < kPartsPerComposite; ++part) {
+        // With scatter, odd parts live on a "connection" page far away.
+        storage::PageId page = scatter && (part % 2 == 1)
+                                   ? composite + 600
+                                   : composite;
+        storage::ObjectId oid =
+            static_cast<storage::ObjectId>(page) * opp + (part % opp);
+        refs.push_back({oid, rng.Bernoulli(update_frac)});
+      }
+    }
+    return refs;
+  };
+}
+
+void RunTraversal(const char* label, double update_frac, bool scatter) {
+  std::printf("--- %s ---\n", label);
+  std::printf("%-8s %12s %12s %12s\n", "design", "traversals/s", "msgs/trav",
+              "resp ms");
+  for (auto protocol : config::AllProtocols()) {
+    config::SystemParams sys;
+    sys.num_clients = 8;
+    config::WorkloadParams w;
+    w.name = scatter ? "OO7-T-scattered" : "OO7-T-clustered";
+    w.custom_generator = MakeTraversal(sys, update_frac, scatter);
+    w.custom_max_pages = kCompositesPerLeaf * 2 + 2;
+    core::RunConfig rc;
+    rc.warmup_commits = 200;
+    rc.measure_commits = 1000;
+    auto r = core::RunSimulation(protocol, sys, w, rc);
+    std::printf("%-8s %12.2f %12.1f %12.0f%s\n",
+                config::ProtocolName(protocol), r.throughput,
+                r.msgs_per_commit, r.response_time.mean * 1000,
+                r.counters.validity_violations ? "  (!)" : "");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "OO7-style assembly traversals over a shared design database\n"
+      "(8 engineers; T1 = read-only sweep, T2b = update every part).\n\n");
+  RunTraversal("T1: read-only, well-clustered composites", 0.0, false);
+  RunTraversal("T2b: update-all, well-clustered composites", 1.0, false);
+  RunTraversal("T1: read-only, scattered parts (poor clustering)", 0.0, true);
+  std::printf(
+      "Reading the tables: with good clustering the page servers dominate\n"
+      "(whole composites arrive in one ship). Scattering parts across pages\n"
+      "halves effective locality and narrows the object server's deficit --\n"
+      "the [DeWi90] single-user result, here with full multi-user\n"
+      "concurrency control. Update-heavy traversals over *shared*\n"
+      "composites stress the adaptive protocols' locking choices.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+#include "analytic/page_update_model.h"
+
+#include <cassert>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "workload/workload.h"
+
+namespace psoodb::analytic {
+
+double PageUpdateProbability(double object_write_prob, int objects_accessed) {
+  assert(objects_accessed >= 0);
+  return 1.0 - std::pow(1.0 - object_write_prob, objects_accessed);
+}
+
+double PageUpdateProbability(double object_write_prob, int locality_min,
+                             int locality_max) {
+  assert(locality_min <= locality_max);
+  double sum = 0;
+  for (int k = locality_min; k <= locality_max; ++k) {
+    sum += PageUpdateProbability(object_write_prob, k);
+  }
+  return sum / (locality_max - locality_min + 1);
+}
+
+double SimulatePageUpdateProbability(const config::WorkloadParams& workload,
+                                     const config::SystemParams& sys,
+                                     int num_transactions,
+                                     std::uint64_t seed) {
+  workload::TransactionSource source(workload, sys, /*client=*/0, seed);
+  std::uint64_t pages_total = 0;
+  std::uint64_t pages_updated = 0;
+  for (int t = 0; t < num_transactions; ++t) {
+    auto refs = source.NextTransaction();
+    std::unordered_set<storage::PageId> seen;
+    std::unordered_set<storage::PageId> updated;
+    for (const auto& op : refs) {
+      storage::PageId page =
+          static_cast<storage::PageId>(op.oid / sys.objects_per_page);
+      seen.insert(page);
+      if (op.is_write) updated.insert(page);
+    }
+    pages_total += seen.size();
+    pages_updated += updated.size();
+  }
+  return pages_total > 0
+             ? static_cast<double>(pages_updated) / pages_total
+             : 0.0;
+}
+
+}  // namespace psoodb::analytic

@@ -1,0 +1,31 @@
+/// \file page_update_model.h
+/// Analytic model behind paper Figure 5: the probability that a page access
+/// performs at least one object update, as a function of the per-object
+/// update probability and the page locality (objects accessed per page).
+
+#ifndef PSOODB_ANALYTIC_PAGE_UPDATE_MODEL_H_
+#define PSOODB_ANALYTIC_PAGE_UPDATE_MODEL_H_
+
+#include "config/params.h"
+
+namespace psoodb::analytic {
+
+/// P[page updated] for a fixed number of objects accessed on the page:
+/// 1 - (1 - p)^k.
+double PageUpdateProbability(double object_write_prob, int objects_accessed);
+
+/// P[page updated] when the per-page object count is uniform on
+/// [locality_min, locality_max]: the average of the fixed-count model.
+double PageUpdateProbability(double object_write_prob, int locality_min,
+                             int locality_max);
+
+/// Monte-Carlo estimate of the same quantity driven by the real workload
+/// generator, to cross-check the closed form (used by the Figure 5 bench and
+/// by tests).
+double SimulatePageUpdateProbability(const config::WorkloadParams& workload,
+                                     const config::SystemParams& sys,
+                                     int num_transactions, std::uint64_t seed);
+
+}  // namespace psoodb::analytic
+
+#endif  // PSOODB_ANALYTIC_PAGE_UPDATE_MODEL_H_

@@ -1,0 +1,39 @@
+/// \file abort.h
+/// Transaction abort signaling. Aborts propagate through protocol coroutines
+/// as exceptions and are caught by the client transaction loop, which runs
+/// the abort protocol and resubmits the same reference string (Section 4.1).
+
+#ifndef PSOODB_CC_ABORT_H_
+#define PSOODB_CC_ABORT_H_
+
+#include <stdexcept>
+#include <string>
+
+#include "storage/types.h"
+
+namespace psoodb::cc {
+
+enum class AbortReason {
+  kDeadlock,  ///< this transaction's wait closed a waits-for cycle
+  kVictim,    ///< chosen as victim of a cycle detected by another waiter
+};
+
+/// Thrown on behalf of a transaction that must abort.
+class TxnAborted : public std::runtime_error {
+ public:
+  TxnAborted(storage::TxnId txn, AbortReason reason)
+      : std::runtime_error("transaction " + std::to_string(txn) + " aborted"),
+        txn_(txn),
+        reason_(reason) {}
+
+  storage::TxnId txn() const { return txn_; }
+  AbortReason reason() const { return reason_; }
+
+ private:
+  storage::TxnId txn_;
+  AbortReason reason_;
+};
+
+}  // namespace psoodb::cc
+
+#endif  // PSOODB_CC_ABORT_H_

@@ -1,0 +1,3 @@
+#include "cc/copy_table.h"
+
+// Header-only; anchor for the library target.

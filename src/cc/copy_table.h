@@ -1,0 +1,107 @@
+/// \file copy_table.h
+/// Server-side replica (cached-copy) tracking. PS, PS-OA and PS-AA track
+/// copies at page granularity; OS, PS-OO and PS-WT track them at object
+/// granularity (Section 3.3). The registration/unregistration CPU cost
+/// (RegisterCopyInst) is charged by the caller.
+///
+/// Registrations carry an *epoch*: a callback handler snapshots the epoch of
+/// each holder when it issues callbacks, and a purge acknowledgment only
+/// unregisters that epoch. This closes a race where a callback crosses an
+/// in-flight ship to the same client — the client purges its old copy (and
+/// acks "purged") just before receiving a fresh copy; unregistering
+/// unconditionally would erase the fresh copy's registration and the client
+/// would silently miss all future callbacks for the item.
+
+#ifndef PSOODB_CC_COPY_TABLE_H_
+#define PSOODB_CC_COPY_TABLE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/types.h"
+
+namespace psoodb::cc {
+
+/// Tracks which clients cache a copy of each item (page or object).
+template <typename ItemId>
+class CopyTable {
+ public:
+  /// One registered copy holder, with the registration epoch.
+  struct Holder {
+    storage::ClientId client;
+    std::uint64_t epoch;
+  };
+
+  /// Registers that `client` holds a (new) copy of `item`. Re-registering
+  /// bumps the epoch: the copy now on the wire supersedes older ones.
+  void Register(ItemId item, storage::ClientId client) {
+    table_[item][client] = ++epoch_counter_;
+    ++registrations_;
+  }
+
+  /// Unconditionally removes `client`'s registration (client-initiated
+  /// drops: eviction notices, abort purges). No-op if absent.
+  void Unregister(ItemId item, storage::ClientId client) {
+    auto it = table_.find(item);
+    if (it == table_.end()) return;
+    if (it->second.erase(client) > 0) ++unregistrations_;
+    if (it->second.empty()) table_.erase(it);
+  }
+
+  /// Removes `client`'s registration only if it still has the given epoch
+  /// (callback acknowledgments). Returns true if removed.
+  bool UnregisterIfEpoch(ItemId item, storage::ClientId client,
+                         std::uint64_t epoch) {
+    auto it = table_.find(item);
+    if (it == table_.end()) return false;
+    auto c = it->second.find(client);
+    if (c == it->second.end() || c->second != epoch) return false;
+    it->second.erase(c);
+    ++unregistrations_;
+    if (it->second.empty()) table_.erase(it);
+    return true;
+  }
+
+  bool Holds(ItemId item, storage::ClientId client) const {
+    auto it = table_.find(item);
+    return it != table_.end() && it->second.count(client) > 0;
+  }
+
+  /// All holders of `item` except `except`, with their current epochs.
+  std::vector<Holder> HoldersExcept(ItemId item,
+                                    storage::ClientId except) const {
+    std::vector<Holder> out;
+    auto it = table_.find(item);
+    if (it == table_.end()) return out;
+    out.reserve(it->second.size());
+    for (const auto& [c, epoch] : it->second) {
+      if (c != except) out.push_back({c, epoch});
+    }
+    return out;
+  }
+
+  int HolderCount(ItemId item) const {
+    auto it = table_.find(item);
+    return it == table_.end() ? 0 : static_cast<int>(it->second.size());
+  }
+
+  std::size_t items_tracked() const { return table_.size(); }
+  std::uint64_t registrations() const { return registrations_; }
+  std::uint64_t unregistrations() const { return unregistrations_; }
+
+ private:
+  std::unordered_map<ItemId,
+                     std::unordered_map<storage::ClientId, std::uint64_t>>
+      table_;
+  std::uint64_t epoch_counter_ = 0;
+  std::uint64_t registrations_ = 0;
+  std::uint64_t unregistrations_ = 0;
+};
+
+using PageCopyTable = CopyTable<storage::PageId>;
+using ObjectCopyTable = CopyTable<storage::ObjectId>;
+
+}  // namespace psoodb::cc
+
+#endif  // PSOODB_CC_COPY_TABLE_H_

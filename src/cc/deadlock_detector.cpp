@@ -1,0 +1,60 @@
+#include "cc/deadlock_detector.h"
+
+#include "cc/abort.h"
+
+namespace psoodb::cc {
+
+void DeadlockDetector::OnWait(storage::TxnId waiter,
+                              const std::vector<storage::TxnId>& holders) {
+  auto& out = out_edges_[waiter];
+  std::vector<storage::TxnId> added;
+  for (storage::TxnId h : holders) {
+    if (h == waiter || h == storage::kNoTxn) continue;
+    if (out.insert(h).second) added.push_back(h);
+  }
+  if (HasCycleFrom(waiter)) {
+    for (storage::TxnId h : added) out.erase(h);
+    if (out.empty()) out_edges_.erase(waiter);
+    ++deadlocks_;
+    throw TxnAborted(waiter, AbortReason::kDeadlock);
+  }
+}
+
+void DeadlockDetector::ClearWaits(storage::TxnId waiter) {
+  out_edges_.erase(waiter);
+}
+
+void DeadlockDetector::RemoveTxn(storage::TxnId txn) {
+  out_edges_.erase(txn);
+  for (auto& [_, targets] : out_edges_) targets.erase(txn);
+}
+
+bool DeadlockDetector::HasCycleFrom(storage::TxnId txn) const {
+  // Iterative DFS over out-edges looking for a path back to `txn`.
+  std::unordered_set<storage::TxnId> visited;
+  std::vector<storage::TxnId> stack;
+  auto push_targets = [&](storage::TxnId from) {
+    auto it = out_edges_.find(from);
+    if (it == out_edges_.end()) return;
+    for (storage::TxnId t : it->second) {
+      if (t == txn) stack.push_back(t);  // found a way back; handled below
+      if (visited.insert(t).second) stack.push_back(t);
+    }
+  };
+  push_targets(txn);
+  while (!stack.empty()) {
+    storage::TxnId cur = stack.back();
+    stack.pop_back();
+    if (cur == txn) return true;
+    push_targets(cur);
+  }
+  return false;
+}
+
+std::size_t DeadlockDetector::edge_count() const {
+  std::size_t n = 0;
+  for (const auto& [_, targets] : out_edges_) n += targets.size();
+  return n;
+}
+
+}  // namespace psoodb::cc

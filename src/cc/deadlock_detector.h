@@ -1,0 +1,50 @@
+/// \file deadlock_detector.h
+/// Central waits-for-graph deadlock detection. The server observes all
+/// blocking in the system — lock-queue waits and callbacks blocked by a
+/// client's active transaction ("in use" responses) — so a single graph
+/// suffices. Detection runs at wait time: when transaction T is about to
+/// wait on holders H, edges T->H are added and a cycle through T aborts T.
+
+#ifndef PSOODB_CC_DEADLOCK_DETECTOR_H_
+#define PSOODB_CC_DEADLOCK_DETECTOR_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "storage/types.h"
+
+namespace psoodb::cc {
+
+class DeadlockDetector {
+ public:
+  /// Records that `waiter` is (about to be) blocked on each of `holders`.
+  /// Throws TxnAborted{waiter, kDeadlock} if this closes a cycle through
+  /// `waiter`; in that case the new edges are removed before throwing.
+  void OnWait(storage::TxnId waiter,
+              const std::vector<storage::TxnId>& holders);
+
+  /// Removes all outgoing wait edges of `waiter` (call when its wait ends,
+  /// successfully or not).
+  void ClearWaits(storage::TxnId waiter);
+
+  /// Removes the transaction entirely (commit/abort): both its outgoing
+  /// edges and any incoming edges from other waiters.
+  void RemoveTxn(storage::TxnId txn);
+
+  /// True if a path txn -> ... -> txn exists.
+  bool HasCycleFrom(storage::TxnId txn) const;
+
+  std::uint64_t deadlocks_detected() const { return deadlocks_; }
+  std::size_t edge_count() const;
+
+ private:
+  std::unordered_map<storage::TxnId, std::unordered_set<storage::TxnId>>
+      out_edges_;
+  std::uint64_t deadlocks_ = 0;
+};
+
+}  // namespace psoodb::cc
+
+#endif  // PSOODB_CC_DEADLOCK_DETECTOR_H_

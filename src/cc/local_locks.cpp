@@ -1,0 +1,3 @@
+#include "cc/local_locks.h"
+
+// Header-only; anchor for the library target.

@@ -1,0 +1,100 @@
+/// \file local_locks.h
+/// Client-side lock state for the (single) active transaction at a client.
+/// Under Callback Locking, read locks are managed locally: reading a cached
+/// item records it here, and incoming callbacks test for conflicts against
+/// these sets. PS-AA additionally records both granularities so locks can be
+/// de-escalated (Section 3.3.3).
+
+#ifndef PSOODB_CC_LOCAL_LOCKS_H_
+#define PSOODB_CC_LOCAL_LOCKS_H_
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "storage/types.h"
+
+namespace psoodb::cc {
+
+/// Read/write footprint of a client's active transaction.
+class LocalTxnLocks {
+ public:
+  void Clear() {
+    read_objects_.clear();
+    write_objects_.clear();
+    read_pages_.clear();
+    write_pages_.clear();
+    page_write_locks_.clear();
+    object_write_locks_.clear();
+  }
+
+  // --- Footprint (what the transaction has touched) -----------------------
+
+  void RecordRead(storage::ObjectId oid, storage::PageId page) {
+    read_objects_.insert(oid);
+    read_pages_.insert(page);
+  }
+  void RecordWrite(storage::ObjectId oid, storage::PageId page) {
+    write_objects_.insert(oid);
+    write_pages_.insert(page);
+    // A writer also reads.
+    read_objects_.insert(oid);
+    read_pages_.insert(page);
+  }
+
+  bool ReadsObject(storage::ObjectId oid) const {
+    return read_objects_.count(oid) > 0;
+  }
+  bool WritesObject(storage::ObjectId oid) const {
+    return write_objects_.count(oid) > 0;
+  }
+  bool UsesPage(storage::PageId page) const {
+    return read_pages_.count(page) > 0 || write_pages_.count(page) > 0;
+  }
+
+  const std::unordered_set<storage::ObjectId>& read_objects() const {
+    return read_objects_;
+  }
+  const std::unordered_set<storage::ObjectId>& write_objects() const {
+    return write_objects_;
+  }
+  const std::unordered_set<storage::PageId>& read_pages() const {
+    return read_pages_;
+  }
+  const std::unordered_set<storage::PageId>& write_pages() const {
+    return write_pages_;
+  }
+
+  // --- Server-granted write permissions ------------------------------------
+
+  void GrantPageWrite(storage::PageId page) { page_write_locks_.insert(page); }
+  void RevokePageWrite(storage::PageId page) { page_write_locks_.erase(page); }
+  bool HasPageWrite(storage::PageId page) const {
+    return page_write_locks_.count(page) > 0;
+  }
+  void GrantObjectWrite(storage::ObjectId oid) {
+    object_write_locks_.insert(oid);
+  }
+  bool HasObjectWrite(storage::ObjectId oid) const {
+    return object_write_locks_.count(oid) > 0;
+  }
+  const std::unordered_set<storage::PageId>& page_write_locks() const {
+    return page_write_locks_;
+  }
+  const std::unordered_set<storage::ObjectId>& object_write_locks() const {
+    return object_write_locks_;
+  }
+
+ private:
+  std::unordered_set<storage::ObjectId> read_objects_;
+  std::unordered_set<storage::ObjectId> write_objects_;
+  std::unordered_set<storage::PageId> read_pages_;
+  std::unordered_set<storage::PageId> write_pages_;
+  /// Pages on which the server granted this transaction a page write lock.
+  std::unordered_set<storage::PageId> page_write_locks_;
+  /// Objects on which the server granted this transaction an object X lock.
+  std::unordered_set<storage::ObjectId> object_write_locks_;
+};
+
+}  // namespace psoodb::cc
+
+#endif  // PSOODB_CC_LOCAL_LOCKS_H_

@@ -1,0 +1,226 @@
+#include "cc/lock_manager.h"
+
+#include <cassert>
+
+#include "cc/abort.h"
+
+namespace psoodb::cc {
+
+using storage::ClientId;
+using storage::kNoClient;
+using storage::kNoTxn;
+using storage::ObjectId;
+using storage::PageId;
+using storage::TxnId;
+
+template <typename Key>
+sim::Task LockManager::AcquireX(Table<Key>& table, Key key, TxnId txn,
+                                ClientId client, bool acquire) {
+  bool waited = false;
+  for (;;) {
+    Entry& e = table[key];
+    if (e.holder == kNoTxn || e.holder == txn) {
+      if (acquire && e.holder == kNoTxn) {
+        e.holder = txn;
+        e.holder_client = client;
+        if constexpr (std::is_same_v<Key, PageId>) {
+          pages_by_txn_[txn].insert(key);
+        } else {
+          objects_by_txn_[txn].insert(key);
+        }
+      }
+      if (!acquire) MaybeErase(table, key);
+      if (waited) detector_.ClearWaits(txn);
+      co_return;
+    }
+    // Conflict: register the wait edge (may throw TxnAborted) and block.
+    ++lock_waits_;
+    waited = true;
+    try {
+      detector_.OnWait(txn, {e.holder});
+    } catch (...) {
+      detector_.ClearWaits(txn);
+      MaybeErase(table, key);
+      throw;
+    }
+    if (!e.cv) e.cv = std::make_unique<sim::CondVar>(sim_);
+    ++e.waiters;
+    try {
+      co_await e.cv->Wait();
+    } catch (...) {
+      // Wait() does not throw, but keep the waiter count exception-safe.
+      --table[key].waiters;
+      throw;
+    }
+    Entry& e2 = table[key];  // rehash-safe: re-lookup after suspension
+    --e2.waiters;
+    detector_.ClearWaits(txn);
+  }
+}
+
+template <typename Key>
+void LockManager::ReleaseX(Table<Key>& table, Key key, TxnId txn) {
+  auto it = table.find(key);
+  if (it == table.end()) return;
+  Entry& e = it->second;
+  if (e.holder != txn) return;
+  e.holder = kNoTxn;
+  e.holder_client = kNoClient;
+  if (e.cv) e.cv->NotifyAll();
+  if constexpr (std::is_same_v<Key, PageId>) {
+    auto t = pages_by_txn_.find(txn);
+    if (t != pages_by_txn_.end()) {
+      t->second.erase(key);
+      if (t->second.empty()) pages_by_txn_.erase(t);
+    }
+  } else {
+    auto t = objects_by_txn_.find(txn);
+    if (t != objects_by_txn_.end()) {
+      t->second.erase(key);
+      if (t->second.empty()) objects_by_txn_.erase(t);
+    }
+  }
+  MaybeErase(table, key);
+}
+
+template <typename Key>
+TxnId LockManager::HolderOf(const Table<Key>& table, Key key) {
+  auto it = table.find(key);
+  return it == table.end() ? kNoTxn : it->second.holder;
+}
+
+template <typename Key>
+ClientId LockManager::HolderClientOf(const Table<Key>& table, Key key) {
+  auto it = table.find(key);
+  return it == table.end() ? kNoClient : it->second.holder_client;
+}
+
+template <typename Key>
+void LockManager::MaybeErase(Table<Key>& table, Key key) {
+  auto it = table.find(key);
+  if (it != table.end() && it->second.holder == kNoTxn &&
+      it->second.waiters == 0) {
+    table.erase(it);
+  }
+}
+
+sim::Task LockManager::AcquirePageX(PageId page, TxnId txn, ClientId client) {
+  co_await AcquireX(pages_, page, txn, client, /*acquire=*/true);
+}
+
+sim::Task LockManager::WaitPageFree(PageId page, TxnId txn) {
+  co_await AcquireX(pages_, page, txn, kNoClient, /*acquire=*/false);
+}
+
+void LockManager::ReleasePageX(PageId page, TxnId txn) {
+  ReleaseX(pages_, page, txn);
+}
+
+TxnId LockManager::PageXHolder(PageId page) const {
+  return HolderOf(pages_, page);
+}
+
+ClientId LockManager::PageXHolderClient(PageId page) const {
+  return HolderClientOf(pages_, page);
+}
+
+sim::Task LockManager::AcquireObjectX(ObjectId oid, PageId page, TxnId txn,
+                                      ClientId client) {
+  co_await AcquireX(objects_, oid, txn, client, /*acquire=*/true);
+  object_locks_by_page_[page].insert(oid);
+  page_of_locked_[oid] = page;
+}
+
+sim::Task LockManager::WaitObjectFree(ObjectId oid, TxnId txn) {
+  co_await AcquireX(objects_, oid, txn, kNoClient, /*acquire=*/false);
+}
+
+void LockManager::GrantObjectXDirect(ObjectId oid, PageId page, TxnId txn,
+                                     ClientId client) {
+  Entry& e = objects_[oid];
+  assert((e.holder == kNoTxn || e.holder == txn) &&
+         "direct grant requires a free lock");
+  if (e.holder == txn) return;
+  e.holder = txn;
+  e.holder_client = client;
+  objects_by_txn_[txn].insert(oid);
+  object_locks_by_page_[page].insert(oid);
+  page_of_locked_[oid] = page;
+}
+
+void LockManager::ReleaseObjectX(ObjectId oid, TxnId txn) {
+  auto it = objects_.find(oid);
+  if (it == objects_.end() || it->second.holder != txn) return;
+  ReleaseX(objects_, oid, txn);
+  auto p = page_of_locked_.find(oid);
+  if (p != page_of_locked_.end()) {
+    auto byp = object_locks_by_page_.find(p->second);
+    if (byp != object_locks_by_page_.end()) {
+      byp->second.erase(oid);
+      if (byp->second.empty()) object_locks_by_page_.erase(byp);
+    }
+    page_of_locked_.erase(p);
+  }
+}
+
+TxnId LockManager::ObjectXHolder(ObjectId oid) const {
+  return HolderOf(objects_, oid);
+}
+
+ClientId LockManager::ObjectXHolderClient(ObjectId oid) const {
+  return HolderClientOf(objects_, oid);
+}
+
+std::vector<std::pair<ObjectId, TxnId>> LockManager::ObjectLocksOnPage(
+    PageId page) const {
+  std::vector<std::pair<ObjectId, TxnId>> out;
+  auto it = object_locks_by_page_.find(page);
+  if (it == object_locks_by_page_.end()) return out;
+  out.reserve(it->second.size());
+  for (ObjectId oid : it->second) {
+    out.emplace_back(oid, HolderOf(objects_, oid));
+  }
+  return out;
+}
+
+bool LockManager::OtherObjectLocksOnPage(PageId page, TxnId txn) const {
+  auto it = object_locks_by_page_.find(page);
+  if (it == object_locks_by_page_.end()) return false;
+  for (ObjectId oid : it->second) {
+    if (HolderOf(objects_, oid) != txn) return true;
+  }
+  return false;
+}
+
+int LockManager::ReleaseAll(TxnId txn) {
+  int released = 0;
+  if (auto it = pages_by_txn_.find(txn); it != pages_by_txn_.end()) {
+    std::vector<PageId> held(it->second.begin(), it->second.end());
+    for (PageId p : held) {
+      ReleasePageX(p, txn);
+      ++released;
+    }
+  }
+  if (auto it = objects_by_txn_.find(txn); it != objects_by_txn_.end()) {
+    std::vector<ObjectId> held(it->second.begin(), it->second.end());
+    for (ObjectId o : held) {
+      ReleaseObjectX(o, txn);
+      ++released;
+    }
+  }
+  detector_.RemoveTxn(txn);
+  return released;
+}
+
+const std::unordered_set<PageId>* LockManager::PagesHeldBy(TxnId txn) const {
+  auto it = pages_by_txn_.find(txn);
+  return it == pages_by_txn_.end() ? nullptr : &it->second;
+}
+
+const std::unordered_set<ObjectId>* LockManager::ObjectsHeldBy(
+    TxnId txn) const {
+  auto it = objects_by_txn_.find(txn);
+  return it == objects_by_txn_.end() ? nullptr : &it->second;
+}
+
+}  // namespace psoodb::cc

@@ -1,0 +1,143 @@
+/// \file lock_manager.h
+/// Server-side lock manager. Callback Locking needs only exclusive (write)
+/// locks at the server: cached copies act as implicit read permissions and
+/// read requests simply wait until no conflicting write lock exists. Locks
+/// exist at page and object granularity; the two interact for the adaptive
+/// PS-AA scheme (a page X lock conflicts with any request on the page's
+/// objects by other transactions, and vice versa).
+///
+/// Blocking is implemented with per-resource condition variables; waiters
+/// register waits-for edges with the DeadlockDetector and abort (exception)
+/// if they close a cycle.
+
+#ifndef PSOODB_CC_LOCK_MANAGER_H_
+#define PSOODB_CC_LOCK_MANAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cc/deadlock_detector.h"
+#include "sim/awaitables.h"
+#include "sim/simulation.h"
+#include "sim/task.h"
+#include "storage/types.h"
+
+namespace psoodb::cc {
+
+/// Identifies a lockable resource.
+enum class Granule : std::uint8_t { kPage, kObject };
+
+class LockManager {
+ public:
+  LockManager(sim::Simulation& sim, DeadlockDetector& detector)
+      : sim_(sim), detector_(detector) {}
+
+  // --- Page-granularity X locks -------------------------------------------
+
+  /// Acquires an X lock on `page` for `txn`. Waits behind the current holder;
+  /// throws TxnAborted on deadlock. Re-acquiring a held lock is a no-op.
+  sim::Task AcquirePageX(storage::PageId page, storage::TxnId txn,
+                         storage::ClientId client);
+
+  /// Waits until no *other* transaction holds a page X lock on `page`
+  /// without acquiring anything (used by read requests).
+  sim::Task WaitPageFree(storage::PageId page, storage::TxnId txn);
+
+  void ReleasePageX(storage::PageId page, storage::TxnId txn);
+  storage::TxnId PageXHolder(storage::PageId page) const;
+  storage::ClientId PageXHolderClient(storage::PageId page) const;
+
+  // --- Object-granularity X locks -----------------------------------------
+
+  /// Acquires an X lock on `oid` (which lives on `page`) for `txn`.
+  sim::Task AcquireObjectX(storage::ObjectId oid, storage::PageId page,
+                           storage::TxnId txn, storage::ClientId client);
+
+  /// Waits until no *other* transaction holds an object X lock on `oid`.
+  sim::Task WaitObjectFree(storage::ObjectId oid, storage::TxnId txn);
+
+  /// Grants an object X lock without blocking. Used by PS-AA lock
+  /// de-escalation, where the grantee's page X lock guarantees no
+  /// conflicting holder can exist. Asserts the lock is free (or already
+  /// held by `txn`).
+  void GrantObjectXDirect(storage::ObjectId oid, storage::PageId page,
+                          storage::TxnId txn, storage::ClientId client);
+
+  void ReleaseObjectX(storage::ObjectId oid, storage::TxnId txn);
+  storage::TxnId ObjectXHolder(storage::ObjectId oid) const;
+  storage::ClientId ObjectXHolderClient(storage::ObjectId oid) const;
+
+  /// Object X locks currently held on objects of `page`, as (oid, holder).
+  std::vector<std::pair<storage::ObjectId, storage::TxnId>> ObjectLocksOnPage(
+      storage::PageId page) const;
+
+  /// True if some transaction other than `txn` holds an object X lock on an
+  /// object of `page`.
+  bool OtherObjectLocksOnPage(storage::PageId page, storage::TxnId txn) const;
+
+  // --- Transaction teardown -----------------------------------------------
+
+  /// Releases every lock held by `txn` (commit or abort) and removes it from
+  /// the waits-for graph. Returns the number of locks released.
+  int ReleaseAll(storage::TxnId txn);
+
+  /// Locks currently held by `txn`.
+  const std::unordered_set<storage::PageId>* PagesHeldBy(
+      storage::TxnId txn) const;
+  const std::unordered_set<storage::ObjectId>* ObjectsHeldBy(
+      storage::TxnId txn) const;
+
+  std::uint64_t lock_waits() const { return lock_waits_; }
+  DeadlockDetector& detector() { return detector_; }
+
+ private:
+  struct Entry {
+    storage::TxnId holder = storage::kNoTxn;
+    storage::ClientId holder_client = storage::kNoClient;
+    std::unique_ptr<sim::CondVar> cv;  // created on first wait
+    int waiters = 0;
+  };
+
+  template <typename Key>
+  using Table = std::unordered_map<Key, Entry>;
+
+  /// Shared acquire/wait loop. If `acquire` is false, returns as soon as the
+  /// entry is free without taking it.
+  template <typename Key>
+  sim::Task AcquireX(Table<Key>& table, Key key, storage::TxnId txn,
+                     storage::ClientId client, bool acquire);
+
+  template <typename Key>
+  void ReleaseX(Table<Key>& table, Key key, storage::TxnId txn);
+
+  template <typename Key>
+  static storage::TxnId HolderOf(const Table<Key>& table, Key key);
+  template <typename Key>
+  static storage::ClientId HolderClientOf(const Table<Key>& table, Key key);
+
+  template <typename Key>
+  void MaybeErase(Table<Key>& table, Key key);
+
+  sim::Simulation& sim_;
+  DeadlockDetector& detector_;
+  Table<storage::PageId> pages_;
+  Table<storage::ObjectId> objects_;
+  /// page -> object ids with live object X locks (for PS-AA grant checks and
+  /// "mark unavailable" scans when shipping pages).
+  std::unordered_map<storage::PageId, std::unordered_set<storage::ObjectId>>
+      object_locks_by_page_;
+  std::unordered_map<storage::ObjectId, storage::PageId> page_of_locked_;
+  /// txn -> held locks, for ReleaseAll.
+  std::unordered_map<storage::TxnId, std::unordered_set<storage::PageId>>
+      pages_by_txn_;
+  std::unordered_map<storage::TxnId, std::unordered_set<storage::ObjectId>>
+      objects_by_txn_;
+  std::uint64_t lock_waits_ = 0;
+};
+
+}  // namespace psoodb::cc
+
+#endif  // PSOODB_CC_LOCK_MANAGER_H_

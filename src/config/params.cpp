@@ -1,0 +1,154 @@
+#include "config/params.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace psoodb::config {
+
+using storage::ObjectId;
+using storage::PageId;
+
+const char* ProtocolName(Protocol p) {
+  switch (p) {
+    case Protocol::kPS:
+      return "PS";
+    case Protocol::kOS:
+      return "OS";
+    case Protocol::kPSOO:
+      return "PS-OO";
+    case Protocol::kPSOA:
+      return "PS-OA";
+    case Protocol::kPSAA:
+      return "PS-AA";
+    case Protocol::kPSWT:
+      return "PS-WT";
+  }
+  return "?";
+}
+
+std::vector<Protocol> AllProtocols() {
+  return {Protocol::kPS, Protocol::kOS, Protocol::kPSOO, Protocol::kPSOA,
+          Protocol::kPSAA};
+}
+
+std::vector<Protocol> AllProtocolsExtended() {
+  auto v = AllProtocols();
+  v.push_back(Protocol::kPSWT);
+  return v;
+}
+
+namespace {
+
+void ApplyLocality(WorkloadParams& w, Locality loc) {
+  if (loc == Locality::kLow) {
+    w.trans_size_pages = 30;
+    w.page_locality_min = 1;
+    w.page_locality_max = 7;
+  } else {
+    w.trans_size_pages = 10;
+    w.page_locality_min = 8;
+    w.page_locality_max = 16;
+  }
+}
+
+/// Scale a region size defined for the 1250-page base database.
+int Scaled(const SystemParams& sys, int base_pages) {
+  double f = static_cast<double>(sys.db_pages) / 1250.0;
+  int n = static_cast<int>(base_pages * f + 0.5);
+  return std::max(1, std::min(n, sys.db_pages));
+}
+
+}  // namespace
+
+WorkloadParams MakeHotCold(const SystemParams& sys, Locality loc,
+                           double write_prob) {
+  WorkloadParams w;
+  w.name = "HOTCOLD";
+  ApplyLocality(w, loc);
+  const int hot = Scaled(sys, 50);
+  w.client_regions.resize(sys.num_clients);
+  for (int c = 0; c < sys.num_clients; ++c) {
+    PageId lo = static_cast<PageId>((static_cast<long>(c) * hot) %
+                                    std::max(1, sys.db_pages - hot + 1));
+    w.client_regions[c] = {
+        {lo, static_cast<PageId>(lo + hot - 1), 0.8, write_prob},
+        {0, static_cast<PageId>(sys.db_pages - 1), 0.2, write_prob},
+    };
+  }
+  return w;
+}
+
+WorkloadParams MakeUniform(const SystemParams& sys, Locality loc,
+                           double write_prob) {
+  WorkloadParams w;
+  w.name = "UNIFORM";
+  ApplyLocality(w, loc);
+  w.client_regions.assign(
+      sys.num_clients,
+      {{0, static_cast<PageId>(sys.db_pages - 1), 1.0, write_prob}});
+  return w;
+}
+
+WorkloadParams MakeHicon(const SystemParams& sys, Locality loc,
+                         double write_prob) {
+  WorkloadParams w;
+  w.name = "HICON";
+  ApplyLocality(w, loc);
+  const int hot = Scaled(sys, 250);
+  w.client_regions.assign(
+      sys.num_clients,
+      {{0, static_cast<PageId>(hot - 1), 0.8, write_prob},
+       {static_cast<PageId>(hot), static_cast<PageId>(sys.db_pages - 1), 0.2,
+        write_prob}});
+  return w;
+}
+
+WorkloadParams MakePrivate(const SystemParams& sys, double write_prob) {
+  WorkloadParams w;
+  w.name = "PRIVATE";
+  ApplyLocality(w, Locality::kHigh);
+  const int hot = Scaled(sys, 25);
+  const PageId cold_lo = static_cast<PageId>(sys.db_pages / 2);
+  w.client_regions.resize(sys.num_clients);
+  for (int c = 0; c < sys.num_clients; ++c) {
+    PageId lo = static_cast<PageId>(static_cast<long>(c) * hot);
+    assert(lo + hot <= cold_lo && "private hot regions overflow first half");
+    w.client_regions[c] = {
+        {lo, static_cast<PageId>(lo + hot - 1), 0.8, write_prob},
+        // Shared cold half is read-only: no data contention at all.
+        {cold_lo, static_cast<PageId>(sys.db_pages - 1), 0.2, 0.0},
+    };
+  }
+  return w;
+}
+
+WorkloadParams MakeInterleavedPrivate(const SystemParams& sys,
+                                      double write_prob) {
+  WorkloadParams w = MakePrivate(sys, write_prob);
+  w.name = "INTERLEAVED-PRIVATE";
+  // Combine the hot regions of client pairs (0,1), (2,3), ...: for each page
+  // pair spaced `hot` pages apart, the bottom half of page A's slots swaps
+  // with the top half of page B's slots. Afterward each page in the combined
+  // region holds client 2k's objects in its top half and client 2k+1's in
+  // its bottom half (Section 5.5).
+  const int hot = Scaled(sys, 25);
+  const int opp = sys.objects_per_page;
+  const int half = opp / 2;
+  for (int c = 0; c + 1 < sys.num_clients; c += 2) {
+    const PageId a0 = static_cast<PageId>(static_cast<long>(c) * hot);
+    const PageId b0 = static_cast<PageId>(static_cast<long>(c + 1) * hot);
+    for (int k = 0; k < hot; ++k) {
+      const PageId pa = a0 + k;
+      const PageId pb = b0 + k;
+      for (int s = 0; s < half; ++s) {
+        // Original dense layout: object at (page, slot) = page*opp + slot.
+        ObjectId oa = static_cast<ObjectId>(pa) * opp + half + s;  // A bottom
+        ObjectId ob = static_cast<ObjectId>(pb) * opp + s;         // B top
+        w.layout_swaps.emplace_back(oa, ob);
+      }
+    }
+  }
+  return w;
+}
+
+}  // namespace psoodb::config

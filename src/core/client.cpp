@@ -1,0 +1,387 @@
+#include "core/client.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#include "cc/abort.h"
+
+namespace psoodb::core {
+
+using storage::ClientId;
+using storage::ObjectId;
+using storage::PageId;
+using storage::SlotMask;
+using storage::TxnId;
+using storage::Version;
+
+Client::Client(SystemContext& ctx, ClientId id,
+               const config::WorkloadParams& workload,
+               std::vector<Server*> servers)
+    : ctx_(ctx),
+      id_(id),
+      servers_(std::move(servers)),
+      cpu_(ctx.sim, ctx.params.client_mips, "client-cpu-" + std::to_string(id)),
+      source_(workload, ctx.params, id, ctx.params.seed),
+      rng_(ctx.params.seed, 0xBAC0FF + static_cast<std::uint64_t>(id)) {
+  ctx_.transport.AttachCpu(static_cast<NodeId>(id), &cpu_);
+}
+
+void Client::Start() { ctx_.sim.Spawn(MainLoop()); }
+
+void Client::BeginTxn() {
+  txn_ = ctx_.NewTxn();
+  txn_active_ = true;
+  locks_.Clear();
+  read_versions_.clear();
+}
+
+void Client::EndTxnLocal() {
+  txn_active_ = false;
+  UnpinAll();
+  locks_.Clear();
+  read_versions_.clear();
+  // Deferred callback actions run after the transaction has fully ended
+  // (commit acked / abort acknowledged), before the next one begins.
+  std::vector<std::function<void()>> actions = std::move(deferred_);
+  deferred_.clear();
+  for (auto& a : actions) a();
+}
+
+void Client::NoteRead(ObjectId oid, Version version, bool own_write) {
+  if (own_write) return;
+  ctx_.CheckCacheValidity(oid, version);
+  read_versions_.emplace(oid, version);  // first read wins
+}
+
+void Client::SendToServer(Server* srv, MsgKind kind, int payload_bytes,
+                          std::function<void()> deliver) {
+  ctx_.transport.Send(static_cast<NodeId>(id_), srv->node(), kind,
+                      payload_bytes, std::move(deliver));
+}
+
+void Client::ReplyCallback(const std::shared_ptr<CallbackBatch>& batch,
+                           CallbackReply reply) {
+  Server* srv = batch->owner;
+  ClientId from = id_;
+  SendToServer(srv, MsgKind::kCallbackAck, ctx_.transport.ControlBytes(),
+               [srv, batch, from, reply]() {
+                 srv->FinishCallbackReply(batch, from, reply);
+               });
+}
+
+// Debug aid: set PSOODB_TRACE_VIOLATIONS=1 to dump state when a stale cached
+// object is read (indicates a protocol bug; tests keep this at zero).
+static bool TraceViolations() {
+  static const bool on = std::getenv("PSOODB_TRACE_VIOLATIONS") != nullptr;
+  return on;
+}
+
+sim::Task Client::MainLoop() {
+  for (;;) {
+    if (ctx_.params.think_time > 0) {
+      co_await ctx_.sim.Delay(ctx_.params.think_time);
+    }
+    workload::ReferenceString refs = source_.NextTransaction();
+    const sim::SimTime first_start = ctx_.sim.now();
+    bool committed = false;
+    while (!committed) {
+      BeginTxn();
+      bool aborted = false;
+      try {
+        for (const auto& op : refs) {
+          if (op.is_write) {
+            co_await Write(op.oid);
+          } else {
+            co_await Read(op.oid);
+          }
+          co_await cpu_.User(ctx_.params.object_inst * (op.is_write ? 2 : 1));
+        }
+      } catch (const cc::TxnAborted&) {
+        aborted = true;
+      }
+      if (aborted) {
+        ++ctx_.counters.aborts;
+        co_await Abort();
+        // Resubmitted with the same object reference string (Section 4.1),
+        // after a backoff proportional to the average response time so that
+        // mutually deadlocking transactions de-synchronize.
+        if (ctx_.params.restart_backoff) {
+          co_await ctx_.sim.Delay(rng_.Exponential(ctx_.RestartDelayMean()));
+        }
+        continue;
+      }
+      co_await Commit();
+      committed = true;
+    }
+    ++ctx_.counters.commits;
+    ctx_.NoteResponse(ctx_.sim.now() - first_start);
+    if (ctx_.on_commit) ctx_.on_commit(id_, first_start, ctx_.sim.now());
+  }
+}
+
+// Default callback handlers: a protocol only receives the kinds its server
+// sends; anything else is a wiring bug.
+void Client::OnPageCallback(PageId, TxnId, std::shared_ptr<CallbackBatch>) {
+  assert(false && "unexpected page callback for this protocol");
+}
+void Client::OnObjectCallback(ObjectId, PageId, TxnId,
+                              std::shared_ptr<CallbackBatch>) {
+  assert(false && "unexpected object callback for this protocol");
+}
+void Client::OnAdaptiveCallback(PageId, ObjectId, TxnId,
+                                std::shared_ptr<CallbackBatch>) {
+  assert(false && "unexpected adaptive callback for this protocol");
+}
+void Client::OnDeEscalate(PageId,
+                          sim::Promise<std::vector<ObjectId>>) {
+  assert(false && "unexpected de-escalation request for this protocol");
+}
+void Client::OnTokenRecall(PageId, sim::Promise<bool>) {
+  assert(false && "unexpected token recall for this protocol");
+}
+
+// --- PageFamilyClient --------------------------------------------------------
+
+PageFamilyClient::PageFamilyClient(SystemContext& ctx, ClientId id,
+                                   const config::WorkloadParams& workload,
+                                   std::vector<Server*> servers)
+    : Client(ctx, id, workload, std::move(servers)),
+      cache_(static_cast<std::size_t>(ctx.params.client_buf_pages())) {}
+
+bool PageFamilyClient::CachedAvailable(ObjectId oid) const {
+  const storage::PageFrame* f = cache_.Peek(PageOf(oid));
+  if (f == nullptr) return false;
+  const int slot = SlotOf(oid);
+  // Own uncommitted updates are always readable.
+  if ((f->dirty & storage::SlotBit(slot)) != 0) return true;
+  return f->IsAvailable(slot);
+}
+
+void PageFamilyClient::PinForTxn(PageId page) {
+  if (pinned_pages_.insert(page).second) cache_.Pin(page);
+}
+
+void PageFamilyClient::UnpinAll() {
+  for (PageId p : pinned_pages_) {
+    if (cache_.Contains(p)) cache_.Unpin(p);
+  }
+  pinned_pages_.clear();
+}
+
+void PageFamilyClient::LocalRead(ObjectId oid) {
+  storage::PageFrame* f = cache_.Get(PageOf(oid));
+  assert(f != nullptr);
+  const int slot = SlotOf(oid);
+  const bool own = (f->dirty & storage::SlotBit(slot)) != 0 ||
+                   locks_.WritesObject(oid);
+  if (TraceViolations() && !own &&
+      f->versions[static_cast<std::size_t>(slot)] !=
+          ctx_.db.committed_version(oid)) {
+    std::fprintf(stderr,
+                 "[t=%.6f] VIOLATION client=%d txn=%llu oid=%lld page=%d "
+                 "slot=%d held=%llu committed=%llu unavail=%016llx "
+                 "dirty=%016llx\n",
+                 ctx_.sim.now(), id_, (unsigned long long)txn_,
+                 (long long)oid, PageOf(oid), slot,
+                 (unsigned long long)f->versions[slot],
+                 (unsigned long long)ctx_.db.committed_version(oid),
+                 (unsigned long long)f->unavailable,
+                 (unsigned long long)f->dirty);
+  }
+  NoteRead(oid, f->versions[static_cast<std::size_t>(slot)], own);
+  locks_.RecordRead(oid, PageOf(oid));
+  // The cached copy is this transaction's read lock: keep it resident.
+  PinForTxn(PageOf(oid));
+}
+
+void PageFamilyClient::MarkLocalWrite(ObjectId oid) {
+  storage::PageFrame* f = cache_.Get(PageOf(oid));
+  assert(f != nullptr && "page must be cached before updating an object");
+  f->MarkDirty(SlotOf(oid));
+  // Size-changing updates (Section 6.1): some updates grow the object.
+  if (ctx_.params.size_change_prob > 0 &&
+      rng_.Bernoulli(ctx_.params.size_change_prob)) {
+    const double max_growth =
+        ctx_.params.growth_fraction_max * ctx_.params.object_size_bytes();
+    f->pending_growth +=
+        static_cast<int>(rng_.UniformInt(1, std::max(1, (int)max_growth)));
+  }
+  locks_.RecordWrite(oid, PageOf(oid));
+  PinForTxn(PageOf(oid));
+}
+
+void PageFamilyClient::HandleEviction(PageId page,
+                                      storage::PageFrame&& frame) {
+  Server* srv = ServerFor(page);
+  ClientId from = id_;
+  if (frame.IsDirty()) {
+    // Steal: ship the uncommitted page to the server for staging
+    // (purge-at-client / undo-at-server, Section 3.1).
+    ++ctx_.counters.dirty_evictions;
+    TxnId txn = txn_;
+    SlotMask dirty = frame.dirty;
+    SendToServer(srv, MsgKind::kDirtyInstall,
+                 ctx_.transport.DataBytes(ctx_.params.page_size_bytes),
+                 [srv, txn, page, dirty, from]() {
+                   srv->OnDirtyInstall(txn, page, dirty);
+                   srv->OnClientDroppedPage(page, from);
+                 });
+  } else {
+    SendToServer(srv, MsgKind::kEvictionNotice,
+                 ctx_.transport.ControlBytes(), [srv, page, from]() {
+                   srv->OnClientDroppedPage(page, from);
+                 });
+  }
+}
+
+int PageFamilyClient::ApplyShip(const PageShip& ship) {
+  if (ctx_.TracingPage(ship.page)) {
+    ctx_.Trace("CLI %d applyship p=%d mask=%llx txn=%llu", id_, ship.page,
+               (unsigned long long)ship.unavailable,
+               (unsigned long long)txn_);
+  }
+  auto r = cache_.Insert(ship.page);
+  storage::PageFrame* f = r.value;
+  int merged = 0;
+  if (r.inserted) {
+    f->versions = ship.versions;
+    f->unavailable = ship.unavailable;
+    f->dirty = 0;
+    // Re-mark any of this transaction's own updates on the page (the frame
+    // was dirty-evicted earlier); they are still logically uncommitted here.
+    for (ObjectId oid : locks_.write_objects()) {
+      if (PageOf(oid) == ship.page) f->MarkDirty(SlotOf(oid));
+    }
+    f->unavailable &= ~f->dirty;
+  } else {
+    // Merge: local uncommitted updates win; everything else refreshes.
+    const int opp = ctx_.params.objects_per_page;
+    for (int s = 0; s < opp; ++s) {
+      if ((f->dirty & storage::SlotBit(s)) != 0) continue;
+      if (f->versions[static_cast<std::size_t>(s)] !=
+          ship.versions[static_cast<std::size_t>(s)]) {
+        ++merged;
+      }
+      f->versions[static_cast<std::size_t>(s)] =
+          ship.versions[static_cast<std::size_t>(s)];
+    }
+    f->unavailable = ship.unavailable & ~f->dirty;
+  }
+  if (r.evicted.has_value()) {
+    HandleEviction(r.evicted->first, std::move(r.evicted->second));
+  }
+  return merged;
+}
+
+sim::Task PageFamilyClient::Commit() {
+  // Group still-cached dirty pages by owning (partition) server.
+  std::unordered_map<int, std::vector<PageUpdate>> by_server;
+  std::unordered_map<int, int> objects_per_server;
+  std::vector<PageUpdate> all_updates;
+  cache_.ForEach([&](PageId p, const storage::PageFrame& f) {
+    if (f.IsDirty()) {
+      PageUpdate u{p, f.dirty, f.pending_growth};
+      by_server[ctx_.params.ServerOfPage(p)].push_back(u);
+      objects_per_server[ctx_.params.ServerOfPage(p)] +=
+          storage::PopCount(f.dirty);
+      all_updates.push_back(u);
+    }
+  });
+  // A read-only transaction still confirms its commit with its home server
+  // (releasing any server-side state and forcing the commit record).
+  if (by_server.empty()) by_server[0] = {};
+
+  std::vector<sim::Future<CommitAck>> acks;
+  for (auto& [sidx, updates] : by_server) {
+    // Commit payload: whole pages, or just log records under redo-at-server.
+    const int payload =
+        ctx_.params.commit_mode == config::CommitMode::kRedoAtServer
+            ? objects_per_server[sidx] * (ctx_.params.log_record_bytes +
+                                          ctx_.params.object_size_bytes())
+            : static_cast<int>(updates.size()) * ctx_.params.page_size_bytes;
+    sim::Promise<CommitAck> pr(ctx_.sim);
+    acks.push_back(pr.GetFuture());
+    Server* srv = servers_[static_cast<std::size_t>(sidx)];
+    TxnId txn = txn_;
+    ClientId from = id_;
+    SendToServer(srv, MsgKind::kCommitReq, ctx_.transport.DataBytes(payload),
+                 [srv, txn, from, updates, pr = std::move(pr)]() mutable {
+                   srv->OnCommitReq(txn, from, std::move(updates), {},
+                                    std::move(pr));
+                 });
+  }
+  CommitAck merged;
+  for (auto& fut : acks) {
+    CommitAck ack = co_await std::move(fut);
+    merged.new_versions.insert(merged.new_versions.end(),
+                               ack.new_versions.begin(),
+                               ack.new_versions.end());
+  }
+
+  // History is recorded once all involved servers have acked (strict 2PL:
+  // all locks were held until here, so the serialization point is sound).
+  if (ctx_.history != nullptr) {
+    CommittedTxn record;
+    record.txn = txn_;
+    record.commit_seq = ctx_.db.NextCommitSeq();
+    record.reads = ReadSnapshot();
+    record.writes = merged.new_versions;
+    ctx_.history->RecordCommit(std::move(record));
+  } else {
+    ctx_.db.NextCommitSeq();
+  }
+
+  // Refresh retained frames with the new committed versions and clean them.
+  for (const auto& [oid, v] : merged.new_versions) {
+    storage::PageFrame* f = cache_.Peek(PageOf(oid));
+    if (f != nullptr) {
+      f->versions[static_cast<std::size_t>(SlotOf(oid))] = v;
+    }
+  }
+  for (const auto& u : all_updates) {
+    if (storage::PageFrame* f = cache_.Peek(u.page)) {
+      f->dirty = 0;
+      f->pending_growth = 0;
+    }
+  }
+  EndTxnLocal();
+}
+
+sim::Task PageFamilyClient::Abort() {
+  // Purge updated pages from the cache (their uncommitted contents must not
+  // be visible to later transactions). Unpin first: the aborting
+  // transaction's footprint no longer needs residency.
+  UnpinAll();
+  std::unordered_map<int, std::vector<PageId>> purged_by_server;
+  std::vector<PageId> purged;
+  cache_.ForEach([&](PageId p, const storage::PageFrame& f) {
+    if (f.IsDirty()) purged.push_back(p);
+  });
+  for (PageId p : purged) {
+    cache_.Remove(p);
+    purged_by_server[ctx_.params.ServerOfPage(p)].push_back(p);
+  }
+
+  // Every server may hold locks or wait-edges for this transaction.
+  std::vector<sim::Future<bool>> acks;
+  for (std::size_t sidx = 0; sidx < servers_.size(); ++sidx) {
+    sim::Promise<bool> pr(ctx_.sim);
+    acks.push_back(pr.GetFuture());
+    Server* srv = servers_[sidx];
+    TxnId txn = txn_;
+    ClientId from = id_;
+    std::vector<PageId> mine =
+        std::move(purged_by_server[static_cast<int>(sidx)]);
+    SendToServer(srv, MsgKind::kAbortReq, ctx_.transport.ControlBytes(),
+                 [srv, txn, from, mine = std::move(mine),
+                  pr = std::move(pr)]() mutable {
+                   srv->OnAbortReq(txn, from, std::move(mine), {},
+                                   std::move(pr));
+                 });
+  }
+  for (auto& fut : acks) co_await std::move(fut);
+  EndTxnLocal();
+}
+
+}  // namespace psoodb::core

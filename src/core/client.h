@@ -1,0 +1,171 @@
+/// \file client.h
+/// Base client engine: the transaction loop (execute reference string,
+/// commit, abort-and-resubmit), local lock state, read-version tracking for
+/// the correctness checkers, and deferred ("in use") callback handling.
+/// PageFamilyClient adds the page cache, page-ship merging, dirty-eviction
+/// staging, and the shared commit/abort flows of the four page-transfer
+/// protocols.
+
+#ifndef PSOODB_CORE_CLIENT_H_
+#define PSOODB_CORE_CLIENT_H_
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cc/local_locks.h"
+#include "core/context.h"
+#include "core/messages.h"
+#include "core/server.h"
+#include "resources/cpu.h"
+#include "sim/random.h"
+#include "storage/buffer_manager.h"
+#include "storage/object_cache.h"
+#include "workload/workload.h"
+
+namespace psoodb::core {
+
+class Client {
+ public:
+  Client(SystemContext& ctx, storage::ClientId id,
+         const config::WorkloadParams& workload,
+         std::vector<Server*> servers);
+  virtual ~Client() = default;
+
+  /// Spawns the transaction loop (runs until the simulation is torn down).
+  void Start();
+
+  storage::ClientId id() const { return id_; }
+  resources::Cpu& cpu() { return cpu_; }
+  storage::TxnId active_txn() const {
+    return txn_active_ ? txn_ : storage::kNoTxn;
+  }
+
+  // --- Callback entry points (invoked by Transport deliveries) ------------
+  // Only the variants a protocol uses are overridden.
+  virtual void OnPageCallback(storage::PageId page, storage::TxnId requester,
+                              std::shared_ptr<CallbackBatch> batch);
+  virtual void OnObjectCallback(storage::ObjectId oid, storage::PageId page,
+                                storage::TxnId requester,
+                                std::shared_ptr<CallbackBatch> batch);
+  virtual void OnAdaptiveCallback(storage::PageId page, storage::ObjectId oid,
+                                  storage::TxnId requester,
+                                  std::shared_ptr<CallbackBatch> batch);
+  virtual void OnDeEscalate(storage::PageId page,
+                            sim::Promise<std::vector<storage::ObjectId>> reply);
+  /// PS-WT: surrender the write token for `page`, flushing the current page
+  /// image (with any uncommitted updates, staged at the server) first.
+  virtual void OnTokenRecall(storage::PageId page, sim::Promise<bool> done);
+
+ protected:
+  // --- Protocol hooks ------------------------------------------------------
+  virtual sim::Task Read(storage::ObjectId oid) = 0;
+  virtual sim::Task Write(storage::ObjectId oid) = 0;
+  virtual sim::Task Commit() = 0;
+  virtual sim::Task Abort() = 0;
+
+  // --- Shared machinery ----------------------------------------------------
+  sim::Task MainLoop();
+  void BeginTxn();
+  /// Clears transaction state and runs deferred callback actions.
+  void EndTxnLocal();
+  /// Releases the cache pins of the transaction's footprint. Under Callback
+  /// Locking a cached copy *is* the read permission, so items read or
+  /// written by the active transaction are pinned until it ends — evicting
+  /// one would silently drop a read lock (requires the client cache to be
+  /// larger than a transaction's page footprint; System asserts this).
+  virtual void UnpinAll() {}
+  /// Records the version observed by a read (first read wins) and checks the
+  /// cache-validity invariant. Call with own_write=true for reads of objects
+  /// this transaction has already written (skips both).
+  void NoteRead(storage::ObjectId oid, storage::Version version,
+                bool own_write);
+  /// Defers an action until the current transaction ends.
+  void Defer(std::function<void()> action) {
+    deferred_.push_back(std::move(action));
+  }
+
+  /// Sends a message to a specific (partition) server.
+  void SendToServer(Server* srv, MsgKind kind, int payload_bytes,
+                    std::function<void()> deliver);
+  /// The server owning `page` under the configured partitioning.
+  Server* ServerFor(storage::PageId page) const {
+    return servers_[static_cast<std::size_t>(
+        ctx_.params.ServerOfPage(page))];
+  }
+  /// Sends an (immediate or deferred) callback response to the server.
+  void ReplyCallback(const std::shared_ptr<CallbackBatch>& batch,
+                     CallbackReply reply);
+
+  /// Snapshot of read versions for the commit record.
+  std::vector<std::pair<storage::ObjectId, storage::Version>> ReadSnapshot()
+      const {
+    return {read_versions_.begin(), read_versions_.end()};
+  }
+
+  storage::PageId PageOf(storage::ObjectId oid) const {
+    return ctx_.db.layout().PageOf(oid);
+  }
+  int SlotOf(storage::ObjectId oid) const {
+    return ctx_.db.layout().SlotOf(oid);
+  }
+
+  SystemContext& ctx_;
+  storage::ClientId id_;
+  std::vector<Server*> servers_;
+  resources::Cpu cpu_;
+  workload::TransactionSource source_;
+  sim::Rng rng_;  ///< restart backoff jitter
+
+  storage::TxnId txn_ = storage::kNoTxn;
+  bool txn_active_ = false;
+  cc::LocalTxnLocks locks_;
+  std::unordered_map<storage::ObjectId, storage::Version> read_versions_;
+  std::vector<std::function<void()>> deferred_;
+};
+
+/// Shared base of the four page-transfer clients (PS, PS-OO, PS-OA, PS-AA).
+class PageFamilyClient : public Client {
+ public:
+  PageFamilyClient(SystemContext& ctx, storage::ClientId id,
+                   const config::WorkloadParams& workload,
+                   std::vector<Server*> servers);
+
+  storage::PageCache& cache() { return cache_; }
+
+ protected:
+  /// True if `oid` can be read from the local cache right now.
+  bool CachedAvailable(storage::ObjectId oid) const;
+
+  /// Applies an arriving page ship to the cache: insert or merge (local
+  /// uncommitted updates win). Returns the number of objects merged (to be
+  /// charged at CopyMergeInst each by the caller). Handles eviction
+  /// side-effects (dirty install / eviction notice).
+  int ApplyShip(const PageShip& ship);
+
+  /// Marks a local update of `oid` in the cached frame (which must exist).
+  void MarkLocalWrite(storage::ObjectId oid);
+
+  /// Shared commit: ships still-cached dirty pages + commit record, waits
+  /// for the ack, applies new versions, ends the transaction.
+  sim::Task Commit() override;
+  /// Shared abort: purges dirty pages, notifies the server, resubmits.
+  sim::Task Abort() override;
+
+  /// Local read bookkeeping once `oid` is cached and available.
+  void LocalRead(storage::ObjectId oid);
+
+  void HandleEviction(storage::PageId page, storage::PageFrame&& frame);
+
+  void UnpinAll() override;
+  void PinForTxn(storage::PageId page);
+
+  storage::PageCache cache_;
+  std::unordered_set<storage::PageId> pinned_pages_;
+};
+
+}  // namespace psoodb::core
+
+#endif  // PSOODB_CORE_CLIENT_H_

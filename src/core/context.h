@@ -1,0 +1,79 @@
+/// \file context.h
+/// Shared simulation context threaded through clients and the server.
+
+#ifndef PSOODB_CORE_CONTEXT_H_
+#define PSOODB_CORE_CONTEXT_H_
+
+#include <cstdint>
+#include <functional>
+#include <cstdio>
+#include <cstdlib>
+
+#include "cc/deadlock_detector.h"
+#include "config/params.h"
+#include "core/history.h"
+#include "core/messages.h"
+#include "metrics/counters.h"
+#include "sim/simulation.h"
+#include "storage/database.h"
+
+namespace psoodb::core {
+
+/// Everything protocol code needs besides its own node state.
+struct SystemContext {
+  sim::Simulation& sim;
+  const config::SystemParams& params;
+  storage::Database& db;
+  metrics::Counters& counters;
+  Transport& transport;
+  /// Central deadlock detector shared by all (partition) servers — the
+  /// waits-for graph spans servers, so detection must too. Owned by System.
+  cc::DeadlockDetector* detector = nullptr;
+  /// Optional committed-history recorder (tests). May be null.
+  History* history = nullptr;
+  /// Called by a client when a transaction commits: (client, start, end).
+  std::function<void(storage::ClientId, sim::SimTime, sim::SimTime)>
+      on_commit;
+
+  /// Next transaction id (monotonically increasing, shared by all clients).
+  storage::TxnId next_txn = 0;
+  /// Running (EWMA) average transaction response time, used as the mean
+  /// restart backoff for aborted transactions.
+  double avg_response = 0.0;
+
+  storage::TxnId NewTxn() { return ++next_txn; }
+
+  void NoteResponse(double rt) {
+    avg_response = avg_response == 0.0 ? rt : 0.9 * avg_response + 0.1 * rt;
+  }
+  double RestartDelayMean() const {
+    return avg_response > 0.0 ? avg_response : params.initial_restart_delay;
+  }
+
+  /// Checks the callback-locking cache-validity invariant: a locally readable
+  /// cached object must hold the latest committed version. Violations are
+  /// counted (and indicate a protocol bug; tests assert the count is zero).
+  void CheckCacheValidity(storage::ObjectId oid, storage::Version held) {
+    if (held != db.committed_version(oid)) ++counters.validity_violations;
+  }
+
+  /// Debug tracing for one page, enabled with PSOODB_TRACE_PAGE=<n>.
+  /// Usage: if (ctx.TracingPage(p)) ctx.Trace("ship", ...);
+  bool TracingPage(storage::PageId page) const {
+    static const long traced = [] {
+      const char* v = std::getenv("PSOODB_TRACE_PAGE");
+      return v != nullptr ? std::atol(v) : -1L;
+    }();
+    return traced >= 0 && page == static_cast<storage::PageId>(traced);
+  }
+  template <typename... Args>
+  void Trace(const char* fmt, Args... args) const {
+    std::fprintf(stderr, "[t=%.6f] ", sim.now());
+    std::fprintf(stderr, fmt, args...);
+    std::fprintf(stderr, "\n");
+  }
+};
+
+}  // namespace psoodb::core
+
+#endif  // PSOODB_CORE_CONTEXT_H_

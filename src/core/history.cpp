@@ -1,0 +1,109 @@
+#include "core/history.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace psoodb::core {
+
+namespace {
+
+/// Object version event index: for each object, who wrote version v and who
+/// read version v.
+struct ObjectHistory {
+  std::map<storage::Version, std::size_t> writer_of;  // version -> txn index
+  std::map<storage::Version, std::vector<std::size_t>> readers_of;
+};
+
+bool HasCycle(const std::vector<std::unordered_set<std::size_t>>& adj) {
+  const std::size_t n = adj.size();
+  // Iterative three-color DFS.
+  std::vector<int> color(n, 0);  // 0 white, 1 gray, 2 black
+  std::vector<std::pair<std::size_t, bool>> stack;
+  for (std::size_t root = 0; root < n; ++root) {
+    if (color[root] != 0) continue;
+    stack.emplace_back(root, false);
+    while (!stack.empty()) {
+      auto [v, processed] = stack.back();
+      stack.pop_back();
+      if (processed) {
+        color[v] = 2;
+        continue;
+      }
+      if (color[v] == 1) continue;
+      color[v] = 1;
+      stack.emplace_back(v, true);
+      for (std::size_t w : adj[v]) {
+        if (color[w] == 1) return true;
+        if (color[w] == 0) stack.emplace_back(w, false);
+      }
+    }
+  }
+  return false;
+}
+
+void BuildObjectHistories(
+    const std::vector<CommittedTxn>& txns,
+    std::unordered_map<storage::ObjectId, ObjectHistory>* out) {
+  for (std::size_t i = 0; i < txns.size(); ++i) {
+    for (const auto& [oid, v] : txns[i].writes) {
+      (*out)[oid].writer_of[v] = i;
+    }
+    for (const auto& [oid, v] : txns[i].reads) {
+      (*out)[oid].readers_of[v].push_back(i);
+    }
+  }
+}
+
+}  // namespace
+
+bool History::IsSerializable() const {
+  std::unordered_map<storage::ObjectId, ObjectHistory> objects;
+  BuildObjectHistories(txns_, &objects);
+
+  std::vector<std::unordered_set<std::size_t>> adj(txns_.size());
+  auto add_edge = [&](std::size_t a, std::size_t b) {
+    if (a != b) adj[a].insert(b);
+  };
+
+  for (const auto& [oid, oh] : objects) {
+    // ww: writer(v) -> writer(v') for consecutive written versions.
+    for (auto it = oh.writer_of.begin(); it != oh.writer_of.end(); ++it) {
+      auto next = std::next(it);
+      if (next != oh.writer_of.end()) add_edge(it->second, next->second);
+    }
+    for (const auto& [v, readers] : oh.readers_of) {
+      // wr: writer(v) -> readers(v). Version 0 is the initial state.
+      if (v > 0) {
+        auto w = oh.writer_of.find(v);
+        if (w != oh.writer_of.end()) {
+          for (std::size_t r : readers) add_edge(w->second, r);
+        }
+      }
+      // rw: readers(v) -> writer of the next version after v.
+      auto nw = oh.writer_of.upper_bound(v);
+      if (nw != oh.writer_of.end()) {
+        for (std::size_t r : readers) add_edge(r, nw->second);
+      }
+    }
+  }
+  return !HasCycle(adj);
+}
+
+bool History::NoLostUpdates() const {
+  std::unordered_map<storage::ObjectId, std::vector<storage::Version>> writes;
+  for (const auto& t : txns_) {
+    for (const auto& [oid, v] : t.writes) writes[oid].push_back(v);
+  }
+  for (auto& [oid, vs] : writes) {
+    std::sort(vs.begin(), vs.end());
+    // Committed versions must start past 0 and be contiguous and unique.
+    // (The first recorded write may be >1 only if warmup commits were not
+    // recorded; we require contiguity from the first recorded version.)
+    for (std::size_t i = 1; i < vs.size(); ++i) {
+      if (vs[i] != vs[i - 1] + 1) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace psoodb::core

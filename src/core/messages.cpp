@@ -1,0 +1,48 @@
+#include "core/messages.h"
+
+#include <cassert>
+
+namespace psoodb::core {
+
+void Transport::Send(NodeId from, NodeId to, MsgKind kind, int payload_bytes,
+                     std::function<void()> deliver) {
+  ++counters_.msgs_total;
+  if (IsDataMsg(kind)) {
+    ++counters_.msgs_data;
+  } else {
+    ++counters_.msgs_control;
+  }
+  counters_.bytes_sent += static_cast<std::uint64_t>(payload_bytes);
+  switch (kind) {
+    case MsgKind::kReadReq:
+      ++counters_.read_requests;
+      break;
+    case MsgKind::kWriteReq:
+      ++counters_.write_requests;
+      break;
+    case MsgKind::kCallbackReq:
+      ++counters_.callbacks_sent;
+      break;
+    case MsgKind::kEvictionNotice:
+      ++counters_.eviction_notices;
+      break;
+    default:
+      break;
+  }
+  // Spawning enters the sender-CPU queue synchronously (the delivery task
+  // runs until its first suspension), so send order == CPU order == wire
+  // order for messages from the same node.
+  sim_.Spawn(Deliver(from, to, payload_bytes, std::move(deliver)));
+}
+
+sim::Task Transport::Deliver(NodeId from, NodeId to, int bytes,
+                             std::function<void()> deliver) {
+  resources::Cpu* sender = cpus_.at(from);
+  resources::Cpu* receiver = cpus_.at(to);
+  co_await sender->System(params_.MsgInst(bytes));
+  co_await network_.Transfer(static_cast<std::uint64_t>(bytes));
+  co_await receiver->System(params_.MsgInst(bytes));
+  deliver();
+}
+
+}  // namespace psoodb::core

@@ -1,0 +1,157 @@
+/// \file messages.h
+/// Message kinds, payloads, and the Transport that moves them between client
+/// and server nodes. A message costs CPU at the sender and at the receiver
+/// (FixedMsgInst + PerByteMsgInst * size, charged at system priority) plus
+/// wire time on the shared FIFO network (Section 4.1).
+///
+/// Ordering guarantee: Send() is non-suspending — it enqueues the sender-side
+/// CPU work synchronously, and both the per-node CPU (FIFO for system
+/// requests) and the network are FIFO. Therefore messages between the same
+/// pair of nodes are delivered in send order, which the callback-locking
+/// protocols rely on (e.g. a page ship must reach a client before a callback
+/// for that page that was issued later).
+
+#ifndef PSOODB_CORE_MESSAGES_H_
+#define PSOODB_CORE_MESSAGES_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "config/params.h"
+#include "metrics/counters.h"
+#include "resources/cpu.h"
+#include "resources/network.h"
+#include "sim/awaitables.h"
+#include "sim/simulation.h"
+#include "sim/task.h"
+#include "storage/buffer_manager.h"
+#include "storage/types.h"
+
+namespace psoodb::core {
+
+/// Node address: clients are 0..num_clients-1; servers are negative ids.
+/// With partitioned data (multi-server), server i is ServerNode(i).
+using NodeId = int;
+inline constexpr NodeId ServerNode(int index) { return -1 - index; }
+inline constexpr NodeId kServerNode = ServerNode(0);
+
+enum class MsgKind : std::uint8_t {
+  // Client -> server requests.
+  kReadReq,         ///< page or object read request (control)
+  kWriteReq,        ///< write lock request (control)
+  kCommitReq,       ///< commit with updated pages/objects (data)
+  kAbortReq,        ///< abort notification (control)
+  kDirtyInstall,    ///< mid-transaction dirty eviction shipped to server (data)
+  kEvictionNotice,  ///< clean eviction: drop copy registration (control)
+  kCallbackAck,     ///< deferred callback completion (control)
+  // Server -> client.
+  kDataReply,     ///< page or object ship (data)
+  kControlReply,  ///< grant / ack / abort reply (control)
+  kCallbackReq,   ///< callback / invalidation request (control)
+  kDeEscalateReq, ///< PS-AA: de-escalate a page write lock (control)
+  kDeEscalateReply,  ///< client -> server: updated objects on the page (control)
+  kTokenRecall,   ///< PS-WT: recall a page's write token (control)
+  kTokenFlush,    ///< PS-WT: owner flushes the page image back (data)
+};
+
+/// True if the message carries bulk data (pages or objects).
+inline bool IsDataMsg(MsgKind k) {
+  return k == MsgKind::kCommitReq || k == MsgKind::kDirtyInstall ||
+         k == MsgKind::kDataReply || k == MsgKind::kTokenFlush;
+}
+
+// --- Common reply payloads --------------------------------------------------
+
+/// Outcome of a callback at a client.
+enum class CallbackOutcome : std::uint8_t {
+  kPurged,    ///< page (or object) dropped from the cache
+  kRetained,  ///< page kept; the requested object was marked unavailable
+  kNotCached, ///< the client no longer held a copy
+  kInUse,     ///< blocked by the client's active transaction; ack comes later
+};
+
+/// First response to a callback. If `outcome == kInUse`, `blocking_txn` names
+/// the active transaction and a kCallbackAck with the final outcome follows
+/// when it ends.
+struct CallbackReply {
+  CallbackOutcome outcome = CallbackOutcome::kPurged;
+  storage::TxnId blocking_txn = storage::kNoTxn;
+};
+
+/// A page shipped to a client.
+struct PageShip {
+  storage::PageId page = -1;
+  storage::SlotMask unavailable = 0;  ///< objects write-locked elsewhere
+  std::vector<storage::Version> versions;
+  bool aborted = false;  ///< request failed; transaction must abort
+};
+
+/// An object shipped to an OS client.
+struct ObjectShip {
+  storage::ObjectId oid = -1;
+  storage::Version version = 0;
+  bool aborted = false;
+};
+
+/// Write permission granted by the server.
+enum class GrantLevel : std::uint8_t { kObject, kPage };
+
+struct WriteGrant {
+  GrantLevel level = GrantLevel::kObject;
+  bool aborted = false;
+};
+
+/// Commit acknowledgment: new committed versions of the written objects.
+struct CommitAck {
+  std::vector<std::pair<storage::ObjectId, storage::Version>> new_versions;
+};
+
+/// One updated page sent to the server at commit / dirty eviction.
+struct PageUpdate {
+  storage::PageId page = -1;
+  storage::SlotMask dirty = 0;  ///< slots updated by the transaction
+  int growth_bytes = 0;  ///< net object growth (size-changing updates)
+};
+
+// --- Transport ---------------------------------------------------------------
+
+/// Moves messages between nodes, charging CPU and network costs.
+class Transport {
+ public:
+  Transport(sim::Simulation& sim, resources::Network& network,
+            const config::SystemParams& params, metrics::Counters& counters)
+      : sim_(sim), network_(network), params_(params), counters_(counters) {}
+
+  /// Registers the CPU of a node (call once per node before any Send).
+  void AttachCpu(NodeId node, resources::Cpu* cpu) { cpus_[node] = cpu; }
+
+  /// Sends a message: charges sender CPU, wire time, receiver CPU, then runs
+  /// `deliver` at the receiver. Non-suspending: the caller's state mutations
+  /// immediately before Send() and the send itself are atomic with respect
+  /// to other simulation events, and per node-pair delivery is FIFO.
+  void Send(NodeId from, NodeId to, MsgKind kind, int payload_bytes,
+            std::function<void()> deliver);
+
+  /// Message size for a control message.
+  int ControlBytes() const { return params_.control_msg_bytes; }
+  /// Message size for a data message carrying `data_bytes` of payload.
+  int DataBytes(int data_bytes) const {
+    return params_.control_msg_bytes + data_bytes;
+  }
+
+ private:
+  sim::Task Deliver(NodeId from, NodeId to, int bytes,
+                    std::function<void()> deliver);
+
+  sim::Simulation& sim_;
+  resources::Network& network_;
+  const config::SystemParams& params_;
+  metrics::Counters& counters_;
+  std::unordered_map<NodeId, resources::Cpu*> cpus_;
+};
+
+}  // namespace psoodb::core
+
+#endif  // PSOODB_CORE_MESSAGES_H_

@@ -1,0 +1,323 @@
+#include "core/os.h"
+
+#include <cassert>
+
+#include "cc/abort.h"
+
+namespace psoodb::core {
+
+using storage::ClientId;
+using storage::kNoTxn;
+using storage::ObjectId;
+using storage::PageId;
+using storage::SlotMask;
+using storage::TxnId;
+
+// --- Server ------------------------------------------------------------------
+
+void OsServer::OnObjectReadReq(ObjectId oid, TxnId txn, ClientId client,
+                               sim::Promise<ObjectShip> reply) {
+  ctx_.sim.Spawn(HandleRead(oid, txn, client, std::move(reply)));
+}
+
+void OsServer::OnObjectWriteReq(ObjectId oid, TxnId txn, ClientId client,
+                                sim::Promise<WriteGrant> reply) {
+  ctx_.sim.Spawn(HandleWrite(oid, txn, client, std::move(reply)));
+}
+
+sim::Task OsServer::HandleRead(ObjectId oid, TxnId txn, ClientId client,
+                               sim::Promise<ObjectShip> reply) {
+  const PageId page = ctx_.db.layout().PageOf(oid);
+  try {
+    // Costs up front: the final check-register-ship runs without suspension.
+    co_await cpu_.System(ctx_.params.lock_inst +
+                         ctx_.params.register_copy_inst);
+    for (;;) {
+      TxnId holder = lm_.ObjectXHolder(oid);
+      if (holder != kNoTxn && holder != txn) {
+        co_await lm_.WaitObjectFree(oid, txn);
+        continue;
+      }
+      co_await EnsureBuffered(page);
+      holder = lm_.ObjectXHolder(oid);  // disk read may have let one in
+      if (holder != kNoTxn && holder != txn) continue;
+      break;
+    }
+    object_copies_.Register(oid, client);
+    ObjectShip ship{oid, ctx_.db.committed_version(oid), false};
+    SendToClient(client, MsgKind::kDataReply,
+                 ctx_.transport.DataBytes(ctx_.params.object_size_bytes()),
+                 [reply = std::move(reply), ship]() mutable {
+                   reply.Set(ship);
+                 });
+  } catch (const cc::TxnAborted&) {
+    SendToClient(client, MsgKind::kControlReply,
+                 ctx_.transport.ControlBytes(),
+                 [reply = std::move(reply)]() mutable {
+                   reply.Set(ObjectShip{-1, 0, true});
+                 });
+  }
+}
+
+sim::Task OsServer::HandleWrite(ObjectId oid, TxnId txn, ClientId client,
+                                sim::Promise<WriteGrant> reply) {
+  const PageId page = ctx_.db.layout().PageOf(oid);
+  try {
+    co_await cpu_.System(ctx_.params.lock_inst);
+    co_await lm_.AcquireObjectX(oid, page, txn, client);
+
+    auto holders = object_copies_.HoldersExcept(oid, client);
+    if (!holders.empty()) {
+      auto batch = NewBatch();
+      batch->pending = static_cast<int>(holders.size());
+      // Unregistration runs at reply delivery (see CallbackBatch::on_final),
+      // and only for the registration epoch the callback was issued against.
+      std::unordered_map<ClientId, std::uint64_t> epochs;
+      for (const auto& h : holders) epochs[h.client] = h.epoch;
+      batch->on_final = [this, oid, epochs](ClientId c, CallbackOutcome) {
+        object_copies_.UnregisterIfEpoch(oid, c, epochs.at(c));
+      };
+      for (const auto& h : holders) {
+        SendToClient(h.client, MsgKind::kCallbackReq,
+                     ctx_.transport.ControlBytes(),
+                     [cl = this->client(h.client), oid, page, txn, batch]() {
+                       cl->OnObjectCallback(oid, page, txn, batch);
+                     });
+      }
+      co_await AwaitCallbacks(batch, txn);
+      co_await cpu_.System(ctx_.params.register_copy_inst *
+                           static_cast<double>(batch->outcomes.size()));
+    }
+    SendToClient(client, MsgKind::kControlReply, ctx_.transport.ControlBytes(),
+                 [reply = std::move(reply)]() mutable {
+                   reply.Set(WriteGrant{GrantLevel::kObject, false});
+                 });
+  } catch (const cc::TxnAborted&) {
+    SendToClient(client, MsgKind::kControlReply, ctx_.transport.ControlBytes(),
+                 [reply = std::move(reply)]() mutable {
+                   reply.Set(WriteGrant{GrantLevel::kObject, true});
+                 });
+  }
+}
+
+// --- Client ------------------------------------------------------------------
+
+OsClient::OsClient(SystemContext& ctx, ClientId id,
+                   const config::WorkloadParams& workload,
+                   std::vector<OsServer*> servers)
+    : Client(ctx, id, workload,
+             std::vector<Server*>(servers.begin(), servers.end())),
+      os_servers_(std::move(servers)),
+      cache_(static_cast<std::size_t>(ctx.params.client_buf_objects())) {}
+
+void OsClient::HandleEviction(ObjectId oid, storage::ObjectFrame&& frame) {
+  OsServer* srv = OsServerFor(PageOf(oid));
+  ClientId from = id_;
+  if (frame.dirty) {
+    ++ctx_.counters.dirty_evictions;
+    TxnId txn = txn_;
+    PageId page = PageOf(oid);
+    SlotMask mask = storage::SlotBit(SlotOf(oid));
+    SendToServer(srv, MsgKind::kDirtyInstall,
+                 ctx_.transport.DataBytes(ctx_.params.object_size_bytes()),
+                 [srv, txn, page, mask, oid, from]() {
+                   srv->OnDirtyInstall(txn, page, mask);
+                   srv->OnObjectEvictionNotice(oid, from);
+                 });
+  } else {
+    SendToServer(srv, MsgKind::kEvictionNotice,
+                 ctx_.transport.ControlBytes(), [srv, oid, from]() {
+                   srv->OnObjectEvictionNotice(oid, from);
+                 });
+  }
+}
+
+sim::Task OsClient::FetchObject(ObjectId oid) {
+  sim::Promise<ObjectShip> pr(ctx_.sim);
+  auto fut = pr.GetFuture();
+  {
+    OsServer* srv = OsServerFor(PageOf(oid));
+    TxnId txn = txn_;
+    ClientId from = id_;
+    SendToServer(srv, MsgKind::kReadReq, ctx_.transport.ControlBytes(),
+                 [srv, oid, txn, from, pr = std::move(pr)]() mutable {
+                   srv->OnObjectReadReq(oid, txn, from, std::move(pr));
+                 });
+  }
+  ObjectShip ship = co_await std::move(fut);
+  if (ship.aborted) throw cc::TxnAborted(txn_, cc::AbortReason::kVictim);
+  auto r = cache_.Insert(oid);
+  r.value->version = ship.version;
+  r.value->dirty = false;
+  if (r.evicted.has_value()) {
+    HandleEviction(r.evicted->first, std::move(r.evicted->second));
+  }
+}
+
+void OsClient::PinForTxn(ObjectId oid) {
+  if (pinned_objects_.insert(oid).second) cache_.Pin(oid);
+}
+
+void OsClient::UnpinAll() {
+  for (ObjectId oid : pinned_objects_) {
+    if (cache_.Contains(oid)) cache_.Unpin(oid);
+  }
+  pinned_objects_.clear();
+}
+
+sim::Task OsClient::Read(ObjectId oid) {
+  storage::ObjectFrame* f = cache_.Get(oid);
+  if (f == nullptr) {
+    ++ctx_.counters.cache_misses;
+    co_await FetchObject(oid);
+    f = cache_.Get(oid);
+    assert(f != nullptr);
+  } else {
+    ++ctx_.counters.cache_hits;
+  }
+  NoteRead(oid, f->version, f->dirty || locks_.WritesObject(oid));
+  locks_.RecordRead(oid, PageOf(oid));
+  // The cached copy is this transaction's read lock: keep it resident.
+  PinForTxn(oid);
+}
+
+sim::Task OsClient::Write(ObjectId oid) {
+  co_await Read(oid);
+  if (!locks_.HasObjectWrite(oid)) {
+    sim::Promise<WriteGrant> pr(ctx_.sim);
+    auto fut = pr.GetFuture();
+    {
+      OsServer* srv = OsServerFor(PageOf(oid));
+      TxnId txn = txn_;
+      ClientId from = id_;
+      SendToServer(srv, MsgKind::kWriteReq, ctx_.transport.ControlBytes(),
+                   [srv, oid, txn, from, pr = std::move(pr)]() mutable {
+                     srv->OnObjectWriteReq(oid, txn, from, std::move(pr));
+                   });
+    }
+    WriteGrant grant = co_await std::move(fut);
+    if (grant.aborted) throw cc::TxnAborted(txn_, cc::AbortReason::kVictim);
+    locks_.GrantObjectWrite(oid);
+  }
+  if (cache_.Peek(oid) == nullptr) co_await FetchObject(oid);
+  storage::ObjectFrame* f = cache_.Get(oid);
+  f->dirty = true;
+  locks_.RecordWrite(oid, PageOf(oid));
+  PinForTxn(oid);
+}
+
+sim::Task OsClient::Commit() {
+  // Updated objects still cached, grouped by page for the install and by
+  // owning server for the fan-out.
+  std::unordered_map<PageId, SlotMask> masks;
+  std::unordered_map<int, std::pair<std::vector<PageUpdate>, int>> by_server;
+  cache_.ForEach([&](ObjectId oid, const storage::ObjectFrame& f) {
+    if (f.dirty) masks[PageOf(oid)] |= storage::SlotBit(SlotOf(oid));
+  });
+  for (const auto& [p, m] : masks) {
+    auto& entry = by_server[ctx_.params.ServerOfPage(p)];
+    entry.first.push_back({p, m});
+    entry.second += storage::PopCount(m);
+  }
+  if (by_server.empty()) by_server[0] = {};
+
+  std::vector<sim::Future<CommitAck>> acks;
+  for (auto& [sidx, entry] : by_server) {
+    const int bytes = ctx_.transport.DataBytes(
+        entry.second * ctx_.params.object_size_bytes());
+    sim::Promise<CommitAck> pr(ctx_.sim);
+    acks.push_back(pr.GetFuture());
+    Server* srv = servers_[static_cast<std::size_t>(sidx)];
+    TxnId txn = txn_;
+    ClientId from = id_;
+    SendToServer(srv, MsgKind::kCommitReq, bytes,
+                 [srv, txn, from, updates = entry.first,
+                  pr = std::move(pr)]() mutable {
+                   srv->OnCommitReq(txn, from, std::move(updates), {},
+                                    std::move(pr));
+                 });
+  }
+  CommitAck merged;
+  for (auto& fut : acks) {
+    CommitAck ack = co_await std::move(fut);
+    merged.new_versions.insert(merged.new_versions.end(),
+                               ack.new_versions.begin(),
+                               ack.new_versions.end());
+  }
+  if (ctx_.history != nullptr) {
+    CommittedTxn record;
+    record.txn = txn_;
+    record.commit_seq = ctx_.db.NextCommitSeq();
+    record.reads = ReadSnapshot();
+    record.writes = merged.new_versions;
+    ctx_.history->RecordCommit(std::move(record));
+  } else {
+    ctx_.db.NextCommitSeq();
+  }
+  for (const auto& [oid, v] : merged.new_versions) {
+    if (storage::ObjectFrame* f = cache_.Peek(oid)) {
+      f->version = v;
+      f->dirty = false;
+    }
+  }
+  EndTxnLocal();
+}
+
+sim::Task OsClient::Abort() {
+  UnpinAll();
+  std::vector<ObjectId> purged;
+  cache_.ForEach([&](ObjectId oid, const storage::ObjectFrame& f) {
+    if (f.dirty) purged.push_back(oid);
+  });
+  std::unordered_map<int, std::vector<ObjectId>> purged_by_server;
+  for (ObjectId oid : purged) {
+    cache_.Remove(oid);
+    purged_by_server[ctx_.params.ServerOfPage(PageOf(oid))].push_back(oid);
+  }
+
+  std::vector<sim::Future<bool>> acks;
+  for (std::size_t sidx = 0; sidx < servers_.size(); ++sidx) {
+    sim::Promise<bool> pr(ctx_.sim);
+    acks.push_back(pr.GetFuture());
+    Server* srv = servers_[sidx];
+    TxnId txn = txn_;
+    ClientId from = id_;
+    std::vector<ObjectId> mine =
+        std::move(purged_by_server[static_cast<int>(sidx)]);
+    SendToServer(srv, MsgKind::kAbortReq, ctx_.transport.ControlBytes(),
+                 [srv, txn, from, mine = std::move(mine),
+                  pr = std::move(pr)]() mutable {
+                   srv->OnAbortReq(txn, from, {}, std::move(mine),
+                                   std::move(pr));
+                 });
+  }
+  for (auto& fut : acks) co_await std::move(fut);
+  EndTxnLocal();
+}
+
+void OsClient::OnObjectCallback(ObjectId oid, PageId /*page*/,
+                                TxnId /*requester*/,
+                                std::shared_ptr<CallbackBatch> batch) {
+  storage::ObjectFrame* f = cache_.Peek(oid);
+  if (f == nullptr) {
+    ReplyCallback(batch, {CallbackOutcome::kNotCached, kNoTxn});
+    return;
+  }
+  if (txn_active_ && locks_.ReadsObject(oid)) {
+    ReplyCallback(batch, {CallbackOutcome::kInUse, txn_});
+    Defer([this, oid, batch]() {
+      CallbackOutcome out = CallbackOutcome::kNotCached;
+      if (cache_.Peek(oid) != nullptr) {
+        cache_.Remove(oid);
+        out = CallbackOutcome::kPurged;
+      }
+      ReplyCallback(batch, {out, kNoTxn});
+    });
+    return;
+  }
+  assert(!f->dirty && "dirty object without active transaction");
+  cache_.Remove(oid);
+  ReplyCallback(batch, {CallbackOutcome::kPurged, kNoTxn});
+}
+
+}  // namespace psoodb::core

@@ -1,0 +1,79 @@
+/// \file os.h
+/// OS — the basic object server (Section 3.2.2). Data transfer, concurrency
+/// control and replica management all happen at object granularity: clients
+/// cache individual objects (LRU over ClientBufSize x ObjectsPerPage
+/// objects), the server ships single objects, and callbacks invalidate
+/// single cached objects.
+
+#ifndef PSOODB_CORE_OS_H_
+#define PSOODB_CORE_OS_H_
+
+#include "core/client.h"
+#include "core/server.h"
+
+namespace psoodb::core {
+
+class OsServer : public Server {
+ public:
+  using Server::Server;
+
+  void OnObjectReadReq(storage::ObjectId oid, storage::TxnId txn,
+                       storage::ClientId client,
+                       sim::Promise<ObjectShip> reply);
+  void OnObjectWriteReq(storage::ObjectId oid, storage::TxnId txn,
+                        storage::ClientId client,
+                        sim::Promise<WriteGrant> reply);
+
+ protected:
+  bool CommitReplacesPage(storage::TxnId, storage::PageId) const override {
+    // Object-granularity installs: updated objects are applied to the
+    // buffered base page (reading it from disk if absent).
+    return false;
+  }
+
+ private:
+  sim::Task HandleRead(storage::ObjectId oid, storage::TxnId txn,
+                       storage::ClientId client,
+                       sim::Promise<ObjectShip> reply);
+  sim::Task HandleWrite(storage::ObjectId oid, storage::TxnId txn,
+                        storage::ClientId client,
+                        sim::Promise<WriteGrant> reply);
+};
+
+class OsClient : public Client {
+ public:
+  OsClient(SystemContext& ctx, storage::ClientId id,
+           const config::WorkloadParams& workload,
+           std::vector<OsServer*> servers);
+
+  void OnObjectCallback(storage::ObjectId oid, storage::PageId page,
+                        storage::TxnId requester,
+                        std::shared_ptr<CallbackBatch> batch) override;
+
+  storage::ObjectCache& cache() { return cache_; }
+
+ protected:
+  sim::Task Read(storage::ObjectId oid) override;
+  sim::Task Write(storage::ObjectId oid) override;
+  sim::Task Commit() override;
+  sim::Task Abort() override;
+
+ private:
+  sim::Task FetchObject(storage::ObjectId oid);
+  void HandleEviction(storage::ObjectId oid, storage::ObjectFrame&& frame);
+  void UnpinAll() override;
+  void PinForTxn(storage::ObjectId oid);
+
+  OsServer* OsServerFor(storage::PageId page) const {
+    return os_servers_[static_cast<std::size_t>(
+        ctx_.params.ServerOfPage(page))];
+  }
+
+  std::vector<OsServer*> os_servers_;
+  storage::ObjectCache cache_;
+  std::unordered_set<storage::ObjectId> pinned_objects_;
+};
+
+}  // namespace psoodb::core
+
+#endif  // PSOODB_CORE_OS_H_

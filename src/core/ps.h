@@ -1,0 +1,72 @@
+/// \file ps.h
+/// PS — the basic page server (Section 3.2.1). Data transfer, concurrency
+/// control and replica management all happen at page granularity using the
+/// page-level Callback-Read algorithm: cached pages are always valid and
+/// readable without server intervention; updating a page requires a server
+/// write lock, granted after all remote copies have been called back.
+
+#ifndef PSOODB_CORE_PS_H_
+#define PSOODB_CORE_PS_H_
+
+#include "core/client.h"
+#include "core/server.h"
+
+namespace psoodb::core {
+
+class PsServer : public Server {
+ public:
+  using Server::Server;
+
+  /// Client entry: request a copy of `page` for reading.
+  void OnPageReadReq(storage::PageId page, storage::TxnId txn,
+                     storage::ClientId client, sim::Promise<PageShip> reply);
+  /// Client entry: request a page write lock.
+  void OnPageWriteReq(storage::PageId page, storage::TxnId txn,
+                      storage::ClientId client,
+                      sim::Promise<WriteGrant> reply);
+
+ protected:
+  bool CommitReplacesPage(storage::TxnId, storage::PageId) const override {
+    // The committer held a page X lock: its copy is the whole truth.
+    return true;
+  }
+
+ private:
+  sim::Task HandleRead(storage::PageId page, storage::TxnId txn,
+                       storage::ClientId client, sim::Promise<PageShip> reply);
+  sim::Task HandleWrite(storage::PageId page, storage::TxnId txn,
+                        storage::ClientId client,
+                        sim::Promise<WriteGrant> reply);
+};
+
+class PsClient : public PageFamilyClient {
+ public:
+  PsClient(SystemContext& ctx, storage::ClientId id,
+           const config::WorkloadParams& workload,
+           std::vector<PsServer*> servers)
+      : PageFamilyClient(ctx, id, workload,
+                         std::vector<Server*>(servers.begin(), servers.end())),
+        ps_servers_(std::move(servers)) {}
+
+  void OnPageCallback(storage::PageId page, storage::TxnId requester,
+                      std::shared_ptr<CallbackBatch> batch) override;
+
+ protected:
+  sim::Task Read(storage::ObjectId oid) override;
+  sim::Task Write(storage::ObjectId oid) override;
+
+ private:
+  /// Fetches `page` from its owning server and installs it in the cache.
+  sim::Task FetchPage(storage::PageId page);
+
+  PsServer* PsServerFor(storage::PageId page) const {
+    return ps_servers_[static_cast<std::size_t>(
+        ctx_.params.ServerOfPage(page))];
+  }
+
+  std::vector<PsServer*> ps_servers_;
+};
+
+}  // namespace psoodb::core
+
+#endif  // PSOODB_CORE_PS_H_

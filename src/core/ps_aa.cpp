@@ -1,0 +1,304 @@
+#include "core/ps_aa.h"
+
+#include <cassert>
+
+#include "cc/abort.h"
+
+namespace psoodb::core {
+
+using storage::ClientId;
+using storage::kNoClient;
+using storage::kNoTxn;
+using storage::ObjectId;
+using storage::PageId;
+using storage::SlotMask;
+using storage::TxnId;
+
+// --- Server ------------------------------------------------------------------
+
+void PsAaServer::OnObjectReadReq(ObjectId oid, TxnId txn, ClientId client,
+                                 sim::Promise<PageShip> reply) {
+  ctx_.sim.Spawn(HandleRead(oid, txn, client, std::move(reply)));
+}
+
+void PsAaServer::OnObjectWriteReq(ObjectId oid, TxnId txn, ClientId client,
+                                  sim::Promise<WriteGrant> reply) {
+  ctx_.sim.Spawn(HandleWrite(oid, txn, client, std::move(reply)));
+}
+
+SlotMask PsAaServer::UnavailableMask(PageId page, TxnId txn) const {
+  SlotMask mask = 0;
+  const auto& layout = ctx_.db.layout();
+  for (const auto& [oid, holder] : lm_.ObjectLocksOnPage(page)) {
+    if (holder != txn) mask |= storage::SlotBit(layout.SlotOf(oid));
+  }
+  return mask;
+}
+
+sim::Task PsAaServer::DeEscalate(PageId page, TxnId holder) {
+  const ClientId holder_client = lm_.PageXHolderClient(page);
+  if (holder_client == kNoClient) co_return;
+  ++ctx_.counters.deescalations;
+
+  sim::Promise<std::vector<ObjectId>> pr(ctx_.sim);
+  auto fut = pr.GetFuture();
+  SendToClient(holder_client, MsgKind::kDeEscalateReq,
+               ctx_.transport.ControlBytes(),
+               [cl = this->client(holder_client), page,
+                pr = std::move(pr)]() mutable {
+                 cl->OnDeEscalate(page, std::move(pr));
+               });
+  std::vector<ObjectId> written = co_await std::move(fut);
+
+  // The holder may have committed/aborted (releasing the lock) or another
+  // handler may have de-escalated it already.
+  if (lm_.PageXHolder(page) != holder) co_return;
+  // State change first, costs after: the grants + release must be atomic so
+  // no handler observes the page lock without the object locks.
+  const auto& layout = ctx_.db.layout();
+  for (ObjectId oid : written) {
+    lm_.GrantObjectXDirect(oid, layout.PageOf(oid), holder, holder_client);
+  }
+  lm_.ReleasePageX(page, holder);
+  co_await cpu_.System(ctx_.params.lock_inst *
+                       static_cast<double>(written.size() + 1));
+}
+
+sim::Task PsAaServer::ResolveConflicts(ObjectId oid, PageId page, TxnId txn,
+                                       bool buffer_page) {
+  for (;;) {
+    TxnId page_holder = lm_.PageXHolder(page);
+    if (page_holder != kNoTxn && page_holder != txn) {
+      // Page-level conflict: de-escalate the holder's lock (Section 3.3.3).
+      co_await DeEscalate(page, page_holder);
+      continue;
+    }
+    TxnId obj_holder = lm_.ObjectXHolder(oid);
+    if (obj_holder != kNoTxn && obj_holder != txn) {
+      // Object-level conflict: block until the holder terminates.
+      co_await lm_.WaitObjectFree(oid, txn);
+      continue;
+    }
+    if (buffer_page) {
+      co_await EnsureBuffered(page);
+      // The disk read suspended; re-validate both checks.
+      page_holder = lm_.PageXHolder(page);
+      if (page_holder != kNoTxn && page_holder != txn) continue;
+      obj_holder = lm_.ObjectXHolder(oid);
+      if (obj_holder != kNoTxn && obj_holder != txn) continue;
+    }
+    co_return;
+  }
+}
+
+sim::Task PsAaServer::HandleRead(ObjectId oid, TxnId txn, ClientId client,
+                                 sim::Promise<PageShip> reply) {
+  const PageId page = ctx_.db.layout().PageOf(oid);
+  try {
+    // Costs up front: ResolveConflicts returns with its checks validated
+    // synchronously, so register + ship stay atomic with them.
+    co_await cpu_.System(ctx_.params.lock_inst +
+                         ctx_.params.register_copy_inst);
+    co_await ResolveConflicts(oid, page, txn, /*buffer_page=*/true);
+    page_copies_.Register(page, client);
+    PageShip ship = MakeShip(page, UnavailableMask(page, txn));
+    SendToClient(client, MsgKind::kDataReply,
+                 ctx_.transport.DataBytes(ctx_.params.page_size_bytes),
+                 [reply = std::move(reply), ship = std::move(ship)]() mutable {
+                   reply.Set(std::move(ship));
+                 });
+  } catch (const cc::TxnAborted&) {
+    SendToClient(client, MsgKind::kControlReply,
+                 ctx_.transport.ControlBytes(),
+                 [reply = std::move(reply)]() mutable {
+                   PageShip ship;
+                   ship.aborted = true;
+                   reply.Set(std::move(ship));
+                 });
+  }
+}
+
+sim::Task PsAaServer::HandleWrite(ObjectId oid, TxnId txn, ClientId client,
+                                  sim::Promise<WriteGrant> reply) {
+  const PageId page = ctx_.db.layout().PageOf(oid);
+  try {
+    co_await cpu_.System(ctx_.params.lock_inst);
+    co_await ResolveConflicts(oid, page, txn, /*buffer_page=*/false);
+    // Stake the claim at object granularity (no conflict: synchronous).
+    co_await lm_.AcquireObjectX(oid, page, txn, client);
+
+    // Adaptive callbacks: each holder invalidates the whole page if it can.
+    auto holders = page_copies_.HoldersExcept(page, client);
+    if (!holders.empty()) {
+      auto batch = NewBatch();
+      batch->pending = static_cast<int>(holders.size());
+      // Unregistration runs at reply delivery (see CallbackBatch::on_final),
+      // and only for the registration epoch the callback was issued against:
+      // the replying client may purge an old copy while a fresh ship to it
+      // is already in flight.
+      std::unordered_map<ClientId, std::uint64_t> epochs;
+      for (const auto& h : holders) epochs[h.client] = h.epoch;
+      batch->on_final = [this, page, epochs](ClientId c,
+                                             CallbackOutcome outcome) {
+        if (outcome == CallbackOutcome::kPurged ||
+            outcome == CallbackOutcome::kNotCached) {
+          page_copies_.UnregisterIfEpoch(page, c, epochs.at(c));
+        }
+      };
+      for (const auto& h : holders) {
+        SendToClient(h.client, MsgKind::kCallbackReq,
+                     ctx_.transport.ControlBytes(),
+                     [cl = this->client(h.client), page, oid, txn, batch]() {
+                       cl->OnAdaptiveCallback(page, oid, txn, batch);
+                     });
+      }
+      co_await AwaitCallbacks(batch, txn);
+      int unregistered = 0;
+      for (const auto& [c, outcome] : batch->outcomes) {
+        if (outcome != CallbackOutcome::kRetained) ++unregistered;
+      }
+      co_await cpu_.System(ctx_.params.register_copy_inst * unregistered);
+    }
+
+    // Re-escalation decision (Section 3.3.3): a page write lock is possible
+    // only if nobody holds a copy of the page anymore (checked against the
+    // *current* copy table: readers may have registered while callback
+    // outcomes were processed) and no other transaction holds object locks.
+    GrantLevel level = GrantLevel::kObject;
+    if (page_copies_.HoldersExcept(page, client).empty() &&
+        !lm_.OtherObjectLocksOnPage(page, txn) &&
+        (lm_.PageXHolder(page) == kNoTxn || lm_.PageXHolder(page) == txn)) {
+      co_await lm_.AcquirePageX(page, txn, client);  // free: synchronous
+      level = GrantLevel::kPage;
+      ++ctx_.counters.page_lock_grants;
+    } else {
+      ++ctx_.counters.object_lock_grants;
+    }
+    SendToClient(client, MsgKind::kControlReply, ctx_.transport.ControlBytes(),
+                 [reply = std::move(reply), level]() mutable {
+                   reply.Set(WriteGrant{level, false});
+                 });
+  } catch (const cc::TxnAborted&) {
+    SendToClient(client, MsgKind::kControlReply, ctx_.transport.ControlBytes(),
+                 [reply = std::move(reply)]() mutable {
+                   reply.Set(WriteGrant{GrantLevel::kObject, true});
+                 });
+  }
+}
+
+// --- Client ------------------------------------------------------------------
+
+sim::Task PsAaClient::FetchFor(ObjectId oid) {
+  while (!CachedAvailable(oid)) {
+    sim::Promise<PageShip> pr(ctx_.sim);
+    auto fut = pr.GetFuture();
+    {
+      PsAaServer* srv = AaServerFor(PageOf(oid));
+      TxnId txn = txn_;
+      ClientId from = id_;
+      SendToServer(srv, MsgKind::kReadReq, ctx_.transport.ControlBytes(),
+                   [srv, oid, txn, from, pr = std::move(pr)]() mutable {
+                     srv->OnObjectReadReq(oid, txn, from, std::move(pr));
+                   });
+    }
+    PageShip ship = co_await std::move(fut);
+    if (ship.aborted) throw cc::TxnAborted(txn_, cc::AbortReason::kVictim);
+    int merged = ApplyShip(ship);
+    if (merged > 0) {
+      co_await cpu_.System(ctx_.params.copy_merge_inst * merged);
+    }
+  }
+}
+
+sim::Task PsAaClient::Read(ObjectId oid) {
+  if (CachedAvailable(oid)) {
+    ++ctx_.counters.cache_hits;
+    cache_.Get(PageOf(oid));  // touch LRU
+  } else {
+    if (cache_.Peek(PageOf(oid)) != nullptr) {
+      ++ctx_.counters.unavailable_rerequests;
+    }
+    ++ctx_.counters.cache_misses;
+    co_await FetchFor(oid);
+  }
+  LocalRead(oid);
+}
+
+sim::Task PsAaClient::Write(ObjectId oid) {
+  co_await Read(oid);
+  const PageId page = PageOf(oid);
+  if (!HasWritePermission(oid)) {
+    sim::Promise<WriteGrant> pr(ctx_.sim);
+    auto fut = pr.GetFuture();
+    {
+      PsAaServer* srv = AaServerFor(PageOf(oid));
+      TxnId txn = txn_;
+      ClientId from = id_;
+      SendToServer(srv, MsgKind::kWriteReq, ctx_.transport.ControlBytes(),
+                   [srv, oid, txn, from, pr = std::move(pr)]() mutable {
+                     srv->OnObjectWriteReq(oid, txn, from, std::move(pr));
+                   });
+    }
+    WriteGrant grant = co_await std::move(fut);
+    if (grant.aborted) throw cc::TxnAborted(txn_, cc::AbortReason::kVictim);
+    if (grant.level == GrantLevel::kPage) {
+      locks_.GrantPageWrite(page);
+    }
+    // The staked object lock exists either way.
+    locks_.GrantObjectWrite(oid);
+  }
+  if (!CachedAvailable(oid)) co_await FetchFor(oid);
+  MarkLocalWrite(oid);
+}
+
+void PsAaClient::OnAdaptiveCallback(PageId page, ObjectId oid,
+                                    TxnId /*requester*/,
+                                    std::shared_ptr<CallbackBatch> batch) {
+  storage::PageFrame* f = cache_.Peek(page);
+  if (f == nullptr) {
+    ReplyCallback(batch, {CallbackOutcome::kNotCached, kNoTxn});
+    return;
+  }
+  if (txn_active_ && locks_.UsesPage(page)) {
+    if (locks_.ReadsObject(oid)) {
+      ReplyCallback(batch, {CallbackOutcome::kInUse, txn_});
+      Defer([this, page, batch]() {
+        CallbackOutcome out = CallbackOutcome::kNotCached;
+        if (cache_.Peek(page) != nullptr) {
+          cache_.Remove(page);
+          ++ctx_.counters.callback_page_purges;
+          out = CallbackOutcome::kPurged;
+        }
+        ReplyCallback(batch, {out, kNoTxn});
+      });
+      return;
+    }
+    f->MarkUnavailable(SlotOf(oid));
+    ++ctx_.counters.callback_object_marks;
+    ReplyCallback(batch, {CallbackOutcome::kRetained, kNoTxn});
+    return;
+  }
+  cache_.Remove(page);
+  ++ctx_.counters.callback_page_purges;
+  ReplyCallback(batch, {CallbackOutcome::kPurged, kNoTxn});
+}
+
+void PsAaClient::OnDeEscalate(PageId page,
+                              sim::Promise<std::vector<ObjectId>> reply) {
+  std::vector<ObjectId> written;
+  if (locks_.HasPageWrite(page)) {
+    for (ObjectId oid : locks_.write_objects()) {
+      if (PageOf(oid) == page) written.push_back(oid);
+    }
+    locks_.RevokePageWrite(page);
+    for (ObjectId oid : written) locks_.GrantObjectWrite(oid);
+  }
+  SendToServer(ServerFor(page), MsgKind::kDeEscalateReply,
+               ctx_.transport.ControlBytes(),
+               [reply = std::move(reply),
+                written = std::move(written)]() mutable {
+                 reply.Set(std::move(written));
+               });
+}
+
+}  // namespace psoodb::core

@@ -1,0 +1,97 @@
+/// \file ps_aa.h
+/// PS-AA — page server with adaptive locking *and* adaptive callbacks
+/// (Section 3.3.3). In the absence of conflicts it behaves like the basic
+/// page server (page write locks, page callbacks). On conflict, page write
+/// locks are *de-escalated*: the holder acquires object X locks for the
+/// objects it actually updated and releases the page lock. Write requests
+/// re-escalate opportunistically: if every remote copy of the page could be
+/// invalidated and no other object locks exist on it, the requester receives
+/// a page write lock; otherwise only the object lock.
+
+#ifndef PSOODB_CORE_PS_AA_H_
+#define PSOODB_CORE_PS_AA_H_
+
+#include "core/client.h"
+#include "core/server.h"
+
+namespace psoodb::core {
+
+class PsAaServer : public Server {
+ public:
+  using Server::Server;
+
+  void OnObjectReadReq(storage::ObjectId oid, storage::TxnId txn,
+                       storage::ClientId client, sim::Promise<PageShip> reply);
+  void OnObjectWriteReq(storage::ObjectId oid, storage::TxnId txn,
+                        storage::ClientId client,
+                        sim::Promise<WriteGrant> reply);
+
+ protected:
+  bool CommitReplacesPage(storage::TxnId txn,
+                          storage::PageId page) const override {
+    // Replace wholesale iff the committer still holds the page X lock;
+    // de-escalated or object-granted pages are merged.
+    return lm_.PageXHolder(page) == txn;
+  }
+
+  storage::SlotMask UnavailableMask(storage::PageId page,
+                                    storage::TxnId txn) const;
+
+  /// Resolves a page-level write-lock conflict by asking the holding client
+  /// to de-escalate: it reports the objects it has updated on `page`, which
+  /// receive object X locks, and the page lock is released (Section 3.3.3).
+  sim::Task DeEscalate(storage::PageId page, storage::TxnId holder);
+
+ private:
+  sim::Task HandleRead(storage::ObjectId oid, storage::TxnId txn,
+                       storage::ClientId client, sim::Promise<PageShip> reply);
+  sim::Task HandleWrite(storage::ObjectId oid, storage::TxnId txn,
+                        storage::ClientId client,
+                        sim::Promise<WriteGrant> reply);
+
+  /// Waits out page/object conflicts for (oid, page) on behalf of txn,
+  /// de-escalating page locks as needed. On return no *other* transaction
+  /// holds a page X lock on `page` or an object X lock on `oid`, and — when
+  /// `buffer_page` — the page is in the buffer pool; all checks hold with no
+  /// intervening suspension.
+  sim::Task ResolveConflicts(storage::ObjectId oid, storage::PageId page,
+                             storage::TxnId txn, bool buffer_page);
+};
+
+class PsAaClient : public PageFamilyClient {
+ public:
+  PsAaClient(SystemContext& ctx, storage::ClientId id,
+             const config::WorkloadParams& workload,
+             std::vector<PsAaServer*> servers)
+      : PageFamilyClient(ctx, id, workload,
+                         std::vector<Server*>(servers.begin(), servers.end())),
+        aa_servers_(std::move(servers)) {}
+
+  void OnAdaptiveCallback(storage::PageId page, storage::ObjectId oid,
+                          storage::TxnId requester,
+                          std::shared_ptr<CallbackBatch> batch) override;
+  void OnDeEscalate(storage::PageId page,
+                    sim::Promise<std::vector<storage::ObjectId>> reply)
+      override;
+
+ protected:
+  sim::Task Read(storage::ObjectId oid) override;
+  sim::Task Write(storage::ObjectId oid) override;
+
+ private:
+  sim::Task FetchFor(storage::ObjectId oid);
+  bool HasWritePermission(storage::ObjectId oid) const {
+    return locks_.HasPageWrite(PageOf(oid)) || locks_.HasObjectWrite(oid);
+  }
+
+  PsAaServer* AaServerFor(storage::PageId page) const {
+    return aa_servers_[static_cast<std::size_t>(
+        ctx_.params.ServerOfPage(page))];
+  }
+
+  std::vector<PsAaServer*> aa_servers_;
+};
+
+}  // namespace psoodb::core
+
+#endif  // PSOODB_CORE_PS_AA_H_

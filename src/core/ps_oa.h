@@ -1,0 +1,71 @@
+/// \file ps_oa.h
+/// PS-OA — page server with object-level locking and *adaptive* callbacks
+/// (Section 3.3.2). Locking is identical to PS-OO, but the server tracks
+/// cached copies at page granularity and a callback purges the whole page
+/// when no object on it is in use by the client's active transaction,
+/// avoiding PS-OO's object-at-a-time callback streams.
+
+#ifndef PSOODB_CORE_PS_OA_H_
+#define PSOODB_CORE_PS_OA_H_
+
+#include "core/ps_oo.h"
+
+namespace psoodb::core {
+
+class PsOaServer : public Server {
+ public:
+  using Server::Server;
+
+  void OnObjectReadReq(storage::ObjectId oid, storage::TxnId txn,
+                       storage::ClientId client, sim::Promise<PageShip> reply);
+  void OnObjectWriteReq(storage::ObjectId oid, storage::TxnId txn,
+                        storage::ClientId client,
+                        sim::Promise<WriteGrant> reply);
+
+ protected:
+  bool CommitReplacesPage(storage::TxnId, storage::PageId) const override {
+    return false;
+  }
+
+  storage::SlotMask UnavailableMask(storage::PageId page,
+                                    storage::TxnId txn) const;
+
+ private:
+  sim::Task HandleRead(storage::ObjectId oid, storage::TxnId txn,
+                       storage::ClientId client, sim::Promise<PageShip> reply);
+  sim::Task HandleWrite(storage::ObjectId oid, storage::TxnId txn,
+                        storage::ClientId client,
+                        sim::Promise<WriteGrant> reply);
+};
+
+class PsOaClient : public PageFamilyClient {
+ public:
+  PsOaClient(SystemContext& ctx, storage::ClientId id,
+             const config::WorkloadParams& workload,
+             std::vector<PsOaServer*> servers)
+      : PageFamilyClient(ctx, id, workload,
+                         std::vector<Server*>(servers.begin(), servers.end())),
+        oa_servers_(std::move(servers)) {}
+
+  void OnAdaptiveCallback(storage::PageId page, storage::ObjectId oid,
+                          storage::TxnId requester,
+                          std::shared_ptr<CallbackBatch> batch) override;
+
+ protected:
+  sim::Task Read(storage::ObjectId oid) override;
+  sim::Task Write(storage::ObjectId oid) override;
+
+ private:
+  sim::Task FetchFor(storage::ObjectId oid);
+
+  PsOaServer* OaServerFor(storage::PageId page) const {
+    return oa_servers_[static_cast<std::size_t>(
+        ctx_.params.ServerOfPage(page))];
+  }
+
+  std::vector<PsOaServer*> oa_servers_;
+};
+
+}  // namespace psoodb::core
+
+#endif  // PSOODB_CORE_PS_OA_H_

@@ -1,0 +1,82 @@
+/// \file ps_oo.h
+/// PS-OO — page server with static object-level locking and object-level
+/// callbacks (Section 3.3.1). Pages are the transfer unit; concurrency
+/// control and replica management are per object. Objects write-locked by
+/// other clients are shipped marked "unavailable"; concurrent updates to
+/// different objects of a page are merged at commit.
+
+#ifndef PSOODB_CORE_PS_OO_H_
+#define PSOODB_CORE_PS_OO_H_
+
+#include "core/client.h"
+#include "core/server.h"
+
+namespace psoodb::core {
+
+class PsOoServer : public Server {
+ public:
+  using Server::Server;
+
+  void OnObjectReadReq(storage::ObjectId oid, storage::TxnId txn,
+                       storage::ClientId client, sim::Promise<PageShip> reply);
+  void OnObjectWriteReq(storage::ObjectId oid, storage::TxnId txn,
+                        storage::ClientId client,
+                        sim::Promise<WriteGrant> reply);
+
+  /// Object-granularity copy tracking: dropping a page drops every object
+  /// copy the client held on it.
+  void OnClientDroppedPage(storage::PageId page,
+                           storage::ClientId client) override;
+
+ protected:
+  bool CommitReplacesPage(storage::TxnId, storage::PageId) const override {
+    return false;  // object-level locks: commit merges
+  }
+  void OnAbortPurge(storage::TxnId txn, storage::ClientId client,
+                    const std::vector<storage::PageId>& pages,
+                    const std::vector<storage::ObjectId>& objects) override;
+
+  /// Builds the unavailable mask for `page`: objects X-locked by
+  /// transactions other than `txn`.
+  storage::SlotMask UnavailableMask(storage::PageId page,
+                                    storage::TxnId txn) const;
+
+ private:
+  sim::Task HandleRead(storage::ObjectId oid, storage::TxnId txn,
+                       storage::ClientId client, sim::Promise<PageShip> reply);
+  sim::Task HandleWrite(storage::ObjectId oid, storage::TxnId txn,
+                        storage::ClientId client,
+                        sim::Promise<WriteGrant> reply);
+};
+
+class PsOoClient : public PageFamilyClient {
+ public:
+  PsOoClient(SystemContext& ctx, storage::ClientId id,
+             const config::WorkloadParams& workload,
+             std::vector<PsOoServer*> servers)
+      : PageFamilyClient(ctx, id, workload,
+                         std::vector<Server*>(servers.begin(), servers.end())),
+        oo_servers_(std::move(servers)) {}
+
+  void OnObjectCallback(storage::ObjectId oid, storage::PageId page,
+                        storage::TxnId requester,
+                        std::shared_ptr<CallbackBatch> batch) override;
+
+ protected:
+  sim::Task Read(storage::ObjectId oid) override;
+  sim::Task Write(storage::ObjectId oid) override;
+
+  /// Fetches the page containing `oid` until the object is readable.
+  sim::Task FetchFor(storage::ObjectId oid);
+
+  PsOoServer* OoServerFor(storage::PageId page) const {
+    return oo_servers_[static_cast<std::size_t>(
+        ctx_.params.ServerOfPage(page))];
+  }
+
+  std::vector<PsOoServer*> oo_servers_;
+};
+
+}  // namespace psoodb::core
+
+#endif  // PSOODB_CORE_PS_OO_H_

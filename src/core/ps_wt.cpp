@@ -1,0 +1,172 @@
+#include "core/ps_wt.h"
+
+#include <cassert>
+
+#include "cc/abort.h"
+
+namespace psoodb::core {
+
+using storage::ClientId;
+using storage::kNoClient;
+using storage::kNoTxn;
+using storage::ObjectId;
+using storage::PageId;
+using storage::SlotMask;
+using storage::TxnId;
+
+// --- Server ------------------------------------------------------------------
+
+void PsWtServer::OnTokenWriteReq(ObjectId oid, TxnId txn, ClientId client,
+                                 sim::Promise<TokenWriteGrant> reply) {
+  ctx_.sim.Spawn(HandleWrite(oid, txn, client, std::move(reply)));
+}
+
+void PsWtServer::OnClientDroppedPage(PageId page, ClientId client) {
+  PsOoServer::OnClientDroppedPage(page, client);
+  auto it = token_owner_.find(page);
+  if (it != token_owner_.end() && it->second == client) {
+    token_owner_.erase(it);
+  }
+}
+
+sim::Task PsWtServer::HandleWrite(ObjectId oid, TxnId txn, ClientId client,
+                                  sim::Promise<TokenWriteGrant> reply) {
+  const PageId page = ctx_.db.layout().PageOf(oid);
+  try {
+    co_await cpu_.System(ctx_.params.lock_inst);
+    // Serializability: strict 2PL at object granularity, as in PS-OO.
+    co_await lm_.AcquireObjectX(oid, page, txn, client);
+
+    // Invalidate remote cached copies of the object (PS-OO callbacks).
+    auto holders = object_copies_.HoldersExcept(oid, client);
+    if (!holders.empty()) {
+      auto batch = NewBatch();
+      batch->pending = static_cast<int>(holders.size());
+      // Epoch-checked unregistration at reply delivery (see ps_oo.cpp).
+      std::unordered_map<ClientId, std::uint64_t> epochs;
+      for (const auto& h : holders) epochs[h.client] = h.epoch;
+      batch->on_final = [this, oid, epochs](ClientId c, CallbackOutcome) {
+        object_copies_.UnregisterIfEpoch(oid, c, epochs.at(c));
+      };
+      for (const auto& h : holders) {
+        SendToClient(h.client, MsgKind::kCallbackReq,
+                     ctx_.transport.ControlBytes(),
+                     [cl = this->client(h.client), oid, page, txn, batch]() {
+                       cl->OnObjectCallback(oid, page, txn, batch);
+                     });
+      }
+      co_await AwaitCallbacks(batch, txn);
+      co_await cpu_.System(ctx_.params.register_copy_inst *
+                           static_cast<double>(batch->outcomes.size()));
+    }
+
+    // Write-token check: a different owner must surrender the page, routing
+    // the current page image through the server.
+    bool shipped = false;
+    PageShip ship;
+    const ClientId owner = TokenOwner(page);
+    if (owner != kNoClient && owner != client) {
+      ++ctx_.counters.token_transfers;
+      sim::Promise<bool> flushed(ctx_.sim);
+      auto fut = flushed.GetFuture();
+      SendToClient(owner, MsgKind::kTokenRecall,
+                   ctx_.transport.ControlBytes(),
+                   [cl = this->client(owner), page,
+                    flushed = std::move(flushed)]() mutable {
+                     cl->OnTokenRecall(page, std::move(flushed));
+                   });
+      co_await std::move(fut);
+      token_owner_[page] = client;
+      co_await EnsureBuffered(page);
+      // Ship the freshest image with the grant; objects write-locked by
+      // other transactions travel marked unavailable. Registration + ship
+      // stay synchronous with the mask computation.
+      const SlotMask unavailable = UnavailableMask(page, txn);
+      const int avail =
+          ctx_.params.objects_per_page - storage::PopCount(unavailable);
+      co_await cpu_.System(ctx_.params.register_copy_inst * avail);
+      const SlotMask fresh_unavailable = UnavailableMask(page, txn);
+      const auto& layout = ctx_.db.layout();
+      for (int s = 0; s < ctx_.params.objects_per_page; ++s) {
+        if ((fresh_unavailable & storage::SlotBit(s)) == 0) {
+          object_copies_.Register(layout.ObjectAt(page, s), client);
+        }
+      }
+      ship = MakeShip(page, fresh_unavailable);
+      shipped = true;
+    } else {
+      token_owner_[page] = client;
+    }
+
+    const int bytes = shipped
+                          ? ctx_.transport.DataBytes(ctx_.params.page_size_bytes)
+                          : ctx_.transport.ControlBytes();
+    SendToClient(client, shipped ? MsgKind::kDataReply : MsgKind::kControlReply,
+                 bytes,
+                 [reply = std::move(reply), shipped,
+                  ship = std::move(ship)]() mutable {
+                   reply.Set(TokenWriteGrant{false, shipped, std::move(ship)});
+                 });
+  } catch (const cc::TxnAborted&) {
+    SendToClient(client, MsgKind::kControlReply, ctx_.transport.ControlBytes(),
+                 [reply = std::move(reply)]() mutable {
+                   reply.Set(TokenWriteGrant{true, false, {}});
+                 });
+  }
+}
+
+// --- Client ------------------------------------------------------------------
+
+void PsWtClient::OnTokenRecall(PageId page, sim::Promise<bool> done) {
+  storage::PageFrame* f = cache_.Peek(page);
+  if (f == nullptr) {
+    // Copy already gone (eviction notice in flight); nothing to flush.
+    SendToServer(ServerFor(page), MsgKind::kCallbackAck,
+                 ctx_.transport.ControlBytes(),
+                 [done = std::move(done)]() mutable { done.Set(true); });
+    return;
+  }
+  // Flush the current image through the server. Uncommitted updates are
+  // staged under this client's active transaction (they remain this
+  // transaction's writes; the page stays cached as a readable copy).
+  Server* srv = ServerFor(page);
+  const SlotMask dirty = f->dirty;
+  const TxnId txn = txn_;
+  f->dirty = 0;
+  SendToServer(srv, MsgKind::kTokenFlush,
+               ctx_.transport.DataBytes(ctx_.params.page_size_bytes),
+               [srv, txn, page, dirty, done = std::move(done)]() mutable {
+                 if (dirty != 0) srv->OnDirtyInstall(txn, page, dirty);
+                 done.Set(true);
+               });
+}
+
+sim::Task PsWtClient::Write(ObjectId oid) {
+  co_await Read(oid);
+  if (!locks_.HasObjectWrite(oid)) {
+    sim::Promise<TokenWriteGrant> pr(ctx_.sim);
+    auto fut = pr.GetFuture();
+    {
+      PsWtServer* srv = WtServerFor(PageOf(oid));
+      TxnId txn = txn_;
+      ClientId from = id_;
+      SendToServer(srv, MsgKind::kWriteReq, ctx_.transport.ControlBytes(),
+                   [srv, oid, txn, from, pr = std::move(pr)]() mutable {
+                     srv->OnTokenWriteReq(oid, txn, from, std::move(pr));
+                   });
+    }
+    TokenWriteGrant grant = co_await std::move(fut);
+    if (grant.aborted) throw cc::TxnAborted(txn_, cc::AbortReason::kVictim);
+    if (grant.with_page) {
+      int merged = ApplyShip(grant.page);
+      if (merged > 0) {
+        co_await cpu_.System(ctx_.params.copy_merge_inst * merged);
+      }
+    }
+    locks_.GrantObjectWrite(oid);
+  }
+  if (!CachedAvailable(oid)) co_await FetchFor(oid);
+  MarkLocalWrite(oid);
+}
+
+}  // namespace psoodb::core

@@ -1,0 +1,250 @@
+#include "core/server.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+#include "cc/abort.h"
+#include "core/client.h"
+
+namespace psoodb::core {
+
+using storage::ClientId;
+using storage::ObjectId;
+using storage::PageId;
+using storage::SlotMask;
+using storage::TxnId;
+using storage::Version;
+
+Server::Server(SystemContext& ctx, int index)
+    : ctx_(ctx),
+      index_(index),
+      node_(ServerNode(index)),
+      cpu_(ctx.sim, ctx.params.server_mips,
+           "server-cpu-" + std::to_string(index)),
+      disks_(ctx.sim, ctx.params.server_disks, ctx.params.min_disk_time,
+             ctx.params.max_disk_time, ctx.params.seed + index),
+      // Each partition server gets a proportional share of the total
+      // server buffer (it owns db_pages / num_servers pages).
+      buffer_(static_cast<std::size_t>(std::max(
+          1, ctx.params.server_buf_pages() / ctx.params.num_servers))),
+      lm_(ctx.sim, *ctx.detector) {
+  ctx_.transport.AttachCpu(node_, &cpu_);
+}
+
+sim::Task Server::DiskIo(bool write) {
+  if (write) {
+    ++ctx_.counters.disk_writes;
+  } else {
+    ++ctx_.counters.disk_reads;
+  }
+  co_await cpu_.System(ctx_.params.disk_overhead_inst);
+  co_await disks_.Access();
+}
+
+sim::Task Server::EnsureBuffered(PageId page, bool load) {
+  if (buffer_.Get(page) != nullptr) co_return;
+  if (load) {
+    co_await DiskIo(/*write=*/false);
+    // Re-check: a concurrent handler may have buffered it while we read.
+    if (buffer_.Get(page) != nullptr) co_return;
+  }
+  auto r = buffer_.Insert(page);
+  if (r.evicted.has_value() && r.evicted->second.IsDirty()) {
+    co_await DiskIo(/*write=*/true);
+  }
+}
+
+PageShip Server::MakeShip(PageId page, SlotMask unavailable) const {
+  const auto& layout = ctx_.db.layout();
+  const int opp = ctx_.params.objects_per_page;
+  PageShip ship;
+  ship.page = page;
+  ship.unavailable = unavailable;
+  ship.versions.resize(static_cast<std::size_t>(opp));
+  for (int s = 0; s < opp; ++s) {
+    ship.versions[static_cast<std::size_t>(s)] =
+        ctx_.db.committed_version(layout.ObjectAt(page, s));
+  }
+  return ship;
+}
+
+sim::Task Server::AwaitCallbacks(std::shared_ptr<CallbackBatch> batch,
+                                 TxnId txn) {
+  try {
+    for (;;) {
+      while (!batch->new_blockers.empty()) {
+        TxnId blocker = batch->new_blockers.back();
+        batch->new_blockers.pop_back();
+        // May throw TxnAborted if this wait closes a cycle.
+        ctx_.detector->OnWait(txn, {blocker});
+      }
+      if (batch->pending == 0) break;
+      co_await batch->cv.Wait();
+    }
+    ctx_.detector->ClearWaits(txn);
+  } catch (...) {
+    batch->dead = true;
+    ctx_.detector->ClearWaits(txn);
+    throw;
+  }
+}
+
+void Server::OnCommitReq(
+    TxnId txn, ClientId client, std::vector<PageUpdate> updates,
+    std::vector<std::pair<ObjectId, Version>> read_versions,
+    sim::Promise<CommitAck> reply) {
+  ctx_.sim.Spawn(HandleCommit(txn, client, std::move(updates),
+                              std::move(read_versions), std::move(reply)));
+}
+
+void Server::OnAbortReq(TxnId txn, ClientId client,
+                        std::vector<PageId> purged_pages,
+                        std::vector<ObjectId> purged_objects,
+                        sim::Promise<bool> reply) {
+  ctx_.sim.Spawn(HandleAbort(txn, client, std::move(purged_pages),
+                             std::move(purged_objects), std::move(reply)));
+}
+
+void Server::OnDirtyInstall(TxnId txn, PageId page, SlotMask dirty) {
+  staging_[txn][page] |= dirty;
+}
+
+void Server::OnClientDroppedPage(PageId page, ClientId client) {
+  page_copies_.Unregister(page, client);
+}
+
+void Server::OnObjectEvictionNotice(ObjectId oid, ClientId client) {
+  object_copies_.Unregister(oid, client);
+}
+
+void Server::FinishCallbackReply(const std::shared_ptr<CallbackBatch>& batch,
+                                 ClientId from, CallbackReply reply) {
+  if (batch->dead) return;  // issuing handler aborted; reply is stale
+  if (reply.outcome == CallbackOutcome::kInUse) {
+    ++ctx_.counters.callbacks_blocked;
+    batch->new_blockers.push_back(reply.blocking_txn);
+  } else {
+    batch->outcomes.emplace_back(from, reply.outcome);
+    --batch->pending;
+    if (batch->on_final) batch->on_final(from, reply.outcome);
+  }
+  batch->cv.NotifyAll();
+}
+
+double Server::PageFill(PageId page) const {
+  auto it = page_fill_.find(page);
+  if (it != page_fill_.end()) return it->second;
+  return ctx_.params.initial_fill * ctx_.params.page_size_bytes;
+}
+
+sim::Task Server::InstallCommittedPage(TxnId txn, PageId page, SlotMask mask,
+                                       int growth_bytes, CommitAck* ack) {
+  const bool redo =
+      ctx_.params.commit_mode == config::CommitMode::kRedoAtServer;
+  const bool replace = !redo && CommitReplacesPage(txn, page);
+  // A merge (or a log replay) needs the base page in memory; a whole-page
+  // replacement does not.
+  co_await EnsureBuffered(page, /*load=*/!replace);
+  if (redo) {
+    // Redo-at-server (Section 6.1): the server replays the client's log
+    // records against its own copy — no merging, but server CPU per update.
+    const int n = storage::PopCount(mask);
+    ctx_.counters.redo_objects += static_cast<std::uint64_t>(n);
+    co_await cpu_.System(ctx_.params.redo_apply_inst * n);
+  } else if (!replace) {
+    const int n = storage::PopCount(mask);
+    ++ctx_.counters.merges;
+    ctx_.counters.merged_objects += static_cast<std::uint64_t>(n);
+    co_await cpu_.System(ctx_.params.copy_merge_inst * n);
+  }
+  storage::PageFrame* frame = buffer_.Get(page);
+  assert(frame != nullptr);
+  frame->dirty |= mask;  // needs a disk write before the frame is reused
+  const auto& layout = ctx_.db.layout();
+  for (int s = 0; s < ctx_.params.objects_per_page; ++s) {
+    if ((mask & storage::SlotBit(s)) == 0) continue;
+    ObjectId oid = layout.ObjectAt(page, s);
+    ack->new_versions.emplace_back(oid, ctx_.db.CommitWrite(oid));
+  }
+
+  // Size-changing updates (Section 6.1): grown objects may overflow the
+  // page when installed; the overflow is handled by forwarding an object
+  // (extra CPU plus an anchor-page disk write) a la [Astr76].
+  if (growth_bytes > 0) {
+    double fill = PageFill(page) + growth_bytes;
+    while (fill > ctx_.params.page_size_bytes) {
+      ++ctx_.counters.page_overflows;
+      ++ctx_.counters.forwards;
+      co_await cpu_.System(ctx_.params.forward_inst);
+      co_await DiskIo(/*write=*/true);  // anchor/overflow page update
+      fill -= ctx_.params.object_size_bytes();
+    }
+    page_fill_[page] = fill;
+  }
+}
+
+sim::Task Server::HandleCommit(
+    TxnId txn, ClientId client, std::vector<PageUpdate> updates,
+    std::vector<std::pair<ObjectId, Version>> read_versions,
+    sim::Promise<CommitAck> reply) {
+  // Fold mid-transaction staged evictions into the update set.
+  struct Pending {
+    SlotMask mask = 0;
+    int growth = 0;
+  };
+  std::unordered_map<PageId, Pending> masks;
+  for (const auto& u : updates) {
+    masks[u.page].mask |= u.dirty;
+    masks[u.page].growth += u.growth_bytes;
+  }
+  if (auto it = staging_.find(txn); it != staging_.end()) {
+    for (const auto& [page, mask] : it->second) masks[page].mask |= mask;
+    staging_.erase(it);
+  }
+
+  CommitAck ack;
+  for (const auto& [page, pending] : masks) {
+    co_await InstallCommittedPage(txn, page, pending.mask, pending.growth,
+                                  &ack);
+  }
+
+  if (ctx_.params.commit_log_io) {
+    ++ctx_.counters.log_writes;
+    co_await DiskIo(/*write=*/true);
+  }
+
+  // History recording happens at the client once all involved servers have
+  // acked (the commit may span partitions); here we only release.
+  (void)read_versions;
+  lm_.ReleaseAll(txn);  // wakes all waiters; removes txn from the graph
+  SendToClient(client, MsgKind::kControlReply,
+               ctx_.transport.ControlBytes(),
+               [reply = std::move(reply), ack = std::move(ack)]() mutable {
+                 reply.Set(std::move(ack));
+               });
+}
+
+void Server::OnAbortPurge(TxnId txn, ClientId client,
+                          const std::vector<PageId>& pages,
+                          const std::vector<ObjectId>& objects) {
+  (void)txn;
+  for (PageId p : pages) page_copies_.Unregister(p, client);
+  for (ObjectId o : objects) object_copies_.Unregister(o, client);
+}
+
+sim::Task Server::HandleAbort(TxnId txn, ClientId client,
+                              std::vector<PageId> purged_pages,
+                              std::vector<ObjectId> purged_objects,
+                              sim::Promise<bool> reply) {
+  // Undo-at-server: staged uncommitted pages are discarded. (They were never
+  // installed, so no compensation I/O is modeled.)
+  staging_.erase(txn);
+  co_await cpu_.System(ctx_.params.lock_inst);
+  OnAbortPurge(txn, client, purged_pages, purged_objects);
+  lm_.ReleaseAll(txn);
+  SendToClient(client, MsgKind::kControlReply, ctx_.transport.ControlBytes(),
+               [reply = std::move(reply)]() mutable { reply.Set(true); });
+}
+
+}  // namespace psoodb::core

@@ -1,0 +1,196 @@
+/// \file server.h
+/// Base server engine shared by all five protocol variants: CPU, disks,
+/// page buffer pool, lock manager, copy tables, mid-transaction dirty
+/// staging, and the commit/abort machinery. Protocol subclasses implement
+/// the read/write request handlers and callback policies.
+
+#ifndef PSOODB_CORE_SERVER_H_
+#define PSOODB_CORE_SERVER_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cc/copy_table.h"
+#include "cc/deadlock_detector.h"
+#include "cc/lock_manager.h"
+#include "core/context.h"
+#include "core/messages.h"
+#include "resources/cpu.h"
+#include "resources/disk.h"
+#include "storage/buffer_manager.h"
+
+namespace psoodb::core {
+
+class Client;
+
+/// Shared state for one batch of callbacks issued by a write-request handler.
+/// Client replies and deferred acks mutate it; the handler waits on `cv`.
+class Server;
+
+struct CallbackBatch {
+  explicit CallbackBatch(sim::Simulation& s) : cv(s) {}
+  /// The server that issued the callbacks (clients route replies to it).
+  Server* owner = nullptr;
+  int pending = 0;  ///< callbacks whose *final* outcome has not arrived
+  /// Blocking transactions discovered via "in use" replies, not yet
+  /// registered in the waits-for graph by the handler.
+  std::vector<storage::TxnId> new_blockers;
+  /// Final outcomes, as (client, outcome).
+  std::vector<std::pair<storage::ClientId, CallbackOutcome>> outcomes;
+  /// Applied synchronously when a final outcome arrives — copy-table
+  /// unregistration must happen *at reply delivery*: the replying client's
+  /// later requests (e.g. a re-fetch that re-registers the page) are
+  /// FIFO-ordered after its reply, so a deferred unregistration in the
+  /// issuing handler could erase a registration made after the purge.
+  std::function<void(storage::ClientId, CallbackOutcome)> on_final;
+  sim::CondVar cv;
+  bool dead = false;  ///< set when the issuing handler aborted
+};
+
+class Server {
+ public:
+  /// \param index which partition this server owns (0 for single-server).
+  explicit Server(SystemContext& ctx, int index = 0);
+  virtual ~Server() = default;
+
+  /// This server's network address.
+  NodeId node() const { return node_; }
+  int index() const { return index_; }
+
+  /// Wires up the client list (for callback delivery). Index = ClientId.
+  void SetClients(std::vector<Client*> clients) {
+    clients_ = std::move(clients);
+  }
+
+  resources::Cpu& cpu() { return cpu_; }
+  resources::DiskArray& disks() { return disks_; }
+  cc::LockManager& lock_manager() { return lm_; }
+  cc::DeadlockDetector& detector() { return *ctx_.detector; }
+  storage::PageCache& buffer() { return buffer_; }
+  cc::PageCopyTable& page_copies() { return page_copies_; }
+  cc::ObjectCopyTable& object_copies() { return object_copies_; }
+
+  // --- Message entry points (invoked by Transport deliveries) -------------
+  // Each spawns a handler coroutine. Payloads are protocol-specific; these
+  // shared ones cover commit/abort/eviction/dirty-install.
+
+  void OnCommitReq(storage::TxnId txn, storage::ClientId client,
+                   std::vector<PageUpdate> updates,
+                   std::vector<std::pair<storage::ObjectId, storage::Version>>
+                       read_versions,
+                   sim::Promise<CommitAck> reply);
+  void OnAbortReq(storage::TxnId txn, storage::ClientId client,
+                  std::vector<storage::PageId> purged_pages,
+                  std::vector<storage::ObjectId> purged_objects,
+                  sim::Promise<bool> reply);
+  void OnDirtyInstall(storage::TxnId txn, storage::PageId page,
+                      storage::SlotMask dirty);
+  /// A client dropped its cached copy of `page` (clean eviction notice or
+  /// dirty eviction). Default: unregister the page-granularity copy; PS-OO
+  /// overrides to unregister object-granularity copies.
+  virtual void OnClientDroppedPage(storage::PageId page,
+                                   storage::ClientId client);
+  void OnObjectEvictionNotice(storage::ObjectId oid, storage::ClientId client);
+
+  /// Applies a client's (immediate or deferred) callback response to the
+  /// batch the issuing write-request handler is waiting on.
+  void FinishCallbackReply(const std::shared_ptr<CallbackBatch>& batch,
+                           storage::ClientId from, CallbackReply reply);
+
+ protected:
+  /// True if this protocol replaces whole pages at commit (the committing
+  /// transaction held page-level exclusive access to `page`); false means
+  /// object-granularity merge (CopyMergeInst per updated object, plus a disk
+  /// read if the base page is absent).
+  virtual bool CommitReplacesPage(storage::TxnId txn,
+                                  storage::PageId page) const = 0;
+
+  /// Unregisters whatever replica bookkeeping this protocol keeps when a
+  /// client purges its dirty state on abort.
+  virtual void OnAbortPurge(storage::TxnId txn, storage::ClientId client,
+                            const std::vector<storage::PageId>& pages,
+                            const std::vector<storage::ObjectId>& objects);
+
+  // --- Shared helpers ------------------------------------------------------
+
+  /// Ensures `page` is in the server buffer pool, reading from disk (and
+  /// possibly writing back a dirty victim) if needed. If `load` is false the
+  /// frame is created without a disk read (incoming data replaces it).
+  sim::Task EnsureBuffered(storage::PageId page, bool load = true);
+
+  /// One disk I/O with its CPU initiation overhead.
+  sim::Task DiskIo(bool write);
+
+  /// Sends a message to a client.
+  void SendToClient(storage::ClientId client, MsgKind kind, int payload_bytes,
+                    std::function<void()> deliver) {
+    ctx_.transport.Send(node_, static_cast<NodeId>(client), kind,
+                        payload_bytes, std::move(deliver));
+  }
+
+  /// Creates a callback batch owned by this server.
+  std::shared_ptr<CallbackBatch> NewBatch() {
+    auto b = std::make_shared<CallbackBatch>(ctx_.sim);
+    b->owner = this;
+    return b;
+  }
+
+  /// Waits for all callbacks in `batch` to reach a final outcome,
+  /// registering waits-for edges for blockers as they appear. Throws
+  /// TxnAborted if `txn` closes a deadlock cycle (marking the batch dead).
+  sim::Task AwaitCallbacks(std::shared_ptr<CallbackBatch> batch,
+                           storage::TxnId txn);
+
+  /// Builds the PageShip for `page` (versions from ground truth), marking
+  /// `unavailable` slots. Must be called with the page buffered, and with no
+  /// suspension between copy registration and the ship send.
+  PageShip MakeShip(storage::PageId page, storage::SlotMask unavailable) const;
+
+  /// Applies one committed page update: merge or replace, version bumps,
+  /// dirty marking, and — for size-changing updates — page-fill accounting
+  /// with overflow forwarding (Section 6.1). Appends (oid, new version)
+  /// pairs to `ack`.
+  sim::Task InstallCommittedPage(storage::TxnId txn, storage::PageId page,
+                                 storage::SlotMask mask, int growth_bytes,
+                                 CommitAck* ack);
+
+  /// Logical fill of `page` in bytes (size-changing updates model).
+  double PageFill(storage::PageId page) const;
+
+  sim::Task HandleCommit(storage::TxnId txn, storage::ClientId client,
+                         std::vector<PageUpdate> updates,
+                         std::vector<std::pair<storage::ObjectId,
+                                               storage::Version>>
+                             read_versions,
+                         sim::Promise<CommitAck> reply);
+  sim::Task HandleAbort(storage::TxnId txn, storage::ClientId client,
+                        std::vector<storage::PageId> purged_pages,
+                        std::vector<storage::ObjectId> purged_objects,
+                        sim::Promise<bool> reply);
+
+  Client* client(storage::ClientId id) { return clients_.at(id); }
+
+  SystemContext& ctx_;
+  int index_;
+  NodeId node_;
+  resources::Cpu cpu_;
+  resources::DiskArray disks_;
+  storage::PageCache buffer_;
+  cc::LockManager lm_;
+  cc::PageCopyTable page_copies_;
+  cc::ObjectCopyTable object_copies_;
+  /// Mid-transaction dirty evictions staged at the server (undo-at-server):
+  /// txn -> page -> dirty slots.
+  std::unordered_map<storage::TxnId,
+                     std::unordered_map<storage::PageId, storage::SlotMask>>
+      staging_;
+  /// Per-page logical fill in bytes (lazily initialized to
+  /// initial_fill * page_size); only consulted when size_change_prob > 0.
+  std::unordered_map<storage::PageId, double> page_fill_;
+  std::vector<Client*> clients_;
+};
+
+}  // namespace psoodb::core
+
+#endif  // PSOODB_CORE_SERVER_H_

@@ -1,0 +1,278 @@
+#include "core/system.h"
+
+#include <cassert>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <type_traits>
+
+#include "core/os.h"
+#include "core/ps.h"
+#include "core/ps_aa.h"
+#include "core/ps_oa.h"
+#include "core/ps_oo.h"
+#include "core/ps_wt.h"
+
+namespace psoodb::core {
+
+using config::Protocol;
+
+System::System(Protocol protocol, const config::SystemParams& params,
+               const config::WorkloadParams& workload)
+    : protocol_(protocol),
+      params_(params),
+      workload_(workload),
+      db_(params.db_pages, params.objects_per_page) {
+  assert(params_.objects_per_page <= storage::kMaxObjectsPerPage);
+  assert((workload_.custom_generator ||
+          static_cast<int>(workload_.client_regions.size()) >=
+              params_.num_clients) &&
+         "workload must define regions for every client (or be custom)");
+  // Under Callback Locking a cached copy is the read permission, so a
+  // transaction's whole footprint stays pinned in the client cache until it
+  // ends. The cache must therefore be able to hold one transaction.
+  if (workload_.custom_generator) {
+    assert(workload_.custom_max_pages > 0 &&
+           "custom workloads must declare custom_max_pages");
+    assert(params_.client_buf_pages() >= workload_.custom_max_pages + 2 &&
+           "client cache smaller than a custom transaction's footprint");
+  } else {
+    const int spread = workload_.layout_swaps.empty() ? 1 : 2;
+    const int page_footprint = workload_.trans_size_pages * spread + 2;
+    assert(params_.client_buf_pages() >= page_footprint &&
+           "client cache smaller than a transaction's page footprint");
+    (void)page_footprint;
+    if (protocol == Protocol::kOS) {
+      const int obj_footprint =
+          workload_.trans_size_pages * workload_.page_locality_max + 2;
+      assert(params_.client_buf_objects() >= obj_footprint &&
+             "client object cache smaller than a transaction's footprint");
+      (void)obj_footprint;
+    }
+  }
+
+  // Apply workload-defined object relocations (Interleaved PRIVATE).
+  for (auto [a, b] : workload_.layout_swaps) db_.layout().Swap(a, b);
+
+  detector_ = std::make_unique<cc::DeadlockDetector>();
+  sim_ = std::make_unique<sim::Simulation>();
+  network_ =
+      std::make_unique<resources::Network>(*sim_, params_.network_mbps);
+  transport_ =
+      std::make_unique<Transport>(*sim_, *network_, params_, counters_);
+  ctx_ = std::make_unique<SystemContext>(SystemContext{
+      *sim_, params_, db_, counters_, *transport_, detector_.get(), nullptr,
+      {}});
+
+  // One server per data partition; clients route requests by page.
+  auto build = [&](auto make_server, auto make_client) {
+    using ServerT =
+        std::remove_pointer_t<decltype(make_server(0))>;
+    std::vector<ServerT*> typed;
+    for (int i = 0; i < params_.num_servers; ++i) {
+      ServerT* srv = make_server(i);
+      typed.push_back(srv);
+      servers_.emplace_back(srv);
+    }
+    for (int c = 0; c < params_.num_clients; ++c) {
+      clients_.emplace_back(make_client(c, typed));
+    }
+  };
+
+  switch (protocol_) {
+    case Protocol::kPS:
+      build([&](int i) { return new PsServer(*ctx_, i); },
+            [&](int c, const std::vector<PsServer*>& srvs) {
+              return std::make_unique<PsClient>(*ctx_, c, workload_, srvs);
+            });
+      break;
+    case Protocol::kOS:
+      build([&](int i) { return new OsServer(*ctx_, i); },
+            [&](int c, const std::vector<OsServer*>& srvs) {
+              return std::make_unique<OsClient>(*ctx_, c, workload_, srvs);
+            });
+      break;
+    case Protocol::kPSOO:
+      build([&](int i) { return new PsOoServer(*ctx_, i); },
+            [&](int c, const std::vector<PsOoServer*>& srvs) {
+              return std::make_unique<PsOoClient>(*ctx_, c, workload_, srvs);
+            });
+      break;
+    case Protocol::kPSOA:
+      build([&](int i) { return new PsOaServer(*ctx_, i); },
+            [&](int c, const std::vector<PsOaServer*>& srvs) {
+              return std::make_unique<PsOaClient>(*ctx_, c, workload_, srvs);
+            });
+      break;
+    case Protocol::kPSAA:
+      build([&](int i) { return new PsAaServer(*ctx_, i); },
+            [&](int c, const std::vector<PsAaServer*>& srvs) {
+              return std::make_unique<PsAaClient>(*ctx_, c, workload_, srvs);
+            });
+      break;
+    case Protocol::kPSWT:
+      build([&](int i) { return new PsWtServer(*ctx_, i); },
+            [&](int c, const std::vector<PsWtServer*>& srvs) {
+              return std::make_unique<PsWtClient>(*ctx_, c, workload_, srvs);
+            });
+      break;
+  }
+
+  std::vector<Client*> raw;
+  raw.reserve(clients_.size());
+  for (auto& c : clients_) raw.push_back(c.get());
+  for (auto& srv : servers_) srv->SetClients(raw);
+}
+
+System::~System() {
+  // The Simulation must die first: destroying it destroys every suspended
+  // process, whose awaitable destructors unregister from resource queues and
+  // condition variables that must still be alive. Afterwards the remaining
+  // members (clients, server, transport, network) tear down with empty
+  // queues.
+  sim_.reset();
+}
+
+RunResult System::Run(const RunConfig& run) {
+  assert(!started_ && "System::Run may be called once");
+  started_ = true;
+
+  ctx_->history = run.record_history ? &history_ : nullptr;
+  ctx_->on_commit = [this](storage::ClientId, sim::SimTime start,
+                           sim::SimTime end) {
+    response_times_.push_back(end - start);
+  };
+
+  for (auto& c : clients_) c->Start();
+
+  RunResult result;
+  result.protocol = protocol_;
+
+  // --- Warmup ---------------------------------------------------------------
+  const std::uint64_t warmup_target = static_cast<std::uint64_t>(
+      run.warmup_commits);
+  std::uint64_t events = 0;
+  bool stalled = false;
+  while (counters_.commits < warmup_target) {
+    if (!sim_->Step()) {
+      stalled = true;
+      break;
+    }
+    if (++events > run.max_events ||
+        sim_->now() > run.max_sim_seconds) {
+      stalled = true;
+      break;
+    }
+  }
+
+  // --- Reset for measurement -------------------------------------------------
+  const std::uint64_t warmup_deadlocks = detector_->deadlocks_detected();
+  std::uint64_t warmup_lock_waits = 0;
+  for (auto& srv : servers_) warmup_lock_waits += srv->lock_manager().lock_waits();
+  counters_.Reset();
+  response_times_.clear();
+  for (auto& srv : servers_) {
+    srv->cpu().ResetStats();
+    srv->disks().ResetStats();
+  }
+  network_->ResetStats();
+  for (auto& c : clients_) c->cpu().ResetStats();
+  const sim::SimTime measure_start = sim_->now();
+  const std::uint64_t measure_start_events = sim_->events_processed();
+
+  // --- Measurement ------------------------------------------------------------
+  const std::uint64_t target = static_cast<std::uint64_t>(run.measure_commits);
+  events = 0;
+  double next_sample = run.sample_interval > 0
+                           ? measure_start + run.sample_interval
+                           : std::numeric_limits<double>::infinity();
+  while (!stalled && counters_.commits < target) {
+    if (!sim_->Step()) {
+      stalled = true;
+      break;
+    }
+    while (sim_->now() >= next_sample) {
+      MetricsSample s;
+      s.t = next_sample - measure_start;
+      s.commits = counters_.commits;
+      s.aborts = counters_.aborts;
+      s.msgs = counters_.msgs_total;
+      s.server_cpu_util = server(0).cpu().Utilization();
+      s.disk_util = server(0).disks().AverageUtilization();
+      s.network_util = network_->Utilization();
+      result.samples.push_back(s);
+      next_sample += run.sample_interval;
+    }
+    if (++events > run.max_events ||
+        sim_->now() - measure_start > run.max_sim_seconds) {
+      break;
+    }
+  }
+
+  // --- Results -----------------------------------------------------------------
+  result.stalled = stalled;
+  result.sim_seconds = sim_->now() - measure_start;
+  result.measured_commits = counters_.commits;
+  result.counters = counters_;
+  result.throughput = result.sim_seconds > 0
+                          ? static_cast<double>(counters_.commits) /
+                                result.sim_seconds
+                          : 0.0;
+  result.response_time =
+      metrics::BatchMeansCI(response_times_, run.ci_batches, 0.90);
+  result.deadlocks = detector_->deadlocks_detected() - warmup_deadlocks;
+  result.counters.deadlocks = result.deadlocks;
+  std::uint64_t lock_waits = 0;
+  double cpu_util = 0, disk_util = 0;
+  for (auto& srv : servers_) {
+    lock_waits += srv->lock_manager().lock_waits();
+    cpu_util += srv->cpu().Utilization();
+    disk_util += srv->disks().AverageUtilization();
+  }
+  result.counters.lock_waits = lock_waits - warmup_lock_waits;
+  // Multi-server: report the average utilization across partition servers.
+  result.server_cpu_util = cpu_util / static_cast<double>(servers_.size());
+  result.disk_util = disk_util / static_cast<double>(servers_.size());
+  result.network_util = network_->Utilization();
+  double client_util = 0;
+  for (auto& c : clients_) client_util += c->cpu().Utilization();
+  result.avg_client_cpu_util =
+      clients_.empty() ? 0 : client_util / static_cast<double>(clients_.size());
+  result.msgs_per_commit =
+      counters_.commits > 0
+          ? static_cast<double>(counters_.msgs_total) /
+                static_cast<double>(counters_.commits)
+          : 0.0;
+  result.events = sim_->events_processed() - measure_start_events;
+  if (run.record_history) {
+    result.serializable = history_.IsSerializable();
+    result.no_lost_updates = history_.NoLostUpdates();
+  }
+  return result;
+}
+
+RunResult RunSimulation(Protocol protocol, const config::SystemParams& params,
+                        const config::WorkloadParams& workload,
+                        const RunConfig& run) {
+  System system(protocol, params, workload);
+  return system.Run(run);
+}
+
+void WriteSamplesCsv(const std::vector<MetricsSample>& samples,
+                     const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return;
+  std::fprintf(f,
+               "t,commits,aborts,msgs,server_cpu_util,disk_util,"
+               "network_util\n");
+  for (const auto& s : samples) {
+    std::fprintf(f, "%.6f,%llu,%llu,%llu,%.4f,%.4f,%.4f\n", s.t,
+                 static_cast<unsigned long long>(s.commits),
+                 static_cast<unsigned long long>(s.aborts),
+                 static_cast<unsigned long long>(s.msgs), s.server_cpu_util,
+                 s.disk_util, s.network_util);
+  }
+  std::fclose(f);
+}
+
+}  // namespace psoodb::core

@@ -1,0 +1,126 @@
+/// \file system.h
+/// Top-level assembly: builds a complete simulated page-server / object-
+/// server OODBMS (server + N client workstations + network) for one of the
+/// five protocols and runs a warmup + measurement experiment. This is the
+/// main entry point of the library.
+
+#ifndef PSOODB_CORE_SYSTEM_H_
+#define PSOODB_CORE_SYSTEM_H_
+
+#include <memory>
+#include <vector>
+
+#include "config/params.h"
+#include "core/client.h"
+#include "core/history.h"
+#include "core/messages.h"
+#include "core/server.h"
+#include "metrics/counters.h"
+#include "metrics/stats.h"
+#include "resources/network.h"
+#include "storage/database.h"
+
+namespace psoodb::core {
+
+/// Experiment control.
+struct RunConfig {
+  int warmup_commits = 200;     ///< commits discarded before measuring
+  int measure_commits = 2000;   ///< commits in the measurement window
+  double max_sim_seconds = 36000;  ///< hard cap on simulated time
+  std::uint64_t max_events = 400'000'000;  ///< hard cap on events (hang guard)
+  bool record_history = false;  ///< record commits for serializability checks
+  int ci_batches = 20;          ///< batch-means batches for the response CI
+  /// If > 0, sample cumulative metrics every this many simulated seconds
+  /// during the measurement window (RunResult::samples).
+  double sample_interval = 0;
+};
+
+/// One point of the sampled time series (cumulative since measurement start).
+struct MetricsSample {
+  double t = 0;  ///< simulated seconds since measurement start
+  std::uint64_t commits = 0;
+  std::uint64_t aborts = 0;
+  std::uint64_t msgs = 0;
+  double server_cpu_util = 0;  ///< window-cumulative utilization
+  double disk_util = 0;
+  double network_util = 0;
+};
+
+/// Results of one simulation run (measurement window only).
+struct RunResult {
+  config::Protocol protocol = config::Protocol::kPS;
+  double throughput = 0;  ///< committed transactions per simulated second
+  metrics::ConfidenceInterval response_time;  ///< seconds, 90% CI
+  double sim_seconds = 0;          ///< measurement window length
+  std::uint64_t measured_commits = 0;
+  metrics::Counters counters;      ///< counters for the measurement window
+  std::uint64_t deadlocks = 0;     ///< deadlocks during measurement
+  double server_cpu_util = 0;
+  double avg_client_cpu_util = 0;
+  double disk_util = 0;
+  double network_util = 0;
+  double msgs_per_commit = 0;
+  bool stalled = false;  ///< event queue drained unexpectedly (protocol hang)
+  bool serializable = true;     ///< only meaningful if history was recorded
+  bool no_lost_updates = true;  ///< only meaningful if history was recorded
+  std::uint64_t events = 0;     ///< events processed during measurement
+  /// Time series sampled every RunConfig::sample_interval (empty if 0).
+  std::vector<MetricsSample> samples;
+};
+
+/// Writes a sampled time series as CSV (header + one row per sample).
+void WriteSamplesCsv(const std::vector<MetricsSample>& samples,
+                     const std::string& path);
+
+/// A fully wired simulated system. Construct, call Run() once, inspect.
+class System {
+ public:
+  System(config::Protocol protocol, const config::SystemParams& params,
+         const config::WorkloadParams& workload);
+  ~System();
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  /// Runs warmup + measurement and returns the results.
+  RunResult Run(const RunConfig& run = RunConfig{});
+
+  // --- Introspection (tests, examples) ------------------------------------
+  sim::Simulation& simulation() { return *sim_; }
+  Server& server(int i = 0) { return *servers_.at(i); }
+  int num_servers() const { return static_cast<int>(servers_.size()); }
+  cc::DeadlockDetector& detector() { return *detector_; }
+  Client& client(int i) { return *clients_.at(i); }
+  int num_clients() const { return static_cast<int>(clients_.size()); }
+  metrics::Counters& counters() { return counters_; }
+  History& history() { return history_; }
+  storage::Database& db() { return db_; }
+  const config::SystemParams& params() const { return params_; }
+  config::Protocol protocol() const { return protocol_; }
+
+ private:
+  config::Protocol protocol_;
+  config::SystemParams params_;      // owned copies: callers may pass temporaries
+  config::WorkloadParams workload_;
+  storage::Database db_;
+  metrics::Counters counters_;
+  History history_;
+  std::unique_ptr<cc::DeadlockDetector> detector_;
+  std::unique_ptr<sim::Simulation> sim_;
+  std::unique_ptr<resources::Network> network_;
+  std::unique_ptr<Transport> transport_;
+  std::unique_ptr<SystemContext> ctx_;
+  std::vector<std::unique_ptr<Server>> servers_;
+  std::vector<std::unique_ptr<Client>> clients_;
+  std::vector<double> response_times_;
+  bool started_ = false;
+};
+
+/// Convenience one-shot: build a System and run it.
+RunResult RunSimulation(config::Protocol protocol,
+                        const config::SystemParams& params,
+                        const config::WorkloadParams& workload,
+                        const RunConfig& run = RunConfig{});
+
+}  // namespace psoodb::core
+
+#endif  // PSOODB_CORE_SYSTEM_H_

@@ -1,0 +1,3 @@
+#include "metrics/counters.h"
+
+// Header-only; anchor for the library target.

@@ -1,0 +1,77 @@
+#include "metrics/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace psoodb::metrics {
+
+void Tally::Add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Tally::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double Tally::stddev() const { return std::sqrt(variance()); }
+
+double StudentT(double confidence, int dof) {
+  assert(dof >= 1);
+  // Two-sided critical values; rows are dof, columns 90% and 95%.
+  struct Row {
+    int dof;
+    double t90, t95;
+  };
+  static const Row kTable[] = {
+      {1, 6.314, 12.706}, {2, 2.920, 4.303}, {3, 2.353, 3.182},
+      {4, 2.132, 2.776},  {5, 2.015, 2.571}, {6, 1.943, 2.447},
+      {7, 1.895, 2.365},  {8, 1.860, 2.306}, {9, 1.833, 2.262},
+      {10, 1.812, 2.228}, {12, 1.782, 2.179}, {14, 1.761, 2.145},
+      {16, 1.746, 2.120}, {19, 1.729, 2.093}, {24, 1.711, 2.064},
+      {29, 1.699, 2.045}, {39, 1.684, 2.023}, {59, 1.671, 2.001},
+      {119, 1.658, 1.980}, {1000000, 1.645, 1.960},
+  };
+  const bool use95 = confidence >= 0.925;
+  const Row* prev = &kTable[0];
+  for (const Row& r : kTable) {
+    if (dof == r.dof) return use95 ? r.t95 : r.t90;
+    if (dof < r.dof) return use95 ? prev->t95 : prev->t90;  // conservative
+    prev = &r;
+  }
+  return use95 ? 1.960 : 1.645;
+}
+
+ConfidenceInterval BatchMeansCI(const std::vector<double>& observations,
+                                int num_batches, double confidence) {
+  ConfidenceInterval ci;
+  const std::size_t n = observations.size();
+  if (n == 0) return ci;
+  num_batches = std::max(2, std::min<int>(num_batches, static_cast<int>(n)));
+  const std::size_t batch_size = n / static_cast<std::size_t>(num_batches);
+  if (batch_size == 0) return ci;
+
+  Tally batches;
+  for (int b = 0; b < num_batches; ++b) {
+    double sum = 0;
+    for (std::size_t i = 0; i < batch_size; ++i) {
+      sum += observations[static_cast<std::size_t>(b) * batch_size + i];
+    }
+    batches.Add(sum / static_cast<double>(batch_size));
+  }
+  ci.mean = batches.mean();
+  double se = batches.stddev() / std::sqrt(static_cast<double>(num_batches));
+  ci.half_width = StudentT(confidence, num_batches - 1) * se;
+  return ci;
+}
+
+}  // namespace psoodb::metrics

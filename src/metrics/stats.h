@@ -1,0 +1,57 @@
+/// \file stats.h
+/// Statistics helpers: running tallies and the batch-means confidence
+/// intervals used to validate simulation results (paper Section 5.1: 90%
+/// confidence intervals on response times via batch means).
+
+#ifndef PSOODB_METRICS_STATS_H_
+#define PSOODB_METRICS_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace psoodb::metrics {
+
+/// Running mean/variance (Welford).
+class Tally {
+ public:
+  void Add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  double variance() const;  ///< sample variance (n-1 denominator)
+  double stddev() const;
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// A mean with a symmetric confidence-interval half-width.
+struct ConfidenceInterval {
+  double mean = 0;
+  double half_width = 0;
+  /// Half-width as a fraction of the mean (0 when mean is 0).
+  double RelativeWidth() const {
+    return mean != 0 ? half_width / mean : 0.0;
+  }
+};
+
+/// Batch-means confidence interval: splits an observation sequence into
+/// `num_batches` consecutive batches, treats batch means as i.i.d., and
+/// applies a Student-t interval at the given confidence level.
+ConfidenceInterval BatchMeansCI(const std::vector<double>& observations,
+                                int num_batches = 20,
+                                double confidence = 0.90);
+
+/// Two-sided Student-t critical value for the given confidence level and
+/// degrees of freedom (table-interpolated; supports 0.90 and 0.95).
+double StudentT(double confidence, int dof);
+
+}  // namespace psoodb::metrics
+
+#endif  // PSOODB_METRICS_STATS_H_

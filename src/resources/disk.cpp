@@ -1,0 +1,49 @@
+#include "resources/disk.h"
+
+namespace psoodb::resources {
+
+Disk::Disk(sim::Simulation& sim, double min_time, double max_time,
+           std::uint64_t seed, std::uint64_t stream, std::string name)
+    : server_(sim, std::move(name)),
+      min_time_(min_time),
+      max_time_(max_time),
+      rng_(seed, stream) {}
+
+sim::Task Disk::Access() {
+  co_await server_.Serve(rng_.Uniform(min_time_, max_time_));
+}
+
+DiskArray::DiskArray(sim::Simulation& sim, int num_disks, double min_time,
+                     double max_time, std::uint64_t seed)
+    : pick_rng_(seed, /*stream=*/0xD15C) {
+  disks_.reserve(num_disks);
+  for (int i = 0; i < num_disks; ++i) {
+    disks_.push_back(std::make_unique<Disk>(
+        sim, min_time, max_time, seed, /*stream=*/0xD15C0 + i,
+        "disk" + std::to_string(i)));
+  }
+}
+
+sim::Task DiskArray::Access() {
+  int i = static_cast<int>(
+      pick_rng_.UniformInt(0, static_cast<std::int64_t>(disks_.size()) - 1));
+  co_await disks_[i]->Access();
+}
+
+double DiskArray::AverageUtilization() const {
+  double sum = 0;
+  for (const auto& d : disks_) sum += d->Utilization();
+  return disks_.empty() ? 0 : sum / static_cast<double>(disks_.size());
+}
+
+std::uint64_t DiskArray::TotalRequests() const {
+  std::uint64_t sum = 0;
+  for (const auto& d : disks_) sum += d->requests();
+  return sum;
+}
+
+void DiskArray::ResetStats() {
+  for (auto& d : disks_) d->ResetStats();
+}
+
+}  // namespace psoodb::resources

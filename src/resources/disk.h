@@ -1,0 +1,65 @@
+/// \file disk.h
+/// Server disk model: FIFO request queue with uniformly distributed access
+/// times (MinDiskTime..MaxDiskTime), per Section 4.1. A DiskArray spreads
+/// requests uniformly across the server's disks, as in the paper.
+
+#ifndef PSOODB_RESOURCES_DISK_H_
+#define PSOODB_RESOURCES_DISK_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "resources/fifo_server.h"
+#include "sim/random.h"
+#include "sim/simulation.h"
+#include "sim/task.h"
+
+namespace psoodb::resources {
+
+/// A single disk with FIFO scheduling and uniform access time.
+class Disk {
+ public:
+  Disk(sim::Simulation& sim, double min_time, double max_time,
+       std::uint64_t seed, std::uint64_t stream, std::string name = "disk");
+
+  /// Performs one I/O (read or write are indistinguishable in the model).
+  /// Must be awaited from a simulation process.
+  sim::Task Access();
+
+  double Utilization() const { return server_.Utilization(); }
+  void ResetStats() { server_.ResetStats(); }
+  std::uint64_t requests() const { return server_.requests(); }
+  int queue_length() const { return server_.queue_length(); }
+
+ private:
+  FifoServer server_;
+  double min_time_;
+  double max_time_;
+  sim::Rng rng_;
+};
+
+/// The server's set of disks; each request goes to a uniformly chosen disk.
+class DiskArray {
+ public:
+  DiskArray(sim::Simulation& sim, int num_disks, double min_time,
+            double max_time, std::uint64_t seed);
+
+  /// Performs one I/O on a uniformly chosen disk.
+  sim::Task Access();
+
+  int size() const { return static_cast<int>(disks_.size()); }
+  Disk& disk(int i) { return *disks_[i]; }
+  double AverageUtilization() const;
+  std::uint64_t TotalRequests() const;
+  void ResetStats();
+
+ private:
+  std::vector<std::unique_ptr<Disk>> disks_;
+  sim::Rng pick_rng_;
+};
+
+}  // namespace psoodb::resources
+
+#endif  // PSOODB_RESOURCES_DISK_H_

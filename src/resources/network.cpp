@@ -1,0 +1,4 @@
+#include "resources/network.h"
+
+// Header-only; this translation unit exists so the library has a definition
+// anchor for the target.

@@ -1,0 +1,240 @@
+/// \file awaitables.h
+/// Synchronization awaitables for simulation processes: condition variables,
+/// one-shot futures/promises (RPC-style), and wait groups.
+///
+/// All awaitables unregister themselves on destruction, so frames can be torn
+/// down at any point. Notification never resumes a waiter inline; waiters are
+/// scheduled at the current simulated time and run after the notifier's event
+/// completes, which both avoids re-entrancy and models message/IPC hand-off.
+
+#ifndef PSOODB_SIM_AWAITABLES_H_
+#define PSOODB_SIM_AWAITABLES_H_
+
+#include <cassert>
+#include <coroutine>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "sim/simulation.h"
+
+namespace psoodb::sim {
+
+/// A FIFO condition variable for simulation processes.
+///
+/// `co_await cv.Wait()` suspends until NotifyOne()/NotifyAll(). Waiters wake
+/// in FIFO order. The caller must re-check its predicate after waking (wakeups
+/// are "hints", exactly like a real condition variable).
+class CondVar {
+ public:
+  explicit CondVar(Simulation& sim) : sim_(sim) {
+    head_.prev = head_.next = &head_;
+  }
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+  ~CondVar() {
+    // Orphan any remaining waiters so their frame destructors are safe even
+    // if the CondVar dies first.
+    for (Node* n = head_.next; n != &head_;) {
+      Node* next = n->next;
+      n->cv = nullptr;
+      n->prev = n->next = nullptr;
+      n = next;
+    }
+  }
+
+  class Awaiter;
+  /// Returns an awaitable that suspends the caller until notified.
+  Awaiter Wait();
+
+  /// Wakes the oldest waiter (if any). Returns true if one was woken.
+  bool NotifyOne();
+
+  /// Wakes all current waiters.
+  void NotifyAll() {
+    while (NotifyOne()) {
+    }
+  }
+
+  /// Number of processes currently blocked on this CondVar.
+  std::size_t waiters() const {
+    std::size_t n = 0;
+    for (Node* p = head_.next; p != &head_; p = p->next) ++n;
+    return n;
+  }
+
+ private:
+  struct Node {
+    Node* prev = nullptr;
+    Node* next = nullptr;
+    std::coroutine_handle<> handle;
+    CondVar* cv = nullptr;  // non-null while linked
+    EventId sched = 0;      // non-zero once notified and scheduled
+    bool fired = false;
+  };
+
+  void Link(Node* n) {
+    n->cv = this;
+    n->prev = head_.prev;
+    n->next = &head_;
+    head_.prev->next = n;
+    head_.prev = n;
+  }
+  static void Unlink(Node* n) {
+    n->prev->next = n->next;
+    n->next->prev = n->prev;
+    n->prev = n->next = nullptr;
+    n->cv = nullptr;
+  }
+
+  Simulation& sim_;
+  Node head_;  // sentinel of intrusive FIFO list
+
+  friend class Awaiter;
+};
+
+class CondVar::Awaiter {
+ public:
+  explicit Awaiter(CondVar& cv) : cv_(&cv) {}
+  Awaiter(const Awaiter&) = delete;
+  Awaiter& operator=(const Awaiter&) = delete;
+  ~Awaiter() {
+    if (node_.cv != nullptr) {
+      Unlink(&node_);
+    } else if (!node_.fired && node_.sched != 0) {
+      cv_->sim_.Cancel(node_.sched);
+    }
+  }
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) {
+    node_.handle = h;
+    cv_->Link(&node_);
+  }
+  void await_resume() noexcept { node_.fired = true; }
+
+ private:
+  CondVar* cv_;
+  Node node_;
+};
+
+inline CondVar::Awaiter CondVar::Wait() { return Awaiter(*this); }
+
+inline bool CondVar::NotifyOne() {
+  Node* n = head_.next;
+  if (n == &head_) return false;
+  Unlink(n);
+  n->sched = sim_.ScheduleNow(n->handle);
+  return true;
+}
+
+namespace detail {
+template <typename T>
+struct ChannelState {
+  Simulation* sim;
+  std::optional<T> value;
+  std::coroutine_handle<> waiter;
+  EventId sched = 0;
+  bool delivered = false;
+};
+}  // namespace detail
+
+template <typename T>
+class Promise;
+
+/// One-shot future: `co_await fut` yields the value set on the paired
+/// Promise. Await at most once. Used for RPC-style request/response between
+/// simulation processes.
+template <typename T>
+class Future {
+ public:
+  Future() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  bool ready() const { return state_ && state_->value.has_value(); }
+
+  bool await_ready() const noexcept {
+    return state_->value.has_value();
+  }
+  void await_suspend(std::coroutine_handle<> h) { state_->waiter = h; }
+  T await_resume() {
+    state_->delivered = true;
+    assert(state_->value.has_value());
+    return std::move(*state_->value);
+  }
+
+  ~Future() {
+    if (state_ && !state_->delivered) {
+      state_->waiter = {};
+      if (state_->sched != 0) state_->sim->Cancel(state_->sched);
+    }
+  }
+  Future(Future&&) = default;
+  Future& operator=(Future&&) = default;
+  Future(const Future&) = delete;
+  Future& operator=(const Future&) = delete;
+
+ private:
+  template <typename U>
+  friend class Promise;
+  explicit Future(std::shared_ptr<detail::ChannelState<T>> s)
+      : state_(std::move(s)) {}
+  std::shared_ptr<detail::ChannelState<T>> state_;
+};
+
+/// Producer side of a Future. Copyable; Set() exactly once.
+template <typename T>
+class Promise {
+ public:
+  explicit Promise(Simulation& sim)
+      : state_(std::make_shared<detail::ChannelState<T>>()) {
+    state_->sim = &sim;
+  }
+
+  /// Obtains the (single) consumer future.
+  Future<T> GetFuture() { return Future<T>(state_); }
+
+  /// Delivers the value; wakes the awaiting process (if any) at now().
+  void Set(T value) {
+    assert(!state_->value.has_value() && "Promise::Set called twice");
+    state_->value.emplace(std::move(value));
+    if (state_->waiter) {
+      state_->sched = state_->sim->ScheduleNow(state_->waiter);
+      state_->waiter = {};
+    }
+  }
+
+  bool has_value() const { return state_->value.has_value(); }
+
+ private:
+  std::shared_ptr<detail::ChannelState<T>> state_;
+};
+
+/// Counts outstanding sub-operations; `co_await wg.Wait()` resumes when the
+/// count reaches zero. Used e.g. by the server to collect callback acks.
+class WaitGroup {
+ public:
+  explicit WaitGroup(Simulation& sim) : cv_(sim) {}
+
+  void Add(int n = 1) { count_ += n; }
+  void Done() {
+    assert(count_ > 0);
+    if (--count_ == 0) cv_.NotifyAll();
+  }
+  int count() const { return count_; }
+
+  /// Awaitable process-side wait until count()==0.
+  Task Wait() {
+    while (count_ > 0) {
+      co_await cv_.Wait();
+    }
+  }
+
+ private:
+  int count_ = 0;
+  CondVar cv_;
+};
+
+}  // namespace psoodb::sim
+
+#endif  // PSOODB_SIM_AWAITABLES_H_

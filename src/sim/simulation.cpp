@@ -1,0 +1,96 @@
+#include "sim/simulation.h"
+
+#include <cassert>
+
+namespace psoodb::sim {
+
+Simulation::~Simulation() {
+  // Destroy the event queue first so nothing fires, then destroy every live
+  // root process. Destroying a suspended frame runs its in-frame awaitable
+  // destructors, which unregister from resource queues and cancel events
+  // (Cancel on an already-cleared queue is a no-op thanks to pending_).
+  pending_.clear();
+  queue_ = {};
+  // Copy: destroying frames can cause nested Task destruction but never
+  // touches roots_ (only FinalAwaiter's on_complete erases, and destroy()
+  // does not run FinalAwaiter).
+  std::vector<void*> roots(roots_.begin(), roots_.end());
+  roots_.clear();
+  for (void* addr : roots) {
+    std::coroutine_handle<>::from_address(addr).destroy();
+  }
+}
+
+EventId Simulation::Schedule(SimTime at, std::coroutine_handle<> h) {
+  assert(at >= now_ && "cannot schedule into the past");
+  assert(h && "null coroutine handle");
+  EventId id = NextId();
+  queue_.push(Entry{at < now_ ? now_ : at, ++last_seq_, id, h, {}});
+  pending_.insert(id);
+  return id;
+}
+
+EventId Simulation::ScheduleCallback(SimTime at, std::function<void()> fn) {
+  assert(at >= now_ && "cannot schedule into the past");
+  assert(fn && "null callback");
+  EventId id = NextId();
+  queue_.push(Entry{at < now_ ? now_ : at, ++last_seq_, id, {}, std::move(fn)});
+  pending_.insert(id);
+  return id;
+}
+
+void Simulation::Cancel(EventId id) {
+  if (id != 0) pending_.erase(id);
+}
+
+void Simulation::Spawn(Task t) {
+  auto h = t.Release();
+  if (!h) return;
+  auto& p = h.promise();
+  p.detached = true;
+  void* addr = h.address();
+  roots_.insert(addr);
+  p.on_complete = [this, addr]() { roots_.erase(addr); };
+  h.resume();  // run until first suspension (or completion)
+}
+
+bool Simulation::Step() {
+  while (!queue_.empty()) {
+    Entry e = queue_.top();
+    queue_.pop();
+    auto it = pending_.find(e.id);
+    if (it == pending_.end()) continue;  // cancelled
+    pending_.erase(it);
+    assert(e.at >= now_);
+    now_ = e.at;
+    ++events_processed_;
+    if (e.handle) {
+      e.handle.resume();
+    } else {
+      e.fn();
+    }
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Simulation::Run(std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while (n < max_events && Step()) ++n;
+  return n;
+}
+
+void Simulation::RunUntil(SimTime t) {
+  while (!queue_.empty()) {
+    const Entry& top = queue_.top();
+    if (pending_.find(top.id) == pending_.end()) {
+      queue_.pop();
+      continue;
+    }
+    if (top.at > t) break;
+    Step();
+  }
+  if (now_ < t) now_ = t;
+}
+
+}  // namespace psoodb::sim

@@ -1,0 +1,140 @@
+/// \file simulation.h
+/// Discrete-event simulation engine: virtual clock, cancellable event queue,
+/// and process (Task) management. This is the DeNet replacement at the base
+/// of the page-server OODBMS model.
+
+#ifndef PSOODB_SIM_SIMULATION_H_
+#define PSOODB_SIM_SIMULATION_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/task.h"
+
+namespace psoodb::sim {
+
+/// Simulated time, in seconds.
+using SimTime = double;
+
+/// Identifier of a scheduled event; 0 is never a valid id.
+using EventId = std::uint64_t;
+
+/// The discrete-event simulation engine.
+///
+/// Events at equal timestamps fire in FIFO (schedule) order. Events can be
+/// cancelled; cancelling an id that already fired (or was never scheduled)
+/// is a harmless no-op, which is what makes awaitable destructors safe.
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+  ~Simulation();
+
+  /// Current simulated time in seconds.
+  SimTime now() const { return now_; }
+
+  /// Schedules `h` to be resumed at absolute time `at` (>= now()).
+  EventId Schedule(SimTime at, std::coroutine_handle<> h);
+
+  /// Schedules a plain callback at absolute time `at`.
+  EventId ScheduleCallback(SimTime at, std::function<void()> fn);
+
+  /// Schedules `h` to run after the currently executing event, at now().
+  EventId ScheduleNow(std::coroutine_handle<> h) { return Schedule(now_, h); }
+
+  /// Cancels a pending event. Safe to call with stale or zero ids.
+  void Cancel(EventId id);
+
+  /// Starts `t` as a detached root process owned by the simulation. The task
+  /// begins executing immediately (it may run until its first suspension).
+  void Spawn(Task t);
+
+  /// Processes one event. Returns false if the queue is empty.
+  bool Step();
+
+  /// Runs until the event queue is empty or `max_events` events fired.
+  /// Returns the number of events processed.
+  std::uint64_t Run(std::uint64_t max_events =
+                        std::numeric_limits<std::uint64_t>::max());
+
+  /// Runs until simulated time reaches `t` (events at exactly `t` fire).
+  /// The clock is advanced to `t` even if the queue drains early.
+  void RunUntil(SimTime t);
+
+  /// Total number of events processed so far.
+  std::uint64_t events_processed() const { return events_processed_; }
+
+  /// Number of live detached root processes.
+  std::size_t live_processes() const { return roots_.size(); }
+
+  /// Awaitable: suspends the calling task for `dt` seconds of simulated time.
+  /// Usage: `co_await sim.Delay(0.010);`
+  class DelayAwaiter;
+  DelayAwaiter Delay(SimTime dt);
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;
+    EventId id;
+    std::coroutine_handle<> handle;  // exactly one of handle/fn is set
+    std::function<void()> fn;
+  };
+  struct EntryLater {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  EventId NextId() { return ++last_id_; }
+
+  SimTime now_ = 0.0;
+  std::uint64_t last_id_ = 0;
+  std::uint64_t last_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, EntryLater> queue_;
+  /// Ids of scheduled-and-not-yet-fired events. An entry popped from the heap
+  /// whose id is absent here was cancelled and is skipped.
+  std::unordered_set<EventId> pending_;
+  /// Live detached root coroutines (owned; destroyed on teardown).
+  std::unordered_set<void*> roots_;
+};
+
+/// Awaitable returned by Simulation::Delay().
+class Simulation::DelayAwaiter {
+ public:
+  DelayAwaiter(Simulation& sim, SimTime dt) : sim_(sim), dt_(dt) {}
+  DelayAwaiter(const DelayAwaiter&) = delete;
+  DelayAwaiter& operator=(const DelayAwaiter&) = delete;
+  ~DelayAwaiter() {
+    if (!fired_ && id_ != 0) sim_.Cancel(id_);
+  }
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) {
+    id_ = sim_.Schedule(sim_.now() + dt_, h);
+  }
+  void await_resume() noexcept { fired_ = true; }
+
+ private:
+  Simulation& sim_;
+  SimTime dt_;
+  EventId id_ = 0;
+  bool fired_ = false;
+};
+
+inline Simulation::DelayAwaiter Simulation::Delay(SimTime dt) {
+  return DelayAwaiter(*this, dt);
+}
+
+}  // namespace psoodb::sim
+
+#endif  // PSOODB_SIM_SIMULATION_H_

@@ -1,0 +1,137 @@
+/// \file task.h
+/// Coroutine task type for simulation processes.
+///
+/// A `Task` is a lazily-started coroutine. There are two ways to run one:
+///   - `co_await` it from another Task: the child runs to completion and then
+///     resumes the parent (symmetric transfer). The parent owns the child's
+///     frame; destroying the parent frame destroys the child recursively.
+///   - `Simulation::Spawn(Task)`: the simulation takes ownership and the task
+///     becomes a detached root process; its frame self-destroys on completion.
+///
+/// Teardown safety: destroying a suspended Task frame runs the destructors of
+/// in-frame awaitables. Every awaitable in this library unregisters itself
+/// from whatever queue it is waiting in, so a `Simulation` (and all of its
+/// processes) can be destroyed at any point mid-run without dangling handles.
+
+#ifndef PSOODB_SIM_TASK_H_
+#define PSOODB_SIM_TASK_H_
+
+#include <cassert>
+#include <coroutine>
+#include <cstdlib>
+#include <exception>
+#include <functional>
+#include <utility>
+
+namespace psoodb::sim {
+
+class Task;
+
+namespace detail {
+
+struct TaskPromise {
+  /// Coroutine to resume when this task completes (the awaiting parent).
+  std::coroutine_handle<> continuation;
+  /// True once detached via Simulation::Spawn: the final awaiter destroys the
+  /// frame itself and invokes `on_complete` so the owner can unregister it.
+  bool detached = false;
+  std::function<void()> on_complete;
+  std::exception_ptr exception;
+
+  Task get_return_object();
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<TaskPromise> h) noexcept {
+      TaskPromise& p = h.promise();
+      std::coroutine_handle<> cont =
+          p.continuation ? p.continuation : std::noop_coroutine();
+      if (p.detached) {
+        if (p.exception) {
+          // A detached simulation process must not leak exceptions; there is
+          // nobody to observe them.
+          std::abort();
+        }
+        std::function<void()> done = std::move(p.on_complete);
+        h.destroy();
+        if (done) done();
+      }
+      return cont;
+    }
+    void await_resume() noexcept {}
+  };
+  FinalAwaiter final_suspend() noexcept { return {}; }
+
+  void return_void() noexcept {}
+  void unhandled_exception() noexcept { exception = std::current_exception(); }
+};
+
+}  // namespace detail
+
+/// A simulation process. See file comment for ownership rules.
+class Task {
+ public:
+  using promise_type = detail::TaskPromise;
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { Destroy(); }
+
+  bool valid() const { return static_cast<bool>(handle_); }
+
+  /// Releases ownership of the coroutine frame (used by Simulation::Spawn).
+  std::coroutine_handle<promise_type> Release() {
+    return std::exchange(handle_, {});
+  }
+
+  /// Awaiting a Task starts it and suspends the awaiter until it completes.
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> child;
+      bool await_ready() const noexcept { return !child || child.done(); }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> parent) noexcept {
+        child.promise().continuation = parent;
+        return child;  // symmetric transfer: start the child
+      }
+      void await_resume() {
+        if (child && child.promise().exception) {
+          std::rethrow_exception(child.promise().exception);
+        }
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  void Destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+namespace detail {
+inline Task TaskPromise::get_return_object() {
+  return Task(std::coroutine_handle<TaskPromise>::from_promise(*this));
+}
+}  // namespace detail
+
+}  // namespace psoodb::sim
+
+#endif  // PSOODB_SIM_TASK_H_

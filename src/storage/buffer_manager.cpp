@@ -1,0 +1,3 @@
+#include "storage/buffer_manager.h"
+
+// Header-only; anchor for the library target.

@@ -1,0 +1,28 @@
+#include "storage/database.h"
+
+namespace psoodb::storage {
+
+ObjectLayout::ObjectLayout(int num_pages, int objects_per_page)
+    : num_pages_(num_pages), objects_per_page_(objects_per_page) {
+  assert(num_pages > 0 && objects_per_page > 0);
+  const std::size_t n = static_cast<std::size_t>(num_objects());
+  loc_.resize(n);
+  at_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    loc_[i] = {static_cast<PageId>(i / objects_per_page_),
+               static_cast<int>(i % objects_per_page_)};
+    at_[i] = static_cast<ObjectId>(i);
+  }
+}
+
+void ObjectLayout::Swap(ObjectId a, ObjectId b) {
+  assert(a >= 0 && a < num_objects() && b >= 0 && b < num_objects());
+  auto la = loc_[a];
+  auto lb = loc_[b];
+  loc_[a] = lb;
+  loc_[b] = la;
+  at_[static_cast<std::size_t>(la.first) * objects_per_page_ + la.second] = b;
+  at_[static_cast<std::size_t>(lb.first) * objects_per_page_ + lb.second] = a;
+}
+
+}  // namespace psoodb::storage

@@ -1,0 +1,81 @@
+/// \file database.h
+/// The simulated database: the object<->page layout plus the ground-truth
+/// committed version of every object. The version store does not model any
+/// cost; it exists so tests can verify the protocols' cache-consistency and
+/// serializability guarantees on every run.
+
+#ifndef PSOODB_STORAGE_DATABASE_H_
+#define PSOODB_STORAGE_DATABASE_H_
+
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "storage/types.h"
+
+namespace psoodb::storage {
+
+/// Maps objects to (page, slot) locations and back. The default layout is
+/// dense: object `i` lives at page `i / objects_per_page`,
+/// slot `i % objects_per_page`. Locations can be swapped to model
+/// declustered / interleaved placements.
+class ObjectLayout {
+ public:
+  ObjectLayout(int num_pages, int objects_per_page);
+
+  int num_pages() const { return num_pages_; }
+  int objects_per_page() const { return objects_per_page_; }
+  ObjectId num_objects() const {
+    return static_cast<ObjectId>(num_pages_) * objects_per_page_;
+  }
+
+  PageId PageOf(ObjectId oid) const { return loc_[oid].first; }
+  int SlotOf(ObjectId oid) const { return loc_[oid].second; }
+  ObjectId ObjectAt(PageId page, int slot) const {
+    return at_[static_cast<std::size_t>(page) * objects_per_page_ + slot];
+  }
+
+  /// Swaps the physical locations of two objects.
+  void Swap(ObjectId a, ObjectId b);
+
+ private:
+  int num_pages_;
+  int objects_per_page_;
+  std::vector<std::pair<PageId, int>> loc_;  // oid -> (page, slot)
+  std::vector<ObjectId> at_;                 // page*opp+slot -> oid
+};
+
+/// Ground truth for correctness checking: the latest committed version of
+/// every object, and a global commit sequence.
+class Database {
+ public:
+  Database(int num_pages, int objects_per_page)
+      : layout_(num_pages, objects_per_page),
+        committed_(static_cast<std::size_t>(layout_.num_objects()), 0) {}
+
+  ObjectLayout& layout() { return layout_; }
+  const ObjectLayout& layout() const { return layout_; }
+
+  Version committed_version(ObjectId oid) const {
+    return committed_[static_cast<std::size_t>(oid)];
+  }
+
+  /// Installs a new committed version for `oid`; returns the new version.
+  Version CommitWrite(ObjectId oid) {
+    return ++committed_[static_cast<std::size_t>(oid)];
+  }
+
+  /// Issues the next global commit sequence number.
+  std::uint64_t NextCommitSeq() { return ++commit_seq_; }
+  std::uint64_t commit_seq() const { return commit_seq_; }
+
+ private:
+  ObjectLayout layout_;
+  std::vector<Version> committed_;
+  std::uint64_t commit_seq_ = 0;
+};
+
+}  // namespace psoodb::storage
+
+#endif  // PSOODB_STORAGE_DATABASE_H_

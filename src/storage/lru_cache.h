@@ -1,0 +1,140 @@
+/// \file lru_cache.h
+/// Generic LRU cache with pinning and caller-handled eviction, used for both
+/// the page caches (clients of the page-server family, and the server) and
+/// the object cache (object-server clients). Eviction of an entry may require
+/// protocol work (write a dirty page to disk, ship it to the server, notify
+/// the server that a copy was dropped), so victims are returned to the caller
+/// rather than silently discarded.
+
+#ifndef PSOODB_STORAGE_LRU_CACHE_H_
+#define PSOODB_STORAGE_LRU_CACHE_H_
+
+#include <cassert>
+#include <cstddef>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+namespace psoodb::storage {
+
+template <typename Key, typename Value>
+class LruCache {
+ public:
+  explicit LruCache(std::size_t capacity) : capacity_(capacity) {
+    assert(capacity > 0);
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return map_.size(); }
+  bool Contains(const Key& k) const { return map_.count(k) > 0; }
+
+  /// Returns the cached value and marks it most-recently-used, or nullptr.
+  Value* Get(const Key& k) {
+    auto it = map_.find(k);
+    if (it == map_.end()) return nullptr;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return &it->second->value;
+  }
+
+  /// Returns the cached value without touching recency, or nullptr.
+  Value* Peek(const Key& k) {
+    auto it = map_.find(k);
+    return it == map_.end() ? nullptr : &it->second->value;
+  }
+  const Value* Peek(const Key& k) const {
+    auto it = map_.find(k);
+    return it == map_.end() ? nullptr : &it->second->value;
+  }
+
+  struct InsertResult {
+    Value* value = nullptr;  ///< the (possibly pre-existing) entry
+    bool inserted = false;   ///< false if the key was already present
+    /// Entry evicted to make room, if any. The caller must perform whatever
+    /// protocol work the eviction implies.
+    std::optional<std::pair<Key, Value>> evicted;
+  };
+
+  /// Inserts `k` (default-constructed value) as most-recently-used. If the
+  /// cache is full, evicts the least-recently-used unpinned entry.
+  /// Precondition: if full, at least one entry must be unpinned.
+  InsertResult Insert(const Key& k) {
+    InsertResult r;
+    if (auto it = map_.find(k); it != map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      r.value = &it->second->value;
+      return r;
+    }
+    if (map_.size() >= capacity_) {
+      r.evicted = EvictOne();
+    }
+    lru_.push_front(Node{k, Value{}, 0});
+    map_[k] = lru_.begin();
+    r.value = &lru_.begin()->value;
+    r.inserted = true;
+    return r;
+  }
+
+  /// Removes `k`; returns the removed value if it was present.
+  std::optional<Value> Remove(const Key& k) {
+    auto it = map_.find(k);
+    if (it == map_.end()) return std::nullopt;
+    assert(it->second->pins == 0 && "removing a pinned entry");
+    std::optional<Value> v(std::move(it->second->value));
+    lru_.erase(it->second);
+    map_.erase(it);
+    return v;
+  }
+
+  /// Pins an entry, excluding it from eviction. Pins nest.
+  void Pin(const Key& k) {
+    auto it = map_.find(k);
+    assert(it != map_.end());
+    ++it->second->pins;
+  }
+  void Unpin(const Key& k) {
+    auto it = map_.find(k);
+    assert(it != map_.end());
+    assert(it->second->pins > 0);
+    --it->second->pins;
+  }
+  int pins(const Key& k) const {
+    auto it = map_.find(k);
+    return it == map_.end() ? 0 : static_cast<int>(it->second->pins);
+  }
+
+  /// Calls `fn(key, value)` for every entry, in MRU-to-LRU order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Node& n : lru_) fn(n.key, n.value);
+  }
+
+ private:
+  struct Node {
+    Key key;
+    Value value;
+    unsigned pins;
+  };
+
+  std::pair<Key, Value> EvictOne() {
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      if (it->pins == 0) {
+        auto node_it = std::next(it).base();
+        std::pair<Key, Value> out{node_it->key, std::move(node_it->value)};
+        map_.erase(node_it->key);
+        lru_.erase(node_it);
+        return out;
+      }
+    }
+    assert(false && "all cache entries pinned; cannot evict");
+    __builtin_unreachable();
+  }
+
+  std::size_t capacity_;
+  std::list<Node> lru_;
+  std::unordered_map<Key, typename std::list<Node>::iterator> map_;
+};
+
+}  // namespace psoodb::storage
+
+#endif  // PSOODB_STORAGE_LRU_CACHE_H_

@@ -1,0 +1,3 @@
+#include "storage/object_cache.h"
+
+// Header-only; anchor for the library target.

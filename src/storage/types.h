@@ -1,0 +1,36 @@
+/// \file types.h
+/// Identifiers shared across the storage, concurrency-control and protocol
+/// layers. The database is an array of fixed-size pages; each page holds
+/// `objects_per_page` object slots (Section 3: objects smaller than a page;
+/// multi-page objects are handled page-at-a-time and are out of model scope).
+
+#ifndef PSOODB_STORAGE_TYPES_H_
+#define PSOODB_STORAGE_TYPES_H_
+
+#include <cstdint>
+
+namespace psoodb::storage {
+
+/// Physical page number, 0-based, dense in [0, num_pages).
+using PageId = std::int32_t;
+
+/// Logical object identifier, 0-based, dense in [0, num_objects). An object's
+/// *location* (page, slot) is given by ObjectLayout and may be relocated
+/// (e.g. the Interleaved PRIVATE workload interleaves objects across pages).
+using ObjectId = std::int64_t;
+
+/// Client workstation id; the server is not a ClientId.
+using ClientId = std::int32_t;
+inline constexpr ClientId kNoClient = -1;
+
+/// Globally unique transaction identifier (monotonically increasing).
+using TxnId = std::uint64_t;
+inline constexpr TxnId kNoTxn = 0;
+
+/// Committed object version, maintained by the ground-truth database and used
+/// by the cache-validity and serializability checkers.
+using Version = std::uint64_t;
+
+}  // namespace psoodb::storage
+
+#endif  // PSOODB_STORAGE_TYPES_H_

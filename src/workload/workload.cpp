@@ -1,0 +1,137 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace psoodb::workload {
+
+using config::AccessPattern;
+using config::RegionSpec;
+using storage::ObjectId;
+using storage::PageId;
+
+namespace {
+// A custom generator ignores the region tables; use an empty placeholder.
+const std::vector<config::RegionSpec> kNoRegions;
+}  // namespace
+
+TransactionSource::TransactionSource(const config::WorkloadParams& workload,
+                                     const config::SystemParams& sys,
+                                     storage::ClientId client,
+                                     std::uint64_t seed)
+    : workload_(workload),
+      sys_(sys),
+      regions_(workload.custom_generator
+                   ? &kNoRegions
+                   : &workload.client_regions.at(client)),
+      client_(client),
+      rng_(seed, /*stream=*/0x30A0 + static_cast<std::uint64_t>(client)) {
+  assert(workload.custom_generator || !regions_->empty());
+}
+
+std::vector<std::pair<PageId, int>> TransactionSource::ChoosePages(int n) {
+  std::vector<std::pair<PageId, int>> chosen;
+  chosen.reserve(n);
+  std::unordered_set<PageId> used;
+  const auto& regions = *regions_;
+  for (int i = 0; i < n; ++i) {
+    // Select a region by access probability.
+    double u = rng_.NextDouble();
+    int r = 0;
+    for (; r + 1 < static_cast<int>(regions.size()); ++r) {
+      if (u < regions[r].access_prob) break;
+      u -= regions[r].access_prob;
+    }
+    // Pages are chosen without replacement (Section 5.2 footnote): rejection
+    // sample inside the region, falling back to a linear probe and finally
+    // to the whole database if the region is exhausted.
+    const RegionSpec& reg = regions[r];
+    PageId page = -1;
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      PageId cand = static_cast<PageId>(rng_.UniformInt(reg.lo, reg.hi));
+      if (used.insert(cand).second) {
+        page = cand;
+        break;
+      }
+    }
+    if (page < 0) {
+      for (PageId cand = reg.lo; cand <= reg.hi; ++cand) {
+        if (used.insert(cand).second) {
+          page = cand;
+          break;
+        }
+      }
+    }
+    if (page < 0) {
+      // Region exhausted; draw from the whole database.
+      for (int attempt = 0; attempt < 1024 && page < 0; ++attempt) {
+        PageId cand = static_cast<PageId>(rng_.UniformInt(0, sys_.db_pages - 1));
+        if (used.insert(cand).second) page = cand;
+      }
+    }
+    if (page >= 0) chosen.emplace_back(page, r);
+  }
+  return chosen;
+}
+
+ReferenceString TransactionSource::NextTransaction() {
+  if (workload_.custom_generator) {
+    auto accesses = workload_.custom_generator(client_, ordinal_++);
+    ReferenceString out;
+    out.reserve(accesses.size());
+    for (const auto& a : accesses) out.push_back({a.oid, a.is_write});
+    return out;
+  }
+  ++ordinal_;
+  const int opp = sys_.objects_per_page;
+  auto pages = ChoosePages(workload_.trans_size_pages);
+
+  // Per-page object reference groups.
+  std::vector<std::vector<AccessOp>> groups;
+  groups.reserve(pages.size());
+  for (auto [page, r] : pages) {
+    int k = static_cast<int>(rng_.UniformInt(workload_.page_locality_min,
+                                             workload_.page_locality_max));
+    k = std::min(k, opp);
+    auto slots = rng_.SampleWithoutReplacement(0, opp - 1,
+                                               static_cast<std::size_t>(k));
+    std::vector<AccessOp> group;
+    group.reserve(slots.size());
+    const double wp = (*regions_)[r].write_prob;
+    for (auto slot : slots) {
+      ObjectId oid = static_cast<ObjectId>(page) * opp + slot;
+      group.push_back({oid, rng_.Bernoulli(wp)});
+    }
+    groups.push_back(std::move(group));
+  }
+
+  ReferenceString out;
+  if (workload_.pattern == AccessPattern::kClustered) {
+    // All of a page's references appear together; page order is random.
+    rng_.Shuffle(groups);
+    for (auto& g : groups) {
+      out.insert(out.end(), g.begin(), g.end());
+    }
+  } else {
+    // Unclustered: interleave page groups, preserving within-page order.
+    std::vector<std::size_t> next(groups.size(), 0);
+    std::vector<int> live;
+    for (int i = 0; i < static_cast<int>(groups.size()); ++i) {
+      if (!groups[i].empty()) live.push_back(i);
+    }
+    while (!live.empty()) {
+      int pick = static_cast<int>(
+          rng_.UniformInt(0, static_cast<std::int64_t>(live.size()) - 1));
+      int g = live[pick];
+      out.push_back(groups[g][next[g]++]);
+      if (next[g] == groups[g].size()) {
+        live[pick] = live.back();
+        live.pop_back();
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace psoodb::workload

@@ -1,0 +1,364 @@
+// Tests for the concurrency-control substrate: lock manager (page/object X
+// locks, waiting, release-all), deadlock detector, copy tables, and local
+// lock state.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cc/abort.h"
+#include "cc/copy_table.h"
+#include "cc/deadlock_detector.h"
+#include "cc/local_locks.h"
+#include "cc/lock_manager.h"
+#include "sim/simulation.h"
+
+namespace psoodb::cc {
+namespace {
+
+using sim::Simulation;
+using sim::Task;
+using storage::ClientId;
+using storage::kNoTxn;
+using storage::ObjectId;
+using storage::PageId;
+using storage::TxnId;
+
+// --- DeadlockDetector -------------------------------------------------------
+
+TEST(DeadlockDetectorTest, NoCycleNoThrow) {
+  DeadlockDetector d;
+  EXPECT_NO_THROW(d.OnWait(1, {2}));
+  EXPECT_NO_THROW(d.OnWait(2, {3}));
+  EXPECT_EQ(d.deadlocks_detected(), 0u);
+}
+
+TEST(DeadlockDetectorTest, DirectCycleThrows) {
+  DeadlockDetector d;
+  d.OnWait(1, {2});
+  EXPECT_THROW(d.OnWait(2, {1}), TxnAborted);
+  EXPECT_EQ(d.deadlocks_detected(), 1u);
+  // The failed wait's edges were rolled back: 2 has no out-edges.
+  EXPECT_NO_THROW(d.OnWait(3, {2}));
+}
+
+TEST(DeadlockDetectorTest, TransitiveCycleThrows) {
+  DeadlockDetector d;
+  d.OnWait(1, {2});
+  d.OnWait(2, {3});
+  d.OnWait(3, {4});
+  EXPECT_THROW(d.OnWait(4, {1}), TxnAborted);
+}
+
+TEST(DeadlockDetectorTest, SelfAndNullHoldersIgnored) {
+  DeadlockDetector d;
+  EXPECT_NO_THROW(d.OnWait(1, {1, kNoTxn}));
+  EXPECT_EQ(d.edge_count(), 0u);
+}
+
+TEST(DeadlockDetectorTest, ClearWaitsBreaksCycle) {
+  DeadlockDetector d;
+  d.OnWait(1, {2});
+  d.ClearWaits(1);
+  EXPECT_NO_THROW(d.OnWait(2, {1}));
+}
+
+TEST(DeadlockDetectorTest, RemoveTxnDropsIncomingEdges) {
+  DeadlockDetector d;
+  d.OnWait(1, {2});
+  d.OnWait(3, {2});
+  d.RemoveTxn(2);
+  EXPECT_EQ(d.edge_count(), 0u);
+}
+
+TEST(DeadlockDetectorTest, AbortCarriesTxnAndReason) {
+  DeadlockDetector d;
+  d.OnWait(1, {2});
+  try {
+    d.OnWait(2, {1});
+    FAIL() << "expected TxnAborted";
+  } catch (const TxnAborted& e) {
+    EXPECT_EQ(e.txn(), 2u);
+    EXPECT_EQ(e.reason(), AbortReason::kDeadlock);
+  }
+}
+
+// --- LockManager -------------------------------------------------------------
+
+Task AcquirePage(LockManager& lm, PageId p, TxnId t, ClientId c, bool* got) {
+  co_await lm.AcquirePageX(p, t, c);
+  *got = true;
+}
+
+Task AcquireObject(LockManager& lm, ObjectId o, PageId p, TxnId t, ClientId c,
+                   bool* got) {
+  co_await lm.AcquireObjectX(o, p, t, c);
+  *got = true;
+}
+
+Task WaitPage(LockManager& lm, PageId p, TxnId t, bool* done) {
+  co_await lm.WaitPageFree(p, t);
+  *done = true;
+}
+
+TEST(LockManagerTest, UncontestedAcquireIsImmediate) {
+  Simulation sim;
+  DeadlockDetector d;
+  LockManager lm(sim, d);
+  bool got = false;
+  sim.Spawn(AcquirePage(lm, 7, 1, 0, &got));
+  EXPECT_TRUE(got);  // no suspension needed
+  EXPECT_EQ(lm.PageXHolder(7), 1u);
+  EXPECT_EQ(lm.PageXHolderClient(7), 0);
+}
+
+TEST(LockManagerTest, ConflictBlocksUntilRelease) {
+  Simulation sim;
+  DeadlockDetector d;
+  LockManager lm(sim, d);
+  bool got1 = false, got2 = false;
+  sim.Spawn(AcquirePage(lm, 7, 1, 0, &got1));
+  sim.Spawn(AcquirePage(lm, 7, 2, 1, &got2));
+  sim.Run();
+  EXPECT_TRUE(got1);
+  EXPECT_FALSE(got2);
+  EXPECT_EQ(lm.lock_waits(), 1u);
+  lm.ReleasePageX(7, 1);
+  sim.Run();
+  EXPECT_TRUE(got2);
+  EXPECT_EQ(lm.PageXHolder(7), 2u);
+}
+
+TEST(LockManagerTest, ReacquireByHolderIsNoop) {
+  Simulation sim;
+  DeadlockDetector d;
+  LockManager lm(sim, d);
+  bool a = false, b = false;
+  sim.Spawn(AcquirePage(lm, 7, 1, 0, &a));
+  sim.Spawn(AcquirePage(lm, 7, 1, 0, &b));
+  sim.Run();
+  EXPECT_TRUE(a && b);
+}
+
+TEST(LockManagerTest, WaitFreeDoesNotAcquire) {
+  Simulation sim;
+  DeadlockDetector d;
+  LockManager lm(sim, d);
+  bool done = false;
+  sim.Spawn(WaitPage(lm, 7, 5, &done));
+  EXPECT_TRUE(done);
+  EXPECT_EQ(lm.PageXHolder(7), kNoTxn);
+}
+
+TEST(LockManagerTest, WaitFreeBlocksOnHolder) {
+  Simulation sim;
+  DeadlockDetector d;
+  LockManager lm(sim, d);
+  bool got = false, done = false;
+  sim.Spawn(AcquirePage(lm, 7, 1, 0, &got));
+  sim.Spawn(WaitPage(lm, 7, 5, &done));
+  sim.Run();
+  EXPECT_FALSE(done);
+  lm.ReleasePageX(7, 1);
+  sim.Run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(lm.PageXHolder(7), kNoTxn);
+}
+
+TEST(LockManagerTest, PageAndObjectNamespacesAreIndependent) {
+  Simulation sim;
+  DeadlockDetector d;
+  LockManager lm(sim, d);
+  bool a = false, b = false;
+  sim.Spawn(AcquirePage(lm, 7, 1, 0, &a));
+  sim.Spawn(AcquireObject(lm, 7, 0, 2, 1, &b));  // object id 7 != page id 7
+  sim.Run();
+  EXPECT_TRUE(a && b);
+}
+
+TEST(LockManagerTest, ObjectLocksOnPageIndex) {
+  Simulation sim;
+  DeadlockDetector d;
+  LockManager lm(sim, d);
+  bool g = false;
+  sim.Spawn(AcquireObject(lm, 100, 5, 1, 0, &g));
+  sim.Spawn(AcquireObject(lm, 101, 5, 1, 0, &g));
+  sim.Spawn(AcquireObject(lm, 120, 6, 2, 1, &g));
+  sim.Run();
+  auto on5 = lm.ObjectLocksOnPage(5);
+  EXPECT_EQ(on5.size(), 2u);
+  EXPECT_TRUE(lm.OtherObjectLocksOnPage(5, 2));
+  EXPECT_FALSE(lm.OtherObjectLocksOnPage(5, 1));
+  EXPECT_FALSE(lm.OtherObjectLocksOnPage(6, 2));
+  lm.ReleaseObjectX(100, 1);
+  lm.ReleaseObjectX(101, 1);
+  EXPECT_TRUE(lm.ObjectLocksOnPage(5).empty());
+}
+
+TEST(LockManagerTest, ReleaseAllFreesEverything) {
+  Simulation sim;
+  DeadlockDetector d;
+  LockManager lm(sim, d);
+  bool g = false;
+  sim.Spawn(AcquirePage(lm, 1, 9, 0, &g));
+  sim.Spawn(AcquirePage(lm, 2, 9, 0, &g));
+  sim.Spawn(AcquireObject(lm, 50, 2, 9, 0, &g));
+  sim.Run();
+  EXPECT_EQ(lm.ReleaseAll(9), 3);
+  EXPECT_EQ(lm.PageXHolder(1), kNoTxn);
+  EXPECT_EQ(lm.PageXHolder(2), kNoTxn);
+  EXPECT_EQ(lm.ObjectXHolder(50), kNoTxn);
+  EXPECT_EQ(lm.ReleaseAll(9), 0);
+}
+
+TEST(LockManagerTest, ReleaseByNonHolderIsIgnored) {
+  Simulation sim;
+  DeadlockDetector d;
+  LockManager lm(sim, d);
+  bool g = false;
+  sim.Spawn(AcquirePage(lm, 1, 9, 0, &g));
+  lm.ReleasePageX(1, 8);  // not the holder
+  EXPECT_EQ(lm.PageXHolder(1), 9u);
+}
+
+Task AcquireTwo(Simulation& sim, LockManager& lm, PageId first, PageId second,
+                TxnId t, bool* got_both, bool* aborted) {
+  try {
+    co_await lm.AcquirePageX(first, t, 0);
+    co_await sim.Delay(0.001);  // let the other transaction take its first lock
+    co_await lm.AcquirePageX(second, t, 0);
+    *got_both = true;
+  } catch (const TxnAborted&) {
+    *aborted = true;
+    lm.ReleaseAll(t);
+  }
+}
+
+TEST(LockManagerTest, DeadlockAbortsOneTransaction) {
+  Simulation sim;
+  DeadlockDetector d;
+  LockManager lm(sim, d);
+  bool both1 = false, both2 = false, ab1 = false, ab2 = false;
+  sim.Spawn(AcquireTwo(sim, lm, 1, 2, /*txn=*/101, &both1, &ab1));
+  sim.Spawn(AcquireTwo(sim, lm, 2, 1, /*txn=*/102, &both2, &ab2));
+  sim.Run();
+  // 101 holds 1 and waits for 2; 102 holds 2 and closes the cycle -> abort.
+  EXPECT_TRUE(ab2);
+  EXPECT_TRUE(both1);
+  EXPECT_FALSE(ab1);
+  EXPECT_EQ(d.deadlocks_detected(), 1u);
+  EXPECT_EQ(lm.PageXHolder(1), 101u);
+  EXPECT_EQ(lm.PageXHolder(2), 101u);
+}
+
+TEST(LockManagerTest, FifoishGrantUnderContention) {
+  Simulation sim;
+  DeadlockDetector d;
+  LockManager lm(sim, d);
+  bool got[5] = {false, false, false, false, false};
+  bool first = false;
+  sim.Spawn(AcquirePage(lm, 3, 1, 0, &first));
+  for (int i = 0; i < 5; ++i) {
+    sim.Spawn(AcquirePage(lm, 3, 10 + i, 0, &got[i]));
+  }
+  sim.Run();
+  lm.ReleasePageX(3, 1);
+  sim.Run();
+  // Exactly one waiter acquired; it is the first one queued.
+  EXPECT_TRUE(got[0]);
+  EXPECT_FALSE(got[1]);
+  EXPECT_EQ(lm.PageXHolder(3), 10u);
+}
+
+// --- CopyTable ---------------------------------------------------------------
+
+TEST(CopyTableTest, RegisterAndHolders) {
+  PageCopyTable t;
+  t.Register(5, 0);
+  t.Register(5, 1);
+  t.Register(5, 2);
+  EXPECT_TRUE(t.Holds(5, 1));
+  EXPECT_EQ(t.HolderCount(5), 3);
+  auto holders = t.HoldersExcept(5, 1);
+  EXPECT_EQ(holders.size(), 2u);
+  for (const auto& h : holders) EXPECT_NE(h.client, 1);
+}
+
+TEST(CopyTableTest, UnregisterRemovesAndCleansUp) {
+  PageCopyTable t;
+  t.Register(5, 0);
+  t.Unregister(5, 0);
+  EXPECT_FALSE(t.Holds(5, 0));
+  EXPECT_EQ(t.items_tracked(), 0u);
+  t.Unregister(5, 3);  // absent: no-op
+  EXPECT_EQ(t.unregistrations(), 1u);
+}
+
+TEST(CopyTableTest, DuplicateRegisterIsIdempotent) {
+  ObjectCopyTable t;
+  t.Register(9, 4);
+  t.Register(9, 4);
+  EXPECT_EQ(t.HolderCount(9), 1);
+}
+
+TEST(CopyTableTest, ReRegistrationBumpsEpoch) {
+  PageCopyTable t;
+  t.Register(5, 0);
+  auto e1 = t.HoldersExcept(5, -1).at(0).epoch;
+  t.Register(5, 0);
+  auto e2 = t.HoldersExcept(5, -1).at(0).epoch;
+  EXPECT_GT(e2, e1);
+}
+
+TEST(CopyTableTest, EpochCheckedUnregisterIgnoresStaleAcks) {
+  // The race this protects against: a callback is issued against epoch e1;
+  // the client purges and re-fetches (epoch e2) before the ack is applied.
+  // The stale ack must not erase the fresh registration.
+  PageCopyTable t;
+  t.Register(5, 0);
+  auto e1 = t.HoldersExcept(5, -1).at(0).epoch;
+  t.Register(5, 0);  // fresh copy shipped
+  EXPECT_FALSE(t.UnregisterIfEpoch(5, 0, e1));  // stale ack: no-op
+  EXPECT_TRUE(t.Holds(5, 0));
+  auto e2 = t.HoldersExcept(5, -1).at(0).epoch;
+  EXPECT_TRUE(t.UnregisterIfEpoch(5, 0, e2));  // current epoch: removes
+  EXPECT_FALSE(t.Holds(5, 0));
+}
+
+TEST(CopyTableTest, EpochUnregisterOnAbsentEntryIsNoop) {
+  PageCopyTable t;
+  EXPECT_FALSE(t.UnregisterIfEpoch(5, 0, 1));
+  t.Register(5, 0);
+  EXPECT_FALSE(t.UnregisterIfEpoch(5, 7, 1));  // different client
+  EXPECT_TRUE(t.Holds(5, 0));
+}
+
+// --- LocalTxnLocks -----------------------------------------------------------
+
+TEST(LocalLocksTest, RecordsFootprint) {
+  LocalTxnLocks l;
+  l.RecordRead(100, 5);
+  l.RecordWrite(101, 5);
+  EXPECT_TRUE(l.ReadsObject(100));
+  EXPECT_FALSE(l.WritesObject(100));
+  EXPECT_TRUE(l.WritesObject(101));
+  EXPECT_TRUE(l.ReadsObject(101));  // writers also read
+  EXPECT_TRUE(l.UsesPage(5));
+  EXPECT_FALSE(l.UsesPage(6));
+}
+
+TEST(LocalLocksTest, WritePermissions) {
+  LocalTxnLocks l;
+  l.GrantPageWrite(5);
+  l.GrantObjectWrite(100);
+  EXPECT_TRUE(l.HasPageWrite(5));
+  EXPECT_TRUE(l.HasObjectWrite(100));
+  l.RevokePageWrite(5);
+  EXPECT_FALSE(l.HasPageWrite(5));
+  l.Clear();
+  EXPECT_FALSE(l.HasObjectWrite(100));
+  EXPECT_FALSE(l.UsesPage(5));
+}
+
+}  // namespace
+}  // namespace psoodb::cc

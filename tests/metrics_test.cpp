@@ -1,0 +1,130 @@
+// Tests for statistics helpers (tally, batch means CIs) and the Figure 5
+// analytic page-update-probability model.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analytic/page_update_model.h"
+#include "config/params.h"
+#include "metrics/counters.h"
+#include "metrics/stats.h"
+#include "sim/random.h"
+
+namespace psoodb {
+namespace {
+
+using metrics::BatchMeansCI;
+using metrics::StudentT;
+using metrics::Tally;
+
+TEST(TallyTest, MeanAndVariance) {
+  Tally t;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) t.Add(x);
+  EXPECT_DOUBLE_EQ(t.mean(), 5.0);
+  EXPECT_NEAR(t.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(t.count(), 8u);
+  EXPECT_DOUBLE_EQ(t.min(), 2.0);
+  EXPECT_DOUBLE_EQ(t.max(), 9.0);
+  EXPECT_DOUBLE_EQ(t.sum(), 40.0);
+}
+
+TEST(TallyTest, EmptyTallyIsZero) {
+  Tally t;
+  EXPECT_DOUBLE_EQ(t.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(t.variance(), 0.0);
+}
+
+TEST(StudentTTest, KnownCriticalValues) {
+  EXPECT_NEAR(StudentT(0.90, 19), 1.729, 1e-3);
+  EXPECT_NEAR(StudentT(0.95, 19), 2.093, 1e-3);
+  EXPECT_NEAR(StudentT(0.90, 1), 6.314, 1e-3);
+  EXPECT_NEAR(StudentT(0.90, 1000000), 1.645, 1e-3);
+}
+
+TEST(BatchMeansTest, ConstantSequenceHasZeroWidth) {
+  std::vector<double> obs(200, 3.5);
+  auto ci = BatchMeansCI(obs, 20, 0.90);
+  EXPECT_DOUBLE_EQ(ci.mean, 3.5);
+  EXPECT_NEAR(ci.half_width, 0.0, 1e-12);
+}
+
+TEST(BatchMeansTest, IidNoiseGivesTightInterval) {
+  sim::Rng rng(1);
+  std::vector<double> obs;
+  for (int i = 0; i < 4000; ++i) obs.push_back(10.0 + rng.Uniform(-1, 1));
+  auto ci = BatchMeansCI(obs, 20, 0.90);
+  EXPECT_NEAR(ci.mean, 10.0, 0.05);
+  EXPECT_LT(ci.RelativeWidth(), 0.01);  // "within a few percent of the mean"
+  EXPECT_GT(ci.half_width, 0.0);
+}
+
+TEST(BatchMeansTest, EmptyAndTinyInputs) {
+  EXPECT_DOUBLE_EQ(BatchMeansCI({}, 20, 0.9).mean, 0.0);
+  auto ci = BatchMeansCI({1.0, 3.0}, 20, 0.9);
+  EXPECT_DOUBLE_EQ(ci.mean, 2.0);
+}
+
+TEST(CountersTest, ResetZeroesEverything) {
+  metrics::Counters c;
+  c.commits = 5;
+  c.msgs_total = 100;
+  c.disk_reads = 7;
+  c.Reset();
+  EXPECT_EQ(c.commits, 0u);
+  EXPECT_EQ(c.msgs_total, 0u);
+  EXPECT_EQ(c.disk_reads, 0u);
+}
+
+// --- Figure 5 analytic model -------------------------------------------------
+
+TEST(PageUpdateModelTest, ClosedFormBasics) {
+  EXPECT_DOUBLE_EQ(analytic::PageUpdateProbability(0.0, 12), 0.0);
+  EXPECT_DOUBLE_EQ(analytic::PageUpdateProbability(1.0, 12), 1.0);
+  EXPECT_NEAR(analytic::PageUpdateProbability(0.1, 1), 0.1, 1e-12);
+  EXPECT_NEAR(analytic::PageUpdateProbability(0.1, 4),
+              1 - std::pow(0.9, 4), 1e-12);
+}
+
+TEST(PageUpdateModelTest, MonotoneInLocalityAndWriteProb) {
+  for (double p : {0.05, 0.1, 0.2}) {
+    EXPECT_LT(analytic::PageUpdateProbability(p, 4),
+              analytic::PageUpdateProbability(p, 12));
+    EXPECT_LT(analytic::PageUpdateProbability(p, 12),
+              analytic::PageUpdateProbability(p, 20));
+  }
+  EXPECT_LT(analytic::PageUpdateProbability(0.05, 12),
+            analytic::PageUpdateProbability(0.10, 12));
+}
+
+TEST(PageUpdateModelTest, RangeAveragedFormIsBetweenEndpoints) {
+  double lo = analytic::PageUpdateProbability(0.1, 8);
+  double hi = analytic::PageUpdateProbability(0.1, 16);
+  double avg = analytic::PageUpdateProbability(0.1, 8, 16);
+  EXPECT_GT(avg, lo);
+  EXPECT_LT(avg, hi);
+}
+
+TEST(PageUpdateModelTest, SimulationMatchesClosedForm) {
+  config::SystemParams sys;
+  for (auto loc : {config::Locality::kLow, config::Locality::kHigh}) {
+    for (double p : {0.05, 0.15, 0.3}) {
+      auto w = config::MakeUniform(sys, loc, p);
+      double simulated =
+          analytic::SimulatePageUpdateProbability(w, sys, 400, 7);
+      double closed = analytic::PageUpdateProbability(p, w.page_locality_min,
+                                                      w.page_locality_max);
+      EXPECT_NEAR(simulated, closed, 0.02)
+          << "locality=" << static_cast<int>(loc) << " p=" << p;
+    }
+  }
+}
+
+TEST(PageUpdateModelTest, HiconDiscussionHolds) {
+  // Section 5.4: with high locality (avg 12), the page write probability is
+  // "very close to 1.0" for object write probabilities beyond 0.2.
+  EXPECT_GT(analytic::PageUpdateProbability(0.2, 8, 16), 0.9);
+}
+
+}  // namespace
+}  // namespace psoodb

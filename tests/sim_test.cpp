@@ -1,0 +1,301 @@
+// Unit tests for the discrete-event simulation kernel: clock/event ordering,
+// cancellation, task composition, condition variables, futures, wait groups,
+// and mid-run teardown safety.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/awaitables.h"
+#include "sim/simulation.h"
+#include "sim/task.h"
+
+namespace psoodb::sim {
+namespace {
+
+TEST(SimulationTest, ClockStartsAtZero) {
+  Simulation sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_EQ(sim.events_processed(), 0u);
+}
+
+TEST(SimulationTest, CallbacksFireInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.ScheduleCallback(3.0, [&] { order.push_back(3); });
+  sim.ScheduleCallback(1.0, [&] { order.push_back(1); });
+  sim.ScheduleCallback(2.0, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(SimulationTest, EqualTimestampsFireFifo) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleCallback(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulationTest, CancelPreventsFiring) {
+  Simulation sim;
+  bool fired = false;
+  EventId id = sim.ScheduleCallback(1.0, [&] { fired = true; });
+  sim.Cancel(id);
+  sim.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulationTest, CancelStaleIdIsNoop) {
+  Simulation sim;
+  bool fired = false;
+  EventId id = sim.ScheduleCallback(1.0, [&] { fired = true; });
+  sim.Run();
+  EXPECT_TRUE(fired);
+  sim.Cancel(id);    // already fired
+  sim.Cancel(0);     // never valid
+  sim.Cancel(9999);  // never scheduled
+}
+
+TEST(SimulationTest, RunUntilStopsAtBoundaryInclusive) {
+  Simulation sim;
+  std::vector<double> at;
+  sim.ScheduleCallback(1.0, [&] { at.push_back(1.0); });
+  sim.ScheduleCallback(2.0, [&] { at.push_back(2.0); });
+  sim.ScheduleCallback(3.0, [&] { at.push_back(3.0); });
+  sim.RunUntil(2.0);
+  EXPECT_EQ(at.size(), 2u);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  sim.Run();
+  EXPECT_EQ(at.size(), 3u);
+}
+
+TEST(SimulationTest, RunUntilAdvancesClockOnEmptyQueue) {
+  Simulation sim;
+  sim.RunUntil(5.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(SimulationTest, RunMaxEventsLimitsWork) {
+  Simulation sim;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleCallback(static_cast<double>(i), [&] { ++count; });
+  }
+  EXPECT_EQ(sim.Run(4), 4u);
+  EXPECT_EQ(count, 4);
+}
+
+Task DelayChain(Simulation& sim, std::vector<double>* log) {
+  co_await sim.Delay(1.0);
+  log->push_back(sim.now());
+  co_await sim.Delay(2.5);
+  log->push_back(sim.now());
+}
+
+TEST(TaskTest, DelaysAdvanceClock) {
+  Simulation sim;
+  std::vector<double> log;
+  sim.Spawn(DelayChain(sim, &log));
+  sim.Run();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_DOUBLE_EQ(log[0], 1.0);
+  EXPECT_DOUBLE_EQ(log[1], 3.5);
+  EXPECT_EQ(sim.live_processes(), 0u);
+}
+
+Task Child(Simulation& sim, std::vector<std::string>* log) {
+  log->push_back("child-start");
+  co_await sim.Delay(1.0);
+  log->push_back("child-end");
+}
+
+Task Parent(Simulation& sim, std::vector<std::string>* log) {
+  log->push_back("parent-start");
+  co_await Child(sim, log);
+  log->push_back("parent-end");
+}
+
+TEST(TaskTest, NestedTasksRunToCompletionInOrder) {
+  Simulation sim;
+  std::vector<std::string> log;
+  sim.Spawn(Parent(sim, &log));
+  sim.Run();
+  EXPECT_EQ(log, (std::vector<std::string>{"parent-start", "child-start",
+                                           "child-end", "parent-end"}));
+}
+
+Task Forever(Simulation& sim, int* iterations) {
+  for (;;) {
+    co_await sim.Delay(1.0);
+    ++(*iterations);
+  }
+}
+
+TEST(TaskTest, TeardownMidRunDestroysProcessesSafely) {
+  int iterations = 0;
+  {
+    Simulation sim;
+    sim.Spawn(Forever(sim, &iterations));
+    sim.Spawn(Forever(sim, &iterations));
+    sim.RunUntil(10.0);
+    EXPECT_EQ(sim.live_processes(), 2u);
+  }  // destructor must clean both infinite processes without firing them
+  EXPECT_EQ(iterations, 20);
+}
+
+Task ParentOfForever(Simulation& sim, int* iterations) {
+  co_await Forever(sim, iterations);  // never completes
+}
+
+TEST(TaskTest, TeardownDestroysNestedChildren) {
+  int iterations = 0;
+  {
+    Simulation sim;
+    sim.Spawn(ParentOfForever(sim, &iterations));
+    sim.RunUntil(5.0);
+  }
+  EXPECT_EQ(iterations, 5);
+}
+
+Task Thrower(Simulation& sim) {
+  co_await sim.Delay(1.0);
+  throw std::runtime_error("boom");
+}
+
+Task Catcher(Simulation& sim, bool* caught) {
+  try {
+    co_await Thrower(sim);
+  } catch (const std::runtime_error&) {
+    *caught = true;
+  }
+}
+
+TEST(TaskTest, ExceptionsPropagateToAwaitingParent) {
+  Simulation sim;
+  bool caught = false;
+  sim.Spawn(Catcher(sim, &caught));
+  sim.Run();
+  EXPECT_TRUE(caught);
+}
+
+Task Waiter(CondVar& cv, std::vector<int>* log, int id) {
+  co_await cv.Wait();
+  log->push_back(id);
+}
+
+TEST(CondVarTest, NotifyOneWakesInFifoOrder) {
+  Simulation sim;
+  CondVar cv(sim);
+  std::vector<int> log;
+  for (int i = 0; i < 3; ++i) sim.Spawn(Waiter(cv, &log, i));
+  sim.Run();
+  EXPECT_EQ(cv.waiters(), 3u);
+  EXPECT_TRUE(cv.NotifyOne());
+  sim.Run();
+  EXPECT_EQ(log, (std::vector<int>{0}));
+  cv.NotifyAll();
+  sim.Run();
+  EXPECT_EQ(log, (std::vector<int>{0, 1, 2}));
+  EXPECT_FALSE(cv.NotifyOne());
+}
+
+TEST(CondVarTest, NotifyDoesNotResumeInline) {
+  Simulation sim;
+  CondVar cv(sim);
+  std::vector<int> log;
+  sim.Spawn(Waiter(cv, &log, 7));
+  sim.Run();
+  cv.NotifyOne();
+  EXPECT_TRUE(log.empty());  // wakeup is scheduled, not inline
+  sim.Run();
+  EXPECT_EQ(log, (std::vector<int>{7}));
+}
+
+Task AwaitFuture(Future<int> f, std::vector<int>* log) {
+  int v = co_await std::move(f);
+  log->push_back(v);
+}
+
+TEST(FutureTest, DeliversValueSetBeforeAwait) {
+  Simulation sim;
+  Promise<int> p(sim);
+  p.Set(42);
+  std::vector<int> log;
+  sim.Spawn(AwaitFuture(p.GetFuture(), &log));
+  sim.Run();
+  EXPECT_EQ(log, (std::vector<int>{42}));
+}
+
+TEST(FutureTest, DeliversValueSetAfterAwait) {
+  Simulation sim;
+  Promise<int> p(sim);
+  std::vector<int> log;
+  sim.Spawn(AwaitFuture(p.GetFuture(), &log));
+  sim.Run();
+  EXPECT_TRUE(log.empty());
+  p.Set(7);
+  sim.Run();
+  EXPECT_EQ(log, (std::vector<int>{7}));
+}
+
+Task GroupWorker(Simulation& sim, WaitGroup& wg, double delay) {
+  co_await sim.Delay(delay);
+  wg.Done();
+}
+
+Task GroupWaiter(WaitGroup& wg, double* done_at, Simulation& sim) {
+  co_await wg.Wait();
+  *done_at = sim.now();
+}
+
+TEST(WaitGroupTest, WaitResumesWhenCountReachesZero) {
+  Simulation sim;
+  WaitGroup wg(sim);
+  double done_at = -1;
+  wg.Add(3);
+  sim.Spawn(GroupWorker(sim, wg, 1.0));
+  sim.Spawn(GroupWorker(sim, wg, 5.0));
+  sim.Spawn(GroupWorker(sim, wg, 3.0));
+  sim.Spawn(GroupWaiter(wg, &done_at, sim));
+  sim.Run();
+  EXPECT_DOUBLE_EQ(done_at, 5.0);
+}
+
+TEST(WaitGroupTest, WaitWithZeroCountReturnsImmediately) {
+  Simulation sim;
+  WaitGroup wg(sim);
+  double done_at = -1;
+  sim.Spawn(GroupWaiter(wg, &done_at, sim));
+  sim.Run();
+  EXPECT_DOUBLE_EQ(done_at, 0.0);
+}
+
+// Property-style sweep: N delayed processes always all complete, regardless
+// of interleaving, and the event count matches expectations.
+class SpawnSweepTest : public ::testing::TestWithParam<int> {};
+
+Task CountDown(Simulation& sim, int hops, int* completed) {
+  for (int i = 0; i < hops; ++i) co_await sim.Delay(0.5);
+  ++(*completed);
+}
+
+TEST_P(SpawnSweepTest, AllProcessesComplete) {
+  const int n = GetParam();
+  Simulation sim;
+  int completed = 0;
+  for (int i = 0; i < n; ++i) sim.Spawn(CountDown(sim, 1 + i % 5, &completed));
+  sim.Run();
+  EXPECT_EQ(completed, n);
+  EXPECT_EQ(sim.live_processes(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SpawnSweepTest,
+                         ::testing::Values(1, 2, 7, 64, 512));
+
+}  // namespace
+}  // namespace psoodb::sim

@@ -1,0 +1,180 @@
+// Tests for the storage layer: object layout (including relocation), the
+// generic LRU cache with pinning, and page/object frame state.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "storage/buffer_manager.h"
+#include "storage/database.h"
+#include "storage/lru_cache.h"
+#include "storage/object_cache.h"
+
+namespace psoodb::storage {
+namespace {
+
+TEST(ObjectLayoutTest, DenseDefaultMapping) {
+  ObjectLayout layout(10, 20);
+  EXPECT_EQ(layout.num_objects(), 200);
+  EXPECT_EQ(layout.PageOf(0), 0);
+  EXPECT_EQ(layout.SlotOf(0), 0);
+  EXPECT_EQ(layout.PageOf(19), 0);
+  EXPECT_EQ(layout.PageOf(20), 1);
+  EXPECT_EQ(layout.SlotOf(20), 0);
+  EXPECT_EQ(layout.PageOf(199), 9);
+  EXPECT_EQ(layout.SlotOf(199), 19);
+  EXPECT_EQ(layout.ObjectAt(3, 7), 3 * 20 + 7);
+}
+
+TEST(ObjectLayoutTest, MappingIsBijective) {
+  ObjectLayout layout(5, 4);
+  std::set<ObjectId> seen;
+  for (PageId p = 0; p < 5; ++p) {
+    for (int s = 0; s < 4; ++s) {
+      ObjectId oid = layout.ObjectAt(p, s);
+      EXPECT_TRUE(seen.insert(oid).second);
+      EXPECT_EQ(layout.PageOf(oid), p);
+      EXPECT_EQ(layout.SlotOf(oid), s);
+    }
+  }
+  EXPECT_EQ(seen.size(), 20u);
+}
+
+TEST(ObjectLayoutTest, SwapRelocatesBothObjects) {
+  ObjectLayout layout(4, 10);
+  ObjectId a = 5, b = 27;
+  layout.Swap(a, b);
+  EXPECT_EQ(layout.PageOf(a), 2);
+  EXPECT_EQ(layout.SlotOf(a), 7);
+  EXPECT_EQ(layout.PageOf(b), 0);
+  EXPECT_EQ(layout.SlotOf(b), 5);
+  EXPECT_EQ(layout.ObjectAt(2, 7), a);
+  EXPECT_EQ(layout.ObjectAt(0, 5), b);
+  // Swap back restores the dense layout.
+  layout.Swap(a, b);
+  EXPECT_EQ(layout.PageOf(a), 0);
+  EXPECT_EQ(layout.ObjectAt(2, 7), b);
+}
+
+TEST(DatabaseTest, CommitWriteBumpsVersions) {
+  Database db(10, 20);
+  EXPECT_EQ(db.committed_version(42), 0u);
+  EXPECT_EQ(db.CommitWrite(42), 1u);
+  EXPECT_EQ(db.CommitWrite(42), 2u);
+  EXPECT_EQ(db.committed_version(42), 2u);
+  EXPECT_EQ(db.committed_version(41), 0u);
+}
+
+TEST(DatabaseTest, CommitSeqIsMonotonic) {
+  Database db(2, 2);
+  EXPECT_EQ(db.NextCommitSeq(), 1u);
+  EXPECT_EQ(db.NextCommitSeq(), 2u);
+  EXPECT_EQ(db.commit_seq(), 2u);
+}
+
+TEST(LruCacheTest, InsertAndGet) {
+  LruCache<int, int> cache(3);
+  auto r = cache.Insert(1);
+  EXPECT_TRUE(r.inserted);
+  EXPECT_FALSE(r.evicted.has_value());
+  *r.value = 10;
+  EXPECT_EQ(*cache.Get(1), 10);
+  EXPECT_EQ(cache.Get(2), nullptr);
+}
+
+TEST(LruCacheTest, ReinsertExistingKeyKeepsValue) {
+  LruCache<int, int> cache(3);
+  *cache.Insert(1).value = 10;
+  auto r = cache.Insert(1);
+  EXPECT_FALSE(r.inserted);
+  EXPECT_EQ(*r.value, 10);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache<int, int> cache(3);
+  *cache.Insert(1).value = 10;
+  *cache.Insert(2).value = 20;
+  *cache.Insert(3).value = 30;
+  cache.Get(1);  // make 2 the LRU
+  auto r = cache.Insert(4);
+  ASSERT_TRUE(r.evicted.has_value());
+  EXPECT_EQ(r.evicted->first, 2);
+  EXPECT_EQ(r.evicted->second, 20);
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+}
+
+TEST(LruCacheTest, PeekDoesNotTouchRecency) {
+  LruCache<int, int> cache(2);
+  cache.Insert(1);
+  cache.Insert(2);
+  cache.Peek(1);  // must NOT protect 1
+  auto r = cache.Insert(3);
+  ASSERT_TRUE(r.evicted.has_value());
+  EXPECT_EQ(r.evicted->first, 1);
+}
+
+TEST(LruCacheTest, PinnedEntriesAreNotEvicted) {
+  LruCache<int, int> cache(2);
+  cache.Insert(1);
+  cache.Insert(2);
+  cache.Pin(1);
+  auto r = cache.Insert(3);  // 1 is LRU but pinned -> evict 2
+  ASSERT_TRUE(r.evicted.has_value());
+  EXPECT_EQ(r.evicted->first, 2);
+  cache.Unpin(1);
+  auto r2 = cache.Insert(4);
+  ASSERT_TRUE(r2.evicted.has_value());
+  EXPECT_EQ(r2.evicted->first, 1);
+}
+
+TEST(LruCacheTest, RemoveReturnsValue) {
+  LruCache<int, int> cache(2);
+  *cache.Insert(1).value = 11;
+  auto v = cache.Remove(1);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 11);
+  EXPECT_FALSE(cache.Remove(1).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(LruCacheTest, ForEachIteratesMruToLru) {
+  LruCache<int, int> cache(3);
+  cache.Insert(1);
+  cache.Insert(2);
+  cache.Insert(3);
+  cache.Get(1);
+  std::vector<int> keys;
+  cache.ForEach([&](int k, const int&) { keys.push_back(k); });
+  EXPECT_EQ(keys, (std::vector<int>{1, 3, 2}));
+}
+
+TEST(PageFrameTest, AvailabilityMask) {
+  PageFrame f;
+  f.InitVersions(20);
+  EXPECT_TRUE(f.IsAvailable(5));
+  f.MarkUnavailable(5);
+  EXPECT_FALSE(f.IsAvailable(5));
+  EXPECT_TRUE(f.IsAvailable(4));
+  f.MarkAvailable(5);
+  EXPECT_TRUE(f.IsAvailable(5));
+}
+
+TEST(PageFrameTest, DirtyMask) {
+  PageFrame f;
+  EXPECT_FALSE(f.IsDirty());
+  f.MarkDirty(3);
+  f.MarkDirty(17);
+  EXPECT_TRUE(f.IsDirty());
+  EXPECT_EQ(PopCount(f.dirty), 2);
+  EXPECT_EQ(f.dirty, SlotBit(3) | SlotBit(17));
+}
+
+TEST(PageFrameTest, SlotBitBounds) {
+  EXPECT_EQ(SlotBit(0), 1u);
+  EXPECT_EQ(SlotBit(63), 1ull << 63);
+}
+
+}  // namespace
+}  // namespace psoodb::storage

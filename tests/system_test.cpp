@@ -1,0 +1,265 @@
+// System-level edge cases: single client, tiny caches (heavy eviction),
+// clustered access, think time, log-I/O toggle, scaled database, and
+// protocol-specific counter behaviors.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "config/params.h"
+#include "core/system.h"
+
+namespace psoodb::core {
+namespace {
+
+using config::Locality;
+using config::Protocol;
+using config::SystemParams;
+
+RunConfig Quick(int commits = 100) {
+  RunConfig rc;
+  rc.warmup_commits = 20;
+  rc.measure_commits = commits;
+  rc.record_history = true;
+  return rc;
+}
+
+void ExpectHealthy(const RunResult& r, const char* label) {
+  EXPECT_FALSE(r.stalled) << label;
+  EXPECT_GT(r.throughput, 0.0) << label;
+  EXPECT_EQ(r.counters.validity_violations, 0u) << label;
+  EXPECT_TRUE(r.serializable) << label;
+  EXPECT_TRUE(r.no_lost_updates) << label;
+}
+
+TEST(SystemEdgeTest, SingleClientHasNoContention) {
+  SystemParams sys;
+  sys.num_clients = 1;
+  sys.db_pages = 300;
+  for (Protocol p : config::AllProtocols()) {
+    auto w = config::MakeUniform(sys, Locality::kHigh, 0.3);
+    auto r = RunSimulation(p, sys, w, Quick());
+    ExpectHealthy(r, config::ProtocolName(p));
+    EXPECT_EQ(r.counters.callbacks_sent, 0u);
+    EXPECT_EQ(r.deadlocks, 0u);
+  }
+}
+
+TEST(SystemEdgeTest, SmallClientCacheForcesEvictionTraffic) {
+  // Cache barely above a transaction's pinned footprint: pages churn out
+  // between transactions (with eviction notices keeping the server's copy
+  // table exact), but correctness must hold.
+  SystemParams sys;
+  sys.num_clients = 3;
+  sys.db_pages = 400;
+  sys.client_buf_fraction = 0.10;  // 40 pages vs 30-page transactions
+  for (Protocol p :
+       {Protocol::kPS, Protocol::kOS, Protocol::kPSOA, Protocol::kPSAA}) {
+    auto w = config::MakeUniform(sys, Locality::kLow, 0.2);
+    auto r = RunSimulation(p, sys, w, Quick());
+    ExpectHealthy(r, config::ProtocolName(p));
+    EXPECT_GT(r.counters.eviction_notices, 0u) << config::ProtocolName(p);
+  }
+}
+
+TEST(SystemEdgeTest, PinnedFootprintPreventsMidTxnReadLockLoss) {
+  // The transaction footprint stays pinned, so dirty pages never leave the
+  // client mid-transaction and read locks (cached copies) are never lost —
+  // the histories stay serializable even under a minimal cache.
+  SystemParams sys;
+  sys.num_clients = 2;
+  sys.db_pages = 400;
+  sys.client_buf_fraction = 0.08;  // 32 pages, footprint is 30
+  for (Protocol p : {Protocol::kPS, Protocol::kPSAA}) {
+    auto w = config::MakeUniform(sys, Locality::kLow, 0.4);
+    auto r = RunSimulation(p, sys, w, Quick());
+    ExpectHealthy(r, config::ProtocolName(p));
+    EXPECT_EQ(r.counters.dirty_evictions, 0u) << config::ProtocolName(p);
+  }
+}
+
+TEST(SystemEdgeTest, ClusteredPatternRunsCorrectly) {
+  SystemParams sys;
+  sys.num_clients = 4;
+  for (Protocol p : config::AllProtocols()) {
+    auto w = config::MakeHotCold(sys, Locality::kLow, 0.2);
+    w.pattern = config::AccessPattern::kClustered;
+    auto r = RunSimulation(p, sys, w, Quick());
+    ExpectHealthy(r, config::ProtocolName(p));
+  }
+}
+
+TEST(SystemEdgeTest, ThinkTimeLowersThroughput) {
+  SystemParams sys;
+  sys.num_clients = 4;
+  auto w = config::MakeHotCold(sys, Locality::kHigh, 0.0);
+  auto fast = RunSimulation(Protocol::kPS, sys, w, Quick());
+  sys.think_time = 2.0;
+  auto w2 = config::MakeHotCold(sys, Locality::kHigh, 0.0);
+  auto slow = RunSimulation(Protocol::kPS, sys, w2, Quick());
+  EXPECT_LT(slow.throughput, fast.throughput);
+  ExpectHealthy(slow, "think");
+}
+
+TEST(SystemEdgeTest, DisablingLogIoReducesDiskWrites) {
+  SystemParams sys;
+  sys.num_clients = 4;
+  auto w = config::MakeHotCold(sys, Locality::kHigh, 0.2);
+  auto with_log = RunSimulation(Protocol::kPS, sys, w, Quick());
+  sys.commit_log_io = false;
+  auto w2 = config::MakeHotCold(sys, Locality::kHigh, 0.2);
+  auto without = RunSimulation(Protocol::kPS, sys, w2, Quick());
+  EXPECT_GT(with_log.counters.log_writes, 0u);
+  EXPECT_EQ(without.counters.log_writes, 0u);
+  ExpectHealthy(without, "nolog");
+}
+
+TEST(SystemEdgeTest, ScaledDatabaseSmoke) {
+  SystemParams sys;
+  sys.num_clients = 4;
+  sys.db_pages = 1250 * 9;
+  auto w = config::MakeHotCold(sys, Locality::kLow, 0.15);
+  w.trans_size_pages *= 3;
+  auto r = RunSimulation(Protocol::kPSAA, sys, w, Quick(60));
+  ExpectHealthy(r, "scaled");
+}
+
+TEST(SystemEdgeTest, MergesHappenOnlyInFineGrainedProtocols) {
+  SystemParams sys;
+  sys.num_clients = 6;
+  auto w = config::MakeHicon(sys, Locality::kLow, 0.3);
+  auto ps = RunSimulation(Protocol::kPS, sys, w, Quick());
+  // PS commits replace whole exclusively-locked pages: no merge work.
+  EXPECT_EQ(ps.counters.merges, 0u);
+  auto oo = RunSimulation(Protocol::kPSOO, sys, w, Quick());
+  EXPECT_GT(oo.counters.merges, 0u);
+}
+
+TEST(SystemEdgeTest, UnavailableMarkingsCauseRerequests) {
+  SystemParams sys;
+  sys.num_clients = 6;
+  auto w = config::MakeHicon(sys, Locality::kHigh, 0.3);
+  auto r = RunSimulation(Protocol::kPSOO, sys, w, Quick());
+  EXPECT_GT(r.counters.callback_object_marks, 0u);
+  EXPECT_GT(r.counters.unavailable_rerequests, 0u);
+  ExpectHealthy(r, "psoo-marks");
+}
+
+TEST(SystemEdgeTest, AdaptiveCallbacksPurgeIdlePages) {
+  SystemParams sys;
+  sys.num_clients = 6;
+  auto w = config::MakeHotCold(sys, Locality::kLow, 0.2);
+  auto oa = RunSimulation(Protocol::kPSOA, sys, w, Quick());
+  // The whole point of PS-OA: most callbacks find the page idle and purge it.
+  EXPECT_GT(oa.counters.callback_page_purges,
+            oa.counters.callback_object_marks);
+}
+
+TEST(SystemEdgeTest, RestartBackoffCanBeDisabledAtLowContention) {
+  SystemParams sys;
+  sys.num_clients = 4;
+  sys.restart_backoff = false;
+  auto w = config::MakeHotCold(sys, Locality::kHigh, 0.1);
+  auto r = RunSimulation(Protocol::kPSAA, sys, w, Quick());
+  ExpectHealthy(r, "nobackoff");
+}
+
+TEST(SystemEdgeTest, ServerBufferSmallerThanDbStillCorrect) {
+  SystemParams sys;
+  sys.num_clients = 4;
+  sys.server_buf_fraction = 0.05;
+  auto w = config::MakeUniform(sys, Locality::kLow, 0.2);
+  auto r = RunSimulation(Protocol::kPSOO, sys, w, Quick());
+  ExpectHealthy(r, "small-server-buffer");
+  EXPECT_GT(r.counters.disk_reads, 0u);
+}
+
+TEST(SystemEdgeTest, SamplingProducesMonotoneTimeSeries) {
+  SystemParams sys;
+  sys.num_clients = 4;
+  auto w = config::MakeHotCold(sys, Locality::kLow, 0.1);
+  RunConfig rc = Quick(300);
+  rc.sample_interval = 1.0;
+  auto r = RunSimulation(Protocol::kPSAA, sys, w, rc);
+  ASSERT_GT(r.samples.size(), 3u);
+  for (std::size_t i = 1; i < r.samples.size(); ++i) {
+    EXPECT_GT(r.samples[i].t, r.samples[i - 1].t);
+    EXPECT_GE(r.samples[i].commits, r.samples[i - 1].commits);
+    EXPECT_GE(r.samples[i].msgs, r.samples[i - 1].msgs);
+  }
+  // The last sample precedes the end of the measurement window.
+  EXPECT_LE(r.samples.back().commits, r.measured_commits);
+  // Utilizations are fractions.
+  for (const auto& s : r.samples) {
+    EXPECT_GE(s.server_cpu_util, 0.0);
+    EXPECT_LE(s.server_cpu_util, 1.0 + 1e-9);
+  }
+}
+
+TEST(SystemEdgeTest, SamplesCsvRoundTrips) {
+  SystemParams sys;
+  sys.num_clients = 2;
+  auto w = config::MakeHotCold(sys, Locality::kHigh, 0.1);
+  RunConfig rc = Quick(100);
+  rc.sample_interval = 0.5;
+  auto r = RunSimulation(Protocol::kPS, sys, w, rc);
+  const std::string path = ::testing::TempDir() + "/samples.csv";
+  WriteSamplesCsv(r.samples, path);
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char line[256];
+  ASSERT_NE(std::fgets(line, sizeof(line), f), nullptr);
+  EXPECT_EQ(std::string(line).rfind("t,commits", 0), 0u);
+  int rows = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) ++rows;
+  std::fclose(f);
+  EXPECT_EQ(rows, static_cast<int>(r.samples.size()));
+}
+
+TEST(SystemEdgeTest, CustomWorkloadRunsCorrectlyEndToEnd) {
+  // A pointer-chase-style custom workload (fixed chain of pages per client,
+  // with write sharing on a common page) through the full simulator.
+  SystemParams sys;
+  sys.num_clients = 4;
+  sys.db_pages = 200;
+  config::WorkloadParams w;
+  w.name = "chain";
+  w.custom_max_pages = 5;
+  const int opp = sys.objects_per_page;
+  w.custom_generator = [opp](storage::ClientId client,
+                             std::uint64_t ordinal) {
+    std::vector<config::CustomAccess> refs;
+    for (int hop = 0; hop < 4; ++hop) {
+      storage::PageId page = 10 + client * 4 + hop;  // private chain
+      refs.push_back(
+          {static_cast<storage::ObjectId>(page) * opp + (ordinal % opp),
+           false});
+    }
+    // Shared contended page: read two objects, update one.
+    refs.push_back({static_cast<storage::ObjectId>(5) * opp +
+                        static_cast<int>(ordinal % opp),
+                    true});
+    return refs;
+  };
+  for (Protocol p : {Protocol::kPS, Protocol::kPSAA, Protocol::kOS,
+                     Protocol::kPSWT}) {
+    auto r = RunSimulation(p, sys, w, Quick(150));
+    ExpectHealthy(r, config::ProtocolName(p));
+  }
+}
+
+TEST(SystemEdgeTest, ResponseTimeCiIsReported) {
+  SystemParams sys;
+  sys.num_clients = 4;
+  auto w = config::MakeHotCold(sys, Locality::kLow, 0.1);
+  RunConfig rc = Quick(400);
+  auto r = RunSimulation(Protocol::kPS, sys, w, rc);
+  EXPECT_GT(r.response_time.mean, 0.0);
+  EXPECT_GT(r.response_time.half_width, 0.0);
+  // Section 5.1: CIs "within a few percent of the mean".
+  EXPECT_LT(r.response_time.RelativeWidth(), 0.25);
+}
+
+}  // namespace
+}  // namespace psoodb::core

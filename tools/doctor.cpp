@@ -1,0 +1,51 @@
+// psoodb doctor: quick self-check used during development. Runs every
+// protocol on a small high-contention configuration with all correctness
+// checkers enabled and prints PASS/FAIL per protocol. Useful as a smoke
+// test after modifying protocol code (faster than the full ctest suite's
+// integration portion when iterating).
+//
+//   $ ./build/src/psoodb_doctor        # despite the name: the doctor tool
+
+#include <cstdio>
+
+#include "config/params.h"
+#include "core/system.h"
+
+int main() {
+  using namespace psoodb;
+  int failures = 0;
+  for (auto protocol : config::AllProtocolsExtended()) {
+    bool ok = true;
+    for (int which = 0; which < 3 && ok; ++which) {
+      config::SystemParams sys;
+      sys.num_clients = 6;
+      sys.seed = 7 + which;
+      config::WorkloadParams w;
+      switch (which) {
+        case 0: w = config::MakeHicon(sys, config::Locality::kLow, 0.2); break;
+        case 1: w = config::MakeHotCold(sys, config::Locality::kHigh, 0.3); break;
+        default: w = config::MakeInterleavedPrivate(sys, 0.25); break;
+      }
+      core::RunConfig rc;
+      rc.warmup_commits = 50;
+      rc.measure_commits = 300;
+      rc.record_history = true;
+      auto r = core::RunSimulation(protocol, sys, w, rc);
+      ok = !r.stalled && r.throughput > 0 &&
+           r.counters.validity_violations == 0 && r.serializable &&
+           r.no_lost_updates;
+      if (!ok) {
+        std::printf("  [%s workload %d] stalled=%d thr=%.2f viol=%llu "
+                    "serializable=%d lost=%d\n",
+                    config::ProtocolName(protocol), which, (int)r.stalled,
+                    r.throughput,
+                    (unsigned long long)r.counters.validity_violations,
+                    (int)r.serializable, (int)!r.no_lost_updates);
+      }
+    }
+    std::printf("%-6s %s\n", config::ProtocolName(protocol),
+                ok ? "PASS" : "FAIL");
+    failures += ok ? 0 : 1;
+  }
+  return failures;
+}
