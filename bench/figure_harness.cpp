@@ -1,21 +1,51 @@
 #include "figure_harness.h"
 
+#include <cerrno>
 #include <chrono>
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <future>
+#include <string>
+
+#include "results_json.h"
+#include "util/thread_pool.h"
 
 namespace psoodb::bench {
 
 namespace {
 
-int EnvInt(const char* name, int def) {
-  const char* v = std::getenv(name);
-  return v != nullptr ? std::atoi(v) : def;
-}
-
 bool EnvFull() { return EnvInt("PSOODB_BENCH_FULL", 0) != 0; }
 
+/// Formats one table cell: the value plus the stall/violation markers,
+/// right-justified in a fixed 10-character column so markers never shift
+/// later columns.
+void PrintCell(const char* fmt, double value, const core::RunResult& r) {
+  char num[32];
+  std::snprintf(num, sizeof(num), fmt, value);
+  std::string cell = num;
+  if (r.stalled) cell += '!';
+  if (r.counters.validity_violations != 0) cell += '*';
+  std::printf("%10s", cell.c_str());
+}
+
 }  // namespace
+
+int EnvInt(const char* name, int def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  errno = 0;
+  char* end = nullptr;
+  const long n = std::strtol(v, &end, 10);
+  if (errno != 0 || end == v || *end != '\0' || n < INT_MIN || n > INT_MAX) {
+    std::fprintf(stderr,
+                 "warning: %s=\"%s\" is not an integer; using default %d\n",
+                 name, v, def);
+    return def;
+  }
+  return static_cast<int>(n);
+}
 
 core::RunConfig BenchRunConfig() {
   core::RunConfig rc;
@@ -33,49 +63,87 @@ std::vector<double> BenchWriteProbs() {
   return probs;
 }
 
+int BenchThreads() {
+  const int n = EnvInt("PSOODB_BENCH_THREADS",
+                       static_cast<int>(util::ThreadPool::DefaultThreadCount()));
+  return n > 0 ? n : 1;
+}
+
 std::vector<std::vector<core::RunResult>> RunFigure(
     const SweepOptions& options, const config::SystemParams& sys,
     const WorkloadFactory& factory) {
   SweepOptions opt = options;
   if (opt.write_probs.empty()) opt.write_probs = BenchWriteProbs();
   const core::RunConfig rc = BenchRunConfig();
+  const int threads = BenchThreads();
 
   std::printf("==================================================================\n");
   std::printf("%s: %s\n", opt.figure.c_str(), opt.title.c_str());
   std::printf("  (x-axis: per-object write probability; y: committed txns/sec;\n");
-  std::printf("   %d clients, %d-page DB, %d measured commits per point)\n",
-              sys.num_clients, sys.db_pages, rc.measure_commits);
+  std::printf("   %d clients, %d-page DB, %d measured commits per point, "
+              "%d thread%s)\n",
+              sys.num_clients, sys.db_pages, rc.measure_commits, threads,
+              threads == 1 ? "" : "s");
   std::printf("==================================================================\n");
 
-  std::vector<std::vector<core::RunResult>> grid;
   const auto t0 = std::chrono::steady_clock::now();
+
+  // Fan out: every (write_prob, protocol) point is an independent run — each
+  // System owns its Simulation, Rng streams and Counters, and nothing in the
+  // run path touches shared mutable state — so jobs are submitted to the pool
+  // and rows are collected (and printed) in deterministic sweep order as they
+  // complete. Workloads are built on this thread: factories are not required
+  // to be thread-safe. `sys` and the workload are captured by value.
+  util::ThreadPool pool(static_cast<std::size_t>(threads));
+  std::vector<std::vector<std::future<core::RunResult>>> futures;
+  futures.reserve(opt.write_probs.size());
+  for (double wp : opt.write_probs) {
+    auto& row = futures.emplace_back();
+    row.reserve(opt.protocols.size());
+    const config::WorkloadParams workload = factory(sys, wp);
+    for (auto p : opt.protocols) {
+      row.push_back(pool.Submit([p, sys, workload, rc] {
+        return core::RunSimulation(p, sys, workload, rc);
+      }));
+    }
+  }
 
   std::printf("%-8s", "wrprob");
   for (auto p : opt.protocols) std::printf("%10s", config::ProtocolName(p));
   std::printf("\n");
 
-  for (double wp : opt.write_probs) {
+  std::vector<std::vector<core::RunResult>> grid;
+  grid.reserve(opt.write_probs.size());
+  for (std::size_t wi = 0; wi < opt.write_probs.size(); ++wi) {
     std::vector<core::RunResult> row;
-    for (auto p : opt.protocols) {
-      row.push_back(core::RunSimulation(p, sys, factory(sys, wp), rc));
-    }
-    std::printf("%-8.2f", wp);
-    double psaa = 1.0;
+    row.reserve(futures[wi].size());
+    for (auto& f : futures[wi]) row.push_back(f.get());
+
+    std::printf("%-8.2f", opt.write_probs[wi]);
+    // Normalization baseline: PS-AA's throughput, but only when that run is
+    // usable. A stalled or zero-throughput PS-AA must not silently turn the
+    // "normalized" column into raw numbers.
+    double psaa = 0;
+    bool have_psaa = false;
     if (opt.normalize_to_psaa) {
       for (std::size_t i = 0; i < row.size(); ++i) {
-        if (opt.protocols[i] == config::Protocol::kPSAA) {
-          psaa = row[i].throughput > 0 ? row[i].throughput : 1.0;
+        if (opt.protocols[i] == config::Protocol::kPSAA && !row[i].stalled &&
+            row[i].throughput > 0) {
+          psaa = row[i].throughput;
+          have_psaa = true;
         }
       }
     }
+    const bool normalized = opt.normalize_to_psaa && have_psaa;
     for (auto& r : row) {
-      if (opt.normalize_to_psaa) {
-        std::printf("%10.3f", r.throughput / psaa);
+      if (normalized) {
+        PrintCell("%.3f", r.throughput / psaa, r);
       } else {
-        std::printf("%10.2f", r.throughput);
+        PrintCell("%.2f", r.throughput, r);
       }
-      if (r.stalled) std::printf("!");
-      if (r.counters.validity_violations != 0) std::printf("*");
+    }
+    if (opt.normalize_to_psaa && !have_psaa) {
+      std::printf("  [PS-AA n/a; raw txns/sec shown]");
     }
     std::printf("\n");
     std::fflush(stdout);
@@ -101,6 +169,17 @@ std::vector<std::vector<core::RunResult>> RunFigure(
       std::printf("%10.0f", r.response_time.mean * 1000);
     }
     std::printf("\n");
+  }
+
+  const char* json_dir = std::getenv("PSOODB_BENCH_JSON_DIR");
+  if (json_dir == nullptr) json_dir = ".";
+  if (*json_dir != '\0') {
+    std::string path = std::string(json_dir) + "/" +
+                       FigureJsonFileName(opt.figure);
+    if (WriteJsonFile(path, FigureResultsJson(opt, sys, rc, threads,
+                                              opt.write_probs, grid))) {
+      std::printf("\nresults: %s\n", path.c_str());
+    }
   }
 
   const double wall =

@@ -5,11 +5,23 @@
 /// protocols at each point, and prints the throughput series plus the
 /// auxiliary metrics the paper's analysis refers to.
 ///
+/// The (write_prob, protocol) points of a sweep are independent simulation
+/// runs — each owns its Simulation, Rng streams, and Counters — so the
+/// harness fans them out over a fixed-size thread pool and collects rows in
+/// deterministic sweep order. Results are identical at any thread count
+/// (the determinism test in tests/bench_harness_test.cpp enforces this).
+/// Alongside the console table, every sweep writes the full result grid to
+/// `BENCH_<figure>.json` (see results_json.h for the schema).
+///
 /// Environment knobs:
-///   PSOODB_BENCH_COMMITS  measured commits per point (default 1200)
-///   PSOODB_BENCH_WARMUP   warmup commits per point  (default 300)
-///   PSOODB_BENCH_POINTS   number of x-axis points   (default 7: 0..0.30)
-///   PSOODB_BENCH_FULL=1   paper-scale runs (4000 commits, 9 points)
+///   PSOODB_BENCH_COMMITS   measured commits per point (default 1200)
+///   PSOODB_BENCH_WARMUP    warmup commits per point  (default 300)
+///   PSOODB_BENCH_POINTS    number of x-axis points   (default 7: 0..0.30)
+///   PSOODB_BENCH_FULL=1    paper-scale runs (4000 commits, 9 points)
+///   PSOODB_BENCH_THREADS   worker threads for the sweep
+///                          (default: hardware concurrency; 1 = sequential)
+///   PSOODB_BENCH_JSON_DIR  directory for BENCH_*.json (default ".";
+///                          empty string disables the JSON output)
 
 #ifndef PSOODB_BENCH_FIGURE_HARNESS_H_
 #define PSOODB_BENCH_FIGURE_HARNESS_H_
@@ -29,17 +41,29 @@ struct SweepOptions {
   std::string expectation;  ///< the paper's qualitative result, printed below
   std::vector<double> write_probs;        ///< x-axis (filled by env default)
   std::vector<config::Protocol> protocols = config::AllProtocols();
-  /// Normalize throughput to PS-AA (= 1.0), as Figures 12-14 do.
+  /// Normalize throughput to PS-AA (= 1.0), as Figures 12-14 do. Rows where
+  /// PS-AA stalled or committed nothing fall back to raw txns/sec and are
+  /// annotated, rather than silently printing raw numbers as if normalized.
   bool normalize_to_psaa = false;
 };
 
-/// Builds the workload for one x-axis point.
+/// Builds the workload for one x-axis point. Invoked on the main thread
+/// (once per point, before jobs are submitted), so it need not be
+/// thread-safe.
 using WorkloadFactory =
     std::function<config::WorkloadParams(const config::SystemParams&, double)>;
+
+/// Strictly validated integer environment lookup: the whole value must be a
+/// base-10 integer, otherwise the default is used and a warning printed
+/// (unlike atoi, "4k" does not silently become 4 nor garbage become 0).
+int EnvInt(const char* name, int def);
 
 /// Experiment-control values resolved from the environment.
 core::RunConfig BenchRunConfig();
 std::vector<double> BenchWriteProbs();
+/// Worker threads for the sweep (PSOODB_BENCH_THREADS, default hardware
+/// concurrency, clamped to >= 1).
+int BenchThreads();
 
 /// Runs the sweep and prints the figure table. Returns the full result grid
 /// indexed [write_prob][protocol].

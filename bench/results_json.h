@@ -1,0 +1,57 @@
+/// \file results_json.h
+/// Machine-readable bench results: serializes a full figure sweep (config
+/// plus the per-point RunResult grid) to JSON. Every figure binary writes
+/// `BENCH_<figure>.json` next to its console table; downstream tooling and
+/// future perf-trajectory PRs consume these files instead of scraping the
+/// tables.
+///
+/// Schema (one document per figure):
+///   {
+///     "figure": "Figure 3", "title": ..., "expectation": ...,
+///     "normalize_to_psaa": false,
+///     "config": { "num_clients": ..., "db_pages": ..., "seed": ...,
+///                 "warmup_commits": ..., "measure_commits": ...,
+///                 "bench_threads": ... },
+///     "protocols": ["PS", "OS", ...],
+///     "points": [ { "write_prob": 0.0,
+///                   "runs": [ { "protocol": "PS", "throughput": ...,
+///                               "response_time": {"mean","half_width"},
+///                               "sim_seconds", "measured_commits",
+///                               "deadlocks", utilizations,
+///                               "msgs_per_commit", "stalled", "events",
+///                               "counters": { every metrics::Counters
+///                                             field } }, ... ] }, ... ]
+///   }
+/// Doubles are printed with %.17g, so equal bit patterns produce equal
+/// text — the determinism test compares two sweeps by their JSON strings.
+
+#ifndef PSOODB_BENCH_RESULTS_JSON_H_
+#define PSOODB_BENCH_RESULTS_JSON_H_
+
+#include <string>
+#include <vector>
+
+#include "config/params.h"
+#include "core/system.h"
+
+namespace psoodb::bench {
+
+struct SweepOptions;  // figure_harness.h
+
+/// Renders the whole sweep as a JSON document (no trailing newline).
+std::string FigureResultsJson(
+    const SweepOptions& options, const config::SystemParams& sys,
+    const core::RunConfig& rc, int bench_threads,
+    const std::vector<double>& write_probs,
+    const std::vector<std::vector<core::RunResult>>& grid);
+
+/// "Figure 3" -> "BENCH_Figure_3.json" (non-alphanumerics become '_').
+std::string FigureJsonFileName(const std::string& figure);
+
+/// Writes `json` to `path`; returns false (with a stderr warning) on I/O
+/// failure.
+bool WriteJsonFile(const std::string& path, const std::string& json);
+
+}  // namespace psoodb::bench
+
+#endif  // PSOODB_BENCH_RESULTS_JSON_H_

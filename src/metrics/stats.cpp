@@ -62,11 +62,13 @@ ConfidenceInterval BatchMeansCI(const std::vector<double>& observations,
 
   Tally batches;
   for (int b = 0; b < num_batches; ++b) {
+    const std::size_t begin = static_cast<std::size_t>(b) * batch_size;
+    // The last batch absorbs the n % num_batches tail so no observation is
+    // dropped.
+    const std::size_t end = b == num_batches - 1 ? n : begin + batch_size;
     double sum = 0;
-    for (std::size_t i = 0; i < batch_size; ++i) {
-      sum += observations[static_cast<std::size_t>(b) * batch_size + i];
-    }
-    batches.Add(sum / static_cast<double>(batch_size));
+    for (std::size_t i = begin; i < end; ++i) sum += observations[i];
+    batches.Add(sum / static_cast<double>(end - begin));
   }
   ci.mean = batches.mean();
   double se = batches.stddev() / std::sqrt(static_cast<double>(num_batches));

@@ -11,6 +11,8 @@
 
 #include <cassert>
 #include <cstddef>
+#include <cstdio>
+#include <cstdlib>
 #include <list>
 #include <optional>
 #include <unordered_map>
@@ -126,8 +128,14 @@ class LruCache {
         return out;
       }
     }
-    assert(false && "all cache entries pinned; cannot evict");
-    __builtin_unreachable();
+    // Reaching here means the precondition (one unpinned entry when full)
+    // was violated. In a release build the old assert compiled away and fell
+    // into undefined behavior; fail hard instead.
+    std::fprintf(stderr,
+                 "LruCache: all %zu entries pinned; cannot evict (capacity "
+                 "%zu)\n",
+                 map_.size(), capacity_);
+    std::abort();
   }
 
   std::size_t capacity_;

@@ -1,0 +1,71 @@
+/// \file thread_pool.h
+/// Fixed-size thread pool used to fan out embarrassingly parallel work
+/// (one simulation run per job in the bench sweeps). Tasks are executed in
+/// submission order by whichever worker is free; results and exceptions
+/// propagate through the returned std::future. With one worker the pool
+/// degenerates to strict sequential submit-order execution.
+
+#ifndef PSOODB_UTIL_THREAD_POOL_H_
+#define PSOODB_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace psoodb::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(std::size_t num_threads);
+
+  /// Drains the queue: blocks until every submitted task has finished.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return threads_.size(); }
+
+  /// Enqueues `fn` and returns a future for its result. If `fn` throws, the
+  /// exception is rethrown from future::get().
+  template <typename Fn>
+  auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<std::decay_t<Fn>>> {
+    using R = std::invoke_result_t<std::decay_t<Fn>>;
+    // packaged_task is move-only but std::function requires copyable
+    // callables, so the task lives behind a shared_ptr.
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// The number of hardware threads, or 1 if it cannot be determined.
+  static std::size_t DefaultThreadCount();
+
+ private:
+  void Worker();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace psoodb::util
+
+#endif  // PSOODB_UTIL_THREAD_POOL_H_

@@ -35,11 +35,35 @@ TEST(TallyTest, EmptyTallyIsZero) {
   EXPECT_DOUBLE_EQ(t.variance(), 0.0);
 }
 
+TEST(TallyTest, SingleObservation) {
+  Tally t;
+  t.Add(5.0);
+  EXPECT_DOUBLE_EQ(t.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(t.variance(), 0.0);  // n-1 denominator: defined as 0
+  EXPECT_DOUBLE_EQ(t.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(t.min(), 5.0);
+  EXPECT_DOUBLE_EQ(t.max(), 5.0);
+  EXPECT_DOUBLE_EQ(t.sum(), 5.0);
+}
+
 TEST(StudentTTest, KnownCriticalValues) {
   EXPECT_NEAR(StudentT(0.90, 19), 1.729, 1e-3);
   EXPECT_NEAR(StudentT(0.95, 19), 2.093, 1e-3);
   EXPECT_NEAR(StudentT(0.90, 1), 6.314, 1e-3);
   EXPECT_NEAR(StudentT(0.90, 1000000), 1.645, 1e-3);
+}
+
+TEST(StudentTTest, BetweenRowsUsesConservativeSmallerDof) {
+  // dof 11 falls between the 10 and 12 rows; the smaller dof's (larger)
+  // critical value must be used.
+  EXPECT_NEAR(StudentT(0.90, 11), 1.812, 1e-3);
+  EXPECT_NEAR(StudentT(0.95, 11), 2.228, 1e-3);
+  // dof 100 falls between 59 and 119.
+  EXPECT_NEAR(StudentT(0.90, 100), 1.671, 1e-3);
+  EXPECT_NEAR(StudentT(0.95, 100), 2.001, 1e-3);
+  // Beyond the last row: asymptotic normal values.
+  EXPECT_NEAR(StudentT(0.90, 5000000), 1.645, 1e-3);
+  EXPECT_NEAR(StudentT(0.95, 5000000), 1.960, 1e-3);
 }
 
 TEST(BatchMeansTest, ConstantSequenceHasZeroWidth) {
@@ -63,6 +87,24 @@ TEST(BatchMeansTest, EmptyAndTinyInputs) {
   EXPECT_DOUBLE_EQ(BatchMeansCI({}, 20, 0.9).mean, 0.0);
   auto ci = BatchMeansCI({1.0, 3.0}, 20, 0.9);
   EXPECT_DOUBLE_EQ(ci.mean, 2.0);
+}
+
+TEST(BatchMeansTest, TrailingRemainderIsNotDropped) {
+  // 7 observations in 2 batches: the last batch must absorb the n % batches
+  // tail, i.e. batches are {1,2,3} and {4,5,6,7} with means 2 and 5.5.
+  // The old code summed only {4,5,6}, skewing the mean to 3.5.
+  std::vector<double> obs = {1, 2, 3, 4, 5, 6, 7};
+  auto ci = BatchMeansCI(obs, 2, 0.90);
+  EXPECT_DOUBLE_EQ(ci.mean, (2.0 + 5.5) / 2.0);
+}
+
+TEST(BatchMeansTest, RemainderAffectsLastBatchOnly) {
+  // 205 constant observations, 20 batches of 10 plus a 15-wide final batch:
+  // every batch mean is 3.5, so the tail must not perturb mean or width.
+  std::vector<double> obs(205, 3.5);
+  auto ci = BatchMeansCI(obs, 20, 0.90);
+  EXPECT_DOUBLE_EQ(ci.mean, 3.5);
+  EXPECT_NEAR(ci.half_width, 0.0, 1e-12);
 }
 
 TEST(CountersTest, ResetZeroesEverything) {

@@ -129,6 +129,24 @@ TEST(LruCacheTest, PinnedEntriesAreNotEvicted) {
   EXPECT_EQ(r2.evicted->first, 1);
 }
 
+TEST(LruCacheDeathTest, AllEntriesPinnedAbortsInsteadOfUB) {
+  // Inserting into a full cache whose entries are all pinned violates the
+  // eviction precondition; it must die with a diagnostic (it used to hit
+  // __builtin_unreachable() in release builds).
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  using Cache = LruCache<int, int>;  // no commas inside the macro argument
+  EXPECT_DEATH(
+      {
+        Cache cache(2);
+        cache.Insert(1);
+        cache.Insert(2);
+        cache.Pin(1);
+        cache.Pin(2);
+        cache.Insert(3);
+      },
+      "all 2 entries pinned");
+}
+
 TEST(LruCacheTest, RemoveReturnsValue) {
   LruCache<int, int> cache(2);
   *cache.Insert(1).value = 11;

@@ -1,0 +1,73 @@
+// Tests for the fixed-size thread pool behind the parallel bench sweeps:
+// submit/drain, result and exception propagation, and the 1-thread
+// degenerate case (strict submit-order execution).
+
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+namespace psoodb {
+namespace {
+
+using util::ThreadPool;
+
+TEST(ThreadPoolTest, SubmitAndDrain) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.num_threads(), 4u);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+  }  // destructor drains the queue
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ReturnsValuesThroughFutures) {
+  ThreadPool pool(3);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(pool.Submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(futures[i].get(), i * i);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto bad = pool.Submit(
+      []() -> int { throw std::runtime_error("job failed"); });
+  auto good = pool.Submit([] { return 7; });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // A throwing job must not take the worker down with it.
+  EXPECT_EQ(good.get(), 7);
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInSubmitOrder) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::vector<int> order;  // only the single worker touches it
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.Submit([&order, i] { order.push_back(i); }));
+  }
+  for (auto& f : futures) f.get();
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  EXPECT_EQ(pool.Submit([] { return 42; }).get(), 42);
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1u);
+}
+
+}  // namespace
+}  // namespace psoodb
