@@ -86,7 +86,8 @@ std::vector<std::vector<core::RunResult>> RunFigure(
               threads == 1 ? "" : "s");
   std::printf("==================================================================\n");
 
-  const auto t0 = std::chrono::steady_clock::now();
+  // Wall-clock here only reports sweep duration; no simulation state.
+  const auto t0 = std::chrono::steady_clock::now();  // det-ok
 
   // Fan out: every (write_prob, protocol) point is an independent run — each
   // System owns its Simulation, Rng streams and Counters, and nothing in the
@@ -183,7 +184,8 @@ std::vector<std::vector<core::RunResult>> RunFigure(
   }
 
   const double wall =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -  // det-ok
+                                    t0)
           .count();
   std::printf("\nPaper result: %s\n", opt.expectation.c_str());
   std::printf("[%.1fs]\n\n", wall);

@@ -1,22 +1,23 @@
 #include "analytic/page_update_model.h"
 
-#include <cassert>
 #include <cmath>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "workload/workload.h"
+#include "util/check.h"
 
 namespace psoodb::analytic {
 
 double PageUpdateProbability(double object_write_prob, int objects_accessed) {
-  assert(objects_accessed >= 0);
+  PSOODB_CHECK(objects_accessed >= 0, "objects_accessed=%d", objects_accessed);
   return 1.0 - std::pow(1.0 - object_write_prob, objects_accessed);
 }
 
 double PageUpdateProbability(double object_write_prob, int locality_min,
                              int locality_max) {
-  assert(locality_min <= locality_max);
+  PSOODB_CHECK(locality_min <= locality_max, "locality range [%d, %d] inverted",
+               locality_min, locality_max);
   double sum = 0;
   for (int k = locality_min; k <= locality_max; ++k) {
     sum += PageUpdateProbability(object_write_prob, k);

@@ -1,5 +1,8 @@
 #include "cc/deadlock_detector.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "cc/abort.h"
 
 namespace psoodb::cc {
@@ -55,6 +58,17 @@ std::size_t DeadlockDetector::edge_count() const {
   std::size_t n = 0;
   for (const auto& [_, targets] : out_edges_) n += targets.size();
   return n;
+}
+
+std::vector<std::pair<storage::TxnId, storage::TxnId>>
+DeadlockDetector::Edges() const {
+  std::vector<std::pair<storage::TxnId, storage::TxnId>> out;
+  out.reserve(edge_count());
+  for (const auto& [waiter, targets] : out_edges_) {
+    for (storage::TxnId t : targets) out.emplace_back(waiter, t);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 }  // namespace psoodb::cc

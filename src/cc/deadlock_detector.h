@@ -39,6 +39,11 @@ class DeadlockDetector {
   std::uint64_t deadlocks_detected() const { return deadlocks_; }
   std::size_t edge_count() const;
 
+  /// All current waits-for edges as (waiter, blocker) pairs, sorted so the
+  /// result is independent of hash-table iteration order. Used by the
+  /// invariant checker.
+  std::vector<std::pair<storage::TxnId, storage::TxnId>> Edges() const;
+
  private:
   std::unordered_map<storage::TxnId, std::unordered_set<storage::TxnId>>
       out_edges_;

@@ -1,8 +1,9 @@
 #include "cc/lock_manager.h"
 
-#include <cassert>
+#include <cstdio>
 
 #include "cc/abort.h"
+#include "util/check.h"
 
 namespace psoodb::cc {
 
@@ -138,8 +139,9 @@ sim::Task LockManager::WaitObjectFree(ObjectId oid, TxnId txn) {
 void LockManager::GrantObjectXDirect(ObjectId oid, PageId page, TxnId txn,
                                      ClientId client) {
   Entry& e = objects_[oid];
-  assert((e.holder == kNoTxn || e.holder == txn) &&
-         "direct grant requires a free lock");
+  PSOODB_CHECK(e.holder == kNoTxn || e.holder == txn,
+               "direct object grant over a conflicting holder (oid %lld)",
+               static_cast<long long>(oid));
   if (e.holder == txn) return;
   e.holder = txn;
   e.holder_client = client;
@@ -221,6 +223,143 @@ const std::unordered_set<ObjectId>* LockManager::ObjectsHeldBy(
     TxnId txn) const {
   auto it = objects_by_txn_.find(txn);
   return it == objects_by_txn_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> LockManager::CheckCoherence() const {
+  std::vector<std::string> out;
+  char buf[192];
+  auto fail = [&out, &buf](int n) {
+    (void)n;
+    out.emplace_back(buf);
+  };
+
+  // Forward tables vs. per-txn reverse maps.
+  for (const auto& [page, e] : pages_) {
+    if (e.holder == kNoTxn) {
+      if (e.holder_client != kNoClient) {
+        fail(std::snprintf(buf, sizeof buf,
+                           "free page lock %d keeps holder client %d",
+                           page, e.holder_client));
+      }
+      continue;
+    }
+    if (e.holder_client == kNoClient) {
+      fail(std::snprintf(buf, sizeof buf,
+                         "page lock %d held by txn %llu with no client",
+                         page, static_cast<unsigned long long>(e.holder)));
+    }
+    auto it = pages_by_txn_.find(e.holder);
+    if (it == pages_by_txn_.end() || it->second.count(page) == 0) {
+      fail(std::snprintf(buf, sizeof buf,
+                         "page lock %d held by txn %llu missing from its "
+                         "reverse map",
+                         page, static_cast<unsigned long long>(e.holder)));
+    }
+  }
+  for (const auto& [txn, pages] : pages_by_txn_) {
+    if (pages.empty()) {
+      fail(std::snprintf(buf, sizeof buf, "empty page reverse map for txn %llu",
+                         static_cast<unsigned long long>(txn)));
+    }
+    for (PageId p : pages) {
+      if (HolderOf(pages_, p) != txn) {
+        fail(std::snprintf(buf, sizeof buf,
+                           "reverse map says txn %llu holds page %d but the "
+                           "lock table disagrees",
+                           static_cast<unsigned long long>(txn), p));
+      }
+    }
+  }
+  for (const auto& [oid, e] : objects_) {
+    if (e.holder == kNoTxn) {
+      if (e.holder_client != kNoClient) {
+        fail(std::snprintf(buf, sizeof buf,
+                           "free object lock %lld keeps holder client %d",
+                           static_cast<long long>(oid), e.holder_client));
+      }
+      continue;
+    }
+    if (e.holder_client == kNoClient) {
+      fail(std::snprintf(buf, sizeof buf,
+                         "object lock %lld held by txn %llu with no client",
+                         static_cast<long long>(oid),
+                         static_cast<unsigned long long>(e.holder)));
+    }
+    auto it = objects_by_txn_.find(e.holder);
+    if (it == objects_by_txn_.end() || it->second.count(oid) == 0) {
+      fail(std::snprintf(buf, sizeof buf,
+                         "object lock %lld held by txn %llu missing from its "
+                         "reverse map",
+                         static_cast<long long>(oid),
+                         static_cast<unsigned long long>(e.holder)));
+    }
+    // Every held object lock must be indexed for the PS-AA page scans.
+    auto p = page_of_locked_.find(oid);
+    if (p == page_of_locked_.end()) {
+      fail(std::snprintf(buf, sizeof buf,
+                         "held object lock %lld missing from page_of_locked",
+                         static_cast<long long>(oid)));
+    } else {
+      auto byp = object_locks_by_page_.find(p->second);
+      if (byp == object_locks_by_page_.end() ||
+          byp->second.count(oid) == 0) {
+        fail(std::snprintf(buf, sizeof buf,
+                           "held object lock %lld missing from the per-page "
+                           "index of page %d",
+                           static_cast<long long>(oid), p->second));
+      }
+    }
+  }
+  for (const auto& [txn, oids] : objects_by_txn_) {
+    if (oids.empty()) {
+      fail(std::snprintf(buf, sizeof buf,
+                         "empty object reverse map for txn %llu",
+                         static_cast<unsigned long long>(txn)));
+    }
+    for (ObjectId o : oids) {
+      if (HolderOf(objects_, o) != txn) {
+        fail(std::snprintf(buf, sizeof buf,
+                           "reverse map says txn %llu holds object %lld but "
+                           "the lock table disagrees",
+                           static_cast<unsigned long long>(txn),
+                           static_cast<long long>(o)));
+      }
+    }
+  }
+
+  // Per-page object-lock index vs. the forward tables.
+  for (const auto& [page, oids] : object_locks_by_page_) {
+    if (oids.empty()) {
+      fail(std::snprintf(buf, sizeof buf,
+                         "empty per-page object-lock index entry for page %d",
+                         page));
+    }
+    for (ObjectId o : oids) {
+      if (HolderOf(objects_, o) == kNoTxn) {
+        fail(std::snprintf(buf, sizeof buf,
+                           "per-page index of page %d lists unheld object "
+                           "%lld",
+                           page, static_cast<long long>(o)));
+      }
+      auto p = page_of_locked_.find(o);
+      if (p == page_of_locked_.end() || p->second != page) {
+        fail(std::snprintf(buf, sizeof buf,
+                           "per-page index of page %d disagrees with "
+                           "page_of_locked for object %lld",
+                           page, static_cast<long long>(o)));
+      }
+    }
+  }
+  for (const auto& [oid, page] : page_of_locked_) {
+    auto byp = object_locks_by_page_.find(page);
+    if (byp == object_locks_by_page_.end() || byp->second.count(oid) == 0) {
+      fail(std::snprintf(buf, sizeof buf,
+                         "page_of_locked maps object %lld to page %d but the "
+                         "per-page index disagrees",
+                         static_cast<long long>(oid), page));
+    }
+  }
+  return out;
 }
 
 }  // namespace psoodb::cc

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -92,6 +93,12 @@ class LockManager {
 
   std::uint64_t lock_waits() const { return lock_waits_; }
   DeadlockDetector& detector() { return detector_; }
+
+  /// Cross-validates the internal tables (forward maps vs. per-txn reverse
+  /// maps vs. the per-page object-lock index). Returns one description per
+  /// inconsistency found; empty means coherent. Used by the invariant
+  /// checker (src/check/invariants.h).
+  std::vector<std::string> CheckCoherence() const;
 
  private:
   struct Entry {

@@ -1,7 +1,7 @@
 #include "config/params.h"
 
 #include <algorithm>
-#include <cassert>
+#include "util/check.h"
 
 namespace psoodb::config {
 
@@ -112,7 +112,8 @@ WorkloadParams MakePrivate(const SystemParams& sys, double write_prob) {
   w.client_regions.resize(sys.num_clients);
   for (int c = 0; c < sys.num_clients; ++c) {
     PageId lo = static_cast<PageId>(static_cast<long>(c) * hot);
-    assert(lo + hot <= cold_lo && "private hot regions overflow first half");
+    PSOODB_CHECK(lo + hot <= cold_lo,
+                 "private hot regions overflow first half");
     w.client_regions[c] = {
         {lo, static_cast<PageId>(lo + hot - 1), 0.8, write_prob},
         // Shared cold half is read-only: no data contention at all.

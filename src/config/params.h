@@ -106,6 +106,22 @@ struct SystemParams {
   double forward_inst = 2000;
   std::uint64_t seed = 42;
 
+  // --- Invariant checking (src/check/invariants.h) ------------------------
+  /// Enables the cross-component invariant checker (hooks at callback-drain,
+  /// write-grant and de-escalation boundaries plus periodic full sweeps).
+  /// Also enabled by the PSOODB_INVARIANTS=1 environment variable.
+  bool invariant_checks = false;
+  /// Abort (with full context) on the first violation instead of recording.
+  bool invariant_failfast = false;
+  /// Run a full cross-component state sweep every N simulation events
+  /// (0 = check only at protocol hooks).
+  std::uint64_t invariant_event_period = 1000;
+  /// TEST ONLY — seeded protocol bug: write-request handlers skip waiting
+  /// for their callback batch to drain before granting write permission.
+  /// Exists to prove the invariant checker catches real protocol bugs
+  /// (see tests/invariant_test.cpp); never enable outside tests.
+  bool test_skip_callback_drain = false;
+
   int object_size_bytes() const { return page_size_bytes / objects_per_page; }
   int client_buf_pages() const {
     int n = static_cast<int>(db_pages * client_buf_fraction);

@@ -1,10 +1,10 @@
 #include "core/client.h"
 
-#include <cassert>
 #include <cstdio>
 #include <cstdlib>
 
 #include "cc/abort.h"
+#include "util/check.h"
 
 namespace psoodb::core {
 
@@ -38,6 +38,8 @@ void Client::BeginTxn() {
 
 void Client::EndTxnLocal() {
   txn_active_ = false;
+  txn_committing_ = false;
+  txn_aborting_ = false;
   UnpinAll();
   locks_.Clear();
   read_versions_.clear();
@@ -123,22 +125,22 @@ sim::Task Client::MainLoop() {
 // Default callback handlers: a protocol only receives the kinds its server
 // sends; anything else is a wiring bug.
 void Client::OnPageCallback(PageId, TxnId, std::shared_ptr<CallbackBatch>) {
-  assert(false && "unexpected page callback for this protocol");
+  PSOODB_CHECK(false, "unexpected page callback for this protocol");
 }
 void Client::OnObjectCallback(ObjectId, PageId, TxnId,
                               std::shared_ptr<CallbackBatch>) {
-  assert(false && "unexpected object callback for this protocol");
+  PSOODB_CHECK(false, "unexpected object callback for this protocol");
 }
 void Client::OnAdaptiveCallback(PageId, ObjectId, TxnId,
                                 std::shared_ptr<CallbackBatch>) {
-  assert(false && "unexpected adaptive callback for this protocol");
+  PSOODB_CHECK(false, "unexpected adaptive callback for this protocol");
 }
 void Client::OnDeEscalate(PageId,
                           sim::Promise<std::vector<ObjectId>>) {
-  assert(false && "unexpected de-escalation request for this protocol");
+  PSOODB_CHECK(false, "unexpected de-escalation request for this protocol");
 }
 void Client::OnTokenRecall(PageId, sim::Promise<bool>) {
-  assert(false && "unexpected token recall for this protocol");
+  PSOODB_CHECK(false, "unexpected token recall for this protocol");
 }
 
 // --- PageFamilyClient --------------------------------------------------------
@@ -171,7 +173,8 @@ void PageFamilyClient::UnpinAll() {
 
 void PageFamilyClient::LocalRead(ObjectId oid) {
   storage::PageFrame* f = cache_.Get(PageOf(oid));
-  assert(f != nullptr);
+  PSOODB_CHECK(f != nullptr, "read of oid %lld but page %d not cached",
+               static_cast<long long>(oid), PageOf(oid));
   const int slot = SlotOf(oid);
   const bool own = (f->dirty & storage::SlotBit(slot)) != 0 ||
                    locks_.WritesObject(oid);
@@ -197,7 +200,8 @@ void PageFamilyClient::LocalRead(ObjectId oid) {
 
 void PageFamilyClient::MarkLocalWrite(ObjectId oid) {
   storage::PageFrame* f = cache_.Get(PageOf(oid));
-  assert(f != nullptr && "page must be cached before updating an object");
+  PSOODB_CHECK(f != nullptr, "page %d must be cached before updating oid %lld",
+               PageOf(oid), static_cast<long long>(oid));
   f->MarkDirty(SlotOf(oid));
   // Size-changing updates (Section 6.1): some updates grow the object.
   if (ctx_.params.size_change_prob > 0 &&
@@ -275,6 +279,7 @@ int PageFamilyClient::ApplyShip(const PageShip& ship) {
 }
 
 sim::Task PageFamilyClient::Commit() {
+  txn_committing_ = true;
   // Group still-cached dirty pages by owning (partition) server.
   std::unordered_map<int, std::vector<PageUpdate>> by_server;
   std::unordered_map<int, int> objects_per_server;
@@ -349,6 +354,7 @@ sim::Task PageFamilyClient::Commit() {
 }
 
 sim::Task PageFamilyClient::Abort() {
+  txn_aborting_ = true;
   // Purge updated pages from the cache (their uncommitted contents must not
   // be visible to later transactions). Unpin first: the aborting
   // transaction's footprint no longer needs residency.

@@ -43,6 +43,31 @@ class Client {
     return txn_active_ ? txn_ : storage::kNoTxn;
   }
 
+  // --- Introspection for the invariant checker ----------------------------
+  /// The active transaction's local lock state (read/write footprint plus
+  /// server-granted write permissions).
+  const cc::LocalTxnLocks& local_locks() const { return locks_; }
+  /// True while the active transaction is in its commit or abort protocol
+  /// (local lock/cache state legitimately outlives the server's lock state
+  /// inside these windows, so cross-checks must skip terminating clients).
+  bool terminating() const { return txn_committing_ || txn_aborting_; }
+  /// Cached page frame, or null (null for object-server clients).
+  virtual const storage::PageFrame* PeekPage(storage::PageId) const {
+    return nullptr;
+  }
+  /// Cached object frame, or null (null for page-family clients).
+  virtual const storage::ObjectFrame* PeekObject(storage::ObjectId) const {
+    return nullptr;
+  }
+  /// Enumerates cached page frames in LRU order (page-family clients).
+  virtual void ForEachCachedPage(
+      const std::function<void(storage::PageId, const storage::PageFrame&)>&)
+      const {}
+  /// Enumerates cached object frames in LRU order (object-server clients).
+  virtual void ForEachCachedObject(
+      const std::function<void(storage::ObjectId,
+                               const storage::ObjectFrame&)>&) const {}
+
   // --- Callback entry points (invoked by Transport deliveries) ------------
   // Only the variants a protocol uses are overridden.
   virtual void OnPageCallback(storage::PageId page, storage::TxnId requester,
@@ -121,6 +146,9 @@ class Client {
 
   storage::TxnId txn_ = storage::kNoTxn;
   bool txn_active_ = false;
+  /// Set for the duration of Commit() / Abort() (cleared by EndTxnLocal).
+  bool txn_committing_ = false;
+  bool txn_aborting_ = false;
   cc::LocalTxnLocks locks_;
   std::unordered_map<storage::ObjectId, storage::Version> read_versions_;
   std::vector<std::function<void()>> deferred_;
@@ -134,6 +162,15 @@ class PageFamilyClient : public Client {
                    std::vector<Server*> servers);
 
   storage::PageCache& cache() { return cache_; }
+
+  const storage::PageFrame* PeekPage(storage::PageId page) const override {
+    return cache_.Peek(page);
+  }
+  void ForEachCachedPage(
+      const std::function<void(storage::PageId, const storage::PageFrame&)>&
+          fn) const override {
+    cache_.ForEach(fn);
+  }
 
  protected:
   /// True if `oid` can be read from the local cache right now.

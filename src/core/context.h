@@ -17,6 +17,10 @@
 #include "sim/simulation.h"
 #include "storage/database.h"
 
+namespace psoodb::check {
+class InvariantChecker;
+}  // namespace psoodb::check
+
 namespace psoodb::core {
 
 /// Everything protocol code needs besides its own node state.
@@ -34,6 +38,10 @@ struct SystemContext {
   /// Called by a client when a transaction commits: (client, start, end).
   std::function<void(storage::ClientId, sim::SimTime, sim::SimTime)>
       on_commit;
+  /// Cross-component invariant checker (null unless enabled). Owned by
+  /// System; protocol code calls its hooks at grant/drain/de-escalation
+  /// boundaries.
+  check::InvariantChecker* invariants = nullptr;
 
   /// Next transaction id (monotonically increasing, shared by all clients).
   storage::TxnId next_txn = 0;

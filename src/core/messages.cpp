@@ -1,6 +1,5 @@
 #include "core/messages.h"
 
-#include <cassert>
 
 namespace psoodb::core {
 

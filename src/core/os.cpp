@@ -1,8 +1,9 @@
 #include "core/os.h"
 
-#include <cassert>
 
 #include "cc/abort.h"
+#include "check/invariants.h"
+#include "util/check.h"
 
 namespace psoodb::core {
 
@@ -88,6 +89,10 @@ sim::Task OsServer::HandleWrite(ObjectId oid, TxnId txn, ClientId client,
       co_await cpu_.System(ctx_.params.register_copy_inst *
                            static_cast<double>(batch->outcomes.size()));
     }
+    if (ctx_.invariants != nullptr) {
+      ctx_.invariants->OnWriteGrant(*this, GrantLevel::kObject, page, oid,
+                                    txn, client);
+    }
     SendToClient(client, MsgKind::kControlReply, ctx_.transport.ControlBytes(),
                  [reply = std::move(reply)]() mutable {
                    reply.Set(WriteGrant{GrantLevel::kObject, false});
@@ -171,7 +176,8 @@ sim::Task OsClient::Read(ObjectId oid) {
     ++ctx_.counters.cache_misses;
     co_await FetchObject(oid);
     f = cache_.Get(oid);
-    assert(f != nullptr);
+    PSOODB_CHECK(f != nullptr, "oid %lld missing after fetch",
+                 static_cast<long long>(oid));
   } else {
     ++ctx_.counters.cache_hits;
   }
@@ -207,6 +213,7 @@ sim::Task OsClient::Write(ObjectId oid) {
 }
 
 sim::Task OsClient::Commit() {
+  txn_committing_ = true;
   // Updated objects still cached, grouped by page for the install and by
   // owning server for the fan-out.
   std::unordered_map<PageId, SlotMask> masks;
@@ -264,6 +271,7 @@ sim::Task OsClient::Commit() {
 }
 
 sim::Task OsClient::Abort() {
+  txn_aborting_ = true;
   UnpinAll();
   std::vector<ObjectId> purged;
   cache_.ForEach([&](ObjectId oid, const storage::ObjectFrame& f) {
@@ -315,7 +323,8 @@ void OsClient::OnObjectCallback(ObjectId oid, PageId /*page*/,
     });
     return;
   }
-  assert(!f->dirty && "dirty object without active transaction");
+  PSOODB_CHECK(!f->dirty, "dirty object %lld without active transaction",
+               static_cast<long long>(oid));
   cache_.Remove(oid);
   ReplyCallback(batch, {CallbackOutcome::kPurged, kNoTxn});
 }

@@ -52,6 +52,16 @@ class OsClient : public Client {
 
   storage::ObjectCache& cache() { return cache_; }
 
+  const storage::ObjectFrame* PeekObject(storage::ObjectId oid) const override {
+    return cache_.Peek(oid);
+  }
+  void ForEachCachedObject(
+      const std::function<void(storage::ObjectId,
+                               const storage::ObjectFrame&)>& fn)
+      const override {
+    cache_.ForEach(fn);
+  }
+
  protected:
   sim::Task Read(storage::ObjectId oid) override;
   sim::Task Write(storage::ObjectId oid) override;

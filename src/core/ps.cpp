@@ -1,8 +1,9 @@
 #include "core/ps.h"
 
-#include <cassert>
 
 #include "cc/abort.h"
+#include "check/invariants.h"
+#include "util/check.h"
 
 namespace psoodb::core {
 
@@ -85,6 +86,10 @@ sim::Task PsServer::HandleWrite(PageId page, TxnId txn, ClientId client,
       co_await AwaitCallbacks(batch, txn);
       co_await cpu_.System(ctx_.params.register_copy_inst *
                            static_cast<double>(batch->outcomes.size()));
+    }
+    if (ctx_.invariants != nullptr) {
+      ctx_.invariants->OnWriteGrant(*this, GrantLevel::kPage, page,
+                                    /*oid=*/-1, txn, client);
     }
     SendToClient(client, MsgKind::kControlReply, ctx_.transport.ControlBytes(),
                  [reply = std::move(reply)]() mutable {
@@ -180,7 +185,8 @@ void PsClient::OnPageCallback(PageId page, TxnId /*requester*/,
     });
     return;
   }
-  assert(!f->IsDirty() && "dirty page without active transaction");
+  PSOODB_CHECK(!f->IsDirty(), "dirty page %d without active transaction",
+               page);
   cache_.Remove(page);
   ++ctx_.counters.callback_page_purges;
   ReplyCallback(batch, {CallbackOutcome::kPurged, kNoTxn});

@@ -1,8 +1,8 @@
 #include "core/ps_aa.h"
 
-#include <cassert>
 
 #include "cc/abort.h"
+#include "check/invariants.h"
 
 namespace psoodb::core {
 
@@ -39,6 +39,9 @@ sim::Task PsAaServer::DeEscalate(PageId page, TxnId holder) {
   const ClientId holder_client = lm_.PageXHolderClient(page);
   if (holder_client == kNoClient) co_return;
   ++ctx_.counters.deescalations;
+  if (ctx_.invariants != nullptr) {
+    ctx_.invariants->OnDeEscalationRequested(*this, page, holder);
+  }
 
   sim::Promise<std::vector<ObjectId>> pr(ctx_.sim);
   auto fut = pr.GetFuture();
@@ -60,6 +63,10 @@ sim::Task PsAaServer::DeEscalate(PageId page, TxnId holder) {
     lm_.GrantObjectXDirect(oid, layout.PageOf(oid), holder, holder_client);
   }
   lm_.ReleasePageX(page, holder);
+  if (ctx_.invariants != nullptr) {
+    ctx_.invariants->OnDeEscalated(*this, page, holder, holder_client,
+                                   written);
+  }
   co_await cpu_.System(ctx_.params.lock_inst *
                        static_cast<double>(written.size() + 1));
 }
@@ -173,6 +180,9 @@ sim::Task PsAaServer::HandleWrite(ObjectId oid, TxnId txn, ClientId client,
       ++ctx_.counters.page_lock_grants;
     } else {
       ++ctx_.counters.object_lock_grants;
+    }
+    if (ctx_.invariants != nullptr) {
+      ctx_.invariants->OnWriteGrant(*this, level, page, oid, txn, client);
     }
     SendToClient(client, MsgKind::kControlReply, ctx_.transport.ControlBytes(),
                  [reply = std::move(reply), level]() mutable {

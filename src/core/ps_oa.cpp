@@ -1,9 +1,9 @@
 #include "core/ps_oa.h"
 
-#include <cassert>
 #include <string>
 
 #include "cc/abort.h"
+#include "check/invariants.h"
 
 namespace psoodb::core {
 
@@ -124,6 +124,10 @@ sim::Task PsOaServer::HandleWrite(ObjectId oid, TxnId txn, ClientId client,
         if (outcome != CallbackOutcome::kRetained) ++unregistered;
       }
       co_await cpu_.System(ctx_.params.register_copy_inst * unregistered);
+    }
+    if (ctx_.invariants != nullptr) {
+      ctx_.invariants->OnWriteGrant(*this, GrantLevel::kObject, page, oid,
+                                    txn, client);
     }
     SendToClient(client, MsgKind::kControlReply, ctx_.transport.ControlBytes(),
                  [reply = std::move(reply)]() mutable {

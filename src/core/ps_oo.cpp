@@ -1,8 +1,8 @@
 #include "core/ps_oo.h"
 
-#include <cassert>
 
 #include "cc/abort.h"
+#include "check/invariants.h"
 
 namespace psoodb::core {
 
@@ -126,6 +126,10 @@ sim::Task PsOoServer::HandleWrite(ObjectId oid, TxnId txn, ClientId client,
       co_await AwaitCallbacks(batch, txn);
       co_await cpu_.System(ctx_.params.register_copy_inst *
                            static_cast<double>(batch->outcomes.size()));
+    }
+    if (ctx_.invariants != nullptr) {
+      ctx_.invariants->OnWriteGrant(*this, GrantLevel::kObject, page, oid,
+                                    txn, client);
     }
     SendToClient(client, MsgKind::kControlReply, ctx_.transport.ControlBytes(),
                  [reply = std::move(reply)]() mutable {

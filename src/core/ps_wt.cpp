@@ -1,8 +1,8 @@
 #include "core/ps_wt.h"
 
-#include <cassert>
 
 #include "cc/abort.h"
+#include "check/invariants.h"
 
 namespace psoodb::core {
 
@@ -98,6 +98,10 @@ sim::Task PsWtServer::HandleWrite(ObjectId oid, TxnId txn, ClientId client,
       token_owner_[page] = client;
     }
 
+    if (ctx_.invariants != nullptr) {
+      ctx_.invariants->OnWriteGrant(*this, GrantLevel::kObject, page, oid,
+                                    txn, client);
+    }
     const int bytes = shipped
                           ? ctx_.transport.DataBytes(ctx_.params.page_size_bytes)
                           : ctx_.transport.ControlBytes();

@@ -1,11 +1,12 @@
 #include "core/server.h"
 
 #include <algorithm>
-#include <cassert>
 #include <string>
 
 #include "cc/abort.h"
+#include "check/invariants.h"
 #include "core/client.h"
+#include "util/check.h"
 
 namespace psoodb::core {
 
@@ -72,17 +73,25 @@ PageShip Server::MakeShip(PageId page, SlotMask unavailable) const {
 sim::Task Server::AwaitCallbacks(std::shared_ptr<CallbackBatch> batch,
                                  TxnId txn) {
   try {
-    for (;;) {
-      while (!batch->new_blockers.empty()) {
-        TxnId blocker = batch->new_blockers.back();
-        batch->new_blockers.pop_back();
-        // May throw TxnAborted if this wait closes a cycle.
-        ctx_.detector->OnWait(txn, {blocker});
+    // test_skip_callback_drain is a test-only fault injection: it grants
+    // write permissions without waiting for the callback fan-in, which the
+    // invariant checker must catch (see tests/invariant_test.cpp).
+    if (!ctx_.params.test_skip_callback_drain) {
+      for (;;) {
+        while (!batch->new_blockers.empty()) {
+          TxnId blocker = batch->new_blockers.back();
+          batch->new_blockers.pop_back();
+          // May throw TxnAborted if this wait closes a cycle.
+          ctx_.detector->OnWait(txn, {blocker});
+        }
+        if (batch->pending == 0) break;
+        co_await batch->cv.Wait();
       }
-      if (batch->pending == 0) break;
-      co_await batch->cv.Wait();
     }
     ctx_.detector->ClearWaits(txn);
+    if (ctx_.invariants != nullptr) {
+      ctx_.invariants->OnCallbacksDrained(*this, *batch, txn);
+    }
   } catch (...) {
     batch->dead = true;
     ctx_.detector->ClearWaits(txn);
@@ -159,7 +168,8 @@ sim::Task Server::InstallCommittedPage(TxnId txn, PageId page, SlotMask mask,
     co_await cpu_.System(ctx_.params.copy_merge_inst * n);
   }
   storage::PageFrame* frame = buffer_.Get(page);
-  assert(frame != nullptr);
+  PSOODB_CHECK(frame != nullptr, "committed page %d not resident at server",
+               page);
   frame->dirty |= mask;  // needs a disk write before the frame is reused
   const auto& layout = ctx_.db.layout();
   for (int s = 0; s < ctx_.params.objects_per_page; ++s) {

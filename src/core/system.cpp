@@ -1,17 +1,19 @@
 #include "core/system.h"
 
-#include <cassert>
 #include <cstdio>
+#include <cstdlib>
 #include <limits>
 #include <string>
 #include <type_traits>
 
+#include "check/invariants.h"
 #include "core/os.h"
 #include "core/ps.h"
 #include "core/ps_aa.h"
 #include "core/ps_oa.h"
 #include "core/ps_oo.h"
 #include "core/ps_wt.h"
+#include "util/check.h"
 
 namespace psoodb::core {
 
@@ -23,31 +25,35 @@ System::System(Protocol protocol, const config::SystemParams& params,
       params_(params),
       workload_(workload),
       db_(params.db_pages, params.objects_per_page) {
-  assert(params_.objects_per_page <= storage::kMaxObjectsPerPage);
-  assert((workload_.custom_generator ||
-          static_cast<int>(workload_.client_regions.size()) >=
-              params_.num_clients) &&
-         "workload must define regions for every client (or be custom)");
+  PSOODB_CHECK(params_.objects_per_page <= storage::kMaxObjectsPerPage,
+               "objects_per_page=%d exceeds bitmask width %d",
+               params_.objects_per_page, storage::kMaxObjectsPerPage);
+  PSOODB_CHECK(workload_.custom_generator ||
+                   static_cast<int>(workload_.client_regions.size()) >=
+                       params_.num_clients,
+               "workload must define regions for every client (or be custom)");
   // Under Callback Locking a cached copy is the read permission, so a
   // transaction's whole footprint stays pinned in the client cache until it
   // ends. The cache must therefore be able to hold one transaction.
   if (workload_.custom_generator) {
-    assert(workload_.custom_max_pages > 0 &&
-           "custom workloads must declare custom_max_pages");
-    assert(params_.client_buf_pages() >= workload_.custom_max_pages + 2 &&
-           "client cache smaller than a custom transaction's footprint");
+    PSOODB_CHECK(workload_.custom_max_pages > 0,
+                 "custom workloads must declare custom_max_pages");
+    PSOODB_CHECK(params_.client_buf_pages() >= workload_.custom_max_pages + 2,
+                 "client cache smaller than a custom transaction's footprint");
   } else {
     const int spread = workload_.layout_swaps.empty() ? 1 : 2;
     const int page_footprint = workload_.trans_size_pages * spread + 2;
-    assert(params_.client_buf_pages() >= page_footprint &&
-           "client cache smaller than a transaction's page footprint");
-    (void)page_footprint;
+    PSOODB_CHECK(params_.client_buf_pages() >= page_footprint,
+                 "client cache (%d pages) smaller than a transaction\'s page "
+                 "footprint (%d)",
+                 params_.client_buf_pages(), page_footprint);
     if (protocol == Protocol::kOS) {
       const int obj_footprint =
           workload_.trans_size_pages * workload_.page_locality_max + 2;
-      assert(params_.client_buf_objects() >= obj_footprint &&
-             "client object cache smaller than a transaction's footprint");
-      (void)obj_footprint;
+      PSOODB_CHECK(params_.client_buf_objects() >= obj_footprint,
+                   "client object cache (%d) smaller than a transaction\'s "
+                   "footprint (%d)",
+                   params_.client_buf_objects(), obj_footprint);
     }
   }
 
@@ -122,6 +128,15 @@ System::System(Protocol protocol, const config::SystemParams& params,
   raw.reserve(clients_.size());
   for (auto& c : clients_) raw.push_back(c.get());
   for (auto& srv : servers_) srv->SetClients(raw);
+
+  if (params_.invariant_checks ||
+      std::getenv("PSOODB_INVARIANTS") != nullptr) {
+    check::InvariantChecker::Options iopts;
+    iopts.failfast = params_.invariant_failfast;
+    iopts.event_period = params_.invariant_event_period;
+    invariants_ = std::make_unique<check::InvariantChecker>(*this, iopts);
+    ctx_->invariants = invariants_.get();
+  }
 }
 
 System::~System() {
@@ -134,7 +149,7 @@ System::~System() {
 }
 
 RunResult System::Run(const RunConfig& run) {
-  assert(!started_ && "System::Run may be called once");
+  PSOODB_CHECK(!started_, "System::Run may be called once");
   started_ = true;
 
   ctx_->history = run.record_history ? &history_ : nullptr;
@@ -158,6 +173,7 @@ RunResult System::Run(const RunConfig& run) {
       stalled = true;
       break;
     }
+    if (invariants_) invariants_->OnEvent();
     if (++events > run.max_events ||
         sim_->now() > run.max_sim_seconds) {
       stalled = true;
@@ -191,6 +207,7 @@ RunResult System::Run(const RunConfig& run) {
       stalled = true;
       break;
     }
+    if (invariants_) invariants_->OnEvent();
     while (sim_->now() >= next_sample) {
       MetricsSample s;
       s.t = next_sample - measure_start;
@@ -210,6 +227,9 @@ RunResult System::Run(const RunConfig& run) {
   }
 
   // --- Results -----------------------------------------------------------------
+  // A final full sweep so short runs (and the run's end state) are covered
+  // even when fewer than event_period events separate the last two sweeps.
+  if (invariants_) invariants_->CheckAll();
   result.stalled = stalled;
   result.sim_seconds = sim_->now() - measure_start;
   result.measured_commits = counters_.commits;

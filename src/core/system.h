@@ -20,6 +20,10 @@
 #include "resources/network.h"
 #include "storage/database.h"
 
+namespace psoodb::check {
+class InvariantChecker;
+}  // namespace psoodb::check
+
 namespace psoodb::core {
 
 /// Experiment control.
@@ -96,6 +100,10 @@ class System {
   storage::Database& db() { return db_; }
   const config::SystemParams& params() const { return params_; }
   config::Protocol protocol() const { return protocol_; }
+  /// The protocol invariant checker, or null unless enabled via
+  /// SystemParams::invariant_checks or the PSOODB_INVARIANTS environment
+  /// variable.
+  check::InvariantChecker* invariants() { return invariants_.get(); }
 
  private:
   config::Protocol protocol_;
@@ -111,6 +119,7 @@ class System {
   std::unique_ptr<SystemContext> ctx_;
   std::vector<std::unique_ptr<Server>> servers_;
   std::vector<std::unique_ptr<Client>> clients_;
+  std::unique_ptr<check::InvariantChecker> invariants_;
   std::vector<double> response_times_;
   bool started_ = false;
 };

@@ -1,8 +1,8 @@
 #include "metrics/stats.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+#include "util/check.h"
 
 namespace psoodb::metrics {
 
@@ -26,7 +26,7 @@ double Tally::variance() const {
 double Tally::stddev() const { return std::sqrt(variance()); }
 
 double StudentT(double confidence, int dof) {
-  assert(dof >= 1);
+  PSOODB_CHECK(dof >= 1, "StudentT needs dof >= 1, got %d", dof);
   // Two-sided critical values; rows are dof, columns 90% and 95%.
   struct Row {
     int dof;

@@ -1,6 +1,7 @@
 #include "resources/cpu.h"
 
 #include <vector>
+#include "util/check.h"
 
 namespace psoodb::resources {
 
@@ -15,7 +16,7 @@ constexpr double kEpsilonInst = 1e-2;
 
 Cpu::Cpu(sim::Simulation& sim, double mips, std::string name)
     : sim_(sim), rate_(mips * 1e6), name_(std::move(name)) {
-  assert(mips > 0);
+  PSOODB_CHECK(mips > 0, "CPU rate must be positive, got %g MIPS", mips);
   last_advance_ = sim_.now();
   window_start_ = sim_.now();
 }

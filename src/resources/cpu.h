@@ -7,7 +7,6 @@
 #ifndef PSOODB_RESOURCES_CPU_H_
 #define PSOODB_RESOURCES_CPU_H_
 
-#include <cassert>
 #include <coroutine>
 #include <cstdint>
 #include <string>

@@ -5,12 +5,12 @@
 #ifndef PSOODB_RESOURCES_FIFO_SERVER_H_
 #define PSOODB_RESOURCES_FIFO_SERVER_H_
 
-#include <cassert>
 #include <coroutine>
 #include <cstdint>
 #include <string>
 
 #include "sim/simulation.h"
+#include "util/check.h"
 
 namespace psoodb::resources {
 
@@ -158,7 +158,7 @@ class FifoServer::Awaiter {
 };
 
 inline FifoServer::Awaiter FifoServer::Serve(double service_time) {
-  assert(service_time >= 0);
+  PSOODB_DCHECK(service_time >= 0, "negative service time");
   ++requests_;
   return Awaiter(*this, service_time);
 }

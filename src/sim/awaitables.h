@@ -10,13 +10,13 @@
 #ifndef PSOODB_SIM_AWAITABLES_H_
 #define PSOODB_SIM_AWAITABLES_H_
 
-#include <cassert>
 #include <coroutine>
 #include <memory>
 #include <optional>
 #include <utility>
 
 #include "sim/simulation.h"
+#include "util/check.h"
 
 namespace psoodb::sim {
 
@@ -159,7 +159,8 @@ class Future {
   void await_suspend(std::coroutine_handle<> h) { state_->waiter = h; }
   T await_resume() {
     state_->delivered = true;
-    assert(state_->value.has_value());
+    PSOODB_CHECK(state_->value.has_value(),
+                 "Future resumed with no value delivered");
     return std::move(*state_->value);
   }
 
@@ -196,7 +197,7 @@ class Promise {
 
   /// Delivers the value; wakes the awaiting process (if any) at now().
   void Set(T value) {
-    assert(!state_->value.has_value() && "Promise::Set called twice");
+    PSOODB_CHECK(!state_->value.has_value(), "Promise::Set called twice");
     state_->value.emplace(std::move(value));
     if (state_->waiter) {
       state_->sched = state_->sim->ScheduleNow(state_->waiter);
@@ -218,7 +219,7 @@ class WaitGroup {
 
   void Add(int n = 1) { count_ += n; }
   void Done() {
-    assert(count_ > 0);
+    PSOODB_CHECK(count_ > 0, "WaitGroup::Done without matching Add");
     if (--count_ == 0) cv_.NotifyAll();
   }
   int count() const { return count_; }

@@ -1,8 +1,8 @@
 #include "sim/random.h"
 
-#include <cassert>
 #include <cmath>
 #include <unordered_set>
+#include "util/check.h"
 
 namespace psoodb::sim {
 
@@ -44,7 +44,7 @@ double Rng::Uniform(double lo, double hi) {
 }
 
 std::int64_t Rng::UniformInt(std::int64_t lo, std::int64_t hi) {
-  assert(lo <= hi);
+  PSOODB_DCHECK(lo <= hi, "UniformInt range inverted");
   const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
   if (range == 0) return static_cast<std::int64_t>(Next());  // full range
   // Rejection sampling to avoid modulo bias.
@@ -70,7 +70,9 @@ std::vector<std::int64_t> Rng::SampleWithoutReplacement(std::int64_t lo,
                                                         std::int64_t hi,
                                                         std::size_t k) {
   const std::uint64_t n = static_cast<std::uint64_t>(hi - lo) + 1;
-  assert(k <= n);
+  PSOODB_CHECK(k <= n, "sample of %llu from a range of %llu",
+               static_cast<unsigned long long>(k),
+               static_cast<unsigned long long>(n));
   std::vector<std::int64_t> out;
   out.reserve(k);
   if (k * 3 >= n) {

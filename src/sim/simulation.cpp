@@ -1,8 +1,15 @@
 #include "sim/simulation.h"
 
-#include <cassert>
+#include <cstdio>
 
 namespace psoodb::sim {
+
+void Simulation::FormatCheckContext(const void* arg, char* buf, int buflen) {
+  const auto* sim = static_cast<const Simulation*>(arg);
+  std::snprintf(buf, static_cast<std::size_t>(buflen),
+                "sim time %.9f s, %llu events processed", sim->now_,
+                static_cast<unsigned long long>(sim->events_processed_));
+}
 
 Simulation::~Simulation() {
   // Destroy the event queue first so nothing fires, then destroy every live
@@ -22,8 +29,9 @@ Simulation::~Simulation() {
 }
 
 EventId Simulation::Schedule(SimTime at, std::coroutine_handle<> h) {
-  assert(at >= now_ && "cannot schedule into the past");
-  assert(h && "null coroutine handle");
+  PSOODB_CHECK(at >= now_, "cannot schedule into the past (at=%g now=%g)", at,
+               now_);
+  PSOODB_CHECK(h, "null coroutine handle");
   EventId id = NextId();
   queue_.push(Entry{at < now_ ? now_ : at, ++last_seq_, id, h, {}});
   pending_.insert(id);
@@ -31,8 +39,9 @@ EventId Simulation::Schedule(SimTime at, std::coroutine_handle<> h) {
 }
 
 EventId Simulation::ScheduleCallback(SimTime at, std::function<void()> fn) {
-  assert(at >= now_ && "cannot schedule into the past");
-  assert(fn && "null callback");
+  PSOODB_CHECK(at >= now_, "cannot schedule into the past (at=%g now=%g)", at,
+               now_);
+  PSOODB_CHECK(fn, "null callback");
   EventId id = NextId();
   queue_.push(Entry{at < now_ ? now_ : at, ++last_seq_, id, {}, std::move(fn)});
   pending_.insert(id);
@@ -61,7 +70,7 @@ bool Simulation::Step() {
     auto it = pending_.find(e.id);
     if (it == pending_.end()) continue;  // cancelled
     pending_.erase(it);
-    assert(e.at >= now_);
+    PSOODB_DCHECK(e.at >= now_, "event fired in the past");
     now_ = e.at;
     ++events_processed_;
     if (e.handle) {

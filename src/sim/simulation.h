@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "sim/task.h"
+#include "util/check.h"
 
 namespace psoodb::sim {
 
@@ -96,6 +97,8 @@ class Simulation {
 
   EventId NextId() { return ++last_id_; }
 
+  static void FormatCheckContext(const void* arg, char* buf, int buflen);
+
   SimTime now_ = 0.0;
   std::uint64_t last_id_ = 0;
   std::uint64_t last_seq_ = 0;
@@ -104,8 +107,12 @@ class Simulation {
   /// Ids of scheduled-and-not-yet-fired events. An entry popped from the heap
   /// whose id is absent here was cancelled and is skipped.
   std::unordered_set<EventId> pending_;
-  /// Live detached root coroutines (owned; destroyed on teardown).
-  std::unordered_set<void*> roots_;
+  /// Live detached root coroutines (owned; destroyed on teardown). Keyed by
+  /// frame address but never iterated in an order-sensitive way (teardown
+  /// destroys every frame; destruction order is unobservable).
+  std::unordered_set<void*> roots_;  // det-ok: set of pointers, never iterated for results
+  /// Stamps check-failure reports with the simulated time and event count.
+  util::CheckContext check_frame_{&FormatCheckContext, this};
 };
 
 /// Awaitable returned by Simulation::Delay().

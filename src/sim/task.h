@@ -16,7 +16,6 @@
 #ifndef PSOODB_SIM_TASK_H_
 #define PSOODB_SIM_TASK_H_
 
-#include <cassert>
 #include <coroutine>
 #include <cstdlib>
 #include <exception>

@@ -9,12 +9,12 @@
 #ifndef PSOODB_STORAGE_BUFFER_MANAGER_H_
 #define PSOODB_STORAGE_BUFFER_MANAGER_H_
 
-#include <cassert>
 #include <cstdint>
 #include <vector>
 
 #include "storage/lru_cache.h"
 #include "storage/types.h"
+#include "util/check.h"
 
 namespace psoodb::storage {
 
@@ -25,7 +25,7 @@ inline constexpr int kMaxObjectsPerPage = 64;
 using SlotMask = std::uint64_t;
 
 inline SlotMask SlotBit(int slot) {
-  assert(slot >= 0 && slot < kMaxObjectsPerPage);
+  PSOODB_DCHECK(slot >= 0 && slot < kMaxObjectsPerPage, "slot %d", slot);
   return SlotMask{1} << slot;
 }
 

@@ -1,10 +1,13 @@
 #include "storage/database.h"
+#include "util/check.h"
 
 namespace psoodb::storage {
 
 ObjectLayout::ObjectLayout(int num_pages, int objects_per_page)
     : num_pages_(num_pages), objects_per_page_(objects_per_page) {
-  assert(num_pages > 0 && objects_per_page > 0);
+  PSOODB_CHECK(num_pages > 0 && objects_per_page > 0,
+               "empty layout (%d pages x %d objects)", num_pages,
+               objects_per_page);
   const std::size_t n = static_cast<std::size_t>(num_objects());
   loc_.resize(n);
   at_.resize(n);
@@ -16,7 +19,8 @@ ObjectLayout::ObjectLayout(int num_pages, int objects_per_page)
 }
 
 void ObjectLayout::Swap(ObjectId a, ObjectId b) {
-  assert(a >= 0 && a < num_objects() && b >= 0 && b < num_objects());
+  PSOODB_DCHECK(a >= 0 && a < num_objects() && b >= 0 && b < num_objects(),
+                "Swap out of range");
   auto la = loc_[a];
   auto lb = loc_[b];
   loc_[a] = lb;

@@ -7,7 +7,6 @@
 #ifndef PSOODB_STORAGE_DATABASE_H_
 #define PSOODB_STORAGE_DATABASE_H_
 
-#include <cassert>
 #include <cstdint>
 #include <utility>
 #include <vector>

@@ -9,7 +9,6 @@
 #ifndef PSOODB_STORAGE_LRU_CACHE_H_
 #define PSOODB_STORAGE_LRU_CACHE_H_
 
-#include <cassert>
 #include <cstddef>
 #include <cstdio>
 #include <cstdlib>
@@ -17,6 +16,7 @@
 #include <optional>
 #include <unordered_map>
 #include <utility>
+#include "util/check.h"
 
 namespace psoodb::storage {
 
@@ -24,7 +24,7 @@ template <typename Key, typename Value>
 class LruCache {
  public:
   explicit LruCache(std::size_t capacity) : capacity_(capacity) {
-    assert(capacity > 0);
+    PSOODB_CHECK(capacity > 0, "LruCache needs nonzero capacity");
   }
 
   std::size_t capacity() const { return capacity_; }
@@ -81,7 +81,7 @@ class LruCache {
   std::optional<Value> Remove(const Key& k) {
     auto it = map_.find(k);
     if (it == map_.end()) return std::nullopt;
-    assert(it->second->pins == 0 && "removing a pinned entry");
+    PSOODB_CHECK(it->second->pins == 0, "removing a pinned entry");
     std::optional<Value> v(std::move(it->second->value));
     lru_.erase(it->second);
     map_.erase(it);
@@ -91,13 +91,13 @@ class LruCache {
   /// Pins an entry, excluding it from eviction. Pins nest.
   void Pin(const Key& k) {
     auto it = map_.find(k);
-    assert(it != map_.end());
+    PSOODB_DCHECK(it != map_.end(), "pinning an uncached key");
     ++it->second->pins;
   }
   void Unpin(const Key& k) {
     auto it = map_.find(k);
-    assert(it != map_.end());
-    assert(it->second->pins > 0);
+    PSOODB_DCHECK(it != map_.end(), "unpinning an uncached key");
+    PSOODB_DCHECK(it->second->pins > 0, "unpin without matching pin");
     --it->second->pins;
   }
   int pins(const Key& k) const {

@@ -1,0 +1,43 @@
+#include "util/check.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace psoodb::util {
+
+thread_local CheckContext* CheckContext::top_ = nullptr;
+
+void CheckContext::PrintAll() {
+  // Collect frames innermost-first, print outermost-first.
+  const CheckContext* frames[32];
+  int n = 0;
+  for (CheckContext* c = top_; c != nullptr && n < 32; c = c->prev_) {
+    frames[n++] = c;
+  }
+  char buf[256];
+  for (int i = n - 1; i >= 0; --i) {
+    buf[0] = '\0';
+    frames[i]->fn_(frames[i]->arg_, buf, sizeof(buf));
+    std::fprintf(stderr, "  context: %s\n", buf);
+  }
+}
+
+void CheckFail(const char* file, int line, const char* expr, const char* fmt,
+               ...) {
+  std::fprintf(stderr, "PSOODB CHECK failed: %s\n  at %s:%d\n", expr, file,
+               line);
+  if (fmt != nullptr) {
+    std::va_list args;
+    va_start(args, fmt);
+    std::fprintf(stderr, "  message: ");
+    std::vfprintf(stderr, fmt, args);
+    std::fprintf(stderr, "\n");
+    va_end(args);
+  }
+  CheckContext::PrintAll();
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace psoodb::util

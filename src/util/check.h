@@ -1,0 +1,75 @@
+/// \file check.h
+/// Always-on invariant checks. The bare `assert()` calls this codebase
+/// started with compile away under NDEBUG — i.e. in exactly the Release
+/// builds the figure benches run — so protocol bugs could slip through the
+/// configurations that matter. `PSOODB_CHECK` survives every build type;
+/// `PSOODB_DCHECK` is for checks too hot for Release (per-slot bit math,
+/// per-event queue bookkeeping) and compiles to nothing under NDEBUG unless
+/// PSOODB_DCHECK_ON is defined.
+///
+/// Failures print the failed expression, the source location, an optional
+/// printf-style message, and every registered `CheckContext` frame (the
+/// simulation registers one with the current simulated time; protocol code
+/// can push transaction/protocol frames), then abort().
+
+#ifndef PSOODB_UTIL_CHECK_H_
+#define PSOODB_UTIL_CHECK_H_
+
+namespace psoodb::util {
+
+/// Prints the failure report (expression, location, message, context
+/// frames) to stderr and aborts.
+[[noreturn]] void CheckFail(const char* file, int line, const char* expr,
+                            const char* fmt = nullptr, ...)
+    __attribute__((format(printf, 4, 5)));
+
+/// RAII stack of failure-context providers (thread-local). Each live frame
+/// contributes one line to check-failure reports, innermost last. The
+/// formatter must not allocate or throw (it runs on the abort path).
+class CheckContext {
+ public:
+  /// Writes a context line (NUL-terminated) into buf[0..buflen).
+  using Formatter = void (*)(const void* arg, char* buf, int buflen);
+
+  CheckContext(Formatter fn, const void* arg) : fn_(fn), arg_(arg) {
+    prev_ = top_;
+    top_ = this;
+  }
+  ~CheckContext() { top_ = prev_; }
+  CheckContext(const CheckContext&) = delete;
+  CheckContext& operator=(const CheckContext&) = delete;
+
+  /// Prints every live frame to stderr, outermost first (used by CheckFail;
+  /// exposed so alternative reporters, e.g. the invariant checker's
+  /// non-fatal mode, can reuse the context).
+  static void PrintAll();
+
+ private:
+  CheckContext* prev_;
+  Formatter fn_;
+  const void* arg_;
+  static thread_local CheckContext* top_;
+};
+
+}  // namespace psoodb::util
+
+/// Always-on check: evaluated (and fatal on failure) in every build type,
+/// including the Release figure-bench builds. Optional printf-style message:
+///   PSOODB_CHECK(holder != txn, "txn %llu blocking itself", (ull)txn);
+#define PSOODB_CHECK(cond, ...)                                        \
+  ((cond) ? static_cast<void>(0)                                       \
+          : ::psoodb::util::CheckFail(__FILE__, __LINE__,              \
+                                      #cond __VA_OPT__(, ) __VA_ARGS__))
+
+/// Debug-only check for hot paths. Enabled when NDEBUG is unset (Debug /
+/// RelWithDebInfo-without-NDEBUG builds) or PSOODB_DCHECK_ON is defined;
+/// otherwise the condition is not evaluated (but still type-checked, so
+/// variables it names do not trigger unused warnings).
+#if !defined(NDEBUG) || defined(PSOODB_DCHECK_ON)
+#define PSOODB_DCHECK(cond, ...) PSOODB_CHECK(cond __VA_OPT__(, ) __VA_ARGS__)
+#else
+#define PSOODB_DCHECK(cond, ...) \
+  static_cast<void>(sizeof((cond) ? 1 : 0))
+#endif
+
+#endif  // PSOODB_UTIL_CHECK_H_

@@ -1,8 +1,8 @@
 #include "workload/workload.h"
 
 #include <algorithm>
-#include <cassert>
 #include <unordered_set>
+#include "util/check.h"
 
 namespace psoodb::workload {
 
@@ -27,7 +27,8 @@ TransactionSource::TransactionSource(const config::WorkloadParams& workload,
                    : &workload.client_regions.at(client)),
       client_(client),
       rng_(seed, /*stream=*/0x30A0 + static_cast<std::uint64_t>(client)) {
-  assert(workload.custom_generator || !regions_->empty());
+  PSOODB_CHECK(workload.custom_generator || !regions_->empty(),
+               "client %d has neither regions nor a custom generator", client);
 }
 
 std::vector<std::pair<PageId, int>> TransactionSource::ChoosePages(int n) {

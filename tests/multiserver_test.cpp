@@ -57,6 +57,10 @@ TEST_P(MultiServerCorrectness, RunsSerializablyAcrossPartitions) {
   SystemParams sys;
   sys.num_clients = 6;
   sys.num_servers = num_servers;
+  // Invariant sweeps cover every partition server; fail fast since
+  // RunSimulation destroys the System before violations could be read.
+  sys.invariant_checks = true;
+  sys.invariant_failfast = true;
   // UNIFORM guarantees cross-partition transactions (30 pages over the
   // whole database hit every partition almost surely).
   auto w = config::MakeUniform(sys, Locality::kLow, 0.2);

@@ -23,6 +23,11 @@ SystemParams SmallSys() {
   p.num_clients = 4;
   p.db_pages = 200;
   p.seed = 7;
+  // Run every protocol test under the cross-component invariant checker;
+  // fail-fast because RunSimulation destroys the System (and with it any
+  // recorded violations) before the test could inspect them.
+  p.invariant_checks = true;
+  p.invariant_failfast = true;
   return p;
 }
 

@@ -223,6 +223,8 @@ TEST(SystemEdgeTest, CustomWorkloadRunsCorrectlyEndToEnd) {
   SystemParams sys;
   sys.num_clients = 4;
   sys.db_pages = 200;
+  sys.invariant_checks = true;
+  sys.invariant_failfast = true;
   config::WorkloadParams w;
   w.name = "chain";
   w.custom_max_pages = 5;
@@ -233,7 +235,8 @@ TEST(SystemEdgeTest, CustomWorkloadRunsCorrectlyEndToEnd) {
     for (int hop = 0; hop < 4; ++hop) {
       storage::PageId page = 10 + client * 4 + hop;  // private chain
       refs.push_back(
-          {static_cast<storage::ObjectId>(page) * opp + (ordinal % opp),
+          {static_cast<storage::ObjectId>(page) * opp +
+               static_cast<int>(ordinal % opp),
            false});
     }
     // Shared contended page: read two objects, update one.

@@ -1,13 +1,15 @@
 // psoodb doctor: quick self-check used during development. Runs every
 // protocol on a small high-contention configuration with all correctness
-// checkers enabled and prints PASS/FAIL per protocol. Useful as a smoke
-// test after modifying protocol code (faster than the full ctest suite's
-// integration portion when iterating).
+// checkers enabled — including the cross-component invariant checker
+// (src/check/invariants.h) — and prints PASS/FAIL per protocol. Useful as
+// a smoke test after modifying protocol code (faster than the full ctest
+// suite's integration portion when iterating).
 //
 //   $ ./build/src/psoodb_doctor        # despite the name: the doctor tool
 
 #include <cstdio>
 
+#include "check/invariants.h"
 #include "config/params.h"
 #include "core/system.h"
 
@@ -20,6 +22,8 @@ int main() {
       config::SystemParams sys;
       sys.num_clients = 6;
       sys.seed = 7 + which;
+      sys.invariant_checks = true;
+      sys.invariant_event_period = 500;
       config::WorkloadParams w;
       switch (which) {
         case 0: w = config::MakeHicon(sys, config::Locality::kLow, 0.2); break;
@@ -30,17 +34,22 @@ int main() {
       rc.warmup_commits = 50;
       rc.measure_commits = 300;
       rc.record_history = true;
-      auto r = core::RunSimulation(protocol, sys, w, rc);
+      core::System system(protocol, sys, w);
+      auto r = system.Run(rc);
+      const check::InvariantChecker* inv = system.invariants();
+      const bool invariants_ok = inv != nullptr && inv->ok();
       ok = !r.stalled && r.throughput > 0 &&
            r.counters.validity_violations == 0 && r.serializable &&
-           r.no_lost_updates;
+           r.no_lost_updates && invariants_ok;
       if (!ok) {
         std::printf("  [%s workload %d] stalled=%d thr=%.2f viol=%llu "
-                    "serializable=%d lost=%d\n",
+                    "serializable=%d lost=%d invariants=%s\n",
                     config::ProtocolName(protocol), which, (int)r.stalled,
                     r.throughput,
                     (unsigned long long)r.counters.validity_violations,
-                    (int)r.serializable, (int)!r.no_lost_updates);
+                    (int)r.serializable, (int)!r.no_lost_updates,
+                    invariants_ok ? "ok" : "VIOLATED");
+        if (inv != nullptr && !inv->ok()) inv->Report(stdout);
       }
     }
     std::printf("%-6s %s\n", config::ProtocolName(protocol),
