@@ -87,7 +87,7 @@ std::vector<std::vector<core::RunResult>> RunFigure(
   std::printf("==================================================================\n");
 
   // Wall-clock here only reports sweep duration; no simulation state.
-  const auto t0 = std::chrono::steady_clock::now();  // det-ok
+  const auto t0 = std::chrono::steady_clock::now();  // det-ok: progress reporting only, never enters the sim
 
   // Fan out: every (write_prob, protocol) point is an independent run — each
   // System owns its Simulation, Rng streams and Counters, and nothing in the
@@ -184,7 +184,7 @@ std::vector<std::vector<core::RunResult>> RunFigure(
   }
 
   const double wall =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -  // det-ok
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -  // det-ok: progress reporting only, never enters the sim
                                     t0)
           .count();
   std::printf("\nPaper result: %s\n", opt.expectation.c_str());

@@ -15,6 +15,7 @@
 #ifndef PSOODB_CC_COPY_TABLE_H_
 #define PSOODB_CC_COPY_TABLE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -75,9 +76,13 @@ class CopyTable {
     auto it = table_.find(item);
     if (it == table_.end()) return out;
     out.reserve(it->second.size());
-    for (const auto& [c, epoch] : it->second) {
+    for (const auto& [c, epoch] : it->second) {  // det-ok: sorted below
       if (c != except) out.push_back({c, epoch});
     }
+    // Callers fan callbacks out in this order; sort so the wire order is a
+    // function of the sharing state, not of the hash table's bucket layout.
+    std::sort(out.begin(), out.end(),
+              [](const Holder& a, const Holder& b) { return a.client < b.client; });
     return out;
   }
 

@@ -29,7 +29,7 @@ void DeadlockDetector::ClearWaits(storage::TxnId waiter) {
 
 void DeadlockDetector::RemoveTxn(storage::TxnId txn) {
   out_edges_.erase(txn);
-  for (auto& [_, targets] : out_edges_) targets.erase(txn);
+  for (auto& [_, targets] : out_edges_) targets.erase(txn);  // det-ok: commutative erase
 }
 
 bool DeadlockDetector::HasCycleFrom(storage::TxnId txn) const {
@@ -39,7 +39,7 @@ bool DeadlockDetector::HasCycleFrom(storage::TxnId txn) const {
   auto push_targets = [&](storage::TxnId from) {
     auto it = out_edges_.find(from);
     if (it == out_edges_.end()) return;
-    for (storage::TxnId t : it->second) {
+    for (storage::TxnId t : it->second) {  // det-ok: boolean reachability, order-independent
       if (t == txn) stack.push_back(t);  // found a way back; handled below
       if (visited.insert(t).second) stack.push_back(t);
     }
@@ -56,7 +56,7 @@ bool DeadlockDetector::HasCycleFrom(storage::TxnId txn) const {
 
 std::size_t DeadlockDetector::edge_count() const {
   std::size_t n = 0;
-  for (const auto& [_, targets] : out_edges_) n += targets.size();
+  for (const auto& [_, targets] : out_edges_) n += targets.size();  // det-ok: commutative sum
   return n;
 }
 
@@ -64,8 +64,8 @@ std::vector<std::pair<storage::TxnId, storage::TxnId>>
 DeadlockDetector::Edges() const {
   std::vector<std::pair<storage::TxnId, storage::TxnId>> out;
   out.reserve(edge_count());
-  for (const auto& [waiter, targets] : out_edges_) {
-    for (storage::TxnId t : targets) out.emplace_back(waiter, t);
+  for (const auto& [waiter, targets] : out_edges_) {    // det-ok: sorted below
+    for (storage::TxnId t : targets) out.emplace_back(waiter, t);  // det-ok: sorted below
   }
   std::sort(out.begin(), out.end());
   return out;

@@ -1,5 +1,6 @@
 #include "cc/lock_manager.h"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "cc/abort.h"
@@ -179,16 +180,19 @@ std::vector<std::pair<ObjectId, TxnId>> LockManager::ObjectLocksOnPage(
   auto it = object_locks_by_page_.find(page);
   if (it == object_locks_by_page_.end()) return out;
   out.reserve(it->second.size());
-  for (ObjectId oid : it->second) {
+  for (ObjectId oid : it->second) {  // det-ok: sorted below
     out.emplace_back(oid, HolderOf(objects_, oid));
   }
+  // Protocol layers walk this list to fan out callbacks; pin the order to
+  // the object ids, not to the set's bucket layout.
+  std::sort(out.begin(), out.end());
   return out;
 }
 
 bool LockManager::OtherObjectLocksOnPage(PageId page, TxnId txn) const {
   auto it = object_locks_by_page_.find(page);
   if (it == object_locks_by_page_.end()) return false;
-  for (ObjectId oid : it->second) {
+  for (ObjectId oid : it->second) {  // det-ok: boolean any(), order-independent
     if (HolderOf(objects_, oid) != txn) return true;
   }
   return false;
@@ -198,6 +202,9 @@ int LockManager::ReleaseAll(TxnId txn) {
   int released = 0;
   if (auto it = pages_by_txn_.find(txn); it != pages_by_txn_.end()) {
     std::vector<PageId> held(it->second.begin(), it->second.end());
+    // Release order decides the order waiters are woken in; sort so it does
+    // not depend on the reverse map's bucket layout.
+    std::sort(held.begin(), held.end());
     for (PageId p : held) {
       ReleasePageX(p, txn);
       ++released;
@@ -205,6 +212,7 @@ int LockManager::ReleaseAll(TxnId txn) {
   }
   if (auto it = objects_by_txn_.find(txn); it != objects_by_txn_.end()) {
     std::vector<ObjectId> held(it->second.begin(), it->second.end());
+    std::sort(held.begin(), held.end());
     for (ObjectId o : held) {
       ReleaseObjectX(o, txn);
       ++released;
@@ -234,7 +242,7 @@ std::vector<std::string> LockManager::CheckCoherence() const {
   };
 
   // Forward tables vs. per-txn reverse maps.
-  for (const auto& [page, e] : pages_) {
+  for (const auto& [page, e] : pages_) {  // det-ok: diagnostic sweep; empty in healthy runs, never feeds the sim
     if (e.holder == kNoTxn) {
       if (e.holder_client != kNoClient) {
         fail(std::snprintf(buf, sizeof buf,
@@ -256,12 +264,12 @@ std::vector<std::string> LockManager::CheckCoherence() const {
                          page, static_cast<unsigned long long>(e.holder)));
     }
   }
-  for (const auto& [txn, pages] : pages_by_txn_) {
+  for (const auto& [txn, pages] : pages_by_txn_) {  // det-ok: diagnostic sweep; empty in healthy runs, never feeds the sim
     if (pages.empty()) {
       fail(std::snprintf(buf, sizeof buf, "empty page reverse map for txn %llu",
                          static_cast<unsigned long long>(txn)));
     }
-    for (PageId p : pages) {
+    for (PageId p : pages) {  // det-ok: diagnostic sweep; empty in healthy runs, never feeds the sim
       if (HolderOf(pages_, p) != txn) {
         fail(std::snprintf(buf, sizeof buf,
                            "reverse map says txn %llu holds page %d but the "
@@ -270,7 +278,7 @@ std::vector<std::string> LockManager::CheckCoherence() const {
       }
     }
   }
-  for (const auto& [oid, e] : objects_) {
+  for (const auto& [oid, e] : objects_) {  // det-ok: diagnostic sweep; empty in healthy runs, never feeds the sim
     if (e.holder == kNoTxn) {
       if (e.holder_client != kNoClient) {
         fail(std::snprintf(buf, sizeof buf,
@@ -310,13 +318,13 @@ std::vector<std::string> LockManager::CheckCoherence() const {
       }
     }
   }
-  for (const auto& [txn, oids] : objects_by_txn_) {
+  for (const auto& [txn, oids] : objects_by_txn_) {  // det-ok: diagnostic sweep; empty in healthy runs, never feeds the sim
     if (oids.empty()) {
       fail(std::snprintf(buf, sizeof buf,
                          "empty object reverse map for txn %llu",
                          static_cast<unsigned long long>(txn)));
     }
-    for (ObjectId o : oids) {
+    for (ObjectId o : oids) {  // det-ok: diagnostic sweep; empty in healthy runs, never feeds the sim
       if (HolderOf(objects_, o) != txn) {
         fail(std::snprintf(buf, sizeof buf,
                            "reverse map says txn %llu holds object %lld but "
@@ -328,13 +336,13 @@ std::vector<std::string> LockManager::CheckCoherence() const {
   }
 
   // Per-page object-lock index vs. the forward tables.
-  for (const auto& [page, oids] : object_locks_by_page_) {
+  for (const auto& [page, oids] : object_locks_by_page_) {  // det-ok: diagnostic sweep; empty in healthy runs, never feeds the sim
     if (oids.empty()) {
       fail(std::snprintf(buf, sizeof buf,
                          "empty per-page object-lock index entry for page %d",
                          page));
     }
-    for (ObjectId o : oids) {
+    for (ObjectId o : oids) {  // det-ok: diagnostic sweep; empty in healthy runs, never feeds the sim
       if (HolderOf(objects_, o) == kNoTxn) {
         fail(std::snprintf(buf, sizeof buf,
                            "per-page index of page %d lists unheld object "
@@ -350,7 +358,7 @@ std::vector<std::string> LockManager::CheckCoherence() const {
       }
     }
   }
-  for (const auto& [oid, page] : page_of_locked_) {
+  for (const auto& [oid, page] : page_of_locked_) {  // det-ok: diagnostic sweep; empty in healthy runs, never feeds the sim
     auto byp = object_locks_by_page_.find(page);
     if (byp == object_locks_by_page_.end() || byp->second.count(oid) == 0) {
       fail(std::snprintf(buf, sizeof buf,

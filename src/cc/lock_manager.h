@@ -40,12 +40,14 @@ class LockManager {
 
   /// Acquires an X lock on `page` for `txn`. Waits behind the current holder;
   /// throws TxnAborted on deadlock. Re-acquiring a held lock is a no-op.
-  sim::Task AcquirePageX(storage::PageId page, storage::TxnId txn,
-                         storage::ClientId client);
+  /// [[nodiscard]]: dropping the returned Task would skip the acquire.
+  [[nodiscard]] sim::Task AcquirePageX(storage::PageId page, storage::TxnId txn,
+                                       storage::ClientId client);
 
   /// Waits until no *other* transaction holds a page X lock on `page`
   /// without acquiring anything (used by read requests).
-  sim::Task WaitPageFree(storage::PageId page, storage::TxnId txn);
+  [[nodiscard]] sim::Task WaitPageFree(storage::PageId page,
+                                       storage::TxnId txn);
 
   void ReleasePageX(storage::PageId page, storage::TxnId txn);
   storage::TxnId PageXHolder(storage::PageId page) const;
@@ -54,11 +56,14 @@ class LockManager {
   // --- Object-granularity X locks -----------------------------------------
 
   /// Acquires an X lock on `oid` (which lives on `page`) for `txn`.
-  sim::Task AcquireObjectX(storage::ObjectId oid, storage::PageId page,
-                           storage::TxnId txn, storage::ClientId client);
+  [[nodiscard]] sim::Task AcquireObjectX(storage::ObjectId oid,
+                                         storage::PageId page,
+                                         storage::TxnId txn,
+                                         storage::ClientId client);
 
   /// Waits until no *other* transaction holds an object X lock on `oid`.
-  sim::Task WaitObjectFree(storage::ObjectId oid, storage::TxnId txn);
+  [[nodiscard]] sim::Task WaitObjectFree(storage::ObjectId oid,
+                                         storage::TxnId txn);
 
   /// Grants an object X lock without blocking. Used by PS-AA lock
   /// de-escalation, where the grantee's page X lock guarantees no

@@ -228,7 +228,7 @@ void InvariantChecker::CheckSingleWriter() {
     const TxnId txn = c.active_txn();
     const cc::LocalTxnLocks& ll = c.local_locks();
 
-    for (PageId p : ll.page_write_locks()) {
+    for (PageId p : ll.page_write_locks()) {  // det-ok: invariant sweep; Expect only reports, nothing feeds the sim
       Expect(txn != kNoTxn,
              "client %d holds a page write permission on %d with no active "
              "transaction",
@@ -249,7 +249,7 @@ void InvariantChecker::CheckSingleWriter() {
              cid, U(txn), p, U(holder));
     }
 
-    for (ObjectId o : ll.object_write_locks()) {
+    for (ObjectId o : ll.object_write_locks()) {  // det-ok: invariant sweep; Expect only reports, nothing feeds the sim
       Expect(txn != kNoTxn,
              "client %d holds an object write permission on %lld with no "
              "active transaction",
@@ -275,7 +275,7 @@ void InvariantChecker::CheckSingleWriter() {
   }
 
   // Pass 2: no conflicting reader / cached copy beside a writer.
-  for (const auto& [p, writer] : page_writers) {
+  for (const auto& [p, writer] : page_writers) {  // det-ok: invariant sweep; Expect only reports, nothing feeds the sim
     for (int ci = 0; ci < system_.num_clients(); ++ci) {
       core::Client& other = system_.client(ci);
       if (other.id() == writer || other.terminating()) continue;
@@ -291,7 +291,7 @@ void InvariantChecker::CheckSingleWriter() {
       }
     }
   }
-  for (const auto& [o, writer] : object_writers) {
+  for (const auto& [o, writer] : object_writers) {  // det-ok: invariant sweep; Expect only reports, nothing feeds the sim
     for (int ci = 0; ci < system_.num_clients(); ++ci) {
       core::Client& other = system_.client(ci);
       if (other.id() == writer || other.terminating()) continue;
@@ -313,7 +313,7 @@ void InvariantChecker::CheckReadFootprints() {
     if (txn == kNoTxn) continue;
     const cc::LocalTxnLocks& ll = c.local_locks();
     if (proto == Protocol::kOS) {
-      for (ObjectId o : ll.read_objects()) {
+      for (ObjectId o : ll.read_objects()) {  // det-ok: invariant sweep; Expect only reports, nothing feeds the sim
         Expect(c.PeekObject(o) != nullptr,
                "client %d txn %llu read object %lld but no longer caches it "
                "(a local read lock was silently dropped)",
@@ -324,7 +324,7 @@ void InvariantChecker::CheckReadFootprints() {
       // objects read from it. Slot availability is *not* invariant here — a
       // later ship may mark a locally-read object unavailable while the
       // deferred "in use" callback reply is still outstanding.
-      for (PageId p : ll.read_pages()) {
+      for (PageId p : ll.read_pages()) {  // det-ok: invariant sweep; Expect only reports, nothing feeds the sim
         Expect(c.PeekPage(p) != nullptr,
                "client %d txn %llu uses page %d but no longer caches it "
                "(a local read lock was silently dropped)",

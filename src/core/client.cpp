@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 
 #include "cc/abort.h"
 #include "util/check.h"
@@ -165,7 +166,7 @@ void PageFamilyClient::PinForTxn(PageId page) {
 }
 
 void PageFamilyClient::UnpinAll() {
-  for (PageId p : pinned_pages_) {
+  for (PageId p : pinned_pages_) {  // det-ok: commutative unpin, no events
     if (cache_.Contains(p)) cache_.Unpin(p);
   }
   pinned_pages_.clear();
@@ -254,7 +255,7 @@ int PageFamilyClient::ApplyShip(const PageShip& ship) {
     f->dirty = 0;
     // Re-mark any of this transaction's own updates on the page (the frame
     // was dirty-evicted earlier); they are still logically uncommitted here.
-    for (ObjectId oid : locks_.write_objects()) {
+    for (ObjectId oid : locks_.write_objects()) {  // det-ok: commutative bitmask OR
       if (PageOf(oid) == ship.page) f->MarkDirty(SlotOf(oid));
     }
     f->unavailable &= ~f->dirty;
@@ -280,8 +281,10 @@ int PageFamilyClient::ApplyShip(const PageShip& ship) {
 
 sim::Task PageFamilyClient::Commit() {
   txn_committing_ = true;
-  // Group still-cached dirty pages by owning (partition) server.
-  std::unordered_map<int, std::vector<PageUpdate>> by_server;
+  // Group still-cached dirty pages by owning (partition) server. Ordered
+  // map: the loop below sends one commit message per server, and that wire
+  // order must not depend on a hash table's bucket layout.
+  std::map<int, std::vector<PageUpdate>> by_server;
   std::unordered_map<int, int> objects_per_server;
   std::vector<PageUpdate> all_updates;
   cache_.ForEach([&](PageId p, const storage::PageFrame& f) {

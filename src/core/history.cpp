@@ -65,7 +65,7 @@ bool History::IsSerializable() const {
     if (a != b) adj[a].insert(b);
   };
 
-  for (const auto& [oid, oh] : objects) {
+  for (const auto& [oid, oh] : objects) {  // det-ok: builds an edge SET; cycle test is order-independent
     // ww: writer(v) -> writer(v') for consecutive written versions.
     for (auto it = oh.writer_of.begin(); it != oh.writer_of.end(); ++it) {
       auto next = std::next(it);
@@ -94,7 +94,7 @@ bool History::NoLostUpdates() const {
   for (const auto& t : txns_) {
     for (const auto& [oid, v] : t.writes) writes[oid].push_back(v);
   }
-  for (auto& [oid, vs] : writes) {
+  for (auto& [oid, vs] : writes) {  // det-ok: per-object predicate, order-independent
     std::sort(vs.begin(), vs.end());
     // Committed versions must start past 0 and be contiguous and unique.
     // (The first recorded write may be >1 only if warmup commits were not

@@ -164,7 +164,7 @@ void OsClient::PinForTxn(ObjectId oid) {
 }
 
 void OsClient::UnpinAll() {
-  for (ObjectId oid : pinned_objects_) {
+  for (ObjectId oid : pinned_objects_) {  // det-ok: commutative unpin, no events
     if (cache_.Contains(oid)) cache_.Unpin(oid);
   }
   pinned_objects_.clear();
@@ -215,9 +215,11 @@ sim::Task OsClient::Write(ObjectId oid) {
 sim::Task OsClient::Commit() {
   txn_committing_ = true;
   // Updated objects still cached, grouped by page for the install and by
-  // owning server for the fan-out.
-  std::unordered_map<PageId, SlotMask> masks;
-  std::unordered_map<int, std::pair<std::vector<PageUpdate>, int>> by_server;
+  // owning server for the fan-out. Ordered maps: the grouping decides both
+  // the per-message update order and the wire order of the commit fan-out,
+  // neither of which may depend on hash-bucket layout.
+  std::map<PageId, SlotMask> masks;
+  std::map<int, std::pair<std::vector<PageUpdate>, int>> by_server;
   cache_.ForEach([&](ObjectId oid, const storage::ObjectFrame& f) {
     if (f.dirty) masks[PageOf(oid)] |= storage::SlotBit(SlotOf(oid));
   });

@@ -1,5 +1,6 @@
 #include "core/ps_aa.h"
 
+#include <algorithm>
 
 #include "cc/abort.h"
 #include "check/invariants.h"
@@ -297,9 +298,12 @@ void PsAaClient::OnDeEscalate(PageId page,
                               sim::Promise<std::vector<ObjectId>> reply) {
   std::vector<ObjectId> written;
   if (locks_.HasPageWrite(page)) {
-    for (ObjectId oid : locks_.write_objects()) {
+    for (ObjectId oid : locks_.write_objects()) {  // det-ok: sorted below
       if (PageOf(oid) == page) written.push_back(oid);
     }
+    // The list rides the de-escalation reply and the server takes object
+    // locks in list order; sort so the wire content is hash-independent.
+    std::sort(written.begin(), written.end());
     locks_.RevokePageWrite(page);
     for (ObjectId oid : written) locks_.GrantObjectWrite(oid);
   }

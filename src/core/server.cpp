@@ -1,6 +1,7 @@
 #include "core/server.h"
 
 #include <algorithm>
+#include <map>
 #include <string>
 
 #include "cc/abort.h"
@@ -203,13 +204,15 @@ sim::Task Server::HandleCommit(
     SlotMask mask = 0;
     int growth = 0;
   };
-  std::unordered_map<PageId, Pending> masks;
+  // Ordered: the install loop below co_awaits per page, so the install
+  // order is event order and must not follow a hash table's bucket layout.
+  std::map<PageId, Pending> masks;
   for (const auto& u : updates) {
     masks[u.page].mask |= u.dirty;
     masks[u.page].growth += u.growth_bytes;
   }
   if (auto it = staging_.find(txn); it != staging_.end()) {
-    for (const auto& [page, mask] : it->second) masks[page].mask |= mask;
+    for (const auto& [page, mask] : it->second) masks[page].mask |= mask;  // det-ok: commutative fold into an ordered map
     staging_.erase(it);
   }
 

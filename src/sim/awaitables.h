@@ -43,9 +43,10 @@ class CondVar {
     }
   }
 
-  class Awaiter;
-  /// Returns an awaitable that suspends the caller until notified.
-  Awaiter Wait();
+  class [[nodiscard]] Awaiter;
+  /// Returns an awaitable that suspends the caller until notified. Discarding
+  /// the awaiter (not co_awaiting it) would silently skip the wait.
+  [[nodiscard]] Awaiter Wait();
 
   /// Wakes the oldest waiter (if any). Returns true if one was woken.
   bool NotifyOne();
@@ -146,7 +147,7 @@ class Promise;
 /// Promise. Await at most once. Used for RPC-style request/response between
 /// simulation processes.
 template <typename T>
-class Future {
+class [[nodiscard]] Future {
  public:
   Future() = default;
 
@@ -193,7 +194,7 @@ class Promise {
   }
 
   /// Obtains the (single) consumer future.
-  Future<T> GetFuture() { return Future<T>(state_); }
+  [[nodiscard]] Future<T> GetFuture() { return Future<T>(state_); }
 
   /// Delivers the value; wakes the awaiting process (if any) at now().
   void Set(T value) {
@@ -225,7 +226,7 @@ class WaitGroup {
   int count() const { return count_; }
 
   /// Awaitable process-side wait until count()==0.
-  Task Wait() {
+  [[nodiscard]] Task Wait() {
     while (count_ > 0) {
       co_await cv_.Wait();
     }

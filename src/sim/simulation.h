@@ -76,9 +76,10 @@ class Simulation {
   std::size_t live_processes() const { return roots_.size(); }
 
   /// Awaitable: suspends the calling task for `dt` seconds of simulated time.
-  /// Usage: `co_await sim.Delay(0.010);`
-  class DelayAwaiter;
-  DelayAwaiter Delay(SimTime dt);
+  /// Usage: `co_await sim.Delay(0.010);`. Discarding the awaiter (not
+  /// co_awaiting it) would silently skip the delay.
+  class [[nodiscard]] DelayAwaiter;
+  [[nodiscard]] DelayAwaiter Delay(SimTime dt);
 
  private:
   struct Entry {

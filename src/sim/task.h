@@ -70,7 +70,11 @@ struct TaskPromise {
 }  // namespace detail
 
 /// A simulation process. See file comment for ownership rules.
-class Task {
+///
+/// [[nodiscard]]: a Task that is neither co_awaited, Spawn'ed, nor stored
+/// is destroyed before it ever runs — the coroutine silently does nothing
+/// (the DROPPED-TASK class in tools/analyzer).
+class [[nodiscard]] Task {
  public:
   using promise_type = detail::TaskPromise;
 

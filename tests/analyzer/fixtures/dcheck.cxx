@@ -1,0 +1,18 @@
+// Fixture: dcheck-side-effect. PSOODB_DCHECK compiles away under NDEBUG, so
+// its argument must be pure. Lexed only.
+
+int g_counter;
+
+struct Vec {
+  void push_back(int v);
+  int size() const;
+};
+
+void Mutations(Vec* v) {
+  PSOODB_DCHECK(g_counter == 3, "pure compare");
+  PSOODB_DCHECK(g_counter++ < 10, "bump");          // EXPECT: dcheck-side-effect
+  PSOODB_DCHECK((g_counter = 5) != 0, "assign");    // EXPECT: dcheck-side-effect
+  PSOODB_DCHECK(v->size() >= 0, "pure call");
+  PSOODB_DCHECK(v->push_back(1), "mutating call");  // EXPECT: dcheck-side-effect
+  v->push_back(2);
+}

@@ -1,0 +1,41 @@
+// Fixture: det-hazard. Wall clock, global RNG, pid, pointer-keyed unordered
+// containers. Lexed only.
+
+double WallClock() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();  // EXPECT: det-hazard
+}
+
+unsigned BadSeed() {
+  std::random_device rd;  // EXPECT: det-hazard
+  return rd();
+}
+
+int CRand() {
+  return rand();  // EXPECT: det-hazard
+}
+
+long Stamp() {
+  return time(nullptr);  // EXPECT: det-hazard
+}
+
+long Ticks() {
+  return clock();  // EXPECT: det-hazard
+}
+
+int Pid() {
+  return getpid();  // EXPECT: det-hazard
+}
+
+std::unordered_map<void*, int> by_addr;  // EXPECT: det-hazard
+
+// FP guards: strings, comments, lookalike identifiers, member access.
+struct Timer {
+  long time(int mode);
+};
+
+long Guards(Timer* t, long my_time) {
+  // steady_clock, rand(), time(NULL) — comment only
+  const char* doc = "steady_clock rand() time(NULL) getpid()";
+  long a = t->time(0);
+  return a + my_time + (doc != nullptr ? 1 : 0);
+}

@@ -1,0 +1,31 @@
+// Fixture: dropped-task. A call returning a lazy Task (or an awaitable)
+// that is neither co_awaited nor stored silently does nothing. Lexed only.
+
+struct Task {};
+
+struct Sim {
+  Task Delay(double dt);
+  void Spawn(Task t);
+};
+
+Task Work(int n);
+int Compute(int n);
+
+Task Driver(Sim* sim) {
+  Work(1);           // EXPECT: dropped-task
+  sim->Delay(0.25);  // EXPECT: dropped-task
+  co_await Work(2);
+  Task kept = Work(3);
+  sim->Spawn(Work(4));
+  Compute(5);
+  co_await kept;
+  co_return;
+}
+
+// FP guard: task names in comments/strings, non-task calls, declarations.
+int Quiet() {
+  // Work(8); — comment only
+  const char* s = "Work(9);";
+  Compute(10);
+  return s != nullptr ? 1 : 0;
+}

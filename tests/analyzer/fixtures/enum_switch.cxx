@@ -1,0 +1,48 @@
+// Fixture: enum-switch. A switch over a protocol enum must either handle
+// every enumerator or carry a checked default. Lexed only.
+
+enum class Proto { kPS, kOS, kAA };
+
+void Fail(const char* why);
+
+int HandleMissing(Proto p) {
+  switch (p) {  // EXPECT: enum-switch
+    case Proto::kPS: return 1;
+    case Proto::kOS: return 2;
+  }
+  return 0;
+}
+
+int HandleAll(Proto p) {
+  switch (p) {
+    case Proto::kPS: return 1;
+    case Proto::kOS: return 2;
+    case Proto::kAA: return 3;
+  }
+  return 0;
+}
+
+int HandleChecked(Proto p) {
+  switch (p) {
+    case Proto::kPS: return 1;
+    default: Fail("unexpected protocol"); return 0;
+  }
+}
+
+int HandleBareDefault(Proto p) {
+  int r = 0;
+  switch (p) {  // EXPECT: enum-switch
+    case Proto::kPS: r = 1; break;
+    default: break;
+  }
+  return r;
+}
+
+// FP guard: integer switches are not protocol switches.
+int HandleInt(int x) {
+  switch (x) {
+    case 1: return 1;
+    case 2: return 2;
+  }
+  return 0;
+}

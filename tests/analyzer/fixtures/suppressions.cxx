@@ -1,0 +1,34 @@
+// Fixture: suppression markers and the mandatory-justification policy.
+// Lexed only.
+
+std::unordered_map<int, int> smap;
+
+int Justified() {
+  int s = 0;
+  for (auto& [k, v] : smap) s += v;  // det-ok: commutative fold, fixture  // EXPECT-SUPPRESSED: unordered-iter
+  return s;
+}
+
+int MissingWhy() {
+  int s = 0;
+  for (auto& [k, v] : smap) s += v;  // det-ok  // EXPECT-SUPPRESSED: unordered-iter  // EXPECT: bad-suppression
+  return s;
+}
+
+int NamedCheck() {
+  int s = 0;
+  for (auto& [k, v] : smap) s += v;  // analyzer-ok(unordered-iter): fixture justification  // EXPECT-SUPPRESSED: unordered-iter
+  return s;
+}
+
+int WrongCheckName() {
+  int s = 0;
+  for (auto& [k, v] : smap) s += v;  // analyzer-ok(no-such-check): fixture  // EXPECT: unordered-iter  // EXPECT: bad-suppression
+  return s;
+}
+
+int BlanketMarker() {
+  int s = 0;
+  for (auto& [k, v] : smap) s += v;  // analyzer-ok: blanket fixture justification  // EXPECT-SUPPRESSED: unordered-iter
+  return s;
+}

@@ -1,0 +1,109 @@
+// Fixture: suspend-ref. Locals bound to container elements / buffer frames
+// used across co_await suspension points. Never compiled — lexed only; the
+// .cxx extension keeps it out of full-tree scans. Expected findings are
+// asserted by analyzer_test via the EXPECT markers.
+
+struct Task {};
+
+struct Cache {
+  int* Get(int k);
+  int* Peek(int k);
+};
+
+struct Sim {
+  Task Delay(double dt);
+  void Spawn(Task t);
+};
+
+Task Consume(int v);
+
+// TP: pointer held across an explicit suspension.
+Task UseAfterSuspend(Sim* sim, Cache* cache) {
+  int* p = cache->Get(1);
+  co_await sim->Delay(0.5);
+  co_await Consume(*p);  // EXPECT: suspend-ref
+}
+
+// TP: virtual suspension at a loop head bites on the second iteration.
+Task UseInLoop(Sim* sim, Cache* cache) {
+  int* p = cache->Get(2);
+  while (p != nullptr) {
+    co_await Consume(*p);  // EXPECT: suspend-ref
+  }
+}
+
+// TP: by-reference parameter in a detached (Spawn'ed) coroutine.
+Task Detached(Sim* sim, Cache& cache) {  // EXPECT: suspend-ref
+  co_await Consume(cache.Peek(1) != nullptr);
+}
+
+void Launch(Sim* sim, Cache& cache) {
+  sim->Spawn(Detached(sim, cache));
+}
+
+// FP guard: operands of the same co_await statement are read before the
+// suspension actually happens.
+Task SameStatementIsSafe(Sim* sim, Cache* cache) {
+  int* p = cache->Get(3);
+  co_await Consume(*p);
+  co_return;
+}
+
+// FP guard: reassignment after the suspension kills the stale binding.
+Task RebindIsSafe(Sim* sim, Cache* cache) {
+  int* p = cache->Get(4);
+  co_await sim->Delay(0.5);
+  p = cache->Get(4);
+  co_await Consume(*p);
+  co_return;
+}
+
+// FP guard: value copies do not dangle.
+Task CopyIsSafe(Sim* sim, Cache* cache) {
+  int v = *cache->Get(5);
+  co_await sim->Delay(0.5);
+  co_await Consume(v);
+  co_return;
+}
+
+// FP guard: hazards named in strings and comments are not code.
+Task StringsAndComments(Sim* sim, Cache* cache) {
+  // int* p = cache->Get(6); co_await sim->Delay(1.0); Consume(*p);
+  const char* doc = "int* p = cache->Get(6); co_await then use p";
+  co_await sim->Delay(0.1);
+  co_await Consume(doc != nullptr);
+  co_return;
+}
+
+// FP guard: `T* p = map.at(k)` copies the mapped pointer VALUE (the map's
+// mapped_type is itself a pointer); a rehash does not move the pointee.
+struct Registry {
+  Cache* at(int k);
+};
+
+Task MappedPointerCopyIsSafe(Sim* sim, Registry* reg) {
+  Cache* c = reg->at(1);
+  co_await sim->Delay(0.5);
+  co_await Consume(c->Get(8) != nullptr);
+  co_return;
+}
+
+// TP: a reference declarator bound via at() still dangles.
+struct IntMap {
+  int& at(int k);
+};
+
+Task RefAtDangles(Sim* sim, IntMap* m) {
+  int& r = m->at(1);
+  co_await sim->Delay(0.5);
+  co_await Consume(r);  // EXPECT: suspend-ref
+}
+
+// FP guard: a co_await inside a nested lambda does not suspend the
+// enclosing function.
+Task LambdaScopes(Sim* sim, Cache* cache) {
+  int* p = cache->Get(7);
+  auto inner = [sim]() -> Task { co_await sim->Delay(1.0); co_return; };
+  co_await Consume(*p);
+  co_return;
+}

@@ -1,0 +1,99 @@
+// Fixture: unordered-iter. Iteration order over unordered containers is
+// stdlib-specific, so results that flow from such loops are a determinism
+// hazard. Name-based; never compiled.
+
+std::unordered_map<int, int> table;
+std::unordered_map<int, std::unordered_map<int, int>> nested;
+std::map<int, int> ordered;
+std::vector<int> vec;
+
+struct Acc {
+  const std::unordered_set<int>& items() const;
+};
+
+int SumDirect() {
+  int s = 0;
+  for (const auto& [k, v] : table) {  // EXPECT: unordered-iter
+    s += k + v;
+  }
+  for (const auto& [k, v] : ordered) {
+    s += k + v;
+  }
+  return s;
+}
+
+int SumInner(int key) {
+  int s = 0;
+  auto it = nested.find(key);
+  for (const auto& [k, v] : it->second) {  // EXPECT: unordered-iter
+    s += v;
+  }
+  return s;
+}
+
+int SumBindings() {
+  int s = 0;
+  for (auto& [k, inner] : nested) {  // EXPECT: unordered-iter
+    for (auto& [k2, v] : inner) {  // EXPECT: unordered-iter
+      s += v;
+    }
+  }
+  return s;
+}
+
+int SumAccessor(const Acc& acc) {
+  int s = 0;
+  for (int v : acc.items()) {  // EXPECT: unordered-iter
+    s += v;
+  }
+  return s;
+}
+
+int SumIterLoop() {
+  int s = 0;
+  for (auto it = table.begin(); it != table.end(); ++it) {  // EXPECT: unordered-iter
+    s += it->second;
+  }
+  return s;
+}
+
+// FP guards: ordered containers, strings, comments.
+int Guards() {
+  int s = 0;
+  for (int x : vec) s += x;
+  // for (auto& [k, v] : table) { }
+  const char* doc = "for (auto& [k, v] : table) {}";
+  s += doc != nullptr ? 1 : 0;
+  return s;
+}
+
+// FP guard: dependent iteration over a template parameter stays silent.
+template <typename C>
+int SumTemplate(const C& c) {
+  int s = 0;
+  for (const auto& x : c) s += x;
+  return s;
+}
+
+// FP guard: a vector PARAMETER named like the unordered global above shadows
+// it — the global, name-based index must not leak across scopes.
+int SumParamShadow(const std::vector<std::pair<int, int>>& table) {
+  int s = 0;
+  for (const auto& [k, v] : table) s += k + v;
+  return s;
+}
+
+// FP guard: ditto for a local declaration with a visibly ordered type.
+int SumLocalShadow() {
+  std::vector<std::pair<int, int>> nested;
+  int s = 0;
+  for (const auto& [k, v] : nested) s += v;
+  return s;
+}
+
+// TP: an unordered-typed parameter is NOT shadowed.
+int SumUnorderedParam(const std::unordered_set<int>& extras) {
+  int s = 0;
+  for (int v : extras) s += v;  // EXPECT: unordered-iter
+  return s;
+}

@@ -1,0 +1,189 @@
+/// \file analyzer_test.cpp
+/// Tests for psoodb-analyze (tools/analyzer). Two layers:
+///
+///  - fixture tests: each tests/analyzer/fixtures/*.cxx file encodes its own
+///    expectations as `EXPECT: <check>` / `EXPECT-SUPPRESSED: <check>`
+///    comments; the test runs the analyzer on the fixture and demands the
+///    finding set matches the markers EXACTLY (so both missed true positives
+///    and new false positives fail);
+///  - in-memory tests: lexer/preprocessor behavior and cross-file symbol
+///    resolution via AnalyzeSources.
+///
+/// Fixtures use the .cxx extension so full-tree scans never pick them up;
+/// the analyzer lexes explicitly named files regardless of extension.
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyzer/driver.h"
+#include "gtest/gtest.h"
+
+namespace {
+
+using psoodb::analyzer::AnalysisResult;
+using psoodb::analyzer::AnalyzePaths;
+using psoodb::analyzer::AnalyzeSources;
+
+std::string FixturePath(const std::string& name) {
+  return std::string(PSOODB_ANALYZER_FIXTURE_DIR) + "/" + name;
+}
+
+std::string FindingKey(int line, const std::string& check, bool suppressed) {
+  std::ostringstream os;
+  os << "line " << line << ": " << check
+     << (suppressed ? " (suppressed)" : "");
+  return os.str();
+}
+
+/// Reads `EXPECT: check` and `EXPECT-SUPPRESSED: check` markers.
+std::vector<std::string> ParseExpectations(const std::string& path) {
+  std::vector<std::string> out;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open fixture " << path;
+  std::string line;
+  int ln = 0;
+  auto read_check = [](const std::string& s, std::size_t at) {
+    std::size_t b = at;
+    while (b < s.size() && s[b] == ' ') ++b;
+    std::size_t e = b;
+    while (e < s.size() &&
+           (std::isalnum(static_cast<unsigned char>(s[e])) || s[e] == '-')) {
+      ++e;
+    }
+    return s.substr(b, e - b);
+  };
+  while (std::getline(in, line)) {
+    ++ln;
+    for (std::size_t pos = 0; (pos = line.find("EXPECT", pos)) !=
+                              std::string::npos;) {
+      if (line.compare(pos, 18, "EXPECT-SUPPRESSED:") == 0) {
+        out.push_back(FindingKey(ln, read_check(line, pos + 18), true));
+        pos += 18;
+      } else if (line.compare(pos, 7, "EXPECT:") == 0) {
+        out.push_back(FindingKey(ln, read_check(line, pos + 7), false));
+        pos += 7;
+      } else {
+        pos += 6;
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void RunFixture(const std::string& name) {
+  const std::string path = FixturePath(name);
+  const AnalysisResult r = AnalyzePaths({path});
+  EXPECT_TRUE(r.errors.empty());
+  EXPECT_EQ(r.files_scanned, 1);
+
+  std::vector<std::string> actual;
+  for (const auto& f : r.findings) {
+    actual.push_back(FindingKey(f.line, f.check, f.suppressed));
+  }
+  std::sort(actual.begin(), actual.end());
+  EXPECT_EQ(actual, ParseExpectations(path)) << "fixture: " << name;
+}
+
+TEST(AnalyzerFixtures, SuspendRef) { RunFixture("suspend_ref.cxx"); }
+TEST(AnalyzerFixtures, DroppedTask) { RunFixture("dropped_task.cxx"); }
+TEST(AnalyzerFixtures, UnorderedIter) { RunFixture("unordered_iter.cxx"); }
+TEST(AnalyzerFixtures, DetHazard) { RunFixture("det_hazard.cxx"); }
+TEST(AnalyzerFixtures, DcheckSideEffect) { RunFixture("dcheck.cxx"); }
+TEST(AnalyzerFixtures, EnumSwitch) { RunFixture("enum_switch.cxx"); }
+TEST(AnalyzerFixtures, Suppressions) { RunFixture("suppressions.cxx"); }
+
+TEST(AnalyzerLexer, StringsAndCommentsAreMasked) {
+  const AnalysisResult r = AnalyzeSources({{"mask.cpp", R"cpp(
+    // rand(); getpid(); std::random_device rd;
+    const char* a = "rand() and getpid() and steady_clock";
+    const char* b = R"x(time(NULL) clock() srand(1))x";
+  )cpp"}});
+  EXPECT_EQ(r.findings.size(), 0u) << "strings/comments must not trip checks";
+}
+
+TEST(AnalyzerLexer, IfZeroRegionIsDead) {
+  const AnalysisResult r = AnalyzeSources({{"ifzero.cpp", R"cpp(
+#if 0
+    int dead() { return rand(); }
+#endif
+    int live() { return 42; }
+  )cpp"}});
+  EXPECT_EQ(r.findings.size(), 0u) << "#if 0 code must not produce findings";
+}
+
+TEST(AnalyzerLexer, ElseBranchOfIfZeroIsLive) {
+  const AnalysisResult r = AnalyzeSources({{"ifelse.cpp", R"cpp(
+#if 0
+    int dead() { return rand(); }
+#else
+    int live() { return rand(); }
+#endif
+  )cpp"}});
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].check, "det-hazard");
+}
+
+TEST(AnalyzerSymbols, CrossFileTaskResolution) {
+  // The task-returning declaration lives in one file, the dropped call in
+  // another: the global two-pass index must connect them.
+  const AnalysisResult r = AnalyzeSources({
+      {"api.h", R"cpp(
+        struct Task {};
+        Task Work(int n);
+      )cpp"},
+      {"use.cpp", R"cpp(
+        void Caller() {
+          Work(1);
+        }
+      )cpp"},
+  });
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].check, "dropped-task");
+  EXPECT_EQ(r.findings[0].file, "use.cpp");
+}
+
+TEST(AnalyzerSymbols, AmbiguousNamesAreDropped) {
+  // `Run` is declared both task- and non-task-returning somewhere in the
+  // tree; name-based resolution must stay silent rather than guess.
+  const AnalysisResult r = AnalyzeSources({
+      {"a.h", R"cpp(
+        struct Task {};
+        Task Run(int n);
+        unsigned long Run();
+      )cpp"},
+      {"b.cpp", R"cpp(
+        void Caller() {
+          Run(1);
+        }
+      )cpp"},
+  });
+  EXPECT_EQ(r.findings.size(), 0u);
+}
+
+TEST(AnalyzerReport, JsonShapeAndExitSemantics) {
+  const AnalysisResult r = AnalyzeSources({{"j.cpp", R"cpp(
+    int Seed() { return rand(); }
+  )cpp"}});
+  EXPECT_EQ(r.Unsuppressed(), 1);
+  const std::string json = psoodb::analyzer::JsonReport(r);
+  EXPECT_NE(json.find("\"tool\": \"psoodb-analyze\""), std::string::npos);
+  EXPECT_NE(json.find("\"unsuppressed\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"check\": \"det-hazard\""), std::string::npos);
+  EXPECT_NE(json.find("\"suppressed\": false"), std::string::npos);
+}
+
+TEST(AnalyzerReport, SuppressedFindingsKeepJustification) {
+  const AnalysisResult r = AnalyzeSources({{"s.cpp",
+    "int Seed() { return rand(); }  // det-ok: unit-test justification\n"}});
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_TRUE(r.findings[0].suppressed);
+  EXPECT_EQ(r.findings[0].justification, "unit-test justification");
+  EXPECT_EQ(r.Unsuppressed(), 0);
+}
+
+}  // namespace

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "cc/abort.h"
@@ -85,18 +86,18 @@ TEST(DeadlockDetectorTest, AbortCarriesTxnAndReason) {
 
 // --- LockManager -------------------------------------------------------------
 
-Task AcquirePage(LockManager& lm, PageId p, TxnId t, ClientId c, bool* got) {
+Task AcquirePage(LockManager& lm, PageId p, TxnId t, ClientId c, bool* got) {  // analyzer-ok(suspend-ref): referent outlives sim.Run() in the test body
   co_await lm.AcquirePageX(p, t, c);
   *got = true;
 }
 
 Task AcquireObject(LockManager& lm, ObjectId o, PageId p, TxnId t, ClientId c,
-                   bool* got) {
+                   bool* got) {  // analyzer-ok(suspend-ref): referent outlives sim.Run() in the test body
   co_await lm.AcquireObjectX(o, p, t, c);
   *got = true;
 }
 
-Task WaitPage(LockManager& lm, PageId p, TxnId t, bool* done) {
+Task WaitPage(LockManager& lm, PageId p, TxnId t, bool* done) {  // analyzer-ok(suspend-ref): referent outlives sim.Run() in the test body
   co_await lm.WaitPageFree(p, t);
   *done = true;
 }
@@ -195,6 +196,24 @@ TEST(LockManagerTest, ObjectLocksOnPageIndex) {
   EXPECT_TRUE(lm.ObjectLocksOnPage(5).empty());
 }
 
+TEST(LockManagerTest, ObjectLocksOnPageIsSortedByObject) {
+  // Regression: the per-page index is an unordered set; the returned list
+  // must be sorted so protocol fan-outs do not follow hash-bucket layout.
+  Simulation sim;
+  DeadlockDetector d;
+  LockManager lm(sim, d);
+  bool g = false;
+  for (ObjectId o : {507, 501, 540, 512, 503}) {
+    sim.Spawn(AcquireObject(lm, o, 5, 1, 0, &g));
+  }
+  sim.Run();
+  auto on5 = lm.ObjectLocksOnPage(5);
+  ASSERT_EQ(on5.size(), 5u);
+  for (std::size_t i = 1; i < on5.size(); ++i) {
+    EXPECT_LT(on5[i - 1].first, on5[i].first);
+  }
+}
+
 TEST(LockManagerTest, ReleaseAllFreesEverything) {
   Simulation sim;
   DeadlockDetector d;
@@ -211,6 +230,34 @@ TEST(LockManagerTest, ReleaseAllFreesEverything) {
   EXPECT_EQ(lm.ReleaseAll(9), 0);
 }
 
+Task AcquireAndLog(LockManager& lm, PageId p, TxnId t, ClientId c,
+                   std::vector<PageId>* order) {  // analyzer-ok(suspend-ref): referent outlives sim.Run() in the test body
+  co_await lm.AcquirePageX(p, t, c);
+  order->push_back(p);
+}
+
+TEST(LockManagerTest, ReleaseAllWakesWaitersInPageOrder) {
+  // Regression: ReleaseAll used to walk the per-txn reverse map in bucket
+  // order, so which waiter woke first depended on the stdlib's hash layout.
+  // Releases are sorted by id now.
+  Simulation sim;
+  DeadlockDetector d;
+  LockManager lm(sim, d);
+  bool g = false;
+  const std::vector<PageId> held = {11, 3, 27, 19, 5, 42, 8};
+  for (PageId p : held) sim.Spawn(AcquirePage(lm, p, 1, 0, &g));
+  sim.Run();
+  std::vector<PageId> order;
+  for (PageId p : held) sim.Spawn(AcquireAndLog(lm, p, 2, 1, &order));
+  sim.Run();
+  EXPECT_TRUE(order.empty());  // all parked behind txn 1
+  EXPECT_EQ(lm.ReleaseAll(1), static_cast<int>(held.size()));
+  sim.Run();
+  std::vector<PageId> sorted = held;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(order, sorted);
+}
+
 TEST(LockManagerTest, ReleaseByNonHolderIsIgnored) {
   Simulation sim;
   DeadlockDetector d;
@@ -222,7 +269,7 @@ TEST(LockManagerTest, ReleaseByNonHolderIsIgnored) {
 }
 
 Task AcquireTwo(Simulation& sim, LockManager& lm, PageId first, PageId second,
-                TxnId t, bool* got_both, bool* aborted) {
+                TxnId t, bool* got_both, bool* aborted) {  // analyzer-ok(suspend-ref): referent outlives sim.Run() in the test body
   try {
     co_await lm.AcquirePageX(first, t, 0);
     co_await sim.Delay(0.001);  // let the other transaction take its first lock
@@ -282,6 +329,19 @@ TEST(CopyTableTest, RegisterAndHolders) {
   auto holders = t.HoldersExcept(5, 1);
   EXPECT_EQ(holders.size(), 2u);
   for (const auto& h : holders) EXPECT_NE(h.client, 1);
+}
+
+TEST(CopyTableTest, HoldersExceptIsSortedByClient) {
+  // Regression: holder order used to follow the hash table's bucket layout;
+  // the callback fan-out driven by this list must be a function of the
+  // sharing state alone.
+  PageCopyTable t;
+  for (ClientId c : {12, 3, 27, 0, 19, 5, 8}) t.Register(7, c);
+  auto holders = t.HoldersExcept(7, 19);
+  ASSERT_EQ(holders.size(), 6u);
+  for (std::size_t i = 1; i < holders.size(); ++i) {
+    EXPECT_LT(holders[i - 1].client, holders[i].client);
+  }
 }
 
 TEST(CopyTableTest, UnregisterRemovesAndCleansUp) {

@@ -38,7 +38,7 @@ TEST(CancellationStress, RandomCancelStormLeavesQueueConsistent) {
   for (EventId id : ids) sim.Cancel(id);
 }
 
-Task DelayThenCount(Simulation& sim, double dt, int* count) {
+Task DelayThenCount(Simulation& sim, double dt, int* count) {  // analyzer-ok(suspend-ref): referent outlives sim.Run() in the test body
   co_await sim.Delay(dt);
   ++*count;
 }
@@ -55,7 +55,7 @@ TEST(CancellationStress, TeardownWithThousandsOfPendingDelays) {
   EXPECT_EQ(count, 0);
 }
 
-Task WaitAndRewait(CondVar& cv, int* wakeups) {
+Task WaitAndRewait(CondVar& cv, int* wakeups) {  // analyzer-ok(suspend-ref): referent outlives sim.Run() in the test body
   for (int i = 0; i < 3; ++i) {
     co_await cv.Wait();
     ++*wakeups;
@@ -122,13 +122,13 @@ TEST(FutureEdge, AbandonedConsumerIsSafe) {
 }
 
 Task SysJob(resources::Cpu& cpu, double inst, std::vector<int>* order,
-            int id) {
+            int id) {  // analyzer-ok(suspend-ref): referent outlives sim.Run() in the test body
   co_await cpu.System(inst);
   order->push_back(id);
 }
 
 Task UsrJob(resources::Cpu& cpu, double inst, std::vector<int>* order,
-            int id) {
+            int id) {  // analyzer-ok(suspend-ref): referent outlives sim.Run() in the test body
   co_await cpu.User(inst);
   order->push_back(id);
 }
@@ -164,7 +164,7 @@ TEST(CpuStress, ManyTinyJobsAllComplete) {
   EXPECT_EQ(cpu.active_jobs(), 0);
 }
 
-Task Serve(resources::FifoServer& s, double t, int* done) {
+Task Serve(resources::FifoServer& s, double t, int* done) {  // analyzer-ok(suspend-ref): referent outlives sim.Run() in the test body
   co_await s.Serve(t);
   ++*done;
 }
@@ -191,7 +191,7 @@ TEST(FifoServerStress, ZeroLengthServiceCompletes) {
   EXPECT_EQ(done, 1);
 }
 
-Task GroupNested(Simulation& sim, WaitGroup& outer, WaitGroup& inner) {
+Task GroupNested(Simulation& sim, WaitGroup& outer, WaitGroup& inner) {  // analyzer-ok(suspend-ref): referent outlives sim.Run() in the test body
   inner.Add();
   co_await sim.Delay(1.0);
   inner.Done();

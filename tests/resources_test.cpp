@@ -18,12 +18,12 @@ namespace {
 using sim::Simulation;
 using sim::Task;
 
-Task UserJob(Cpu& cpu, double inst, double* done_at, Simulation& sim) {
+Task UserJob(Cpu& cpu, double inst, double* done_at, Simulation& sim) {  // analyzer-ok(suspend-ref): referent outlives sim.Run() in the test body
   co_await cpu.User(inst);
   *done_at = sim.now();
 }
 
-Task SystemJob(Cpu& cpu, double inst, double* done_at, Simulation& sim) {
+Task SystemJob(Cpu& cpu, double inst, double* done_at, Simulation& sim) {  // analyzer-ok(suspend-ref): referent outlives sim.Run() in the test body
   co_await cpu.System(inst);
   *done_at = sim.now();
 }
@@ -142,7 +142,7 @@ TEST(CpuTest, ManyJobsConserveWork) {
   EXPECT_NEAR(last, total_inst / 1e7, 1e-6);
 }
 
-Task DiskJob(DiskArray& disks, double* done_at, Simulation& sim) {
+Task DiskJob(DiskArray& disks, double* done_at, Simulation& sim) {  // analyzer-ok(suspend-ref): referent outlives sim.Run() in the test body
   co_await disks.Access();
   *done_at = sim.now();
 }
@@ -183,7 +183,7 @@ TEST(DiskTest, ArraySpreadsLoadAcrossDisks) {
 }
 
 Task NetJob(Network& net, std::uint64_t bytes, double* done_at,
-            Simulation& sim) {
+            Simulation& sim) {  // analyzer-ok(suspend-ref): referent outlives sim.Run() in the test body
   co_await net.Transfer(bytes);
   *done_at = sim.now();
 }

@@ -1,0 +1,65 @@
+/// \file checks.h
+/// The six psoodb-analyze checks. Each runs over one lexed file with the
+/// global SymbolIndex and the file's FrameIndex:
+///
+///   suspend-ref         local ref/pointer/iterator bound to a container
+///                       element or buffer frame, used after a later
+///                       co_await suspension (the container may have been
+///                       mutated while suspended); also by-ref params in
+///                       detached (Spawn'ed) coroutines
+///   dropped-task        task/awaitable-returning call neither co_awaited
+///                       nor stored — a lazy coroutine that never runs, or
+///                       a wait that is silently skipped
+///   unordered-iter      iteration over an unordered container whose order
+///                       feeds results (determinism hazard across stdlibs)
+///   det-hazard          wall-clock, global RNG, getpid, pointer-keyed
+///                       unordered containers (successor of the retired
+///                       tools/lint_determinism)
+///   dcheck-side-effect  mutation inside PSOODB_DCHECK, which compiles away
+///                       under NDEBUG
+///   enum-switch         switch over a protocol enum missing enumerators
+///                       without a checked default
+///
+/// Checks only report; suppression (`det-ok` / `analyzer-ok`) is applied by
+/// the driver using LexedFile::comments_by_line.
+
+#ifndef PSOODB_TOOLS_ANALYZER_CHECKS_H_
+#define PSOODB_TOOLS_ANALYZER_CHECKS_H_
+
+#include <string>
+#include <vector>
+
+#include "analyzer/frames.h"
+#include "analyzer/symbols.h"
+#include "analyzer/token.h"
+
+namespace psoodb::analyzer {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string check;
+  std::string message;
+  bool suppressed = false;
+  std::string justification;
+};
+
+/// Check-name constants (also the names a suppression marker may list).
+inline constexpr const char* kCheckSuspendRef = "suspend-ref";
+inline constexpr const char* kCheckDroppedTask = "dropped-task";
+inline constexpr const char* kCheckUnorderedIter = "unordered-iter";
+inline constexpr const char* kCheckDetHazard = "det-hazard";
+inline constexpr const char* kCheckDcheckSideEffect = "dcheck-side-effect";
+inline constexpr const char* kCheckEnumSwitch = "enum-switch";
+inline constexpr const char* kCheckBadSuppression = "bad-suppression";
+
+/// All check names, for `--list-checks` and suppression validation.
+std::vector<std::string> AllCheckNames();
+
+/// Runs every check over `f`. Findings come back ordered by line.
+std::vector<Finding> RunChecks(const LexedFile& f, const FrameIndex& fx,
+                               const SymbolIndex& sym);
+
+}  // namespace psoodb::analyzer
+
+#endif  // PSOODB_TOOLS_ANALYZER_CHECKS_H_

@@ -1,0 +1,317 @@
+#include "analyzer/driver.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "analyzer/frames.h"
+#include "analyzer/lexer.h"
+#include "analyzer/symbols.h"
+
+namespace psoodb::analyzer {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool HasScannedExtension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".h" || ext == ".hpp";
+}
+
+bool SkipDirectory(const fs::path& p) {
+  const std::string name = p.filename().string();
+  if (name.empty() || name[0] == '.') return true;
+  return name.rfind("build", 0) == 0;  // build/, build-tsan/, build_dbg/ ...
+}
+
+void CollectFiles(const std::string& root, std::vector<std::string>* files,
+                  std::vector<std::string>* errors) {
+  std::error_code ec;
+  const fs::file_status st = fs::status(root, ec);
+  if (ec) {
+    errors->push_back("cannot stat: " + root);
+    return;
+  }
+  if (fs::is_regular_file(st)) {
+    files->push_back(root);  // explicit files always analyzed (.cxx fixtures)
+    return;
+  }
+  if (!fs::is_directory(st)) {
+    errors->push_back("not a file or directory: " + root);
+    return;
+  }
+  std::vector<std::string> found;
+  fs::recursive_directory_iterator it(root, ec), end;
+  for (; !ec && it != end; it.increment(ec)) {
+    if (it->is_directory(ec)) {
+      if (SkipDirectory(it->path())) it.disable_recursion_pending();
+      continue;
+    }
+    if (it->is_regular_file(ec) && HasScannedExtension(it->path())) {
+      found.push_back(it->path().generic_string());
+    }
+  }
+  std::sort(found.begin(), found.end());  // deterministic scan order
+  files->insert(files->end(), found.begin(), found.end());
+}
+
+std::string TrimCopy(const std::string& s) {
+  std::size_t a = 0, b = s.size();
+  while (a < b && std::isspace(static_cast<unsigned char>(s[a]))) ++a;
+  while (b > a && std::isspace(static_cast<unsigned char>(s[b - 1]))) --b;
+  return s.substr(a, b - a);
+}
+
+struct Marker {
+  bool all = false;                 ///< bare `analyzer-ok:` covers every check
+  std::vector<std::string> checks;  ///< named checks (det-ok expands to two)
+  std::string justification;
+  std::vector<std::string> unknown_checks;
+  bool used = false;
+};
+
+bool MarkerCovers(const Marker& m, const std::string& check) {
+  if (check == kCheckBadSuppression) return false;  // never suppressible
+  if (m.all) return true;
+  return std::find(m.checks.begin(), m.checks.end(), check) != m.checks.end();
+}
+
+/// Parses the suppression markers inside one line's comment text.
+std::vector<Marker> ParseMarkers(const std::string& comment) {
+  std::vector<Marker> out;
+  const std::vector<std::string> valid = AllCheckNames();
+
+  // Legacy: "det-ok" or "det-ok: why". Covers the determinism checks.
+  std::size_t pos = comment.find("det-ok");
+  if (pos != std::string::npos) {
+    Marker m;
+    m.checks = {kCheckDetHazard, kCheckUnorderedIter};
+    std::size_t after = pos + 6;
+    if (after < comment.size() && comment[after] == ':') {
+      std::string rest = comment.substr(after + 1);
+      const std::size_t cut = rest.find("*/");
+      if (cut != std::string::npos) rest = rest.substr(0, cut);
+      m.justification = TrimCopy(rest);
+    }
+    out.push_back(std::move(m));
+  }
+
+  // The analyzer-ok grammar: optional parenthesized check list, then a
+  // colon and the justification.
+  pos = comment.find("analyzer-ok");
+  if (pos != std::string::npos) {
+    Marker m;
+    std::size_t after = pos + 11;
+    if (after >= comment.size() || comment[after] != '(') m.all = true;
+    if (after < comment.size() && comment[after] == '(') {
+      const std::size_t close = comment.find(')', after);
+      if (close != std::string::npos) {
+        std::string name;
+        for (std::size_t k = after + 1; k <= close; ++k) {
+          if (k == close || comment[k] == ',') {
+            name = TrimCopy(name);
+            if (!name.empty()) {
+              if (std::find(valid.begin(), valid.end(), name) != valid.end()) {
+                m.checks.push_back(name);
+              } else {
+                m.unknown_checks.push_back(name);
+              }
+            }
+            name.clear();
+          } else {
+            name += comment[k];
+          }
+        }
+        after = close + 1;
+      }
+    }
+    if (after < comment.size() && comment[after] == ':') {
+      std::string rest = comment.substr(after + 1);
+      const std::size_t cut = rest.find("*/");
+      if (cut != std::string::npos) rest = rest.substr(0, cut);
+      m.justification = TrimCopy(rest);
+    }
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+void ApplySuppressions(const LexedFile& lf, std::vector<Finding>* findings) {
+  std::map<int, std::vector<Marker>> markers;
+  for (const auto& [line, text] : lf.comments_by_line) {
+    auto parsed = ParseMarkers(text);
+    if (!parsed.empty()) markers[line] = std::move(parsed);
+  }
+  if (markers.empty()) return;
+
+  std::vector<Finding> extra;
+  for (Finding& f : *findings) {
+    auto it = markers.find(f.line);
+    if (it == markers.end()) continue;
+    for (Marker& m : it->second) {
+      if (!MarkerCovers(m, f.check)) continue;
+      f.suppressed = true;
+      f.justification = m.justification;
+      m.used = true;
+      break;
+    }
+  }
+  for (auto& [line, ms] : markers) {
+    for (const Marker& m : ms) {
+      if (m.used && m.justification.empty()) {
+        extra.push_back(
+            Finding{lf.path, line, kCheckBadSuppression,
+                    "suppression marker without a justification — write "
+                    "`det-ok: <why>` / `analyzer-ok(...): <why>`",
+                    false, ""});
+      }
+      for (const std::string& u : m.unknown_checks) {
+        extra.push_back(Finding{lf.path, line, kCheckBadSuppression,
+                                "analyzer-ok names unknown check '" + u +
+                                    "' (see --list-checks)",
+                                false, ""});
+      }
+    }
+  }
+  findings->insert(findings->end(), extra.begin(), extra.end());
+}
+
+AnalysisResult Analyze(std::vector<LexedFile> files,
+                       std::vector<std::string> errors) {
+  AnalysisResult result;
+  result.errors = std::move(errors);
+  result.files_scanned = static_cast<int>(files.size());
+
+  SymbolIndex sym;
+  for (const LexedFile& lf : files) IndexSymbolsPassA(lf, sym);
+  for (const LexedFile& lf : files) IndexSymbolsPassB(lf, sym);
+
+  for (const LexedFile& lf : files) {
+    const FrameIndex fx = BuildFrames(lf);
+    std::vector<Finding> found = RunChecks(lf, fx, sym);
+    ApplySuppressions(lf, &found);
+    result.findings.insert(result.findings.end(), found.begin(), found.end());
+  }
+  std::sort(result.findings.begin(), result.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.check < b.check;
+            });
+  return result;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+AnalysisResult AnalyzePaths(const std::vector<std::string>& paths) {
+  std::vector<std::string> files;
+  std::vector<std::string> errors;
+  for (const std::string& p : paths) CollectFiles(p, &files, &errors);
+
+  std::vector<LexedFile> lexed;
+  lexed.reserve(files.size());
+  for (const std::string& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      errors.push_back("cannot read: " + path);
+      continue;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::string src = ss.str();
+    lexed.push_back(Lex(path, src));
+  }
+  return Analyze(std::move(lexed), std::move(errors));
+}
+
+AnalysisResult AnalyzeSources(
+    const std::vector<std::pair<std::string, std::string>>& sources) {
+  std::vector<LexedFile> lexed;
+  lexed.reserve(sources.size());
+  for (const auto& [path, src] : sources) {
+    lexed.push_back(Lex(path, src));
+  }
+  return Analyze(std::move(lexed), {});
+}
+
+void PrintReport(const AnalysisResult& r, bool verbose, std::string* out) {
+  int suppressed = 0;
+  for (const Finding& f : r.findings) {
+    if (f.suppressed) {
+      ++suppressed;
+      if (verbose) {
+        *out += f.file + ":" + std::to_string(f.line) + ": [" + f.check +
+                "] suppressed (" + f.justification + ")\n";
+      }
+      continue;
+    }
+    *out += f.file + ":" + std::to_string(f.line) + ": [" + f.check + "] " +
+            f.message + "\n";
+  }
+  for (const std::string& e : r.errors) {
+    *out += "psoodb-analyze: warning: " + e + "\n";
+  }
+  *out += "psoodb-analyze: " + std::to_string(r.files_scanned) +
+          " file(s), " + std::to_string(r.Unsuppressed()) +
+          " finding(s), " + std::to_string(suppressed) + " suppressed\n";
+}
+
+std::string JsonReport(const AnalysisResult& r) {
+  std::string j = "{\n  \"tool\": \"psoodb-analyze\",\n  \"version\": 1,\n";
+  j += "  \"files_scanned\": " + std::to_string(r.files_scanned) + ",\n";
+  j += "  \"unsuppressed\": " + std::to_string(r.Unsuppressed()) + ",\n";
+  j += "  \"findings\": [";
+  bool first = true;
+  for (const Finding& f : r.findings) {
+    j += first ? "\n" : ",\n";
+    first = false;
+    j += "    {\"file\": \"" + JsonEscape(f.file) + "\", \"line\": " +
+         std::to_string(f.line) + ", \"check\": \"" + JsonEscape(f.check) +
+         "\", \"message\": \"" + JsonEscape(f.message) + "\", " +
+         "\"suppressed\": " + (f.suppressed ? "true" : "false") +
+         ", \"justification\": \"" + JsonEscape(f.justification) + "\"}";
+  }
+  j += first ? "]\n" : "\n  ]\n";
+  j += "}\n";
+  return j;
+}
+
+}  // namespace psoodb::analyzer

@@ -1,0 +1,238 @@
+#include "analyzer/frames.h"
+
+#include <cstddef>
+#include <map>
+#include <set>
+
+namespace psoodb::analyzer {
+
+namespace {
+
+using Tokens = std::vector<Token>;
+
+char OpenerFor(const Token& t) {
+  if (t.Is(")")) return '(';
+  if (t.Is("]")) return '[';
+  if (t.Is("}")) return '{';
+  return 0;
+}
+
+std::vector<int> BuildMatchTable(const Tokens& t) {
+  std::vector<int> match(t.size(), -1);
+  std::vector<std::size_t> stack;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].Is("(") || t[i].Is("[") || t[i].Is("{")) {
+      stack.push_back(i);
+      continue;
+    }
+    const char want = OpenerFor(t[i]);
+    if (want == 0) continue;
+    // Pop until the matching opener kind; tolerates unbalanced macro tricks.
+    while (!stack.empty() && t[stack.back()].text[0] != want) {
+      stack.pop_back();
+    }
+    if (stack.empty()) continue;
+    match[stack.back()] = static_cast<int>(i);
+    match[i] = static_cast<int>(stack.back());
+    stack.pop_back();
+  }
+  return match;
+}
+
+bool IsControlName(const std::string& s) {
+  return s == "if" || s == "for" || s == "while" || s == "switch" ||
+         s == "catch" || s == "constexpr";
+}
+
+struct BraceClass {
+  enum Kind { kFunction, kLambda, kOther } kind = kOther;
+  int params_open = -1;
+  int params_close = -1;
+  std::string name;
+};
+
+void SkipSpecifiersBack(const Tokens& t, int& q) {
+  while (q >= 0 &&
+         (t[q].Is("noexcept") || t[q].Is("const") || t[q].Is("override") ||
+          t[q].Is("final") || t[q].Is("mutable") || t[q].Is("&") ||
+          t[q].Is("&&"))) {
+    --q;
+  }
+}
+
+BraceClass ClassifyBrace(const Tokens& t, const std::vector<int>& m, int k) {
+  BraceClass out;
+  int p = k - 1;
+  SkipSpecifiersBack(t, p);
+  // Trailing return type: `) [specifiers] -> Type {`. Walk back over type
+  // tokens; commit only if a `->` is actually found.
+  {
+    int q = p;
+    bool moved = false;
+    while (q >= 0 && (t[q].IsIdent() || t[q].Is("::") || t[q].Is("<") ||
+                      t[q].Is(">") || t[q].Is(">>") || t[q].Is(",") ||
+                      t[q].Is("*") || t[q].Is("&"))) {
+      --q;
+      moved = true;
+    }
+    if (moved && q >= 0 && t[q].Is("->")) {
+      p = q - 1;
+      SkipSpecifiersBack(t, p);
+    }
+  }
+  if (p < 0) return out;
+
+  if (t[p].Is("]")) {  // capture list directly before the body: `[...] {`
+    out.kind = BraceClass::kLambda;
+    out.name = "<lambda>";
+    return out;
+  }
+  if (!t[p].Is(")")) return out;
+
+  int pc = p;
+  int po = m[pc];
+  if (po < 0) return out;
+  if (po > 0 && t[po - 1].Is("]")) {  // `[...] (params) {`
+    out.kind = BraceClass::kLambda;
+    out.name = "<lambda>";
+    out.params_open = po;
+    out.params_close = pc;
+    return out;
+  }
+
+  int ni = po - 1;
+  // Walk back through a constructor member-initializer list:
+  //   Ctor(params) : a_(x), b_{y} {    — resolve to the real param list.
+  for (int guard = 0; guard < 128; ++guard) {
+    // operator() definitions: name position holds `)` of `operator()`.
+    if (ni >= 1 && t[ni].Is(")") && m[ni] > 0 &&
+        t[m[ni] - 1].Is("operator")) {
+      out.kind = BraceClass::kFunction;
+      out.name = "operator()";
+      out.params_open = po;
+      out.params_close = pc;
+      return out;
+    }
+    if (ni < 0 || !t[ni].IsIdent()) return out;
+    const int before = ni - 1;
+    if (before >= 0 && t[before].Is(",")) {
+      const int q = before - 1;
+      if (q >= 0 && (t[q].Is(")") || t[q].Is("}")) && m[q] >= 0) {
+        ni = m[q] - 1;  // hop over the previous member initializer
+        po = -1;        // param list not yet known
+        continue;
+      }
+      return out;
+    }
+    if (before >= 0 && t[before].Is(":")) {
+      int q = before - 1;
+      SkipSpecifiersBack(t, q);
+      if (q >= 0 && t[q].Is(")") && m[q] >= 0) {
+        pc = q;
+        po = m[q];
+        ni = po - 1;
+        if (ni < 0 || !t[ni].IsIdent()) return out;
+        break;  // the `(` left of the `:` is the real parameter list
+      }
+      return out;  // `label: {`, `case X: {`, bitfield, ...
+    }
+    break;  // plain `name(params) {`
+  }
+
+  if (po < 0) return out;
+  const std::string& name = t[ni].text;
+  if (IsControlName(name)) return out;
+  if (ni > 0 && (t[ni - 1].Is(".") || t[ni - 1].Is("->"))) return out;
+  out.kind = BraceClass::kFunction;
+  out.name = name;
+  out.params_open = po;
+  out.params_close = pc;
+  return out;
+}
+
+void ParseParams(const Tokens& t, Frame& fr) {
+  if (fr.params_open < 0 || fr.params_close <= fr.params_open + 1) return;
+  static const std::set<std::string> kNotAName = {
+      "const",  "int",   "char",     "bool",  "void",   "auto",
+      "double", "float", "long",     "short", "unsigned", "signed",
+      "size_t", "this"};
+  int depth = 0;
+  std::vector<std::vector<const Token*>> chunks(1);
+  for (int i = fr.params_open + 1; i < fr.params_close; ++i) {
+    const Token& tk = t[i];
+    if (tk.Is("(") || tk.Is("[") || tk.Is("{") || tk.Is("<")) ++depth;
+    if (tk.Is(")") || tk.Is("]") || tk.Is("}") || tk.Is(">")) {
+      if (depth > 0) --depth;
+    }
+    if (tk.Is(">>") && depth > 0) depth = depth >= 2 ? depth - 2 : 0;
+    if (tk.Is(",") && depth == 0) {
+      chunks.emplace_back();
+      continue;
+    }
+    chunks.back().push_back(&tk);
+  }
+  for (const auto& chunk : chunks) {
+    if (chunk.empty()) continue;
+    Param p;
+    const Token* name_tok = nullptr;
+    for (const Token* tk : chunk) {
+      if (tk->Is("=")) break;  // default argument: name precedes it
+      // References only: pointer parameters to long-lived objects are
+      // idiomatic for detached processes and must not trip suspend-ref.
+      if (tk->Is("&") || tk->Is("&&")) p.by_ref_or_ptr = true;
+      if (tk->IsIdent()) name_tok = tk;
+    }
+    if (name_tok == nullptr || kNotAName.count(name_tok->text) != 0) continue;
+    p.name = name_tok->text;
+    fr.params.push_back(p);
+  }
+}
+
+}  // namespace
+
+FrameIndex BuildFrames(const LexedFile& f) {
+  FrameIndex fx;
+  const Tokens& t = f.tokens;
+  fx.match = BuildMatchTable(t);
+
+  std::map<int, int> frame_by_open;  // body_open token index -> frame index
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!t[i].Is("{") || fx.match[i] < 0) continue;
+    BraceClass bc = ClassifyBrace(t, fx.match, static_cast<int>(i));
+    if (bc.kind == BraceClass::kOther) continue;
+    Frame fr;
+    fr.name = bc.name;
+    fr.is_lambda = bc.kind == BraceClass::kLambda;
+    fr.params_open = bc.params_open;
+    fr.params_close = bc.params_close;
+    fr.body_open = static_cast<int>(i);
+    fr.body_close = fx.match[i];
+    fr.line = t[i].line;
+    ParseParams(t, fr);
+    frame_by_open[fr.body_open] = static_cast<int>(fx.frames.size());
+    fx.frames.push_back(std::move(fr));
+  }
+
+  // Innermost-owner attribution via a stack over the (properly nested) body
+  // brace ranges.
+  fx.owner.assign(t.size(), -1);
+  std::vector<int> stack;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    auto it = frame_by_open.find(static_cast<int>(i));
+    if (it != frame_by_open.end()) stack.push_back(it->second);
+    fx.owner[i] = stack.empty() ? -1 : stack.back();
+    if (!stack.empty() &&
+        static_cast<int>(i) == fx.frames[stack.back()].body_close) {
+      stack.pop_back();
+    }
+  }
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].Is("co_await") || t[i].Is("co_return") || t[i].Is("co_yield")) {
+      if (fx.owner[i] >= 0) fx.frames[fx.owner[i]].is_coroutine = true;
+    }
+  }
+  return fx;
+}
+
+}  // namespace psoodb::analyzer

@@ -1,0 +1,49 @@
+/// \file frames.h
+/// Scope tracking for psoodb-analyze: a bracket match table over the token
+/// stream plus classification of every `{` (function body, lambda body,
+/// control block, class/namespace, initializer). Function and lambda bodies
+/// become Frames — the unit all flow-sensitive checks operate on — and every
+/// token is attributed to its innermost owning frame so code inside a nested
+/// lambda is never analyzed as part of the enclosing coroutine.
+
+#ifndef PSOODB_TOOLS_ANALYZER_FRAMES_H_
+#define PSOODB_TOOLS_ANALYZER_FRAMES_H_
+
+#include <string>
+#include <vector>
+
+#include "analyzer/token.h"
+
+namespace psoodb::analyzer {
+
+struct Param {
+  std::string name;
+  bool by_ref_or_ptr = false;
+};
+
+struct Frame {
+  std::string name;  ///< function name, or "<lambda>"
+  bool is_lambda = false;
+  bool is_coroutine = false;  ///< owns a co_await/co_return/co_yield token
+  int params_open = -1;       ///< token index of '(' of the parameter list
+  int params_close = -1;      ///< token index of the matching ')'
+  int body_open = -1;         ///< token index of '{'
+  int body_close = -1;        ///< token index of the matching '}'
+  int line = 0;               ///< line of the body-open brace
+  std::vector<Param> params;
+};
+
+struct FrameIndex {
+  /// match[i] = index of the bracket matching tokens[i] ((){}[]), or -1.
+  std::vector<int> match;
+  std::vector<Frame> frames;
+  /// owner[i] = index into `frames` of the innermost function/lambda body
+  /// containing tokens[i], or -1 for class/namespace scope.
+  std::vector<int> owner;
+};
+
+FrameIndex BuildFrames(const LexedFile& f);
+
+}  // namespace psoodb::analyzer
+
+#endif  // PSOODB_TOOLS_ANALYZER_FRAMES_H_

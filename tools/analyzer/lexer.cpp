@@ -1,0 +1,301 @@
+#include "analyzer/lexer.h"
+
+#include <array>
+#include <cctype>
+
+namespace psoodb::analyzer {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Multi-character punctuators, longest first (scan order matters).
+constexpr std::array<std::string_view, 24> kPuncts = {
+    "<<=", ">>=", "...", "->*", "::", "->", "++", "--", "<<", ">>",
+    "<=",  ">=",  "==",  "!=",  "&&", "||", "+=", "-=", "*=", "/=",
+    "%=",  "&=",  "|=",  "^=",  // singles fall through
+};
+
+class Lexer {
+ public:
+  Lexer(std::string path, std::string_view src) : src_(src) {
+    out_.path = std::move(path);
+  }
+
+  LexedFile Run() {
+    while (i_ < src_.size()) {
+      const char c = src_[i_];
+      if (c == '\n') {
+        ++line_;
+        ++i_;
+        at_line_start_ = true;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i_;
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        Directive();
+        continue;
+      }
+      at_line_start_ = false;
+      if (c == '/' && i_ + 1 < src_.size() &&
+          (src_[i_ + 1] == '/' || src_[i_ + 1] == '*')) {
+        Comment();
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        Literal(/*prefix_start=*/i_, /*body_start=*/i_);
+        continue;
+      }
+      if (IsIdentStart(c)) {
+        Identifier();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '.' && i_ + 1 < src_.size() &&
+           std::isdigit(static_cast<unsigned char>(src_[i_ + 1])))) {
+        Number();
+        continue;
+      }
+      Punct();
+    }
+    return std::move(out_);
+  }
+
+ private:
+  void Emit(TokKind kind, std::string text, int line) {
+    out_.tokens.push_back(Token{kind, std::move(text), line});
+  }
+
+  void RecordComment(int first_line, int last_line, std::string_view text) {
+    for (int l = first_line; l <= last_line; ++l) {
+      std::string& slot = out_.comments_by_line[l];
+      if (!slot.empty()) slot += ' ';
+      slot += text;
+    }
+  }
+
+  void Comment() {
+    const int start_line = line_;
+    const std::size_t start = i_;
+    if (src_[i_ + 1] == '/') {
+      while (i_ < src_.size() && src_[i_] != '\n') ++i_;
+      RecordComment(start_line, start_line,
+                    src_.substr(start, i_ - start));
+      return;
+    }
+    i_ += 2;
+    while (i_ + 1 < src_.size() &&
+           !(src_[i_] == '*' && src_[i_ + 1] == '/')) {
+      if (src_[i_] == '\n') ++line_;
+      ++i_;
+    }
+    i_ = (i_ + 1 < src_.size()) ? i_ + 2 : src_.size();
+    RecordComment(start_line, line_, src_.substr(start, i_ - start));
+  }
+
+  /// String or char literal starting at `body_start` (quote char); the token
+  /// text spans from `prefix_start` so encoding prefixes stay attached.
+  void Literal(std::size_t prefix_start, std::size_t body_start) {
+    const int start_line = line_;
+    const char quote = src_[body_start];
+    std::size_t j = body_start + 1;
+    while (j < src_.size() && src_[j] != quote) {
+      if (src_[j] == '\\' && j + 1 < src_.size()) ++j;
+      if (src_[j] == '\n') ++line_;  // ill-formed, but keep line counts sane
+      ++j;
+    }
+    if (j < src_.size()) ++j;
+    Emit(quote == '"' ? TokKind::kString : TokKind::kChar,
+         std::string(src_.substr(prefix_start, j - prefix_start)),
+         start_line);
+    i_ = j;
+  }
+
+  /// Raw string literal: prefix already consumed up to and including R, with
+  /// src_[i_] == '"'. Finds the matching )delim" terminator.
+  void RawString(std::size_t prefix_start) {
+    const int start_line = line_;
+    std::size_t j = i_ + 1;
+    std::string delim;
+    while (j < src_.size() && src_[j] != '(' && delim.size() < 20) {
+      delim += src_[j++];
+    }
+    const std::string closer = ")" + delim + "\"";
+    std::size_t end = src_.find(closer, j);
+    if (end == std::string_view::npos) {
+      end = src_.size();
+    } else {
+      end += closer.size();
+    }
+    for (std::size_t k = i_; k < end; ++k) {
+      if (src_[k] == '\n') ++line_;
+    }
+    Emit(TokKind::kString,
+         std::string(src_.substr(prefix_start, end - prefix_start)),
+         start_line);
+    i_ = end;
+  }
+
+  void Identifier() {
+    const std::size_t start = i_;
+    while (i_ < src_.size() && IsIdentChar(src_[i_])) ++i_;
+    std::string_view word = src_.substr(start, i_ - start);
+    // String/char literal prefixes: u8R"(..)", L"..", u'x', R"(..)", ...
+    if (i_ < src_.size() && (src_[i_] == '"' || src_[i_] == '\'')) {
+      const bool known_prefix = word == "u8" || word == "u" || word == "U" ||
+                                word == "L" || word == "R" || word == "u8R" ||
+                                word == "uR" || word == "UR" || word == "LR";
+      if (known_prefix) {
+        if (word.back() == 'R' && src_[i_] == '"') {
+          RawString(start);
+        } else {
+          Literal(start, i_);
+        }
+        return;
+      }
+    }
+    Emit(TokKind::kIdent, std::string(word), line_);
+  }
+
+  void Number() {
+    const std::size_t start = i_;
+    while (i_ < src_.size()) {
+      const char c = src_[i_];
+      if (IsIdentChar(c) || c == '.' || c == '\'') {
+        ++i_;
+      } else if ((c == '+' || c == '-') && i_ > start &&
+                 (src_[i_ - 1] == 'e' || src_[i_ - 1] == 'E' ||
+                  src_[i_ - 1] == 'p' || src_[i_ - 1] == 'P')) {
+        ++i_;
+      } else {
+        break;
+      }
+    }
+    Emit(TokKind::kNumber, std::string(src_.substr(start, i_ - start)), line_);
+  }
+
+  void Punct() {
+    for (std::string_view p : kPuncts) {
+      if (src_.substr(i_).substr(0, p.size()) == p) {
+        Emit(TokKind::kPunct, std::string(p), line_);
+        i_ += p.size();
+        return;
+      }
+    }
+    Emit(TokKind::kPunct, std::string(1, src_[i_]), line_);
+    ++i_;
+  }
+
+  /// Reads one logical directive line (joins backslash continuations) and
+  /// returns its text; consumes the trailing newline.
+  std::string DirectiveLine() {
+    std::string text;
+    while (i_ < src_.size()) {
+      const char c = src_[i_];
+      if (c == '\n') {
+        if (!text.empty() && text.back() == '\\') {
+          text.pop_back();
+          ++line_;
+          ++i_;
+          continue;
+        }
+        ++line_;
+        ++i_;
+        break;
+      }
+      // Strip comments inside directives so `#if 0 /* why */` still parses.
+      if (c == '/' && i_ + 1 < src_.size() && src_[i_ + 1] == '/') {
+        while (i_ < src_.size() && src_[i_] != '\n') ++i_;
+        continue;
+      }
+      if (c == '/' && i_ + 1 < src_.size() && src_[i_ + 1] == '*') {
+        Comment();
+        continue;
+      }
+      text += c;
+      ++i_;
+    }
+    return text;
+  }
+
+  static std::string FirstWord(std::string_view s) {
+    std::size_t a = 0;
+    while (a < s.size() && (s[a] == '#' || std::isspace(
+                                               static_cast<unsigned char>(s[a]))))
+      ++a;
+    std::size_t b = a;
+    while (b < s.size() && IsIdentChar(s[b])) ++b;
+    return std::string(s.substr(a, b - a));
+  }
+
+  static std::string Trimmed(std::string_view s) {
+    std::size_t a = 0, b = s.size();
+    while (a < b && std::isspace(static_cast<unsigned char>(s[a]))) ++a;
+    while (b > a && std::isspace(static_cast<unsigned char>(s[b - 1]))) --b;
+    return std::string(s.substr(a, b - a));
+  }
+
+  void Directive() {
+    const std::string text = DirectiveLine();
+    const std::string word = FirstWord(text);
+    if (word != "if") return;
+    std::string cond = Trimmed(text);
+    // cond looks like "#if 0" / "# if 0" — strip to the expression.
+    std::size_t pos = cond.find("if");
+    cond = Trimmed(cond.substr(pos + 2));
+    if (cond != "0" && cond != "false") return;
+    // Skip the disabled region: raw line scanning, tracking conditional
+    // nesting, until the matching #else/#elif/#endif.
+    int depth = 1;
+    while (i_ < src_.size() && depth > 0) {
+      // Find start of next line's content.
+      std::size_t ls = i_;
+      while (ls < src_.size() &&
+             std::isspace(static_cast<unsigned char>(src_[ls])) &&
+             src_[ls] != '\n')
+        ++ls;
+      if (ls < src_.size() && src_[ls] == '#') {
+        i_ = ls;
+        const std::string d = DirectiveLine();
+        const std::string w = FirstWord(d);
+        if (w == "if" || w == "ifdef" || w == "ifndef") {
+          ++depth;
+        } else if (w == "endif") {
+          --depth;
+        } else if ((w == "else" || w == "elif") && depth == 1) {
+          depth = 0;  // resume lexing the live branch
+        }
+        continue;
+      }
+      // Consume the rest of this line.
+      while (i_ < src_.size() && src_[i_] != '\n') ++i_;
+      if (i_ < src_.size()) {
+        ++line_;
+        ++i_;
+      }
+    }
+    at_line_start_ = true;
+  }
+
+  std::string_view src_;
+  LexedFile out_;
+  std::size_t i_ = 0;
+  int line_ = 1;
+  bool at_line_start_ = true;
+};
+
+}  // namespace
+
+LexedFile Lex(std::string path, std::string_view src) {
+  return Lexer(std::move(path), src).Run();
+}
+
+}  // namespace psoodb::analyzer

@@ -1,0 +1,24 @@
+/// \file lexer.h
+/// C++ lexer for psoodb-analyze: strings (all prefixes + raw strings),
+/// character literals, comments (recorded per line, excluded from the token
+/// stream) and a lightweight preprocessor — directives are consumed with
+/// their continuation lines, and `#if 0` regions are skipped entirely so
+/// dead code cannot produce findings.
+
+#ifndef PSOODB_TOOLS_ANALYZER_LEXER_H_
+#define PSOODB_TOOLS_ANALYZER_LEXER_H_
+
+#include <string>
+#include <string_view>
+
+#include "analyzer/token.h"
+
+namespace psoodb::analyzer {
+
+/// Lexes `src` into tokens + per-line comments. Never fails: unterminated
+/// constructs are closed at end-of-file.
+LexedFile Lex(std::string path, std::string_view src);
+
+}  // namespace psoodb::analyzer
+
+#endif  // PSOODB_TOOLS_ANALYZER_LEXER_H_

@@ -1,0 +1,78 @@
+/// \file main.cpp
+/// CLI for psoodb-analyze.
+///
+///   psoodb_analyze [--json FILE] [--verbose] [--list-checks] [PATH...]
+///
+/// PATHs default to `src bench tests tools` (relative to the working
+/// directory, which ctest pins to the repository root). Exit status is the
+/// number of unsuppressed findings (capped at 100); 125 means usage error.
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analyzer/driver.h"
+
+namespace {
+
+constexpr int kUsageError = 125;
+
+int Usage() {
+  std::cerr
+      << "usage: psoodb_analyze [--json FILE] [--verbose] [--list-checks] "
+         "[PATH...]\n"
+         "Scope-aware coroutine & determinism static analyzer for the\n"
+         "psoodb simulator. PATHs default to: src bench tests tools\n";
+  return kUsageError;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool verbose = false;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      if (i + 1 >= argc) return Usage();
+      json_path = argv[++i];
+    } else if (arg == "--verbose" || arg == "-v") {
+      verbose = true;
+    } else if (arg == "--list-checks") {
+      for (const std::string& c : psoodb::analyzer::AllCheckNames()) {
+        std::cout << c << "\n";
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) paths = {"src", "bench", "tests", "tools"};
+
+  const psoodb::analyzer::AnalysisResult result =
+      psoodb::analyzer::AnalyzePaths(paths);
+
+  std::string report;
+  psoodb::analyzer::PrintReport(result, verbose, &report);
+  std::cout << report;
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "psoodb-analyze: cannot write " << json_path << "\n";
+      return kUsageError;
+    }
+    out << psoodb::analyzer::JsonReport(result);
+  }
+
+  const int unsuppressed = result.Unsuppressed();
+  return unsuppressed > 100 ? 100 : unsuppressed;
+}

@@ -1,0 +1,232 @@
+#include "analyzer/symbols.h"
+
+#include <cstddef>
+
+namespace psoodb::analyzer {
+
+namespace {
+
+using Tokens = std::vector<Token>;
+
+bool IsUnorderedTypeName(const std::string& s) {
+  return s.rfind("unordered_", 0) == 0;
+}
+
+/// Keywords that can directly precede a call and must not be mistaken for a
+/// return type in a `Type name(` declaration pattern.
+bool IsNonTypeKeyword(const std::string& s) {
+  static const std::set<std::string> kws = {
+      "return", "co_return", "co_await", "co_yield", "new",     "delete",
+      "throw",  "case",      "goto",     "else",     "if",      "for",
+      "while",  "switch",    "do",       "sizeof",   "typeid",  "operator",
+      "using",  "not",       "and",      "or",       "typedef", "typename",
+      "template"};
+  return kws.count(s) != 0;
+}
+
+/// tokens[i] == "<": returns index just past the matching ">". Treats ">>"
+/// as two closers. Returns i+1 on mismatch (never walks past end).
+std::size_t SkipAngles(const Tokens& t, std::size_t i) {
+  int depth = 0;
+  for (std::size_t j = i; j < t.size(); ++j) {
+    if (t[j].Is("<")) {
+      ++depth;
+    } else if (t[j].Is(">")) {
+      if (--depth == 0) return j + 1;
+    } else if (t[j].Is(">>")) {
+      depth -= 2;
+      if (depth <= 0) return j + 1;
+    } else if (t[j].Is(";") || t[j].Is("{")) {
+      return i + 1;  // ran off the declaration: not a template-arg list
+    }
+  }
+  return i + 1;
+}
+
+/// tokens[i] == "(": returns index of the matching ")" or t.size().
+std::size_t MatchParen(const Tokens& t, std::size_t i) {
+  int depth = 0;
+  for (std::size_t j = i; j < t.size(); ++j) {
+    if (t[j].Is("(")) ++depth;
+    if (t[j].Is(")") && --depth == 0) return j;
+  }
+  return t.size();
+}
+
+/// Reads an optionally ::-qualified name starting at i; returns the index of
+/// the LAST identifier, or npos if t[i] is not an identifier.
+std::size_t QualifiedNameEnd(const Tokens& t, std::size_t i) {
+  if (i >= t.size() || !t[i].IsIdent()) return std::string::npos;
+  std::size_t last = i;
+  while (last + 2 < t.size() && t[last + 1].Is("::") && t[last + 2].IsIdent()) {
+    last += 2;
+  }
+  return last;
+}
+
+/// True if the angle-bracket span [open, close_past) mentions an unordered
+/// container (directly or via a known alias) — i.e. the mapped/element type
+/// of the enclosing container is itself unordered.
+bool SpanMentionsUnordered(const Tokens& t, std::size_t open,
+                           std::size_t close_past, const SymbolIndex& idx) {
+  for (std::size_t j = open + 1; j + 1 < close_past; ++j) {
+    if (!t[j].IsIdent()) continue;
+    if (IsUnorderedTypeName(t[j].text)) return true;
+    if (idx.unordered_aliases.count(t[j].text) != 0) return true;
+  }
+  return false;
+}
+
+void IndexEnum(const Tokens& t, std::size_t i, SymbolIndex& idx) {
+  // t[i] == "enum"; require enum class/struct Name [: underlying] {
+  std::size_t j = i + 1;
+  if (j >= t.size() || !(t[j].Is("class") || t[j].Is("struct"))) return;
+  ++j;
+  if (j >= t.size() || !t[j].IsIdent()) return;
+  const std::string name = t[j].text;
+  ++j;
+  if (j < t.size() && t[j].Is(":")) {  // underlying type
+    ++j;
+    while (j < t.size() && !t[j].Is("{") && !t[j].Is(";")) ++j;
+  }
+  if (j >= t.size() || !t[j].Is("{")) return;
+  std::set<std::string>& values = idx.enums[name];
+  bool expecting_name = true;
+  int depth = 0;  // nesting inside enumerator initializers
+  for (++j; j < t.size(); ++j) {
+    if (t[j].Is("}") && depth == 0) break;
+    if (t[j].Is("(") || t[j].Is("{") || t[j].Is("[")) ++depth;
+    if (t[j].Is(")") || t[j].Is("}") || t[j].Is("]")) --depth;
+    if (depth > 0) continue;
+    if (t[j].Is(",")) {
+      expecting_name = true;
+    } else if (expecting_name && t[j].IsIdent()) {
+      values.insert(t[j].text);
+      expecting_name = false;
+    }
+  }
+}
+
+void IndexAlias(const Tokens& t, std::size_t i, SymbolIndex& idx) {
+  // t[i] == "using"; require `using Name = ... ;`
+  if (i + 2 >= t.size() || !t[i + 1].IsIdent() || !t[i + 2].Is("=")) return;
+  const std::string name = t[i + 1].text;
+  int unordered_mentions = 0;
+  for (std::size_t j = i + 3; j < t.size() && !t[j].Is(";"); ++j) {
+    if (t[j].IsIdent() && IsUnorderedTypeName(t[j].text)) ++unordered_mentions;
+    if (t[j].IsIdent() && idx.unordered_aliases.count(t[j].text) != 0)
+      unordered_mentions += 2;  // alias of an alias: outer + mapped unknown
+  }
+  if (unordered_mentions > 0) {
+    idx.unordered_aliases[name] = unordered_mentions >= 2;
+  }
+}
+
+void IndexSpawnSite(const Tokens& t, std::size_t i, SymbolIndex& idx) {
+  // t[i] == "Spawn", t[i+1] == "(": every `ident(` inside the argument list
+  // is a candidate coroutine factory for a detached process.
+  const std::size_t close = MatchParen(t, i + 1);
+  for (std::size_t j = i + 2; j + 1 < close; ++j) {
+    if (t[j].IsIdent() && t[j + 1].Is("(") && !IsNonTypeKeyword(t[j].text)) {
+      idx.spawned_functions.insert(t[j].text);
+    }
+  }
+}
+
+}  // namespace
+
+void IndexSymbolsPassA(const LexedFile& f, SymbolIndex& idx) {
+  const Tokens& t = f.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!t[i].IsIdent()) continue;
+    const std::string& s = t[i].text;
+
+    if (s == "enum") {
+      IndexEnum(t, i, idx);
+      continue;
+    }
+    if (s == "using") {
+      IndexAlias(t, i, idx);
+      continue;
+    }
+    if (s == "Spawn" && i + 1 < t.size() && t[i + 1].Is("(")) {
+      IndexSpawnSite(t, i, idx);
+      continue;
+    }
+
+    // Accessors returning references to unordered containers:
+    //   const std::unordered_set<T>& name(
+    if (IsUnorderedTypeName(s) && i + 1 < t.size() && t[i + 1].Is("<")) {
+      std::size_t after = SkipAngles(t, i + 1);
+      if (after < t.size() && t[after].Is("&") && after + 2 < t.size() &&
+          t[after + 1].IsIdent() && t[after + 2].Is("(")) {
+        idx.unordered_accessors.insert(t[after + 1].text);
+      }
+      continue;
+    }
+
+    // Task-like and plain function declarations: `Type [<...>] Name(`.
+    // The declaring-type token must not itself be a call context keyword,
+    // and must not be preceded by `.` / `->` (member access chains).
+    if (IsNonTypeKeyword(s)) continue;
+    if (i > 0 && (t[i - 1].Is(".") || t[i - 1].Is("->"))) continue;
+    std::size_t j = i + 1;
+    if (j < t.size() && t[j].Is("<")) j = SkipAngles(t, j);
+    // Optional ref/pointer declarators on the return type.
+    bool saw_ptr_or_ref = false;
+    while (j < t.size() && (t[j].Is("*") || t[j].Is("&") || t[j].Is("&&"))) {
+      saw_ptr_or_ref = true;
+      ++j;
+    }
+    const std::size_t name_end = QualifiedNameEnd(t, j);
+    if (name_end == std::string::npos) continue;
+    if (name_end + 1 >= t.size() || !t[name_end + 1].Is("(")) continue;
+    const std::string& fn = t[name_end].text;
+    if (IsNonTypeKeyword(fn)) continue;
+    if (idx.task_type_names.count(s) != 0 && !saw_ptr_or_ref) {
+      idx.task_declared.insert(fn);
+    } else {
+      idx.nontask_declared.insert(fn);
+    }
+  }
+}
+
+void IndexSymbolsPassB(const LexedFile& f, SymbolIndex& idx) {
+  const Tokens& t = f.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!t[i].IsIdent()) continue;
+    const std::string& s = t[i].text;
+    const bool direct = IsUnorderedTypeName(s);
+    const bool via_alias = idx.unordered_aliases.count(s) != 0;
+    if (!direct && !via_alias) continue;
+
+    bool mapped_unordered = via_alias && idx.unordered_aliases.at(s);
+    std::size_t j = i + 1;
+    if (j < t.size() && t[j].Is("<")) {
+      const std::size_t after = SkipAngles(t, j);
+      if (direct && SpanMentionsUnordered(t, j, after, idx)) {
+        mapped_unordered = true;
+      }
+      j = after;
+    } else if (direct) {
+      continue;  // bare `unordered_map` without args: not a declaration
+    }
+    // Optional declarators; references/pointers to unordered containers are
+    // still unordered for iteration purposes.
+    while (j < t.size() && (t[j].Is("*") || t[j].Is("&") || t[j].Is("&&") ||
+                            t[j].Is("const"))) {
+      ++j;
+    }
+    if (j >= t.size() || !t[j].IsIdent()) continue;
+    const std::string& var = t[j].text;
+    if (j + 1 >= t.size()) continue;
+    const Token& after_var = t[j + 1];
+    if (after_var.Is(";") || after_var.Is("=") || after_var.Is("{") ||
+        after_var.Is(",") || after_var.Is(")")) {
+      bool& flag = idx.unordered_vars[var];
+      flag = flag || mapped_unordered;  // merge conservatively on collision
+    }
+  }
+}
+
+}  // namespace psoodb::analyzer

@@ -1,0 +1,68 @@
+/// \file symbols.h
+/// Global, name-based symbol index for psoodb-analyze. Built in two passes
+/// over every lexed file before any check runs, so uses in one translation
+/// unit resolve against declarations in another:
+///
+///   pass A: type aliases, enum classes, unordered-returning accessors,
+///           task-returning function declarations, Spawn() call sites;
+///   pass B: variables of unordered container type (direct or via a pass-A
+///           alias).
+///
+/// The index is deliberately name-based (no types, no overload resolution).
+/// A name declared BOTH with a task-like return type and with any other
+/// return type is ambiguous and dropped from the task set — a documented
+/// false-negative trade that keeps DROPPED-TASK free of false positives.
+
+#ifndef PSOODB_TOOLS_ANALYZER_SYMBOLS_H_
+#define PSOODB_TOOLS_ANALYZER_SYMBOLS_H_
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "analyzer/token.h"
+
+namespace psoodb::analyzer {
+
+struct SymbolIndex {
+  /// Return-type names treated as "task-like": discarding a call that yields
+  /// one of these silently skips work (lazy coroutine) or a wait (awaitable).
+  std::set<std::string> task_type_names{"Task", "Future", "Awaiter",
+                                        "DelayAwaiter"};
+
+  /// Function names seen declared with a task-like return type.
+  std::set<std::string> task_declared;
+  /// Function names seen declared with any other return type (disambiguator).
+  std::set<std::string> nontask_declared;
+  /// Coroutine factories passed to a Spawn(...) call (detached processes).
+  std::set<std::string> spawned_functions;
+  /// Variable name -> "mapped type is itself an unordered container".
+  std::map<std::string, bool> unordered_vars;
+  /// using-alias name -> mapped-unordered flag.
+  std::map<std::string, bool> unordered_aliases;
+  /// Methods returning (const) references to unordered containers.
+  std::set<std::string> unordered_accessors;
+  /// enum-class name -> enumerator names.
+  std::map<std::string, std::set<std::string>> enums;
+
+  bool IsTaskFunction(const std::string& name) const {
+    return task_declared.count(name) != 0 && nontask_declared.count(name) == 0;
+  }
+  /// Returns true (+ mapped-unordered flag via out-param) for known
+  /// unordered-typed variables.
+  bool IsUnorderedVar(const std::string& name, bool* mapped_unordered) const {
+    auto it = unordered_vars.find(name);
+    if (it == unordered_vars.end()) return false;
+    if (mapped_unordered != nullptr) *mapped_unordered = it->second;
+    return true;
+  }
+};
+
+/// Pass A: aliases, enums, accessors, task functions, Spawn sites.
+void IndexSymbolsPassA(const LexedFile& f, SymbolIndex& idx);
+/// Pass B: unordered-typed variables (requires pass A aliases for all files).
+void IndexSymbolsPassB(const LexedFile& f, SymbolIndex& idx);
+
+}  // namespace psoodb::analyzer
+
+#endif  // PSOODB_TOOLS_ANALYZER_SYMBOLS_H_

@@ -1,0 +1,50 @@
+/// \file token.h
+/// Token model for psoodb-analyze (tools/analyzer). The analyzer is a
+/// self-contained C++20 static pass over the simulator sources: own lexer,
+/// lightweight preprocessor, brace/scope tracking and per-function flow over
+/// co_await suspension points — no libclang/GCC-plugin dependency (neither
+/// exists in the local toolchain).
+///
+/// NOTE for self-analysis: the analyzer runs over its own sources as part of
+/// the full-tree scan, so this code deliberately avoids the hazard classes it
+/// checks (ordered containers only, no wall-clock, checked enum switches).
+
+#ifndef PSOODB_TOOLS_ANALYZER_TOKEN_H_
+#define PSOODB_TOOLS_ANALYZER_TOKEN_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace psoodb::analyzer {
+
+enum class TokKind {
+  kIdent,   ///< identifiers and keywords (checks compare by text)
+  kNumber,  ///< numeric literals (pp-numbers, coarse)
+  kString,  ///< string literals, prefixes and raw strings included
+  kChar,    ///< character literals
+  kPunct,   ///< operators and punctuation, longest-match
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line;
+
+  bool Is(const char* s) const { return text == s; }
+  bool IsIdent() const { return kind == TokKind::kIdent; }
+};
+
+/// One lexed translation unit. Comments are not tokens; they are recorded
+/// per source line for the suppression pass (`det-ok` / `analyzer-ok`).
+struct LexedFile {
+  std::string path;
+  std::vector<Token> tokens;
+  /// line -> concatenated comment text on that line (block comments are
+  /// recorded on every line they span, so same-line suppressions work).
+  std::map<int, std::string> comments_by_line;
+};
+
+}  // namespace psoodb::analyzer
+
+#endif  // PSOODB_TOOLS_ANALYZER_TOKEN_H_
