@@ -169,6 +169,14 @@ std::vector<std::vector<core::RunResult>> RunFigure(
     for (auto& r : grid.back()) {
       std::printf("%10.0f", r.response_time.mean * 1000);
     }
+    std::printf("\n%-12s", "p50 ms");
+    for (auto& r : grid.back()) {
+      std::printf("%10.0f", r.response_hist.Percentile(0.50) * 1000);
+    }
+    std::printf("\n%-12s", "p99 ms");
+    for (auto& r : grid.back()) {
+      std::printf("%10.0f", r.response_hist.Percentile(0.99) * 1000);
+    }
     std::printf("\n");
   }
 
@@ -180,6 +188,29 @@ std::vector<std::vector<core::RunResult>> RunFigure(
     if (WriteJsonFile(path, FigureResultsJson(opt, sys, rc, threads,
                                               opt.write_probs, grid))) {
       std::printf("\nresults: %s\n", path.c_str());
+    }
+    // With tracing on (PSOODB_TRACE=1 / SystemParams::trace), every run's
+    // serialized sinks land next to the JSON: TRACE_<figure>_<proto>_wpNN
+    // as .jsonl (for trace_report) and .trace.json (Chrome/Perfetto).
+    // "BENCH_Figure_8.json" -> "Figure_8" for the trace-file stems.
+    std::string fig = FigureJsonFileName(opt.figure);
+    fig = fig.substr(6, fig.size() - 6 - 5);
+    std::size_t trace_files = 0;
+    for (std::size_t wi = 0; wi < grid.size(); ++wi) {
+      for (const core::RunResult& r : grid[wi]) {
+        if (r.trace_jsonl.empty()) continue;
+        char stem[64];
+        std::snprintf(stem, sizeof(stem), "%s_wp%02d",
+                      config::ProtocolName(r.protocol),
+                      static_cast<int>(opt.write_probs[wi] * 100 + 0.5));
+        const std::string base =
+            std::string(json_dir) + "/TRACE_" + fig + "_" + stem;
+        trace_files += WriteJsonFile(base + ".jsonl", r.trace_jsonl);
+        trace_files += WriteJsonFile(base + ".trace.json", r.trace_chrome);
+      }
+    }
+    if (trace_files > 0) {
+      std::printf("traces: %zu files in %s\n", trace_files, json_dir);
     }
   }
 

@@ -22,6 +22,11 @@
 ///                          (default: hardware concurrency; 1 = sequential)
 ///   PSOODB_BENCH_JSON_DIR  directory for BENCH_*.json (default ".";
 ///                          empty string disables the JSON output)
+///   PSOODB_TRACE=1         enable structured event tracing in every run;
+///                          per-run TRACE_<figure>_<proto>_wpNN.jsonl and
+///                          .trace.json sinks are written next to the JSON
+///                          (see docs/OBSERVABILITY.md). Tracing never
+///                          changes simulation results.
 
 #ifndef PSOODB_BENCH_FIGURE_HARNESS_H_
 #define PSOODB_BENCH_FIGURE_HARNESS_H_

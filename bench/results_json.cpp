@@ -139,6 +139,15 @@ void WriteRun(JsonWriter& w, const core::RunResult& r) {
   w.Key("msgs_per_commit"); w.Value(r.msgs_per_commit);
   w.Key("stalled"); w.Value(r.stalled);
   w.Key("events"); w.Value(r.events);
+  w.Key("latency");
+  w.BeginObject();
+  w.Key("p50"); w.Value(r.response_hist.Percentile(0.50));
+  w.Key("p90"); w.Value(r.response_hist.Percentile(0.90));
+  w.Key("p99"); w.Value(r.response_hist.Percentile(0.99));
+  w.Key("max"); w.Value(r.response_hist.max());
+  w.Key("mean_lock_wait"); w.Value(r.lock_wait_hist.mean());
+  w.Key("mean_callback_wait"); w.Value(r.callback_round_hist.mean());
+  w.EndObject();
   w.Key("counters");
   WriteCounters(w, r.counters);
   w.EndObject();
@@ -160,6 +169,7 @@ std::string FigureResultsJson(
 
   w.Key("config");
   w.BeginObject();
+  w.Key("schema_version"); w.Value(std::uint64_t{2});
   w.Key("num_clients"); w.Value(static_cast<std::uint64_t>(sys.num_clients));
   w.Key("num_servers"); w.Value(static_cast<std::uint64_t>(sys.num_servers));
   w.Key("db_pages"); w.Value(static_cast<std::uint64_t>(sys.db_pages));
@@ -214,8 +224,13 @@ bool WriteJsonFile(const std::string& path, const std::string& json) {
                  std::strerror(errno));
     return false;
   }
-  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size() &&
-                  std::fputc('\n', f) != EOF;
+  // Ensure exactly one trailing newline: the figure document has none, the
+  // trace sinks already end with one (a doubled newline would put an empty
+  // non-JSON line into the JSONL sinks).
+  bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  if (ok && (json.empty() || json.back() != '\n')) {
+    ok = std::fputc('\n', f) != EOF;
+  }
   std::fclose(f);
   if (!ok) std::fprintf(stderr, "warning: short write to %s\n", path.c_str());
   return ok;

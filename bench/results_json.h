@@ -5,12 +5,13 @@
 /// future perf-trajectory PRs consume these files instead of scraping the
 /// tables.
 ///
-/// Schema (one document per figure):
+/// Schema (one document per figure; "config.schema_version" is bumped when
+/// fields change — 2 added the per-run "latency" object):
 ///   {
 ///     "figure": "Figure 3", "title": ..., "expectation": ...,
 ///     "normalize_to_psaa": false,
-///     "config": { "num_clients": ..., "db_pages": ..., "seed": ...,
-///                 "warmup_commits": ..., "measure_commits": ...,
+///     "config": { "schema_version": 2, "num_clients": ..., "db_pages": ...,
+///                 "seed": ..., "warmup_commits": ..., "measure_commits": ...,
 ///                 "bench_threads": ... },
 ///     "protocols": ["PS", "OS", ...],
 ///     "points": [ { "write_prob": 0.0,
@@ -19,6 +20,11 @@
 ///                               "sim_seconds", "measured_commits",
 ///                               "deadlocks", utilizations,
 ///                               "msgs_per_commit", "stalled", "events",
+///                               "latency": { "p50","p90","p99","max"
+///                                            (response-time percentiles, s),
+///                                            "mean_lock_wait" (per blocked
+///                                            acquire), "mean_callback_wait"
+///                                            (per callback round) },
 ///                               "counters": { every metrics::Counters
 ///                                             field } }, ... ] }, ... ]
 ///   }
@@ -48,8 +54,8 @@ std::string FigureResultsJson(
 /// "Figure 3" -> "BENCH_Figure_3.json" (non-alphanumerics become '_').
 std::string FigureJsonFileName(const std::string& figure);
 
-/// Writes `json` to `path`; returns false (with a stderr warning) on I/O
-/// failure.
+/// Writes `json` to `path` with exactly one trailing newline (appended only
+/// if missing); returns false (with a stderr warning) on I/O failure.
 bool WriteJsonFile(const std::string& path, const std::string& json);
 
 }  // namespace psoodb::bench

@@ -12,12 +12,23 @@
 #include <unordered_set>
 
 #include "storage/types.h"
+#include "trace/trace.h"
 
 namespace psoodb::cc {
 
 /// Read/write footprint of a client's active transaction.
 class LocalTxnLocks {
  public:
+  /// Wires the optional event tracer (null when tracing is off): grants and
+  /// revocations of server-granted write permissions then emit kLocalGrant /
+  /// kLocalRevoke events tagged with the owning client. Client::BeginTxn
+  /// stamps the current transaction with SetTxn.
+  void AttachTracing(trace::Tracer* tracer, storage::ClientId client) {
+    tracer_ = tracer;
+    client_ = client;
+  }
+  void SetTxn(storage::TxnId txn) { txn_ = txn; }
+
   void Clear() {
     read_objects_.clear();
     write_objects_.clear();
@@ -66,13 +77,26 @@ class LocalTxnLocks {
 
   // --- Server-granted write permissions ------------------------------------
 
-  void GrantPageWrite(storage::PageId page) { page_write_locks_.insert(page); }
-  void RevokePageWrite(storage::PageId page) { page_write_locks_.erase(page); }
+  void GrantPageWrite(storage::PageId page) {
+    page_write_locks_.insert(page);
+    if (tracer_ != nullptr) {
+      tracer_->Emit(trace::EventKind::kLocalGrant, client_, txn_, page);
+    }
+  }
+  void RevokePageWrite(storage::PageId page) {
+    page_write_locks_.erase(page);
+    if (tracer_ != nullptr) {
+      tracer_->Emit(trace::EventKind::kLocalRevoke, client_, txn_, page);
+    }
+  }
   bool HasPageWrite(storage::PageId page) const {
     return page_write_locks_.count(page) > 0;
   }
   void GrantObjectWrite(storage::ObjectId oid) {
     object_write_locks_.insert(oid);
+    if (tracer_ != nullptr) {
+      tracer_->Emit(trace::EventKind::kLocalGrant, client_, txn_, -1, oid);
+    }
   }
   bool HasObjectWrite(storage::ObjectId oid) const {
     return object_write_locks_.count(oid) > 0;
@@ -85,6 +109,9 @@ class LocalTxnLocks {
   }
 
  private:
+  trace::Tracer* tracer_ = nullptr;
+  storage::ClientId client_ = storage::kNoClient;
+  storage::TxnId txn_ = storage::kNoTxn;
   std::unordered_set<storage::ObjectId> read_objects_;
   std::unordered_set<storage::ObjectId> write_objects_;
   std::unordered_set<storage::PageId> read_pages_;

@@ -16,47 +16,81 @@ using storage::PageId;
 using storage::TxnId;
 
 template <typename Key>
-sim::Task LockManager::AcquireX(Table<Key>& table, Key key, TxnId txn,
-                                ClientId client, bool acquire) {
+sim::Task LockManager::AcquireX(Table<Key>& table, Key key, PageId page,
+                                TxnId txn, ClientId client, bool acquire) {
+  constexpr bool kIsObject = !std::is_same_v<Key, PageId>;
   bool waited = false;
-  for (;;) {
-    Entry& e = table[key];
-    if (e.holder == kNoTxn || e.holder == txn) {
-      if (acquire && e.holder == kNoTxn) {
-        e.holder = txn;
-        e.holder_client = client;
-        if constexpr (std::is_same_v<Key, PageId>) {
-          pages_by_txn_[txn].insert(key);
-        } else {
-          objects_by_txn_[txn].insert(key);
+  // Entry time == first-block time: nothing suspends before the first
+  // conflict check, so a blocked acquire's wait span starts here.
+  const double wait_start = sim_.now();
+  try {
+    for (;;) {
+      Entry& e = table[key];
+      if (e.holder == kNoTxn || e.holder == txn) {
+        if (acquire && e.holder == kNoTxn) {
+          e.holder = txn;
+          e.holder_client = client;
+          if constexpr (std::is_same_v<Key, PageId>) {
+            pages_by_txn_[txn].insert(key);
+          } else {
+            objects_by_txn_[txn].insert(key);
+          }
         }
+        if (!acquire) MaybeErase(table, key);
+        if (waited) {
+          detector_.ClearWaits(txn);
+          RecordWaitEnd(kIsObject, static_cast<std::int64_t>(key), page, txn,
+                        wait_start, /*granted=*/true);
+        }
+        co_return;
       }
-      if (!acquire) MaybeErase(table, key);
-      if (waited) detector_.ClearWaits(txn);
-      co_return;
-    }
-    // Conflict: register the wait edge (may throw TxnAborted) and block.
-    ++lock_waits_;
-    waited = true;
-    try {
-      detector_.OnWait(txn, {e.holder});
-    } catch (...) {
+      // Conflict: register the wait edge (may throw TxnAborted) and block.
+      if (!waited && tracer_ != nullptr) {
+        tracer_->Emit(trace::EventKind::kLockWait, node_, txn, page,
+                      kIsObject ? static_cast<std::int64_t>(key) : -1,
+                      static_cast<std::int64_t>(e.holder));
+      }
+      ++lock_waits_;
+      waited = true;
+      try {
+        detector_.OnWait(txn, {e.holder});
+      } catch (...) {
+        detector_.ClearWaits(txn);
+        MaybeErase(table, key);
+        throw;
+      }
+      if (!e.cv) e.cv = std::make_unique<sim::CondVar>(sim_);
+      ++e.waiters;
+      try {
+        co_await e.cv->Wait();
+      } catch (...) {
+        // Wait() does not throw, but keep the waiter count exception-safe.
+        --table[key].waiters;
+        throw;
+      }
+      Entry& e2 = table[key];  // rehash-safe: re-lookup after suspension
+      --e2.waiters;
       detector_.ClearWaits(txn);
-      MaybeErase(table, key);
-      throw;
     }
-    if (!e.cv) e.cv = std::make_unique<sim::CondVar>(sim_);
-    ++e.waiters;
-    try {
-      co_await e.cv->Wait();
-    } catch (...) {
-      // Wait() does not throw, but keep the waiter count exception-safe.
-      --table[key].waiters;
-      throw;
+  } catch (...) {
+    if (waited) {
+      RecordWaitEnd(kIsObject, static_cast<std::int64_t>(key), page, txn,
+                    wait_start, /*granted=*/false);
     }
-    Entry& e2 = table[key];  // rehash-safe: re-lookup after suspension
-    --e2.waiters;
-    detector_.ClearWaits(txn);
+    throw;
+  }
+}
+
+void LockManager::RecordWaitEnd(bool is_object, std::int64_t oid, PageId page,
+                                TxnId txn, double wait_start, bool granted) {
+  const double dt = sim_.now() - wait_start;
+  if (lock_wait_hist_ != nullptr) lock_wait_hist_->Add(dt);
+  if (tracer_ != nullptr) {
+    tracer_->Attribute(txn, trace::Phase::kLockWait, dt);
+    tracer_->EmitSpan(wait_start, dt,
+                      granted ? trace::EventKind::kLockGrant
+                              : trace::EventKind::kLockAbort,
+                      node_, txn, page, is_object ? oid : -1);
   }
 }
 
@@ -107,11 +141,11 @@ void LockManager::MaybeErase(Table<Key>& table, Key key) {
 }
 
 sim::Task LockManager::AcquirePageX(PageId page, TxnId txn, ClientId client) {
-  co_await AcquireX(pages_, page, txn, client, /*acquire=*/true);
+  co_await AcquireX(pages_, page, page, txn, client, /*acquire=*/true);
 }
 
 sim::Task LockManager::WaitPageFree(PageId page, TxnId txn) {
-  co_await AcquireX(pages_, page, txn, kNoClient, /*acquire=*/false);
+  co_await AcquireX(pages_, page, page, txn, kNoClient, /*acquire=*/false);
 }
 
 void LockManager::ReleasePageX(PageId page, TxnId txn) {
@@ -128,13 +162,13 @@ ClientId LockManager::PageXHolderClient(PageId page) const {
 
 sim::Task LockManager::AcquireObjectX(ObjectId oid, PageId page, TxnId txn,
                                       ClientId client) {
-  co_await AcquireX(objects_, oid, txn, client, /*acquire=*/true);
+  co_await AcquireX(objects_, oid, page, txn, client, /*acquire=*/true);
   object_locks_by_page_[page].insert(oid);
   page_of_locked_[oid] = page;
 }
 
-sim::Task LockManager::WaitObjectFree(ObjectId oid, TxnId txn) {
-  co_await AcquireX(objects_, oid, txn, kNoClient, /*acquire=*/false);
+sim::Task LockManager::WaitObjectFree(ObjectId oid, PageId page, TxnId txn) {
+  co_await AcquireX(objects_, oid, page, txn, kNoClient, /*acquire=*/false);
 }
 
 void LockManager::GrantObjectXDirect(ObjectId oid, PageId page, TxnId txn,
@@ -219,6 +253,9 @@ int LockManager::ReleaseAll(TxnId txn) {
     }
   }
   detector_.RemoveTxn(txn);
+  if (tracer_ != nullptr && released > 0) {
+    tracer_->Emit(trace::EventKind::kLockRelease, node_, txn, -1, released);
+  }
   return released;
 }
 

@@ -21,10 +21,12 @@
 #include <vector>
 
 #include "cc/deadlock_detector.h"
+#include "metrics/histogram.h"
 #include "sim/awaitables.h"
 #include "sim/simulation.h"
 #include "sim/task.h"
 #include "storage/types.h"
+#include "trace/trace.h"
 
 namespace psoodb::cc {
 
@@ -35,6 +37,17 @@ class LockManager {
  public:
   LockManager(sim::Simulation& sim, DeadlockDetector& detector)
       : sim_(sim), detector_(detector) {}
+
+  /// Wires the optional event tracer and the always-on lock-wait histogram.
+  /// System calls this once per server after construction; unit tests that
+  /// build a bare LockManager may skip it (both stay null). `node` is the
+  /// owning server's NodeId, stamped into lock events.
+  void AttachTracing(trace::Tracer* tracer, metrics::Histogram* lock_wait_hist,
+                     int node) {
+    tracer_ = tracer;
+    lock_wait_hist_ = lock_wait_hist;
+    node_ = node;
+  }
 
   // --- Page-granularity X locks -------------------------------------------
 
@@ -61,8 +74,10 @@ class LockManager {
                                          storage::TxnId txn,
                                          storage::ClientId client);
 
-  /// Waits until no *other* transaction holds an object X lock on `oid`.
+  /// Waits until no *other* transaction holds an object X lock on `oid`
+  /// (which lives on `page`; used only to tag trace events).
   [[nodiscard]] sim::Task WaitObjectFree(storage::ObjectId oid,
+                                         storage::PageId page,
                                          storage::TxnId txn);
 
   /// Grants an object X lock without blocking. Used by PS-AA lock
@@ -117,10 +132,17 @@ class LockManager {
   using Table = std::unordered_map<Key, Entry>;
 
   /// Shared acquire/wait loop. If `acquire` is false, returns as soon as the
-  /// entry is free without taking it.
+  /// entry is free without taking it. `page` tags trace events (equals `key`
+  /// for page locks).
   template <typename Key>
-  sim::Task AcquireX(Table<Key>& table, Key key, storage::TxnId txn,
-                     storage::ClientId client, bool acquire);
+  sim::Task AcquireX(Table<Key>& table, Key key, storage::PageId page,
+                     storage::TxnId txn, storage::ClientId client,
+                     bool acquire);
+
+  /// Feeds the lock-wait histogram and, when tracing, attributes the blocked
+  /// interval to `txn` and emits the grant/abort span.
+  void RecordWaitEnd(bool is_object, std::int64_t oid, storage::PageId page,
+                     storage::TxnId txn, double wait_start, bool granted);
 
   template <typename Key>
   void ReleaseX(Table<Key>& table, Key key, storage::TxnId txn);
@@ -135,6 +157,9 @@ class LockManager {
 
   sim::Simulation& sim_;
   DeadlockDetector& detector_;
+  trace::Tracer* tracer_ = nullptr;
+  metrics::Histogram* lock_wait_hist_ = nullptr;
+  int node_ = 0;
   Table<storage::PageId> pages_;
   Table<storage::ObjectId> objects_;
   /// page -> object ids with live object X locks (for PS-AA grant checks and

@@ -122,6 +122,20 @@ struct SystemParams {
   /// (see tests/invariant_test.cpp); never enable outside tests.
   bool test_skip_callback_drain = false;
 
+  // --- Event tracing (src/trace/trace.h) ----------------------------------
+  /// Enables the deterministic event tracer and per-txn latency breakdown.
+  /// Also enabled by the PSOODB_TRACE=1 environment variable. Off by
+  /// default: instrumentation sites then reduce to one null-pointer test
+  /// and simulation results are bit-identical to an untraced run.
+  bool trace = false;
+  /// Trace ring-buffer capacity in events; the oldest events are dropped
+  /// once exceeded (the drop count is reported in the sink headers).
+  std::uint64_t trace_buffer_events = 1 << 16;
+  /// When >= 0, restricts both SystemContext::TracingPage (stderr debug
+  /// output) and the recorded event stream to this page. Also settable via
+  /// PSOODB_TRACE_PAGE=<n>; events that carry no page id are filtered out.
+  storage::PageId trace_page = -1;
+
   int object_size_bytes() const { return page_size_bytes / objects_per_page; }
   int client_buf_pages() const {
     int n = static_cast<int>(db_pages * client_buf_fraction);

@@ -26,6 +26,9 @@ Client::Client(SystemContext& ctx, ClientId id,
       source_(workload, ctx.params, id, ctx.params.seed),
       rng_(ctx.params.seed, 0xBAC0FF + static_cast<std::uint64_t>(id)) {
   ctx_.transport.AttachCpu(static_cast<NodeId>(id), &cpu_);
+  // System creates the tracer (when enabled) before building any client, so
+  // the context pointer is final here.
+  locks_.AttachTracing(ctx_.tracer, id_);
 }
 
 void Client::Start() { ctx_.sim.Spawn(MainLoop()); }
@@ -34,6 +37,7 @@ void Client::BeginTxn() {
   txn_ = ctx_.NewTxn();
   txn_active_ = true;
   locks_.Clear();
+  locks_.SetTxn(txn_);
   read_versions_.clear();
 }
 
@@ -82,14 +86,22 @@ static bool TraceViolations() {
 
 sim::Task Client::MainLoop() {
   for (;;) {
+    if (ctx_.tracer != nullptr) cycle_.Clear();
     if (ctx_.params.think_time > 0) {
+      const double think_start = ctx_.sim.now();
       co_await ctx_.sim.Delay(ctx_.params.think_time);
+      if (ctx_.tracer != nullptr) {
+        cycle_.Add(trace::Phase::kThink, ctx_.sim.now() - think_start);
+      }
     }
     workload::ReferenceString refs = source_.NextTransaction();
     const sim::SimTime first_start = ctx_.sim.now();
     bool committed = false;
     while (!committed) {
       BeginTxn();
+      if (ctx_.tracer != nullptr) {
+        ctx_.tracer->Emit(trace::EventKind::kTxnBegin, id_, txn_);
+      }
       bool aborted = false;
       try {
         for (const auto& op : refs) {
@@ -98,6 +110,8 @@ sim::Task Client::MainLoop() {
           } else {
             co_await Read(op.oid);
           }
+          trace::PhaseTimer cpu_time(ctx_.tracer, txn_,
+                                     trace::Phase::kClientCpu);
           co_await cpu_.User(ctx_.params.object_inst * (op.is_write ? 2 : 1));
         }
       } catch (const cc::TxnAborted&) {
@@ -105,12 +119,27 @@ sim::Task Client::MainLoop() {
       }
       if (aborted) {
         ++ctx_.counters.aborts;
+        if (ctx_.tracer != nullptr) {
+          ctx_.tracer->Emit(trace::EventKind::kTxnAbort, id_, txn_);
+        }
         co_await Abort();
+        if (ctx_.tracer != nullptr) {
+          // Each attempt runs under its own TxnId; fold the aborted
+          // attempt's attributed phases into this commit cycle.
+          cycle_.Fold(ctx_.tracer->TakePhases(txn_));
+        }
         // Resubmitted with the same object reference string (Section 4.1),
         // after a backoff proportional to the average response time so that
         // mutually deadlocking transactions de-synchronize.
         if (ctx_.params.restart_backoff) {
+          const double backoff_start = ctx_.sim.now();
           co_await ctx_.sim.Delay(rng_.Exponential(ctx_.RestartDelayMean()));
+          if (ctx_.tracer != nullptr) {
+            const double dt = ctx_.sim.now() - backoff_start;
+            cycle_.Add(trace::Phase::kBackoff, dt);
+            ctx_.tracer->EmitSpan(backoff_start, dt,
+                                  trace::EventKind::kTxnRestart, id_, txn_);
+          }
         }
         continue;
       }
@@ -118,7 +147,12 @@ sim::Task Client::MainLoop() {
       committed = true;
     }
     ++ctx_.counters.commits;
-    ctx_.NoteResponse(ctx_.sim.now() - first_start);
+    const double response = ctx_.sim.now() - first_start;
+    ctx_.NoteResponse(response);
+    if (ctx_.latency != nullptr) ctx_.latency->response.Add(response);
+    if (ctx_.tracer != nullptr) {
+      ctx_.tracer->FinalizeCommit(id_, txn_, first_start, response, cycle_);
+    }
     if (ctx_.on_commit) ctx_.on_commit(id_, first_start, ctx_.sim.now());
   }
 }
@@ -320,12 +354,14 @@ sim::Task PageFamilyClient::Commit() {
                  });
   }
   CommitAck merged;
+  BeginRpc();
   for (auto& fut : acks) {
     CommitAck ack = co_await std::move(fut);
     merged.new_versions.insert(merged.new_versions.end(),
                                ack.new_versions.begin(),
                                ack.new_versions.end());
   }
+  EndRpc();
 
   // History is recorded once all involved servers have acked (strict 2PL:
   // all locks were held until here, so the serialization point is sound).
@@ -389,7 +425,9 @@ sim::Task PageFamilyClient::Abort() {
                                    std::move(pr));
                  });
   }
+  BeginRpc();
   for (auto& fut : acks) co_await std::move(fut);
+  EndRpc();
   EndTxnLocal();
 }
 

@@ -23,6 +23,7 @@
 #include "sim/random.h"
 #include "storage/buffer_manager.h"
 #include "storage/object_cache.h"
+#include "trace/trace.h"
 #include "workload/workload.h"
 
 namespace psoodb::core {
@@ -112,6 +113,30 @@ class Client {
     deferred_.push_back(std::move(action));
   }
 
+  // --- RPC-window tracing ---------------------------------------------------
+  // Each client->server round trip is bracketed by BeginRpc/EndRpc; the
+  // window's elapsed sim time minus whatever servers attributed to this
+  // transaction inside it (lock wait, callback wait, server CPU, disk) is
+  // accounted as network/messaging time. Both are no-ops when tracing is
+  // off. Windows never nest: a client runs one request at a time.
+
+  /// Call immediately before co_awaiting a reply future (placing it before
+  /// the non-suspending send is equivalent).
+  void BeginRpc() {
+    if (ctx_.tracer == nullptr) return;
+    rpc_start_ = ctx_.sim.now();
+    rpc_server0_ = ctx_.tracer->ServerAttributed(txn_);
+  }
+  /// Call right after the reply future resolves (before any throw based on
+  /// the reply's contents).
+  void EndRpc() {
+    if (ctx_.tracer == nullptr) return;
+    const double elapsed = ctx_.sim.now() - rpc_start_;
+    const double server_dt =
+        ctx_.tracer->ServerAttributed(txn_) - rpc_server0_;
+    cycle_.Add(trace::Phase::kNetwork, elapsed - server_dt);
+  }
+
   /// Sends a message to a specific (partition) server.
   void SendToServer(Server* srv, MsgKind kind, int payload_bytes,
                     std::function<void()> deliver);
@@ -152,6 +177,13 @@ class Client {
   cc::LocalTxnLocks locks_;
   std::unordered_map<storage::ObjectId, storage::Version> read_versions_;
   std::vector<std::function<void()>> deferred_;
+
+  /// Client-side phase accumulator for the current commit cycle (think,
+  /// backoff, per-RPC network; aborted attempts' server phases are folded in
+  /// on restart). Only touched when ctx_.tracer != nullptr.
+  trace::Breakdown cycle_;
+  double rpc_start_ = 0;
+  double rpc_server0_ = 0;
 };
 
 /// Shared base of the four page-transfer clients (PS, PS-OO, PS-OA, PS-AA).

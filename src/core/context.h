@@ -7,19 +7,23 @@
 #include <cstdint>
 #include <functional>
 #include <cstdio>
-#include <cstdlib>
 
 #include "cc/deadlock_detector.h"
 #include "config/params.h"
 #include "core/history.h"
 #include "core/messages.h"
 #include "metrics/counters.h"
+#include "metrics/histogram.h"
 #include "sim/simulation.h"
 #include "storage/database.h"
 
 namespace psoodb::check {
 class InvariantChecker;
 }  // namespace psoodb::check
+
+namespace psoodb::trace {
+class Tracer;
+}  // namespace psoodb::trace
 
 namespace psoodb::core {
 
@@ -43,6 +47,15 @@ struct SystemContext {
   /// boundaries.
   check::InvariantChecker* invariants = nullptr;
 
+  /// Structured event tracer (null unless SystemParams::trace /
+  /// PSOODB_TRACE enabled it). Owned by System. Instrumentation sites must
+  /// test for null before touching it — that test is the entire cost of
+  /// tracing when disabled.
+  trace::Tracer* tracer = nullptr;
+  /// Always-on latency histograms (response / lock wait / callback round).
+  /// Owned by System; null only in unit tests that build a bare context.
+  metrics::LatencyRecorder* latency = nullptr;
+
   /// Next transaction id (monotonically increasing, shared by all clients).
   storage::TxnId next_txn = 0;
   /// Running (EWMA) average transaction response time, used as the mean
@@ -65,14 +78,12 @@ struct SystemContext {
     if (held != db.committed_version(oid)) ++counters.validity_violations;
   }
 
-  /// Debug tracing for one page, enabled with PSOODB_TRACE_PAGE=<n>.
-  /// Usage: if (ctx.TracingPage(p)) ctx.Trace("ship", ...);
+  /// Debug tracing for one page, enabled per system with
+  /// SystemParams::trace_page (System also reads PSOODB_TRACE_PAGE=<n> into
+  /// its own params copy, so different systems in one process can trace
+  /// different pages). Usage: if (ctx.TracingPage(p)) ctx.Trace("ship", ...);
   bool TracingPage(storage::PageId page) const {
-    static const long traced = [] {
-      const char* v = std::getenv("PSOODB_TRACE_PAGE");
-      return v != nullptr ? std::atol(v) : -1L;
-    }();
-    return traced >= 0 && page == static_cast<storage::PageId>(traced);
+    return params.trace_page >= 0 && page == params.trace_page;
   }
   template <typename... Args>
   void Trace(const char* fmt, Args... args) const {

@@ -28,6 +28,7 @@
 #include "sim/task.h"
 #include "storage/buffer_manager.h"
 #include "storage/types.h"
+#include "trace/trace.h"
 
 namespace psoodb::core {
 
@@ -127,6 +128,10 @@ class Transport {
   /// Registers the CPU of a node (call once per node before any Send).
   void AttachCpu(NodeId node, resources::Cpu* cpu) { cpus_[node] = cpu; }
 
+  /// Wires the optional event tracer (null = tracing off): every message
+  /// then emits kMsgSend at enqueue and kMsgRecv at delivery.
+  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+
   /// Sends a message: charges sender CPU, wire time, receiver CPU, then runs
   /// `deliver` at the receiver. Non-suspending: the caller's state mutations
   /// immediately before Send() and the send itself are atomic with respect
@@ -142,13 +147,14 @@ class Transport {
   }
 
  private:
-  sim::Task Deliver(NodeId from, NodeId to, int bytes,
+  sim::Task Deliver(NodeId from, NodeId to, MsgKind kind, int bytes,
                     std::function<void()> deliver);
 
   sim::Simulation& sim_;
   resources::Network& network_;
   const config::SystemParams& params_;
   metrics::Counters& counters_;
+  trace::Tracer* tracer_ = nullptr;
   std::unordered_map<NodeId, resources::Cpu*> cpus_;
 };
 

@@ -30,16 +30,20 @@ sim::Task OsServer::HandleRead(ObjectId oid, TxnId txn, ClientId client,
                                sim::Promise<ObjectShip> reply) {
   const PageId page = ctx_.db.layout().PageOf(oid);
   try {
-    // Costs up front: the final check-register-ship runs without suspension.
-    co_await cpu_.System(ctx_.params.lock_inst +
-                         ctx_.params.register_copy_inst);
+    {
+      // Costs up front: the final check-register-ship runs without
+      // suspension.
+      trace::PhaseTimer cpu_time(ctx_.tracer, txn, trace::Phase::kServerCpu);
+      co_await cpu_.System(ctx_.params.lock_inst +
+                           ctx_.params.register_copy_inst);
+    }
     for (;;) {
       TxnId holder = lm_.ObjectXHolder(oid);
       if (holder != kNoTxn && holder != txn) {
-        co_await lm_.WaitObjectFree(oid, txn);
+        co_await lm_.WaitObjectFree(oid, page, txn);
         continue;
       }
-      co_await EnsureBuffered(page);
+      co_await EnsureBuffered(page, /*load=*/true, txn);
       holder = lm_.ObjectXHolder(oid);  // disk read may have let one in
       if (holder != kNoTxn && holder != txn) continue;
       break;
@@ -64,7 +68,10 @@ sim::Task OsServer::HandleWrite(ObjectId oid, TxnId txn, ClientId client,
                                 sim::Promise<WriteGrant> reply) {
   const PageId page = ctx_.db.layout().PageOf(oid);
   try {
-    co_await cpu_.System(ctx_.params.lock_inst);
+    {
+      trace::PhaseTimer cpu_time(ctx_.tracer, txn, trace::Phase::kServerCpu);
+      co_await cpu_.System(ctx_.params.lock_inst);
+    }
     co_await lm_.AcquireObjectX(oid, page, txn, client);
 
     auto holders = object_copies_.HoldersExcept(oid, client);
@@ -79,6 +86,10 @@ sim::Task OsServer::HandleWrite(ObjectId oid, TxnId txn, ClientId client,
         object_copies_.UnregisterIfEpoch(oid, c, epochs.at(c));
       };
       for (const auto& h : holders) {
+        if (ctx_.tracer != nullptr) {
+          ctx_.tracer->Emit(trace::EventKind::kCallbackIssue, node_, txn, page,
+                            oid, -1, h.client);
+        }
         SendToClient(h.client, MsgKind::kCallbackReq,
                      ctx_.transport.ControlBytes(),
                      [cl = this->client(h.client), oid, page, txn, batch]() {
@@ -86,8 +97,11 @@ sim::Task OsServer::HandleWrite(ObjectId oid, TxnId txn, ClientId client,
                      });
       }
       co_await AwaitCallbacks(batch, txn);
-      co_await cpu_.System(ctx_.params.register_copy_inst *
-                           static_cast<double>(batch->outcomes.size()));
+      {
+        trace::PhaseTimer cpu_time(ctx_.tracer, txn, trace::Phase::kServerCpu);
+        co_await cpu_.System(ctx_.params.register_copy_inst *
+                             static_cast<double>(batch->outcomes.size()));
+      }
     }
     if (ctx_.invariants != nullptr) {
       ctx_.invariants->OnWriteGrant(*this, GrantLevel::kObject, page, oid,
@@ -149,7 +163,9 @@ sim::Task OsClient::FetchObject(ObjectId oid) {
                    srv->OnObjectReadReq(oid, txn, from, std::move(pr));
                  });
   }
+  BeginRpc();
   ObjectShip ship = co_await std::move(fut);
+  EndRpc();
   if (ship.aborted) throw cc::TxnAborted(txn_, cc::AbortReason::kVictim);
   auto r = cache_.Insert(oid);
   r.value->version = ship.version;
@@ -201,7 +217,9 @@ sim::Task OsClient::Write(ObjectId oid) {
                      srv->OnObjectWriteReq(oid, txn, from, std::move(pr));
                    });
     }
+    BeginRpc();
     WriteGrant grant = co_await std::move(fut);
+    EndRpc();
     if (grant.aborted) throw cc::TxnAborted(txn_, cc::AbortReason::kVictim);
     locks_.GrantObjectWrite(oid);
   }
@@ -247,12 +265,14 @@ sim::Task OsClient::Commit() {
                  });
   }
   CommitAck merged;
+  BeginRpc();
   for (auto& fut : acks) {
     CommitAck ack = co_await std::move(fut);
     merged.new_versions.insert(merged.new_versions.end(),
                                ack.new_versions.begin(),
                                ack.new_versions.end());
   }
+  EndRpc();
   if (ctx_.history != nullptr) {
     CommittedTxn record;
     record.txn = txn_;
@@ -301,7 +321,9 @@ sim::Task OsClient::Abort() {
                                    std::move(pr));
                  });
   }
+  BeginRpc();
   for (auto& fut : acks) co_await std::move(fut);
+  EndRpc();
   EndTxnLocal();
 }
 

@@ -28,14 +28,17 @@ void PsServer::OnPageWriteReq(PageId page, TxnId txn, ClientId client,
 sim::Task PsServer::HandleRead(PageId page, TxnId txn, ClientId client,
                                sim::Promise<PageShip> reply) {
   try {
-    // Charge the request's CPU costs up front so the final
-    // check-register-ship sequence below runs without suspension.
-    co_await cpu_.System(ctx_.params.lock_inst +
-                         ctx_.params.register_copy_inst);
+    {
+      // Charge the request's CPU costs up front so the final
+      // check-register-ship sequence below runs without suspension.
+      trace::PhaseTimer cpu_time(ctx_.tracer, txn, trace::Phase::kServerCpu);
+      co_await cpu_.System(ctx_.params.lock_inst +
+                           ctx_.params.register_copy_inst);
+    }
     for (;;) {
       // Block while any other transaction holds a page write lock.
       co_await lm_.WaitPageFree(page, txn);
-      co_await EnsureBuffered(page);
+      co_await EnsureBuffered(page, /*load=*/true, txn);
       TxnId holder = lm_.PageXHolder(page);  // disk read may have let one in
       if (holder == kNoTxn || holder == txn) break;
     }
@@ -62,7 +65,10 @@ sim::Task PsServer::HandleRead(PageId page, TxnId txn, ClientId client,
 sim::Task PsServer::HandleWrite(PageId page, TxnId txn, ClientId client,
                                 sim::Promise<WriteGrant> reply) {
   try {
-    co_await cpu_.System(ctx_.params.lock_inst);
+    {
+      trace::PhaseTimer cpu_time(ctx_.tracer, txn, trace::Phase::kServerCpu);
+      co_await cpu_.System(ctx_.params.lock_inst);
+    }
     co_await lm_.AcquirePageX(page, txn, client);
 
     auto holders = page_copies_.HoldersExcept(page, client);
@@ -77,6 +83,10 @@ sim::Task PsServer::HandleWrite(PageId page, TxnId txn, ClientId client,
         page_copies_.UnregisterIfEpoch(page, c, epochs.at(c));
       };
       for (const auto& h : holders) {
+        if (ctx_.tracer != nullptr) {
+          ctx_.tracer->Emit(trace::EventKind::kCallbackIssue, node_, txn, page,
+                            -1, -1, h.client);
+        }
         SendToClient(h.client, MsgKind::kCallbackReq,
                      ctx_.transport.ControlBytes(),
                      [cl = this->client(h.client), page, txn, batch]() {
@@ -84,8 +94,11 @@ sim::Task PsServer::HandleWrite(PageId page, TxnId txn, ClientId client,
                      });
       }
       co_await AwaitCallbacks(batch, txn);
-      co_await cpu_.System(ctx_.params.register_copy_inst *
-                           static_cast<double>(batch->outcomes.size()));
+      {
+        trace::PhaseTimer cpu_time(ctx_.tracer, txn, trace::Phase::kServerCpu);
+        co_await cpu_.System(ctx_.params.register_copy_inst *
+                             static_cast<double>(batch->outcomes.size()));
+      }
     }
     if (ctx_.invariants != nullptr) {
       ctx_.invariants->OnWriteGrant(*this, GrantLevel::kPage, page,
@@ -117,10 +130,13 @@ sim::Task PsClient::FetchPage(PageId page) {
                    srv->OnPageReadReq(page, txn, from, std::move(pr));
                  });
   }
+  BeginRpc();
   PageShip ship = co_await std::move(fut);
+  EndRpc();
   if (ship.aborted) throw cc::TxnAborted(txn_, cc::AbortReason::kVictim);
   int merged = ApplyShip(ship);
   if (merged > 0) {
+    trace::PhaseTimer cpu_time(ctx_.tracer, txn_, trace::Phase::kClientCpu);
     co_await cpu_.System(ctx_.params.copy_merge_inst * merged);
   }
 }
@@ -153,7 +169,9 @@ sim::Task PsClient::Write(ObjectId oid) {
                      srv->OnPageWriteReq(page, txn, from, std::move(pr));
                    });
     }
+    BeginRpc();
     WriteGrant grant = co_await std::move(fut);
+    EndRpc();
     if (grant.aborted) throw cc::TxnAborted(txn_, cc::AbortReason::kVictim);
     locks_.GrantPageWrite(page);
   }

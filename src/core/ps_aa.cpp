@@ -36,7 +36,7 @@ SlotMask PsAaServer::UnavailableMask(PageId page, TxnId txn) const {
   return mask;
 }
 
-sim::Task PsAaServer::DeEscalate(PageId page, TxnId holder) {
+sim::Task PsAaServer::DeEscalate(PageId page, TxnId holder, TxnId requester) {
   const ClientId holder_client = lm_.PageXHolderClient(page);
   if (holder_client == kNoClient) co_return;
   ++ctx_.counters.deescalations;
@@ -52,7 +52,17 @@ sim::Task PsAaServer::DeEscalate(PageId page, TxnId holder) {
                 pr = std::move(pr)]() mutable {
                  cl->OnDeEscalate(page, std::move(pr));
                });
+  const double deesc_start = ctx_.sim.now();
   std::vector<ObjectId> written = co_await std::move(fut);
+  if (ctx_.tracer != nullptr) {
+    // The requester is stalled for this round trip, same as a callback round.
+    const double dt = ctx_.sim.now() - deesc_start;
+    ctx_.tracer->Attribute(requester, trace::Phase::kCallbackWait, dt);
+    ctx_.tracer->EmitSpan(deesc_start, dt, trace::EventKind::kDeEscalate,
+                          node_, requester, page,
+                          static_cast<std::int64_t>(written.size()), holder,
+                          holder_client);
+  }
 
   // The holder may have committed/aborted (releasing the lock) or another
   // handler may have de-escalated it already.
@@ -68,8 +78,12 @@ sim::Task PsAaServer::DeEscalate(PageId page, TxnId holder) {
     ctx_.invariants->OnDeEscalated(*this, page, holder, holder_client,
                                    written);
   }
-  co_await cpu_.System(ctx_.params.lock_inst *
-                       static_cast<double>(written.size() + 1));
+  {
+    trace::PhaseTimer cpu_time(ctx_.tracer, requester,
+                               trace::Phase::kServerCpu);
+    co_await cpu_.System(ctx_.params.lock_inst *
+                         static_cast<double>(written.size() + 1));
+  }
 }
 
 sim::Task PsAaServer::ResolveConflicts(ObjectId oid, PageId page, TxnId txn,
@@ -78,17 +92,17 @@ sim::Task PsAaServer::ResolveConflicts(ObjectId oid, PageId page, TxnId txn,
     TxnId page_holder = lm_.PageXHolder(page);
     if (page_holder != kNoTxn && page_holder != txn) {
       // Page-level conflict: de-escalate the holder's lock (Section 3.3.3).
-      co_await DeEscalate(page, page_holder);
+      co_await DeEscalate(page, page_holder, txn);
       continue;
     }
     TxnId obj_holder = lm_.ObjectXHolder(oid);
     if (obj_holder != kNoTxn && obj_holder != txn) {
       // Object-level conflict: block until the holder terminates.
-      co_await lm_.WaitObjectFree(oid, txn);
+      co_await lm_.WaitObjectFree(oid, page, txn);
       continue;
     }
     if (buffer_page) {
-      co_await EnsureBuffered(page);
+      co_await EnsureBuffered(page, /*load=*/true, txn);
       // The disk read suspended; re-validate both checks.
       page_holder = lm_.PageXHolder(page);
       if (page_holder != kNoTxn && page_holder != txn) continue;
@@ -103,10 +117,13 @@ sim::Task PsAaServer::HandleRead(ObjectId oid, TxnId txn, ClientId client,
                                  sim::Promise<PageShip> reply) {
   const PageId page = ctx_.db.layout().PageOf(oid);
   try {
-    // Costs up front: ResolveConflicts returns with its checks validated
-    // synchronously, so register + ship stay atomic with them.
-    co_await cpu_.System(ctx_.params.lock_inst +
-                         ctx_.params.register_copy_inst);
+    {
+      // Costs up front: ResolveConflicts returns with its checks validated
+      // synchronously, so register + ship stay atomic with them.
+      trace::PhaseTimer cpu_time(ctx_.tracer, txn, trace::Phase::kServerCpu);
+      co_await cpu_.System(ctx_.params.lock_inst +
+                           ctx_.params.register_copy_inst);
+    }
     co_await ResolveConflicts(oid, page, txn, /*buffer_page=*/true);
     page_copies_.Register(page, client);
     PageShip ship = MakeShip(page, UnavailableMask(page, txn));
@@ -130,7 +147,10 @@ sim::Task PsAaServer::HandleWrite(ObjectId oid, TxnId txn, ClientId client,
                                   sim::Promise<WriteGrant> reply) {
   const PageId page = ctx_.db.layout().PageOf(oid);
   try {
-    co_await cpu_.System(ctx_.params.lock_inst);
+    {
+      trace::PhaseTimer cpu_time(ctx_.tracer, txn, trace::Phase::kServerCpu);
+      co_await cpu_.System(ctx_.params.lock_inst);
+    }
     co_await ResolveConflicts(oid, page, txn, /*buffer_page=*/false);
     // Stake the claim at object granularity (no conflict: synchronous).
     co_await lm_.AcquireObjectX(oid, page, txn, client);
@@ -154,6 +174,10 @@ sim::Task PsAaServer::HandleWrite(ObjectId oid, TxnId txn, ClientId client,
         }
       };
       for (const auto& h : holders) {
+        if (ctx_.tracer != nullptr) {
+          ctx_.tracer->Emit(trace::EventKind::kCallbackIssue, node_, txn, page,
+                            oid, -1, h.client);
+        }
         SendToClient(h.client, MsgKind::kCallbackReq,
                      ctx_.transport.ControlBytes(),
                      [cl = this->client(h.client), page, oid, txn, batch]() {
@@ -165,7 +189,10 @@ sim::Task PsAaServer::HandleWrite(ObjectId oid, TxnId txn, ClientId client,
       for (const auto& [c, outcome] : batch->outcomes) {
         if (outcome != CallbackOutcome::kRetained) ++unregistered;
       }
-      co_await cpu_.System(ctx_.params.register_copy_inst * unregistered);
+      {
+        trace::PhaseTimer cpu_time(ctx_.tracer, txn, trace::Phase::kServerCpu);
+        co_await cpu_.System(ctx_.params.register_copy_inst * unregistered);
+      }
     }
 
     // Re-escalation decision (Section 3.3.3): a page write lock is possible
@@ -212,10 +239,13 @@ sim::Task PsAaClient::FetchFor(ObjectId oid) {
                      srv->OnObjectReadReq(oid, txn, from, std::move(pr));
                    });
     }
+    BeginRpc();
     PageShip ship = co_await std::move(fut);
+    EndRpc();
     if (ship.aborted) throw cc::TxnAborted(txn_, cc::AbortReason::kVictim);
     int merged = ApplyShip(ship);
     if (merged > 0) {
+      trace::PhaseTimer cpu_time(ctx_.tracer, txn_, trace::Phase::kClientCpu);
       co_await cpu_.System(ctx_.params.copy_merge_inst * merged);
     }
   }
@@ -250,7 +280,9 @@ sim::Task PsAaClient::Write(ObjectId oid) {
                      srv->OnObjectWriteReq(oid, txn, from, std::move(pr));
                    });
     }
+    BeginRpc();
     WriteGrant grant = co_await std::move(fut);
+    EndRpc();
     if (grant.aborted) throw cc::TxnAborted(txn_, cc::AbortReason::kVictim);
     if (grant.level == GrantLevel::kPage) {
       locks_.GrantPageWrite(page);

@@ -40,7 +40,10 @@ class PsAaServer : public Server {
   /// Resolves a page-level write-lock conflict by asking the holding client
   /// to de-escalate: it reports the objects it has updated on `page`, which
   /// receive object X locks, and the page lock is released (Section 3.3.3).
-  sim::Task DeEscalate(storage::PageId page, storage::TxnId holder);
+  /// `requester` is the transaction waiting on the conflict (the round-trip
+  /// is attributed to it as callback wait in traces).
+  sim::Task DeEscalate(storage::PageId page, storage::TxnId holder,
+                       storage::TxnId requester);
 
  private:
   sim::Task HandleRead(storage::ObjectId oid, storage::TxnId txn,

@@ -39,17 +39,20 @@ sim::Task PsOaServer::HandleRead(ObjectId oid, TxnId txn, ClientId client,
                                  sim::Promise<PageShip> reply) {
   const PageId page = ctx_.db.layout().PageOf(oid);
   try {
-    // Page-granularity replica tracking: one registration per ship. Costs
-    // up front so the final check-register-ship runs without suspension.
-    co_await cpu_.System(ctx_.params.lock_inst +
-                         ctx_.params.register_copy_inst);
+    {
+      // Page-granularity replica tracking: one registration per ship. Costs
+      // up front so the final check-register-ship runs without suspension.
+      trace::PhaseTimer cpu_time(ctx_.tracer, txn, trace::Phase::kServerCpu);
+      co_await cpu_.System(ctx_.params.lock_inst +
+                           ctx_.params.register_copy_inst);
+    }
     for (;;) {
       TxnId holder = lm_.ObjectXHolder(oid);
       if (holder != kNoTxn && holder != txn) {
-        co_await lm_.WaitObjectFree(oid, txn);
+        co_await lm_.WaitObjectFree(oid, page, txn);
         continue;
       }
-      co_await EnsureBuffered(page);
+      co_await EnsureBuffered(page, /*load=*/true, txn);
       holder = lm_.ObjectXHolder(oid);
       if (holder != kNoTxn && holder != txn) continue;
       break;
@@ -80,7 +83,10 @@ sim::Task PsOaServer::HandleWrite(ObjectId oid, TxnId txn, ClientId client,
                                   sim::Promise<WriteGrant> reply) {
   const PageId page = ctx_.db.layout().PageOf(oid);
   try {
-    co_await cpu_.System(ctx_.params.lock_inst);
+    {
+      trace::PhaseTimer cpu_time(ctx_.tracer, txn, trace::Phase::kServerCpu);
+      co_await cpu_.System(ctx_.params.lock_inst);
+    }
     co_await lm_.AcquireObjectX(oid, page, txn, client);
 
     auto holders = page_copies_.HoldersExcept(page, client);
@@ -112,6 +118,10 @@ sim::Task PsOaServer::HandleWrite(ObjectId oid, TxnId txn, ClientId client,
         }
       };
       for (const auto& h : holders) {
+        if (ctx_.tracer != nullptr) {
+          ctx_.tracer->Emit(trace::EventKind::kCallbackIssue, node_, txn, page,
+                            oid, -1, h.client);
+        }
         SendToClient(h.client, MsgKind::kCallbackReq,
                      ctx_.transport.ControlBytes(),
                      [cl = this->client(h.client), page, oid, txn, batch]() {
@@ -123,7 +133,10 @@ sim::Task PsOaServer::HandleWrite(ObjectId oid, TxnId txn, ClientId client,
       for (const auto& [c, outcome] : batch->outcomes) {
         if (outcome != CallbackOutcome::kRetained) ++unregistered;
       }
-      co_await cpu_.System(ctx_.params.register_copy_inst * unregistered);
+      {
+        trace::PhaseTimer cpu_time(ctx_.tracer, txn, trace::Phase::kServerCpu);
+        co_await cpu_.System(ctx_.params.register_copy_inst * unregistered);
+      }
     }
     if (ctx_.invariants != nullptr) {
       ctx_.invariants->OnWriteGrant(*this, GrantLevel::kObject, page, oid,
@@ -156,10 +169,13 @@ sim::Task PsOaClient::FetchFor(ObjectId oid) {
                      srv->OnObjectReadReq(oid, txn, from, std::move(pr));
                    });
     }
+    BeginRpc();
     PageShip ship = co_await std::move(fut);
+    EndRpc();
     if (ship.aborted) throw cc::TxnAborted(txn_, cc::AbortReason::kVictim);
     int merged = ApplyShip(ship);
     if (merged > 0) {
+      trace::PhaseTimer cpu_time(ctx_.tracer, txn_, trace::Phase::kClientCpu);
       co_await cpu_.System(ctx_.params.copy_merge_inst * merged);
     }
   }
@@ -193,7 +209,9 @@ sim::Task PsOaClient::Write(ObjectId oid) {
                      srv->OnObjectWriteReq(oid, txn, from, std::move(pr));
                    });
     }
+    BeginRpc();
     WriteGrant grant = co_await std::move(fut);
+    EndRpc();
     if (grant.aborted) throw cc::TxnAborted(txn_, cc::AbortReason::kVictim);
     locks_.GrantObjectWrite(oid);
   }

@@ -53,21 +53,27 @@ sim::Task PsOoServer::HandleRead(ObjectId oid, TxnId txn, ClientId client,
                                  sim::Promise<PageShip> reply) {
   const PageId page = ctx_.db.layout().PageOf(oid);
   try {
-    co_await cpu_.System(ctx_.params.lock_inst);
+    {
+      trace::PhaseTimer cpu_time(ctx_.tracer, txn, trace::Phase::kServerCpu);
+      co_await cpu_.System(ctx_.params.lock_inst);
+    }
     for (;;) {
       TxnId holder = lm_.ObjectXHolder(oid);
       if (holder != kNoTxn && holder != txn) {
-        co_await lm_.WaitObjectFree(oid, txn);
+        co_await lm_.WaitObjectFree(oid, page, txn);
         continue;
       }
-      co_await EnsureBuffered(page);
+      co_await EnsureBuffered(page, /*load=*/true, txn);
       holder = lm_.ObjectXHolder(oid);
       if (holder != kNoTxn && holder != txn) continue;
       // Object-granularity registration for every available object shipped
       // — a real per-object cost of fine-grained replica management.
       const int est = ctx_.params.objects_per_page -
                       storage::PopCount(UnavailableMask(page, txn));
-      co_await cpu_.System(ctx_.params.register_copy_inst * est);
+      {
+        trace::PhaseTimer cpu_time(ctx_.tracer, txn, trace::Phase::kServerCpu);
+        co_await cpu_.System(ctx_.params.register_copy_inst * est);
+      }
       // Re-validate after the charge so registration + ship are atomic with
       // the conflict checks.
       holder = lm_.ObjectXHolder(oid);
@@ -102,7 +108,10 @@ sim::Task PsOoServer::HandleWrite(ObjectId oid, TxnId txn, ClientId client,
                                   sim::Promise<WriteGrant> reply) {
   const PageId page = ctx_.db.layout().PageOf(oid);
   try {
-    co_await cpu_.System(ctx_.params.lock_inst);
+    {
+      trace::PhaseTimer cpu_time(ctx_.tracer, txn, trace::Phase::kServerCpu);
+      co_await cpu_.System(ctx_.params.lock_inst);
+    }
     co_await lm_.AcquireObjectX(oid, page, txn, client);
 
     auto holders = object_copies_.HoldersExcept(oid, client);
@@ -117,6 +126,10 @@ sim::Task PsOoServer::HandleWrite(ObjectId oid, TxnId txn, ClientId client,
         object_copies_.UnregisterIfEpoch(oid, c, epochs.at(c));
       };
       for (const auto& h : holders) {
+        if (ctx_.tracer != nullptr) {
+          ctx_.tracer->Emit(trace::EventKind::kCallbackIssue, node_, txn, page,
+                            oid, -1, h.client);
+        }
         SendToClient(h.client, MsgKind::kCallbackReq,
                      ctx_.transport.ControlBytes(),
                      [cl = this->client(h.client), oid, page, txn, batch]() {
@@ -124,8 +137,11 @@ sim::Task PsOoServer::HandleWrite(ObjectId oid, TxnId txn, ClientId client,
                      });
       }
       co_await AwaitCallbacks(batch, txn);
-      co_await cpu_.System(ctx_.params.register_copy_inst *
-                           static_cast<double>(batch->outcomes.size()));
+      {
+        trace::PhaseTimer cpu_time(ctx_.tracer, txn, trace::Phase::kServerCpu);
+        co_await cpu_.System(ctx_.params.register_copy_inst *
+                             static_cast<double>(batch->outcomes.size()));
+      }
     }
     if (ctx_.invariants != nullptr) {
       ctx_.invariants->OnWriteGrant(*this, GrantLevel::kObject, page, oid,
@@ -158,10 +174,13 @@ sim::Task PsOoClient::FetchFor(ObjectId oid) {
                      srv->OnObjectReadReq(oid, txn, from, std::move(pr));
                    });
     }
+    BeginRpc();
     PageShip ship = co_await std::move(fut);
+    EndRpc();
     if (ship.aborted) throw cc::TxnAborted(txn_, cc::AbortReason::kVictim);
     int merged = ApplyShip(ship);
     if (merged > 0) {
+      trace::PhaseTimer cpu_time(ctx_.tracer, txn_, trace::Phase::kClientCpu);
       co_await cpu_.System(ctx_.params.copy_merge_inst * merged);
     }
   }
@@ -195,7 +214,9 @@ sim::Task PsOoClient::Write(ObjectId oid) {
                      srv->OnObjectWriteReq(oid, txn, from, std::move(pr));
                    });
     }
+    BeginRpc();
     WriteGrant grant = co_await std::move(fut);
+    EndRpc();
     if (grant.aborted) throw cc::TxnAborted(txn_, cc::AbortReason::kVictim);
     locks_.GrantObjectWrite(oid);
   }

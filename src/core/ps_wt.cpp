@@ -33,7 +33,10 @@ sim::Task PsWtServer::HandleWrite(ObjectId oid, TxnId txn, ClientId client,
                                   sim::Promise<TokenWriteGrant> reply) {
   const PageId page = ctx_.db.layout().PageOf(oid);
   try {
-    co_await cpu_.System(ctx_.params.lock_inst);
+    {
+      trace::PhaseTimer cpu_time(ctx_.tracer, txn, trace::Phase::kServerCpu);
+      co_await cpu_.System(ctx_.params.lock_inst);
+    }
     // Serializability: strict 2PL at object granularity, as in PS-OO.
     co_await lm_.AcquireObjectX(oid, page, txn, client);
 
@@ -49,6 +52,10 @@ sim::Task PsWtServer::HandleWrite(ObjectId oid, TxnId txn, ClientId client,
         object_copies_.UnregisterIfEpoch(oid, c, epochs.at(c));
       };
       for (const auto& h : holders) {
+        if (ctx_.tracer != nullptr) {
+          ctx_.tracer->Emit(trace::EventKind::kCallbackIssue, node_, txn, page,
+                            oid, -1, h.client);
+        }
         SendToClient(h.client, MsgKind::kCallbackReq,
                      ctx_.transport.ControlBytes(),
                      [cl = this->client(h.client), oid, page, txn, batch]() {
@@ -56,8 +63,11 @@ sim::Task PsWtServer::HandleWrite(ObjectId oid, TxnId txn, ClientId client,
                      });
       }
       co_await AwaitCallbacks(batch, txn);
-      co_await cpu_.System(ctx_.params.register_copy_inst *
-                           static_cast<double>(batch->outcomes.size()));
+      {
+        trace::PhaseTimer cpu_time(ctx_.tracer, txn, trace::Phase::kServerCpu);
+        co_await cpu_.System(ctx_.params.register_copy_inst *
+                             static_cast<double>(batch->outcomes.size()));
+      }
     }
 
     // Write-token check: a different owner must surrender the page, routing
@@ -75,16 +85,29 @@ sim::Task PsWtServer::HandleWrite(ObjectId oid, TxnId txn, ClientId client,
                     flushed = std::move(flushed)]() mutable {
                      cl->OnTokenRecall(page, std::move(flushed));
                    });
+      const double recall_start = ctx_.sim.now();
       co_await std::move(fut);
+      if (ctx_.tracer != nullptr) {
+        // The requester is stalled for the recall round trip, like a
+        // callback round.
+        const double dt = ctx_.sim.now() - recall_start;
+        ctx_.tracer->Attribute(txn, trace::Phase::kCallbackWait, dt);
+        ctx_.tracer->EmitSpan(recall_start, dt,
+                              trace::EventKind::kTokenRecall, node_, txn,
+                              page, -1, -1, owner);
+      }
       token_owner_[page] = client;
-      co_await EnsureBuffered(page);
+      co_await EnsureBuffered(page, /*load=*/true, txn);
       // Ship the freshest image with the grant; objects write-locked by
       // other transactions travel marked unavailable. Registration + ship
       // stay synchronous with the mask computation.
       const SlotMask unavailable = UnavailableMask(page, txn);
       const int avail =
           ctx_.params.objects_per_page - storage::PopCount(unavailable);
-      co_await cpu_.System(ctx_.params.register_copy_inst * avail);
+      {
+        trace::PhaseTimer cpu_time(ctx_.tracer, txn, trace::Phase::kServerCpu);
+        co_await cpu_.System(ctx_.params.register_copy_inst * avail);
+      }
       const SlotMask fresh_unavailable = UnavailableMask(page, txn);
       const auto& layout = ctx_.db.layout();
       for (int s = 0; s < ctx_.params.objects_per_page; ++s) {
@@ -159,11 +182,15 @@ sim::Task PsWtClient::Write(ObjectId oid) {
                      srv->OnTokenWriteReq(oid, txn, from, std::move(pr));
                    });
     }
+    BeginRpc();
     TokenWriteGrant grant = co_await std::move(fut);
+    EndRpc();
     if (grant.aborted) throw cc::TxnAborted(txn_, cc::AbortReason::kVictim);
     if (grant.with_page) {
       int merged = ApplyShip(grant.page);
       if (merged > 0) {
+        trace::PhaseTimer cpu_time(ctx_.tracer, txn_,
+                                   trace::Phase::kClientCpu);
         co_await cpu_.System(ctx_.params.copy_merge_inst * merged);
       }
     }

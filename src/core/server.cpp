@@ -7,6 +7,7 @@
 #include "cc/abort.h"
 #include "check/invariants.h"
 #include "core/client.h"
+#include "trace/trace.h"
 #include "util/check.h"
 
 namespace psoodb::core {
@@ -34,26 +35,44 @@ Server::Server(SystemContext& ctx, int index)
   ctx_.transport.AttachCpu(node_, &cpu_);
 }
 
-sim::Task Server::DiskIo(bool write) {
+sim::Task Server::DiskIo(bool write, TxnId txn, PageId page) {
   if (write) {
     ++ctx_.counters.disk_writes;
   } else {
     ++ctx_.counters.disk_reads;
   }
-  co_await cpu_.System(ctx_.params.disk_overhead_inst);
-  co_await disks_.Access();
+  {
+    trace::PhaseTimer cpu_time(ctx_.tracer, txn, trace::Phase::kServerCpu);
+    co_await cpu_.System(ctx_.params.disk_overhead_inst);
+  }
+  int queue0 = 0;
+  double t0 = 0;
+  if (ctx_.tracer != nullptr) {
+    queue0 = disks_.QueueLength();
+    t0 = ctx_.sim.now();
+  }
+  {
+    trace::PhaseTimer disk_time(ctx_.tracer, txn, trace::Phase::kDisk);
+    co_await disks_.Access();
+  }
+  if (ctx_.tracer != nullptr) {
+    ctx_.tracer->EmitSpan(
+        t0, ctx_.sim.now() - t0,
+        write ? trace::EventKind::kDiskWrite : trace::EventKind::kDiskRead,
+        node_, txn, page, queue0);
+  }
 }
 
-sim::Task Server::EnsureBuffered(PageId page, bool load) {
+sim::Task Server::EnsureBuffered(PageId page, bool load, TxnId txn) {
   if (buffer_.Get(page) != nullptr) co_return;
   if (load) {
-    co_await DiskIo(/*write=*/false);
+    co_await DiskIo(/*write=*/false, txn, page);
     // Re-check: a concurrent handler may have buffered it while we read.
     if (buffer_.Get(page) != nullptr) co_return;
   }
   auto r = buffer_.Insert(page);
   if (r.evicted.has_value() && r.evicted->second.IsDirty()) {
-    co_await DiskIo(/*write=*/true);
+    co_await DiskIo(/*write=*/true, txn, r.evicted->first);
   }
 }
 
@@ -73,6 +92,23 @@ PageShip Server::MakeShip(PageId page, SlotMask unavailable) const {
 
 sim::Task Server::AwaitCallbacks(std::shared_ptr<CallbackBatch> batch,
                                  TxnId txn) {
+  const int pending0 = batch->pending;
+  const double t0 = ctx_.sim.now();
+  // Record the round on both exit paths (drained or aborted): the wait
+  // interval belongs to `txn` either way.
+  const auto record = [this, pending0, t0, txn] {
+    const double dt = ctx_.sim.now() - t0;
+    if (ctx_.latency != nullptr && pending0 > 0) {
+      ctx_.latency->callback_round.Add(dt);
+    }
+    if (ctx_.tracer != nullptr) {
+      ctx_.tracer->Attribute(txn, trace::Phase::kCallbackWait, dt);
+      if (pending0 > 0) {
+        ctx_.tracer->EmitSpan(t0, dt, trace::EventKind::kCallbackRound, node_,
+                              txn, -1, pending0);
+      }
+    }
+  };
   try {
     // test_skip_callback_drain is a test-only fault injection: it grants
     // write permissions without waiting for the callback fan-in, which the
@@ -93,9 +129,11 @@ sim::Task Server::AwaitCallbacks(std::shared_ptr<CallbackBatch> batch,
     if (ctx_.invariants != nullptr) {
       ctx_.invariants->OnCallbacksDrained(*this, *batch, txn);
     }
+    record();
   } catch (...) {
     batch->dead = true;
     ctx_.detector->ClearWaits(txn);
+    record();
     throw;
   }
 }
@@ -155,17 +193,19 @@ sim::Task Server::InstallCommittedPage(TxnId txn, PageId page, SlotMask mask,
   const bool replace = !redo && CommitReplacesPage(txn, page);
   // A merge (or a log replay) needs the base page in memory; a whole-page
   // replacement does not.
-  co_await EnsureBuffered(page, /*load=*/!replace);
+  co_await EnsureBuffered(page, /*load=*/!replace, txn);
   if (redo) {
     // Redo-at-server (Section 6.1): the server replays the client's log
     // records against its own copy — no merging, but server CPU per update.
     const int n = storage::PopCount(mask);
     ctx_.counters.redo_objects += static_cast<std::uint64_t>(n);
+    trace::PhaseTimer cpu_time(ctx_.tracer, txn, trace::Phase::kServerCpu);
     co_await cpu_.System(ctx_.params.redo_apply_inst * n);
   } else if (!replace) {
     const int n = storage::PopCount(mask);
     ++ctx_.counters.merges;
     ctx_.counters.merged_objects += static_cast<std::uint64_t>(n);
+    trace::PhaseTimer cpu_time(ctx_.tracer, txn, trace::Phase::kServerCpu);
     co_await cpu_.System(ctx_.params.copy_merge_inst * n);
   }
   storage::PageFrame* frame = buffer_.Get(page);
@@ -187,8 +227,11 @@ sim::Task Server::InstallCommittedPage(TxnId txn, PageId page, SlotMask mask,
     while (fill > ctx_.params.page_size_bytes) {
       ++ctx_.counters.page_overflows;
       ++ctx_.counters.forwards;
-      co_await cpu_.System(ctx_.params.forward_inst);
-      co_await DiskIo(/*write=*/true);  // anchor/overflow page update
+      {
+        trace::PhaseTimer cpu_time(ctx_.tracer, txn, trace::Phase::kServerCpu);
+        co_await cpu_.System(ctx_.params.forward_inst);
+      }
+      co_await DiskIo(/*write=*/true, txn);  // anchor/overflow page update
       fill -= ctx_.params.object_size_bytes();
     }
     page_fill_[page] = fill;
@@ -224,7 +267,7 @@ sim::Task Server::HandleCommit(
 
   if (ctx_.params.commit_log_io) {
     ++ctx_.counters.log_writes;
-    co_await DiskIo(/*write=*/true);
+    co_await DiskIo(/*write=*/true, txn);
   }
 
   // History recording happens at the client once all involved servers have
@@ -253,7 +296,10 @@ sim::Task Server::HandleAbort(TxnId txn, ClientId client,
   // Undo-at-server: staged uncommitted pages are discarded. (They were never
   // installed, so no compensation I/O is modeled.)
   staging_.erase(txn);
-  co_await cpu_.System(ctx_.params.lock_inst);
+  {
+    trace::PhaseTimer cpu_time(ctx_.tracer, txn, trace::Phase::kServerCpu);
+    co_await cpu_.System(ctx_.params.lock_inst);
+  }
   OnAbortPurge(txn, client, purged_pages, purged_objects);
   lm_.ReleaseAll(txn);
   SendToClient(client, MsgKind::kControlReply, ctx_.transport.ControlBytes(),

@@ -117,10 +117,13 @@ class Server {
   /// Ensures `page` is in the server buffer pool, reading from disk (and
   /// possibly writing back a dirty victim) if needed. If `load` is false the
   /// frame is created without a disk read (incoming data replaces it).
-  sim::Task EnsureBuffered(storage::PageId page, bool load = true);
+  /// `txn` is the requesting transaction, for trace attribution (kNoTxn for
+  /// work not done on behalf of one).
+  sim::Task EnsureBuffered(storage::PageId page, bool load, storage::TxnId txn);
 
-  /// One disk I/O with its CPU initiation overhead.
-  sim::Task DiskIo(bool write);
+  /// One disk I/O with its CPU initiation overhead, attributed to `txn`.
+  /// `page` tags the trace event (-1 for log / overflow writes).
+  sim::Task DiskIo(bool write, storage::TxnId txn, storage::PageId page = -1);
 
   /// Sends a message to a client.
   void SendToClient(storage::ClientId client, MsgKind kind, int payload_bytes,

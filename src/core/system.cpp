@@ -60,6 +60,17 @@ System::System(Protocol protocol, const config::SystemParams& params,
   // Apply workload-defined object relocations (Interleaved PRIVATE).
   for (auto [a, b] : workload_.layout_swaps) db_.layout().Swap(a, b);
 
+  // Environment overrides land in this System's own params copy, so
+  // different systems in one process can still be configured differently
+  // programmatically.
+  if (const char* env = std::getenv("PSOODB_TRACE");
+      env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0')) {
+    params_.trace = true;
+  }
+  if (const char* env = std::getenv("PSOODB_TRACE_PAGE"); env != nullptr) {
+    params_.trace_page = static_cast<storage::PageId>(std::atol(env));
+  }
+
   detector_ = std::make_unique<cc::DeadlockDetector>();
   sim_ = std::make_unique<sim::Simulation>();
   network_ =
@@ -69,6 +80,17 @@ System::System(Protocol protocol, const config::SystemParams& params,
   ctx_ = std::make_unique<SystemContext>(SystemContext{
       *sim_, params_, db_, counters_, *transport_, detector_.get(), nullptr,
       {}});
+  // The tracer must exist before clients/servers are built: they latch the
+  // pointer (clients via LocalTxnLocks::AttachTracing, servers via the lock
+  // manager) at construction time.
+  if (params_.trace) {
+    tracer_ = std::make_unique<trace::Tracer>(
+        *sim_, static_cast<std::size_t>(params_.trace_buffer_events),
+        params_.trace_page);
+    ctx_->tracer = tracer_.get();
+  }
+  ctx_->latency = &latency_;
+  transport_->set_tracer(tracer_.get());
 
   // One server per data partition; clients route requests by page.
   auto build = [&](auto make_server, auto make_client) {
@@ -128,6 +150,10 @@ System::System(Protocol protocol, const config::SystemParams& params,
   raw.reserve(clients_.size());
   for (auto& c : clients_) raw.push_back(c.get());
   for (auto& srv : servers_) srv->SetClients(raw);
+  for (auto& srv : servers_) {
+    srv->lock_manager().AttachTracing(tracer_.get(), &latency_.lock_wait,
+                                      srv->node());
+  }
 
   if (params_.invariant_checks ||
       std::getenv("PSOODB_INVARIANTS") != nullptr) {
@@ -193,6 +219,8 @@ RunResult System::Run(const RunConfig& run) {
   }
   network_->ResetStats();
   for (auto& c : clients_) c->cpu().ResetStats();
+  latency_.Reset();
+  if (tracer_) tracer_->ResetMeasurement();
   const sim::SimTime measure_start = sim_->now();
   const std::uint64_t measure_start_events = sim_->events_processed();
 
@@ -267,6 +295,25 @@ RunResult System::Run(const RunConfig& run) {
   if (run.record_history) {
     result.serializable = history_.IsSerializable();
     result.no_lost_updates = history_.NoLostUpdates();
+  }
+  result.response_hist = latency_.response;
+  result.lock_wait_hist = latency_.lock_wait;
+  result.callback_round_hist = latency_.callback_round;
+  if (tracer_) {
+    for (int i = 0; i < trace::kNumPhases; ++i) {
+      result.phase_seconds[static_cast<std::size_t>(i)] =
+          tracer_->phase_totals()[i];
+    }
+    result.breakdown_txns = tracer_->commits();
+    result.breakdown_violations = tracer_->violations();
+    result.trace_events_dropped = tracer_->events_dropped();
+    trace::TraceMeta meta;
+    meta.protocol = config::ProtocolName(protocol_);
+    meta.num_clients = params_.num_clients;
+    meta.num_servers = params_.num_servers;
+    meta.seed = params_.seed;
+    result.trace_jsonl = tracer_->SerializeJsonl(meta);
+    result.trace_chrome = tracer_->SerializeChrome(meta);
   }
   return result;
 }

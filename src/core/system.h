@@ -7,7 +7,9 @@
 #ifndef PSOODB_CORE_SYSTEM_H_
 #define PSOODB_CORE_SYSTEM_H_
 
+#include <array>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "config/params.h"
@@ -16,9 +18,11 @@
 #include "core/messages.h"
 #include "core/server.h"
 #include "metrics/counters.h"
+#include "metrics/histogram.h"
 #include "metrics/stats.h"
 #include "resources/network.h"
 #include "storage/database.h"
+#include "trace/trace.h"
 
 namespace psoodb::check {
 class InvariantChecker;
@@ -70,6 +74,22 @@ struct RunResult {
   std::uint64_t events = 0;     ///< events processed during measurement
   /// Time series sampled every RunConfig::sample_interval (empty if 0).
   std::vector<MetricsSample> samples;
+
+  // --- Latency distributions (always collected; pure observation) ----------
+  metrics::Histogram response_hist;        ///< per-commit response time, s
+  metrics::Histogram lock_wait_hist;       ///< per blocked lock acquire, s
+  metrics::Histogram callback_round_hist;  ///< per callback fan-out round, s
+
+  // --- Trace-derived decomposition (zeros unless tracing was enabled) ------
+  /// Total seconds per trace::Phase summed over committed transactions.
+  std::array<double, trace::kNumPhases> phase_seconds{};
+  std::uint64_t breakdown_txns = 0;  ///< commits with a full decomposition
+  /// Commits whose phase sum failed to match the response time exactly.
+  std::uint64_t breakdown_violations = 0;
+  std::uint64_t trace_events_dropped = 0;  ///< ring-buffer overflow count
+  /// Serialized sinks (empty unless tracing was enabled).
+  std::string trace_jsonl;
+  std::string trace_chrome;
 };
 
 /// Writes a sampled time series as CSV (header + one row per sample).
@@ -104,6 +124,11 @@ class System {
   /// SystemParams::invariant_checks or the PSOODB_INVARIANTS environment
   /// variable.
   check::InvariantChecker* invariants() { return invariants_.get(); }
+  /// The structured event tracer, or null unless enabled via
+  /// SystemParams::trace or the PSOODB_TRACE environment variable.
+  trace::Tracer* tracer() { return tracer_.get(); }
+  /// Always-on latency histograms for the current (or last) run.
+  const metrics::LatencyRecorder& latency() const { return latency_; }
 
  private:
   config::Protocol protocol_;
@@ -120,6 +145,8 @@ class System {
   std::vector<std::unique_ptr<Server>> servers_;
   std::vector<std::unique_ptr<Client>> clients_;
   std::unique_ptr<check::InvariantChecker> invariants_;
+  std::unique_ptr<trace::Tracer> tracer_;
+  metrics::LatencyRecorder latency_;
   std::vector<double> response_times_;
   bool started_ = false;
 };

@@ -1,0 +1,76 @@
+#include "metrics/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace psoodb::metrics {
+
+int Histogram::BucketIndex(double x) {
+  if (!(x >= kMinValue)) return 0;  // also catches NaN / negatives
+  const double octaves = std::log2(x / kMinValue);
+  const int idx =
+      1 + static_cast<int>(octaves * static_cast<double>(kBucketsPerOctave));
+  return std::min(idx, kBuckets - 1);
+}
+
+double Histogram::BucketValue(int i) {
+  if (i <= 0) return kMinValue / 2;
+  // Geometric midpoint of [kMin * 2^((i-1)/bpo), kMin * 2^(i/bpo)).
+  const double exponent =
+      (static_cast<double>(i) - 0.5) / static_cast<double>(kBucketsPerOctave);
+  return kMinValue * std::exp2(exponent);
+}
+
+void Histogram::Add(double x) {
+  ++buckets_[static_cast<std::size_t>(BucketIndex(x))];
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  for (int i = 0; i < kBuckets; ++i) {
+    buckets_[static_cast<std::size_t>(i)] +=
+        other.buckets_[static_cast<std::size_t>(i)];
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  // Nearest-rank: the smallest rank r (1-based) with r >= p * count.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(p * static_cast<double>(count_))));
+  std::uint64_t cumulative = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    cumulative += buckets_[static_cast<std::size_t>(i)];
+    if (cumulative >= rank) {
+      // The extreme buckets are open-ended (bucket 0 also absorbs zero and
+      // negative samples; the last bucket is the overflow), so the observed
+      // extreme is a better point estimate than the bucket midpoint.
+      if (i == 0) return std::min(min_, BucketValue(0));
+      if (i == kBuckets - 1) return max_;
+      return std::clamp(BucketValue(i), min_, max_);
+    }
+  }
+  return max_;  // unreachable: cumulative ends at count_ >= rank
+}
+
+}  // namespace psoodb::metrics

@@ -42,6 +42,12 @@ std::uint64_t DiskArray::TotalRequests() const {
   return sum;
 }
 
+int DiskArray::QueueLength() const {
+  int sum = 0;
+  for (const auto& d : disks_) sum += d->queue_length();
+  return sum;
+}
+
 void DiskArray::ResetStats() {
   for (auto& d : disks_) d->ResetStats();
 }

@@ -53,6 +53,9 @@ class DiskArray {
   Disk& disk(int i) { return *disks_[i]; }
   double AverageUtilization() const;
   std::uint64_t TotalRequests() const;
+  /// Requests queued or in service across all disks right now (the trace
+  /// layer stamps this onto disk I/O events as the queue depth).
+  int QueueLength() const;
   void ResetStats();
 
  private:

@@ -1,0 +1,247 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <map>
+
+namespace psoodb::trace {
+
+namespace {
+
+constexpr const char* kPhaseNames[kNumPhases] = {
+    "think",     "backoff",       "client_cpu", "network",
+    "lock_wait", "callback_wait", "server_cpu", "disk",
+};
+
+constexpr const char* kEventKindNames[kNumEventKinds] = {
+    "txn_begin",    "txn",         "txn_abort",   "txn_restart",
+    "msg_send",     "msg_recv",    "lock_wait",   "lock_grant",
+    "lock_abort",   "lock_release", "deescalate", "cb_issue",
+    "cb_round",     "token_recall", "disk_read",  "disk_write",
+    "local_grant",  "local_revoke",
+};
+
+constexpr const char* kEventCategories[kNumEventKinds] = {
+    "txn",  "txn",  "txn",  "txn",  "msg",  "msg",
+    "lock", "lock", "lock", "lock", "lock", "cb",
+    "cb",   "cb",   "disk", "disk", "local", "local",
+};
+
+/// Chrome track id for a node: clients (>= 0) map to 1..N, servers
+/// (NodeId < 0, server i == -1 - i) map to 1001..1000+M.
+int TidOf(int node) { return node >= 0 ? node + 1 : 1000 - node; }
+
+void Appendf(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void Appendf(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  out.append(buf, static_cast<std::size_t>(std::min<int>(
+                      n, static_cast<int>(sizeof(buf)) - 1)));
+}
+
+}  // namespace
+
+const char* PhaseName(int phase) {
+  return (phase >= 0 && phase < kNumPhases) ? kPhaseNames[phase] : "?";
+}
+
+const char* EventKindName(EventKind kind) {
+  const int i = static_cast<int>(kind);
+  return (i >= 0 && i < kNumEventKinds) ? kEventKindNames[i] : "?";
+}
+
+void Tracer::EmitSpan(double t0, double dur, EventKind kind, int node,
+                      std::uint64_t txn, std::int32_t page, std::int64_t a,
+                      std::int64_t b, int aux) {
+  if (page_filter_ >= 0 && page != page_filter_) return;
+  Event e;
+  e.t = t0;
+  e.dur = dur;
+  e.seq = seq_++;
+  e.txn = txn;
+  e.a = a;
+  e.b = b;
+  e.page = page;
+  e.node = static_cast<std::int16_t>(node);
+  e.aux = static_cast<std::int16_t>(aux);
+  e.kind = kind;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(e);
+  } else {
+    ring_[ring_next_] = e;
+    ring_next_ = (ring_next_ + 1) % capacity_;
+    ++dropped_;
+  }
+}
+
+void Tracer::Attribute(std::uint64_t txn, Phase p, double dt) {
+  txn_phases_[txn].Add(p, dt);
+}
+
+double Tracer::ServerAttributed(std::uint64_t txn) const {
+  const auto it = txn_phases_.find(txn);
+  if (it == txn_phases_.end()) return 0.0;
+  const Breakdown& b = it->second;
+  return b.phase[static_cast<int>(Phase::kLockWait)] +
+         b.phase[static_cast<int>(Phase::kCallbackWait)] +
+         b.phase[static_cast<int>(Phase::kServerCpu)] +
+         b.phase[static_cast<int>(Phase::kDisk)];
+}
+
+Breakdown Tracer::TakePhases(std::uint64_t txn) {
+  const auto it = txn_phases_.find(txn);
+  if (it == txn_phases_.end()) return Breakdown{};
+  Breakdown b = it->second;
+  txn_phases_.erase(it);
+  return b;
+}
+
+void Tracer::FinalizeCommit(int client, std::uint64_t txn, double start,
+                            double response, Breakdown cycle) {
+  cycle.Fold(TakePhases(txn));
+  // Invariant: every phase except think (which precedes the response window)
+  // sums to the response time. Client-side awaits are all timed directly and
+  // per-RPC network time is the window residual, so a gap here means an
+  // un-instrumented client-side suspension point.
+  double sum = 0;
+  for (int p = 0; p < kNumPhases; ++p) {
+    if (p != static_cast<int>(Phase::kThink)) sum += cycle.phase[p];
+  }
+  const double tolerance = 1e-9 * std::max(1.0, std::abs(response));
+  if (std::abs(sum - response) > tolerance) ++violations_;
+  for (int p = 0; p < kNumPhases; ++p) phase_totals_[p] += cycle.phase[p];
+  ++commits_;
+  EmitSpan(start, response, EventKind::kTxnCommit, client, txn);
+}
+
+void Tracer::ResetMeasurement() {
+  ring_.clear();
+  ring_next_ = 0;
+  seq_ = 0;
+  dropped_ = 0;
+  for (double& total : phase_totals_) total = 0;
+  commits_ = 0;
+  violations_ = 0;
+}
+
+std::vector<Event> Tracer::Events() const {
+  if (ring_.size() < capacity_ || ring_next_ == 0) return ring_;
+  std::vector<Event> out;
+  out.reserve(ring_.size());
+  out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(ring_next_),
+             ring_.end());
+  out.insert(out.end(), ring_.begin(),
+             ring_.begin() + static_cast<std::ptrdiff_t>(ring_next_));
+  return out;
+}
+
+std::string Tracer::SerializeJsonl(const TraceMeta& meta) const {
+  const std::vector<Event> events = Events();
+  std::string out;
+  out.reserve(events.size() * 96 + 512);
+  Appendf(out,
+          "{\"psoodb_trace\":1,\"protocol\":\"%s\",\"clients\":%d,"
+          "\"servers\":%d,\"seed\":%llu,\"events\":%llu,\"dropped\":%llu,"
+          "\"page_filter\":%ld}\n",
+          meta.protocol.c_str(), meta.num_clients, meta.num_servers,
+          static_cast<unsigned long long>(meta.seed),
+          static_cast<unsigned long long>(events.size()),
+          static_cast<unsigned long long>(dropped_),
+          static_cast<long>(page_filter_));
+  for (const Event& e : events) {
+    Appendf(out,
+            "{\"t\":%.9f,\"k\":\"%s\",\"node\":%d,\"txn\":%llu,\"page\":%d,"
+            "\"a\":%lld,\"b\":%lld,\"aux\":%d,\"dur\":%.9f,\"seq\":%llu}\n",
+            e.t, EventKindName(e.kind), static_cast<int>(e.node),
+            static_cast<unsigned long long>(e.txn), e.page,
+            static_cast<long long>(e.a), static_cast<long long>(e.b),
+            static_cast<int>(e.aux), e.dur,
+            static_cast<unsigned long long>(e.seq));
+  }
+  Appendf(out,
+          "{\"summary\":1,\"commits\":%llu,\"violations\":%llu,\"phases\":{",
+          static_cast<unsigned long long>(commits_),
+          static_cast<unsigned long long>(violations_));
+  for (int p = 0; p < kNumPhases; ++p) {
+    Appendf(out, "%s\"%s\":%.9f", p == 0 ? "" : ",", PhaseName(p),
+            phase_totals_[p]);
+  }
+  out += "}}\n";
+  return out;
+}
+
+std::string Tracer::SerializeChrome(const TraceMeta& meta) const {
+  std::vector<Event> events = Events();
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& x, const Event& y) {
+                     if (x.t != y.t) return x.t < y.t;
+                     return x.seq < y.seq;
+                   });
+  // Name each track once; std::map keeps the metadata block ordered by tid.
+  std::map<int, std::string> tracks;
+  for (const Event& e : events) {
+    const int node = e.node;
+    auto [it, inserted] = tracks.try_emplace(TidOf(node));
+    if (inserted) {
+      char name[32];
+      if (node >= 0) {
+        std::snprintf(name, sizeof(name), "client %d", node);
+      } else {
+        std::snprintf(name, sizeof(name), "server %d", -1 - node);
+      }
+      it->second = name;
+    }
+  }
+  std::string out;
+  out.reserve(events.size() * 160 + 1024);
+  Appendf(out,
+          "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"protocol\":\"%s\","
+          "\"seed\":%llu},\"traceEvents\":[\n",
+          meta.protocol.c_str(), static_cast<unsigned long long>(meta.seed));
+  bool first = true;
+  Appendf(out,
+          "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+          "\"args\":{\"name\":\"psoodb %s\"}}",
+          meta.protocol.c_str());
+  first = false;
+  for (const auto& [tid, name] : tracks) {
+    Appendf(out,
+            ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":\"thread_name\","
+            "\"args\":{\"name\":\"%s\"}}",
+            tid, name.c_str());
+  }
+  for (const Event& e : events) {
+    if (!first) out += ",\n";
+    first = false;
+    const char* kind_name = EventKindName(e.kind);
+    const char* cat = kEventCategories[static_cast<int>(e.kind)];
+    if (e.dur > 0) {
+      Appendf(out,
+              "{\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,"
+              "\"name\":\"%s\",\"cat\":\"%s\"",
+              TidOf(e.node), e.t * 1e6, e.dur * 1e6, kind_name, cat);
+    } else {
+      Appendf(out,
+              "{\"ph\":\"i\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"s\":\"t\","
+              "\"name\":\"%s\",\"cat\":\"%s\"",
+              TidOf(e.node), e.t * 1e6, kind_name, cat);
+    }
+    Appendf(out,
+            ",\"args\":{\"txn\":%llu,\"page\":%d,\"a\":%lld,\"b\":%lld,"
+            "\"aux\":%d,\"seq\":%llu}}",
+            static_cast<unsigned long long>(e.txn), e.page,
+            static_cast<long long>(e.a), static_cast<long long>(e.b),
+            static_cast<int>(e.aux), static_cast<unsigned long long>(e.seq));
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace psoodb::trace

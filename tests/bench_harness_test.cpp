@@ -138,6 +138,30 @@ TEST(FigureHarnessTest, SameSeedsSameResultsAcrossThreadCounts) {
   }
 }
 
+TEST(FigureHarnessTest, TracesAreIdenticalAcrossThreadCounts) {
+  // With tracing on, the serialized sinks carried in each RunResult must be
+  // byte-identical regardless of PSOODB_BENCH_THREADS — the trace is part of
+  // the deterministic output, not a best-effort log.
+  ScopedEnv trace("PSOODB_TRACE", "1");
+  const auto grid1 = RunTinySweep("1");
+  const auto grid4 = RunTinySweep("4");
+  ASSERT_EQ(grid1.size(), grid4.size());
+  std::size_t traced = 0;
+  for (std::size_t i = 0; i < grid1.size(); ++i) {
+    ASSERT_EQ(grid1[i].size(), grid4[i].size());
+    for (std::size_t j = 0; j < grid1[i].size(); ++j) {
+      EXPECT_FALSE(grid1[i][j].trace_jsonl.empty());
+      EXPECT_EQ(grid1[i][j].trace_jsonl, grid4[i][j].trace_jsonl);
+      EXPECT_EQ(grid1[i][j].trace_chrome, grid4[i][j].trace_chrome);
+      traced += !grid1[i][j].trace_jsonl.empty();
+    }
+  }
+  EXPECT_GT(traced, 0u);
+  // The numeric results are still identical too: tracing does not interact
+  // with the thread-count determinism guarantee.
+  EXPECT_EQ(GridFingerprint(grid1), GridFingerprint(grid4));
+}
+
 /// Checks brace/bracket balance outside of string literals — a cheap
 /// well-formedness proxy that catches truncated or mis-nested output.
 bool BalancedJson(const std::string& s) {
@@ -191,7 +215,9 @@ TEST(FigureHarnessTest, WritesWellFormedJsonArtifact) {
        {"\"figure\"", "\"config\"", "\"protocols\"", "\"points\"",
         "\"write_prob\"", "\"throughput\"", "\"response_time\"",
         "\"half_width\"", "\"counters\"", "\"stalled\"", "\"seed\"",
-        "\"bench_threads\"", "\"msgs_total\"", "\"validity_violations\""}) {
+        "\"bench_threads\"", "\"msgs_total\"", "\"validity_violations\"",
+        "\"schema_version\":2", "\"latency\"", "\"p50\"", "\"p99\"",
+        "\"mean_lock_wait\"", "\"mean_callback_wait\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << "missing key " << key;
   }
   std::remove(path.c_str());

@@ -8,6 +8,7 @@
 #include "analytic/page_update_model.h"
 #include "config/params.h"
 #include "metrics/counters.h"
+#include "metrics/histogram.h"
 #include "metrics/stats.h"
 #include "sim/random.h"
 
@@ -119,6 +120,84 @@ TEST(CountersTest, ResetZeroesEverything) {
 }
 
 // --- Figure 5 analytic model -------------------------------------------------
+
+TEST(HistogramTest, EmptyHistogramIsAllZero) {
+  metrics::Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.99), 0.0);
+}
+
+TEST(HistogramTest, SingleSampleIsEveryPercentile) {
+  metrics::Histogram h;
+  h.Add(0.0123);
+  for (double p : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.Percentile(p), 0.0123) << p;
+  }
+  EXPECT_DOUBLE_EQ(h.min(), 0.0123);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0123);
+}
+
+TEST(HistogramTest, AllEqualSamplesCollapseToTheValue) {
+  metrics::Histogram h;
+  for (int i = 0; i < 1000; ++i) h.Add(2.5);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 2.5);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.999), 2.5);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.5);
+}
+
+TEST(HistogramTest, PercentilesAreOrderedAndBucketAccurate) {
+  // Log-bucketed at 4 buckets/octave: relative error of a within-range
+  // percentile is at most one bucket width (2^(1/4) ~ 19%).
+  metrics::Histogram h;
+  for (int i = 1; i <= 10000; ++i) h.Add(1e-4 * i);  // 0.1ms .. 1s uniform
+  const double p50 = h.Percentile(0.5);
+  const double p90 = h.Percentile(0.9);
+  const double p99 = h.Percentile(0.99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_NEAR(p50, 0.5, 0.5 * 0.20);
+  EXPECT_NEAR(p90, 0.9, 0.9 * 0.20);
+  EXPECT_NEAR(p99, 0.99, 0.99 * 0.20);
+  EXPECT_NEAR(h.mean(), 0.50005, 1e-9);
+}
+
+TEST(HistogramTest, UnderflowAndOverflowAreClamped) {
+  metrics::Histogram h;
+  h.Add(0.0);     // below the 1us first bucket boundary
+  h.Add(-1.0);    // negative: clamps into bucket 0, min records it
+  h.Add(1e12);    // far past the last bucket boundary
+  EXPECT_EQ(h.count(), 3u);
+  // Percentiles clamp to the observed [min, max], so the overflow bucket
+  // reports the true max rather than the bucket midpoint.
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 1e12);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), -1.0);
+}
+
+TEST(HistogramTest, MergeMatchesCombinedStream) {
+  metrics::Histogram a, b, all;
+  for (int i = 1; i <= 100; ++i) {
+    const double x = 1e-5 * i * i;
+    (i % 2 == 0 ? a : b).Add(x);
+    all.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_DOUBLE_EQ(a.sum(), all.sum());
+  EXPECT_DOUBLE_EQ(a.Percentile(0.5), all.Percentile(0.5));
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(HistogramTest, ResetClearsEverything) {
+  metrics::Histogram h;
+  h.Add(1.0);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 0.0);
+}
 
 TEST(PageUpdateModelTest, ClosedFormBasics) {
   EXPECT_DOUBLE_EQ(analytic::PageUpdateProbability(0.0, 12), 0.0);

@@ -1,21 +1,33 @@
 // psoodb doctor: quick self-check used during development. Runs every
 // protocol on a small high-contention configuration with all correctness
 // checkers enabled — including the cross-component invariant checker
-// (src/check/invariants.h) — and prints PASS/FAIL per protocol. Useful as
-// a smoke test after modifying protocol code (faster than the full ctest
-// suite's integration portion when iterating).
+// (src/check/invariants.h) and the trace subsystem's sums-to-response
+// decomposition invariant — and prints PASS/FAIL per protocol plus a
+// latency-breakdown table (where each protocol's response time goes).
+// Useful as a smoke test after modifying protocol code (faster than the
+// full ctest suite's integration portion when iterating).
 //
 //   $ ./build/src/psoodb_doctor        # despite the name: the doctor tool
 
+#include <array>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "check/invariants.h"
 #include "config/params.h"
 #include "core/system.h"
+#include "trace/trace.h"
 
 int main() {
   using namespace psoodb;
   int failures = 0;
+  struct BreakdownRow {
+    std::string protocol;
+    std::array<double, trace::kNumPhases> seconds{};
+    double response_total = 0;
+  };
+  std::vector<BreakdownRow> breakdown;
   for (auto protocol : config::AllProtocolsExtended()) {
     bool ok = true;
     for (int which = 0; which < 3 && ok; ++which) {
@@ -24,6 +36,7 @@ int main() {
       sys.seed = 7 + which;
       sys.invariant_checks = true;
       sys.invariant_event_period = 500;
+      sys.trace = true;  // exercises the decomposition invariant too
       config::WorkloadParams w;
       switch (which) {
         case 0: w = config::MakeHicon(sys, config::Locality::kLow, 0.2); break;
@@ -40,21 +53,60 @@ int main() {
       const bool invariants_ok = inv != nullptr && inv->ok();
       ok = !r.stalled && r.throughput > 0 &&
            r.counters.validity_violations == 0 && r.serializable &&
-           r.no_lost_updates && invariants_ok;
+           r.no_lost_updates && invariants_ok &&
+           r.breakdown_violations == 0;
       if (!ok) {
         std::printf("  [%s workload %d] stalled=%d thr=%.2f viol=%llu "
-                    "serializable=%d lost=%d invariants=%s\n",
+                    "serializable=%d lost=%d invariants=%s breakdown_viol=%llu\n",
                     config::ProtocolName(protocol), which, (int)r.stalled,
                     r.throughput,
                     (unsigned long long)r.counters.validity_violations,
                     (int)r.serializable, (int)!r.no_lost_updates,
-                    invariants_ok ? "ok" : "VIOLATED");
+                    invariants_ok ? "ok" : "VIOLATED",
+                    (unsigned long long)r.breakdown_violations);
         if (inv != nullptr && !inv->ok()) inv->Report(stdout);
+      }
+      if (which == 0) {
+        BreakdownRow row;
+        row.protocol = config::ProtocolName(protocol);
+        row.seconds = r.phase_seconds;
+        for (int p = 0; p < trace::kNumPhases; ++p) {
+          if (p != static_cast<int>(trace::Phase::kThink)) {
+            row.response_total += r.phase_seconds[static_cast<std::size_t>(p)];
+          }
+        }
+        breakdown.push_back(std::move(row));
       }
     }
     std::printf("%-6s %s\n", config::ProtocolName(protocol),
                 ok ? "PASS" : "FAIL");
     failures += ok ? 0 : 1;
+  }
+
+  // Where the response time goes, per protocol (HICON workload), as a
+  // percentage of the summed committed-transaction response time. A phase
+  // eating more than 90% of the total is flagged — that is where the
+  // protocol bottlenecks.
+  std::printf("\nlatency breakdown (HICON, %% of response time):\n%-8s",
+              "proto");
+  for (int p = 0; p < trace::kNumPhases; ++p) {
+    if (p == static_cast<int>(trace::Phase::kThink)) continue;
+    std::printf("%14s", trace::PhaseName(p));
+  }
+  std::printf("\n");
+  for (const auto& row : breakdown) {
+    std::printf("%-8s", row.protocol.c_str());
+    const char* flag = "";
+    for (int p = 0; p < trace::kNumPhases; ++p) {
+      if (p == static_cast<int>(trace::Phase::kThink)) continue;
+      const double share =
+          row.response_total > 0
+              ? row.seconds[static_cast<std::size_t>(p)] / row.response_total
+              : 0;
+      std::printf("%13.1f%%", 100 * share);
+      if (share > 0.90) flag = "  <-- dominated by one phase";
+    }
+    std::printf("%s\n", flag);
   }
   return failures;
 }
