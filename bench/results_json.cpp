@@ -209,6 +209,29 @@ std::string FigureResultsJson(
   return w.Take();
 }
 
+std::string KernelResultsJson(bool quick, int repetitions,
+                              const std::vector<KernelScenarioResult>& rows) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("bench"); w.Value(std::string("kernel"));
+  w.Key("schema_version"); w.Value(std::uint64_t{1});
+  w.Key("quick"); w.Value(quick);
+  w.Key("repetitions"); w.Value(static_cast<std::uint64_t>(repetitions));
+  w.Key("scenarios");
+  w.BeginArray();
+  for (const KernelScenarioResult& r : rows) {
+    w.BeginObject();
+    w.Key("name"); w.Value(r.name);
+    w.Key("events"); w.Value(r.events);
+    w.Key("wall_seconds"); w.Value(r.wall_seconds);
+    w.Key("events_per_sec"); w.Value(r.events_per_sec);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.Take();
+}
+
 std::string FigureJsonFileName(const std::string& figure) {
   std::string name = "BENCH_";
   for (char c : figure) {

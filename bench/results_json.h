@@ -54,6 +54,27 @@ std::string FigureResultsJson(
 /// "Figure 3" -> "BENCH_Figure_3.json" (non-alphanumerics become '_').
 std::string FigureJsonFileName(const std::string& figure);
 
+/// One kernel-microbench scenario measurement (bench/bench_kernel.cpp).
+/// `events` is the number of kernel events the scenario fired in one
+/// repetition; `wall_seconds`/`events_per_sec` come from the fastest
+/// repetition (microbench convention: best-of-N rejects scheduler noise).
+struct KernelScenarioResult {
+  std::string name;
+  std::uint64_t events = 0;
+  double wall_seconds = 0;
+  double events_per_sec = 0;
+};
+
+/// Renders the kernel-bench document (no trailing newline). Schema:
+///   { "bench": "kernel", "schema_version": 1, "quick": false,
+///     "repetitions": N,
+///     "scenarios": [ { "name", "events", "wall_seconds",
+///                      "events_per_sec" }, ... ] }
+/// The CI perf-smoke job compares "events_per_sec" per scenario against the
+/// committed baseline in bench/baselines/BENCH_kernel.json.
+std::string KernelResultsJson(bool quick, int repetitions,
+                              const std::vector<KernelScenarioResult>& rows);
+
 /// Writes `json` to `path` with exactly one trailing newline (appended only
 /// if missing); returns false (with a stderr warning) on I/O failure.
 bool WriteJsonFile(const std::string& path, const std::string& json);

@@ -11,16 +11,22 @@
 /// acks "purged") just before receiving a fresh copy; unregistering
 /// unconditionally would erase the fresh copy's registration and the client
 /// would silently miss all future callbacks for the item.
+///
+/// Per-item holder lists are kept sorted by client in inline-capacity
+/// vectors: sharing degrees in the modeled workloads are tiny (HOTCOLD and
+/// HICON rarely exceed a handful of concurrent holders), so linear probes
+/// beat a per-item hash table, and the callback fan-out order falls directly
+/// out of the stored order with no per-call sort.
 
 #ifndef PSOODB_CC_COPY_TABLE_H_
 #define PSOODB_CC_COPY_TABLE_H_
 
-#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
 
 #include "storage/types.h"
+#include "util/small_vector.h"
 
 namespace psoodb::cc {
 
@@ -37,7 +43,14 @@ class CopyTable {
   /// Registers that `client` holds a (new) copy of `item`. Re-registering
   /// bumps the epoch: the copy now on the wire supersedes older ones.
   void Register(ItemId item, storage::ClientId client) {
-    table_[item][client] = ++epoch_counter_;
+    HolderList& holders = table_[item];
+    std::size_t i = 0;
+    while (i < holders.size() && holders[i].client < client) ++i;
+    if (i < holders.size() && holders[i].client == client) {
+      holders[i].epoch = ++epoch_counter_;
+    } else {
+      holders.insert(i, Holder{client, ++epoch_counter_});
+    }
     ++registrations_;
   }
 
@@ -46,8 +59,15 @@ class CopyTable {
   void Unregister(ItemId item, storage::ClientId client) {
     auto it = table_.find(item);
     if (it == table_.end()) return;
-    if (it->second.erase(client) > 0) ++unregistrations_;
-    if (it->second.empty()) table_.erase(it);
+    HolderList& holders = it->second;
+    for (std::size_t i = 0; i < holders.size(); ++i) {
+      if (holders[i].client == client) {
+        holders.erase(i);
+        ++unregistrations_;
+        if (holders.empty()) table_.erase(it);
+        return;
+      }
+    }
   }
 
   /// Removes `client`'s registration only if it still has the given epoch
@@ -56,33 +76,40 @@ class CopyTable {
                          std::uint64_t epoch) {
     auto it = table_.find(item);
     if (it == table_.end()) return false;
-    auto c = it->second.find(client);
-    if (c == it->second.end() || c->second != epoch) return false;
-    it->second.erase(c);
-    ++unregistrations_;
-    if (it->second.empty()) table_.erase(it);
-    return true;
+    HolderList& holders = it->second;
+    for (std::size_t i = 0; i < holders.size(); ++i) {
+      if (holders[i].client == client) {
+        if (holders[i].epoch != epoch) return false;
+        holders.erase(i);
+        ++unregistrations_;
+        if (holders.empty()) table_.erase(it);
+        return true;
+      }
+    }
+    return false;
   }
 
   bool Holds(ItemId item, storage::ClientId client) const {
     auto it = table_.find(item);
-    return it != table_.end() && it->second.count(client) > 0;
+    if (it == table_.end()) return false;
+    for (const Holder& h : it->second) {
+      if (h.client == client) return true;
+    }
+    return false;
   }
 
   /// All holders of `item` except `except`, with their current epochs.
+  /// Ordered by client id (the stored order), so callback fan-out — and
+  /// hence the wire order — is a function of the sharing state alone.
   std::vector<Holder> HoldersExcept(ItemId item,
                                     storage::ClientId except) const {
     std::vector<Holder> out;
     auto it = table_.find(item);
     if (it == table_.end()) return out;
     out.reserve(it->second.size());
-    for (const auto& [c, epoch] : it->second) {  // det-ok: sorted below
-      if (c != except) out.push_back({c, epoch});
+    for (const Holder& h : it->second) {
+      if (h.client != except) out.push_back(h);
     }
-    // Callers fan callbacks out in this order; sort so the wire order is a
-    // function of the sharing state, not of the hash table's bucket layout.
-    std::sort(out.begin(), out.end(),
-              [](const Holder& a, const Holder& b) { return a.client < b.client; });
     return out;
   }
 
@@ -96,9 +123,10 @@ class CopyTable {
   std::uint64_t unregistrations() const { return unregistrations_; }
 
  private:
-  std::unordered_map<ItemId,
-                     std::unordered_map<storage::ClientId, std::uint64_t>>
-      table_;
+  /// Sorted by client; inline capacity covers typical sharing degrees.
+  using HolderList = util::SmallVector<Holder, 4>;
+
+  std::unordered_map<ItemId, HolderList> table_;
   std::uint64_t epoch_counter_ = 0;
   std::uint64_t registrations_ = 0;
   std::uint64_t unregistrations_ = 0;

@@ -50,7 +50,7 @@ void Client::EndTxnLocal() {
   read_versions_.clear();
   // Deferred callback actions run after the transaction has fully ended
   // (commit acked / abort acknowledged), before the next one begins.
-  std::vector<std::function<void()>> actions = std::move(deferred_);
+  std::vector<sim::InlineFunction> actions = std::move(deferred_);
   deferred_.clear();
   for (auto& a : actions) a();
 }
@@ -59,12 +59,6 @@ void Client::NoteRead(ObjectId oid, Version version, bool own_write) {
   if (own_write) return;
   ctx_.CheckCacheValidity(oid, version);
   read_versions_.emplace(oid, version);  // first read wins
-}
-
-void Client::SendToServer(Server* srv, MsgKind kind, int payload_bytes,
-                          std::function<void()> deliver) {
-  ctx_.transport.Send(static_cast<NodeId>(id_), srv->node(), kind,
-                      payload_bytes, std::move(deliver));
 }
 
 void Client::ReplyCallback(const std::shared_ptr<CallbackBatch>& batch,

@@ -108,9 +108,12 @@ class Client {
   /// this transaction has already written (skips both).
   void NoteRead(storage::ObjectId oid, storage::Version version,
                 bool own_write);
-  /// Defers an action until the current transaction ends.
-  void Defer(std::function<void()> action) {
-    deferred_.push_back(std::move(action));
+  /// Defers an action until the current transaction ends. Small callables
+  /// are stored inline (sim::InlineFunction), so deferring is allocation-
+  /// free on the hot path.
+  template <typename F>
+  void Defer(F&& action) {
+    deferred_.emplace_back(std::forward<F>(action));
   }
 
   // --- RPC-window tracing ---------------------------------------------------
@@ -137,9 +140,14 @@ class Client {
     cycle_.Add(trace::Phase::kNetwork, elapsed - server_dt);
   }
 
-  /// Sends a message to a specific (partition) server.
+  /// Sends a message to a specific (partition) server. `deliver` is any
+  /// callable (see Transport::Send).
+  template <typename F>
   void SendToServer(Server* srv, MsgKind kind, int payload_bytes,
-                    std::function<void()> deliver);
+                    F&& deliver) {
+    ctx_.transport.Send(static_cast<NodeId>(id_), srv->node(), kind,
+                        payload_bytes, std::forward<F>(deliver));
+  }
   /// The server owning `page` under the configured partitioning.
   Server* ServerFor(storage::PageId page) const {
     return servers_[static_cast<std::size_t>(
@@ -176,7 +184,7 @@ class Client {
   bool txn_aborting_ = false;
   cc::LocalTxnLocks locks_;
   std::unordered_map<storage::ObjectId, storage::Version> read_versions_;
-  std::vector<std::function<void()>> deferred_;
+  std::vector<sim::InlineFunction> deferred_;
 
   /// Client-side phase accumulator for the current commit cycle (think,
   /// backoff, per-RPC network; aborted attempts' server phases are folded in

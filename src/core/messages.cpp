@@ -3,8 +3,8 @@
 
 namespace psoodb::core {
 
-void Transport::Send(NodeId from, NodeId to, MsgKind kind, int payload_bytes,
-                     std::function<void()> deliver) {
+void Transport::NoteSend(NodeId from, NodeId to, MsgKind kind,
+                         int payload_bytes) {
   ++counters_.msgs_total;
   if (IsDataMsg(kind)) {
     ++counters_.msgs_data;
@@ -32,24 +32,6 @@ void Transport::Send(NodeId from, NodeId to, MsgKind kind, int payload_bytes,
     tracer_->Emit(trace::EventKind::kMsgSend, from, storage::kNoTxn, -1,
                   payload_bytes, static_cast<std::int64_t>(kind), to);
   }
-  // Spawning enters the sender-CPU queue synchronously (the delivery task
-  // runs until its first suspension), so send order == CPU order == wire
-  // order for messages from the same node.
-  sim_.Spawn(Deliver(from, to, kind, payload_bytes, std::move(deliver)));
-}
-
-sim::Task Transport::Deliver(NodeId from, NodeId to, MsgKind kind, int bytes,
-                             std::function<void()> deliver) {
-  resources::Cpu* sender = cpus_.at(from);
-  resources::Cpu* receiver = cpus_.at(to);
-  co_await sender->System(params_.MsgInst(bytes));
-  co_await network_.Transfer(static_cast<std::uint64_t>(bytes));
-  co_await receiver->System(params_.MsgInst(bytes));
-  if (tracer_ != nullptr) {
-    tracer_->Emit(trace::EventKind::kMsgRecv, to, storage::kNoTxn, -1, bytes,
-                  static_cast<std::int64_t>(kind), from);
-  }
-  deliver();
 }
 
 }  // namespace psoodb::core

@@ -126,7 +126,12 @@ class Transport {
       : sim_(sim), network_(network), params_(params), counters_(counters) {}
 
   /// Registers the CPU of a node (call once per node before any Send).
-  void AttachCpu(NodeId node, resources::Cpu* cpu) { cpus_[node] = cpu; }
+  void AttachCpu(NodeId node, resources::Cpu* cpu) {
+    std::vector<resources::Cpu*>& v = node >= 0 ? client_cpus_ : server_cpus_;
+    const std::size_t i = static_cast<std::size_t>(node >= 0 ? node : -1 - node);
+    if (v.size() <= i) v.resize(i + 1, nullptr);
+    v[i] = cpu;
+  }
 
   /// Wires the optional event tracer (null = tracing off): every message
   /// then emits kMsgSend at enqueue and kMsgRecv at delivery.
@@ -136,8 +141,20 @@ class Transport {
   /// `deliver` at the receiver. Non-suspending: the caller's state mutations
   /// immediately before Send() and the send itself are atomic with respect
   /// to other simulation events, and per node-pair delivery is FIFO.
+  ///
+  /// `deliver` is any callable; it moves into the delivery coroutine's
+  /// (pooled) frame, so per-message sends do not touch the global allocator
+  /// the way the former std::function signature did.
+  template <typename F>
   void Send(NodeId from, NodeId to, MsgKind kind, int payload_bytes,
-            std::function<void()> deliver);
+            F&& deliver) {
+    NoteSend(from, to, kind, payload_bytes);
+    // Spawning enters the sender-CPU queue synchronously (the delivery task
+    // runs until its first suspension), so send order == CPU order == wire
+    // order for messages from the same node.
+    sim_.Spawn(
+        Deliver(from, to, kind, payload_bytes, std::forward<F>(deliver)));
+  }
 
   /// Message size for a control message.
   int ControlBytes() const { return params_.control_msg_bytes; }
@@ -147,15 +164,39 @@ class Transport {
   }
 
  private:
+  /// Counter/tracer bookkeeping for one send (the non-template half).
+  void NoteSend(NodeId from, NodeId to, MsgKind kind, int payload_bytes);
+
+  template <typename F>
   sim::Task Deliver(NodeId from, NodeId to, MsgKind kind, int bytes,
-                    std::function<void()> deliver);
+                    F deliver) {
+    resources::Cpu* sender = CpuOf(from);
+    resources::Cpu* receiver = CpuOf(to);
+    co_await sender->System(params_.MsgInst(bytes));
+    co_await network_.Transfer(static_cast<std::uint64_t>(bytes));
+    co_await receiver->System(params_.MsgInst(bytes));
+    if (tracer_ != nullptr) {
+      tracer_->Emit(trace::EventKind::kMsgRecv, to, storage::kNoTxn, -1,
+                    bytes, static_cast<std::int64_t>(kind), from);
+    }
+    deliver();
+  }
+
+  resources::Cpu* CpuOf(NodeId node) const {
+    return node >= 0 ? client_cpus_[static_cast<std::size_t>(node)]
+                     : server_cpus_[static_cast<std::size_t>(-1 - node)];
+  }
 
   sim::Simulation& sim_;
   resources::Network& network_;
   const config::SystemParams& params_;
   metrics::Counters& counters_;
   trace::Tracer* tracer_ = nullptr;
-  std::unordered_map<NodeId, resources::Cpu*> cpus_;
+  /// Node CPUs, densely indexed: clients by id, servers by partition index
+  /// (NodeId -1-i). Two loads per lookup; the former unordered_map cost two
+  /// hash probes per message delivery.
+  std::vector<resources::Cpu*> client_cpus_;
+  std::vector<resources::Cpu*> server_cpus_;
 };
 
 }  // namespace psoodb::core

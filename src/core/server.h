@@ -12,12 +12,14 @@
 #include <vector>
 
 #include "cc/copy_table.h"
+#include "util/inline_function.h"
 #include "cc/deadlock_detector.h"
 #include "cc/lock_manager.h"
 #include "core/context.h"
 #include "core/messages.h"
 #include "resources/cpu.h"
 #include "resources/disk.h"
+#include "sim/pool.h"
 #include "storage/buffer_manager.h"
 
 namespace psoodb::core {
@@ -43,7 +45,9 @@ struct CallbackBatch {
   /// later requests (e.g. a re-fetch that re-registers the page) are
   /// FIFO-ordered after its reply, so a deferred unregistration in the
   /// issuing handler could erase a registration made after the purge.
-  std::function<void(storage::ClientId, CallbackOutcome)> on_final;
+  /// Inline storage: the protocols' capture sets (this + item id + epoch
+  /// list) fit the 48-byte buffer, so arming the hook never allocates.
+  util::InlineFunction<void(storage::ClientId, CallbackOutcome)> on_final;
   sim::CondVar cv;
   bool dead = false;  ///< set when the issuing handler aborted
 };
@@ -125,16 +129,21 @@ class Server {
   /// `page` tags the trace event (-1 for log / overflow writes).
   sim::Task DiskIo(bool write, storage::TxnId txn, storage::PageId page = -1);
 
-  /// Sends a message to a client.
+  /// Sends a message to a client. `deliver` is any callable (see
+  /// Transport::Send).
+  template <typename F>
   void SendToClient(storage::ClientId client, MsgKind kind, int payload_bytes,
-                    std::function<void()> deliver) {
+                    F&& deliver) {
     ctx_.transport.Send(node_, static_cast<NodeId>(client), kind,
-                        payload_bytes, std::move(deliver));
+                        payload_bytes, std::forward<F>(deliver));
   }
 
-  /// Creates a callback batch owned by this server.
+  /// Creates a callback batch owned by this server. Pool-allocated: batches
+  /// turn over once per write-request handler, and allocate_shared fuses the
+  /// batch and its control block into a single pooled block.
   std::shared_ptr<CallbackBatch> NewBatch() {
-    auto b = std::make_shared<CallbackBatch>(ctx_.sim);
+    auto b = std::allocate_shared<CallbackBatch>(
+        sim::detail::PoolAllocator<CallbackBatch>{}, ctx_.sim);
     b->owner = this;
     return b;
   }

@@ -11,10 +11,10 @@
 #define PSOODB_SIM_AWAITABLES_H_
 
 #include <coroutine>
-#include <memory>
 #include <optional>
 #include <utility>
 
+#include "sim/pool.h"
 #include "sim/simulation.h"
 #include "util/check.h"
 
@@ -130,13 +130,30 @@ inline bool CondVar::NotifyOne() {
 }
 
 namespace detail {
+/// Shared state of a Promise/Future pair. Intrusively refcounted (the
+/// simulator is single-threaded, so a plain int — no shared_ptr control
+/// block, no atomics) and allocated from the thread-local free-list arena:
+/// every RPC in the model creates and destroys one of these.
 template <typename T>
 struct ChannelState {
+  explicit ChannelState(Simulation& s) : sim(&s) {}
+
+  static void* operator new(std::size_t n) { return PoolAlloc(n); }
+  static void operator delete(void* p, std::size_t n) noexcept {
+    PoolFree(p, n);
+  }
+
+  void Ref() { ++refs; }
+  void Unref() {
+    if (--refs == 0) delete this;
+  }
+
   Simulation* sim;
   std::optional<T> value;
   std::coroutine_handle<> waiter;
   EventId sched = 0;
   bool delivered = false;
+  int refs = 1;
 };
 }  // namespace detail
 
@@ -166,22 +183,32 @@ class [[nodiscard]] Future {
   }
 
   ~Future() {
-    if (state_ && !state_->delivered) {
-      state_->waiter = {};
-      if (state_->sched != 0) state_->sim->Cancel(state_->sched);
+    if (state_ != nullptr) {
+      if (!state_->delivered) {
+        state_->waiter = {};
+        if (state_->sched != 0) state_->sim->Cancel(state_->sched);
+      }
+      state_->Unref();
     }
   }
-  Future(Future&&) = default;
-  Future& operator=(Future&&) = default;
+  Future(Future&& other) noexcept
+      : state_(std::exchange(other.state_, nullptr)) {}
+  Future& operator=(Future&& other) noexcept {
+    if (this != &other) {
+      if (state_ != nullptr) state_->Unref();
+      state_ = std::exchange(other.state_, nullptr);
+    }
+    return *this;
+  }
   Future(const Future&) = delete;
   Future& operator=(const Future&) = delete;
 
  private:
   template <typename U>
   friend class Promise;
-  explicit Future(std::shared_ptr<detail::ChannelState<T>> s)
-      : state_(std::move(s)) {}
-  std::shared_ptr<detail::ChannelState<T>> state_;
+  /// Takes over one reference (the caller's).
+  explicit Future(detail::ChannelState<T>* s) : state_(s) {}
+  detail::ChannelState<T>* state_ = nullptr;
 };
 
 /// Producer side of a Future. Copyable; Set() exactly once.
@@ -189,12 +216,37 @@ template <typename T>
 class Promise {
  public:
   explicit Promise(Simulation& sim)
-      : state_(std::make_shared<detail::ChannelState<T>>()) {
-    state_->sim = &sim;
+      : state_(new detail::ChannelState<T>(sim)) {}
+
+  ~Promise() {
+    if (state_ != nullptr) state_->Unref();
+  }
+  Promise(const Promise& other) : state_(other.state_) {
+    if (state_ != nullptr) state_->Ref();
+  }
+  Promise& operator=(const Promise& other) {
+    if (this != &other) {
+      if (other.state_ != nullptr) other.state_->Ref();
+      if (state_ != nullptr) state_->Unref();
+      state_ = other.state_;
+    }
+    return *this;
+  }
+  Promise(Promise&& other) noexcept
+      : state_(std::exchange(other.state_, nullptr)) {}
+  Promise& operator=(Promise&& other) noexcept {
+    if (this != &other) {
+      if (state_ != nullptr) state_->Unref();
+      state_ = std::exchange(other.state_, nullptr);
+    }
+    return *this;
   }
 
   /// Obtains the (single) consumer future.
-  [[nodiscard]] Future<T> GetFuture() { return Future<T>(state_); }
+  [[nodiscard]] Future<T> GetFuture() {
+    state_->Ref();
+    return Future<T>(state_);
+  }
 
   /// Delivers the value; wakes the awaiting process (if any) at now().
   void Set(T value) {
@@ -209,7 +261,7 @@ class Promise {
   bool has_value() const { return state_->value.has_value(); }
 
  private:
-  std::shared_ptr<detail::ChannelState<T>> state_;
+  detail::ChannelState<T>* state_ = nullptr;
 };
 
 /// Counts outstanding sub-operations; `co_await wg.Wait()` resumes when the

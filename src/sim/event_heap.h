@@ -1,0 +1,331 @@
+/// \file event_heap.h
+/// The simulator's event queue: an index-tracked 4-ary min-heap with
+/// in-place tombstones, slot-encoded event ids, and small-buffer-optimized
+/// callback storage.
+///
+/// Design (see docs/SIMULATOR.md "Scheduler internals"):
+///
+///  - Heap entries are 24 bytes — (time, seq, slot, flags) — so sift
+///    operations move cache-line-sized PODs instead of the 64-byte
+///    `std::function`-bearing records the old `std::priority_queue` carried.
+///    A 4-ary layout halves the tree depth of a binary heap, trading two
+///    extra comparisons per level for far fewer cache-missing moves.
+///  - Event payloads (a coroutine handle, or a callable in small-buffer
+///    storage) live in a *slot* side table addressed by the entry's slot
+///    index. Slots are chunked so they never move; each stores its entry's
+///    current heap index (maintained by every sift), which makes
+///    cancellation O(1): flag the entry dead in place, destroy the payload,
+///    free the slot. No hash lookup anywhere — the old kernel paid an
+///    `unordered_set` find+erase per pop and per cancel.
+///  - An `EventId` encodes (generation << 32 | slot index). Generations bump
+///    when a slot is freed, so cancelling a stale, fired, or never-issued id
+///    is a harmless no-op — the guarantee all awaitable destructors rely on.
+///  - Dead (tombstoned) entries stay in the heap until popped, but a dead
+///    counter triggers compaction when more than half the heap is dead, so
+///    timeout-heavy workloads (every fired event racing a cancelled timer)
+///    keep the queue bounded by ~2x the live event count.
+///
+/// Determinism: pops are ordered by (time, seq) with seq assigned in
+/// schedule order — exact FIFO tie-break at equal timestamps, identical to
+/// the old kernel. Slot reuse is LIFO and single-threaded, so ids and all
+/// heap states are a pure function of the schedule/cancel sequence.
+
+#ifndef PSOODB_SIM_EVENT_HEAP_H_
+#define PSOODB_SIM_EVENT_HEAP_H_
+
+#include <coroutine>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+#include "util/inline_function.h"
+
+namespace psoodb::sim {
+
+/// Simulated time, in seconds.
+using SimTime = double;
+
+/// Identifier of a scheduled event; 0 is never a valid id.
+using EventId = std::uint64_t;
+
+namespace detail {
+
+/// Event payload storage: type-erased move-only callable; callables up to 48
+/// bytes that are nothrow-move-constructible are stored inline (no
+/// allocation — the `ScheduleCallback` satellite fix), larger ones fall back
+/// to a single heap allocation. See util/inline_function.h.
+using EventCallback = psoodb::util::InlineFunction<void(), 48>;
+
+}  // namespace detail
+
+/// Move-only `void()` callable with 48-byte inline storage: the allocation-
+/// free replacement for `std::function<void()>` wherever small callables are
+/// stored at high rates (event payloads, deferred client actions).
+using InlineFunction = detail::EventCallback;
+
+/// The cancellable event queue. Single-threaded; owned by Simulation.
+class EventHeap {
+ public:
+  EventHeap() = default;
+  EventHeap(const EventHeap&) = delete;
+  EventHeap& operator=(const EventHeap&) = delete;
+  ~EventHeap() { Clear(); }
+
+  /// Schedules a coroutine resumption. `at` ties broken FIFO.
+  EventId PushHandle(SimTime at, std::coroutine_handle<> h) {
+    const std::uint32_t slot = AllocSlot();
+    Slot& s = SlotAt(slot);
+    s.kind = Slot::kHandle;
+    s.handle = h;
+    return PushEntry(at, slot, s.gen);
+  }
+
+  /// Schedules a callable. Small callables are stored inline in the slot.
+  template <typename F>
+  EventId PushCallback(SimTime at, F&& fn) {
+    const std::uint32_t slot = AllocSlot();
+    Slot& s = SlotAt(slot);
+    s.kind = Slot::kCallback;
+    s.cb.Emplace(std::forward<F>(fn));
+    return PushEntry(at, slot, s.gen);
+  }
+
+  /// Cancels a pending event: O(1) tombstone write plus payload teardown.
+  /// Safe for stale / fired / zero ids. Returns true if an event was live.
+  bool Cancel(EventId id) {
+    const std::uint32_t slot = static_cast<std::uint32_t>(id);
+    const std::uint32_t gen = static_cast<std::uint32_t>(id >> 32);
+    if (slot >= slot_count_) return false;
+    Slot& s = SlotAt(slot);
+    if (s.kind == Slot::kFree || s.gen != gen) return false;
+    Entry& e = heap_[s.heap_index];
+    PSOODB_DCHECK(e.slot == slot && (e.flags & kDead) == 0,
+                  "event heap index desync");
+    e.flags |= kDead;
+    ++dead_;
+    --live_;
+    if (s.kind == Slot::kCallback) s.cb.Reset();
+    FreeSlot(slot, s);
+    // Compact when over half the heap is tombstones, so cancel-heavy runs
+    // (timeouts racing completions) keep the queue bounded by ~2x live.
+    if (dead_ > heap_.size() / 2 && heap_.size() >= kCompactMin) Compact();
+    return true;
+  }
+
+  /// An event extracted by PopLive. Exactly one of handle/callback is set;
+  /// the slot is already freed, so the payload may reschedule or cancel
+  /// anything (including its own now-stale id) while running.
+  struct Fired {
+    SimTime at = 0;
+    std::coroutine_handle<> handle;
+    detail::EventCallback callback;
+  };
+
+  /// Extracts the earliest live event. Returns false if none remain.
+  bool PopLive(Fired* out) {
+    while (!heap_.empty()) {
+      const Entry top = heap_[0];
+      RemoveTop();
+      if (top.flags & kDead) {
+        --dead_;
+        continue;
+      }
+      Slot& s = SlotAt(top.slot);
+      out->at = top.at;
+      if (s.kind == Slot::kHandle) {
+        out->handle = s.handle;
+      } else {
+        out->handle = {};
+        out->callback = std::move(s.cb);
+      }
+      FreeSlot(top.slot, s);
+      return true;
+    }
+    return false;
+  }
+
+  /// Time of the earliest live event (purging dead entries from the top).
+  bool PeekLiveTime(SimTime* at) {
+    while (!heap_.empty()) {
+      if (heap_[0].flags & kDead) {
+        RemoveTop();
+        --dead_;
+        continue;
+      }
+      *at = heap_[0].at;
+      return true;
+    }
+    return false;
+  }
+
+  /// Destroys every pending payload without running it and resets the heap.
+  /// Pending ids become stale (Cancel remains a no-op on them).
+  void Clear() {
+    for (std::uint32_t i = 0; i < slot_count_; ++i) {
+      Slot& s = SlotAt(i);
+      if (s.kind == Slot::kCallback) s.cb.Reset();
+      s.kind = Slot::kFree;
+    }
+    chunks_.clear();
+    heap_.clear();
+    slot_count_ = 0;
+    live_ = 0;
+    dead_ = 0;
+    free_head_ = kNoSlot;
+  }
+
+  bool empty() const { return live_ == 0; }
+  /// Live (schedulable) events.
+  std::size_t live() const { return live_; }
+  /// Heap entries including tombstones — what the memory bound tracks.
+  std::size_t size() const { return heap_.size(); }
+  std::size_t dead() const { return dead_; }
+  std::uint64_t compactions() const { return compactions_; }
+
+ private:
+  static constexpr std::uint32_t kDead = 1;
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+  static constexpr std::size_t kCompactMin = 64;
+  static constexpr std::uint32_t kChunkShift = 8;  // 256 slots per chunk
+  static constexpr std::uint32_t kChunkMask = (1u << kChunkShift) - 1;
+
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t flags;
+  };
+  // The whole point of the rebuild: sift ops move small PODs. Growing this
+  // record is a kernel-wide perf regression; think twice.
+  static_assert(sizeof(Entry) == 24, "event record must stay 3 words");
+  static_assert(std::is_trivially_copyable_v<Entry>);
+
+  struct Slot {
+    enum Kind : std::uint8_t { kFree, kHandle, kCallback };
+    std::uint32_t gen = 1;  // never 0: forged/stale ids can't match
+    std::uint32_t heap_index = 0;
+    std::uint32_t next_free = kNoSlot;
+    Kind kind = kFree;
+    std::coroutine_handle<> handle;
+    detail::EventCallback cb;
+  };
+
+  Slot& SlotAt(std::uint32_t i) {
+    return chunks_[i >> kChunkShift][i & kChunkMask];
+  }
+
+  std::uint32_t AllocSlot() {
+    if (free_head_ != kNoSlot) {
+      const std::uint32_t i = free_head_;
+      free_head_ = SlotAt(i).next_free;
+      return i;
+    }
+    if ((slot_count_ >> kChunkShift) == chunks_.size()) {
+      chunks_.push_back(std::make_unique<Slot[]>(1u << kChunkShift));
+    }
+    return slot_count_++;
+  }
+
+  void FreeSlot(std::uint32_t i, Slot& s) {
+    ++s.gen;  // invalidate outstanding ids
+    s.kind = Slot::kFree;
+    s.handle = {};
+    s.next_free = free_head_;
+    free_head_ = i;
+  }
+
+  static bool Earlier(const Entry& a, const Entry& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  }
+
+  /// Writes `e` at heap position `i`, maintaining the slot's back-index.
+  /// Dead entries reference freed (possibly reused) slots and must never
+  /// write through them.
+  void PlaceAt(std::size_t i, const Entry& e) {
+    heap_[i] = e;
+    if ((e.flags & kDead) == 0) {
+      SlotAt(e.slot).heap_index = static_cast<std::uint32_t>(i);
+    }
+  }
+
+  void SiftUp(std::size_t i, const Entry& e) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) >> 2;
+      if (!Earlier(e, heap_[parent])) break;
+      PlaceAt(i, heap_[parent]);
+      i = parent;
+    }
+    PlaceAt(i, e);
+  }
+
+  void SiftDown(std::size_t i, const Entry& e) {
+    const std::size_t n = heap_.size();
+    for (;;) {
+      const std::size_t first = (i << 2) + 1;
+      if (first >= n) break;
+      std::size_t best = first;
+      const std::size_t last = first + 4 < n ? first + 4 : n;
+      for (std::size_t c = first + 1; c < last; ++c) {
+        if (Earlier(heap_[c], heap_[best])) best = c;
+      }
+      if (!Earlier(heap_[best], e)) break;
+      PlaceAt(i, heap_[best]);
+      i = best;
+    }
+    PlaceAt(i, e);
+  }
+
+  EventId PushEntry(SimTime at, std::uint32_t slot, std::uint32_t gen) {
+    heap_.emplace_back();  // space for the sift; value written by PlaceAt
+    SiftUp(heap_.size() - 1, Entry{at, ++last_seq_, slot, 0});
+    ++live_;
+    return (static_cast<EventId>(gen) << 32) | slot;
+  }
+
+  void RemoveTop() {
+    if ((heap_[0].flags & kDead) == 0) --live_;
+    const Entry last = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) SiftDown(0, last);
+  }
+
+  /// Drops every tombstone and re-heapifies (Floyd, bottom-up), then
+  /// rebuilds the slot back-indexes. O(n) with n = live entries.
+  void Compact() {
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < heap_.size(); ++r) {
+      if ((heap_[r].flags & kDead) == 0) heap_[w++] = heap_[r];
+    }
+    heap_.resize(w);
+    dead_ = 0;
+    ++compactions_;
+    if (w > 1) {
+      for (std::size_t i = (w - 2) >> 2; i != static_cast<std::size_t>(-1);
+           --i) {
+        const Entry e = heap_[i];  // copy: SiftDown writes through heap_[i]
+        SiftDown(i, e);
+      }
+    }
+    for (std::size_t i = 0; i < w; ++i) {
+      SlotAt(heap_[i].slot).heap_index = static_cast<std::uint32_t>(i);
+    }
+  }
+
+  std::vector<Entry> heap_;
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  std::uint32_t slot_count_ = 0;
+  std::uint32_t free_head_ = kNoSlot;
+  std::size_t live_ = 0;
+  std::size_t dead_ = 0;
+  std::uint64_t last_seq_ = 0;
+  std::uint64_t compactions_ = 0;
+};
+
+}  // namespace psoodb::sim
+
+#endif  // PSOODB_SIM_EVENT_HEAP_H_

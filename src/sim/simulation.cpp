@@ -1,6 +1,7 @@
 #include "sim/simulation.h"
 
 #include <cstdio>
+#include <vector>
 
 namespace psoodb::sim {
 
@@ -15,41 +16,19 @@ Simulation::~Simulation() {
   // Destroy the event queue first so nothing fires, then destroy every live
   // root process. Destroying a suspended frame runs its in-frame awaitable
   // destructors, which unregister from resource queues and cancel events
-  // (Cancel on an already-cleared queue is a no-op thanks to pending_).
-  pending_.clear();
-  queue_ = {};
-  // Copy: destroying frames can cause nested Task destruction but never
-  // touches roots_ (only FinalAwaiter's on_complete erases, and destroy()
-  // does not run FinalAwaiter).
-  std::vector<void*> roots(roots_.begin(), roots_.end());
-  roots_.clear();
-  for (void* addr : roots) {
-    std::coroutine_handle<>::from_address(addr).destroy();
+  // (Cancel on the cleared heap sees only stale ids and is a no-op).
+  heap_.Clear();
+  // Snapshot: destroying frames can cause nested Task destruction but never
+  // touches the root list (only FinalAwaiter unlinks, and destroy() does not
+  // run FinalAwaiter).
+  std::vector<detail::TaskPromise*> roots;
+  for (detail::TaskPromise* p = roots_head_; p != nullptr; p = p->root_next) {
+    roots.push_back(p);
   }
-}
-
-EventId Simulation::Schedule(SimTime at, std::coroutine_handle<> h) {
-  PSOODB_CHECK(at >= now_, "cannot schedule into the past (at=%g now=%g)", at,
-               now_);
-  PSOODB_CHECK(h, "null coroutine handle");
-  EventId id = NextId();
-  queue_.push(Entry{at < now_ ? now_ : at, ++last_seq_, id, h, {}});
-  pending_.insert(id);
-  return id;
-}
-
-EventId Simulation::ScheduleCallback(SimTime at, std::function<void()> fn) {
-  PSOODB_CHECK(at >= now_, "cannot schedule into the past (at=%g now=%g)", at,
-               now_);
-  PSOODB_CHECK(fn, "null callback");
-  EventId id = NextId();
-  queue_.push(Entry{at < now_ ? now_ : at, ++last_seq_, id, {}, std::move(fn)});
-  pending_.insert(id);
-  return id;
-}
-
-void Simulation::Cancel(EventId id) {
-  if (id != 0) pending_.erase(id);
+  roots_head_ = nullptr;
+  for (detail::TaskPromise* p : roots) {
+    std::coroutine_handle<detail::TaskPromise>::from_promise(*p).destroy();
+  }
 }
 
 void Simulation::Spawn(Task t) {
@@ -57,30 +36,12 @@ void Simulation::Spawn(Task t) {
   if (!h) return;
   auto& p = h.promise();
   p.detached = true;
-  void* addr = h.address();
-  roots_.insert(addr);
-  p.on_complete = [this, addr]() { roots_.erase(addr); };
+  p.root_head = &roots_head_;
+  p.root_prev = nullptr;
+  p.root_next = roots_head_;
+  if (roots_head_ != nullptr) roots_head_->root_prev = &p;
+  roots_head_ = &p;
   h.resume();  // run until first suspension (or completion)
-}
-
-bool Simulation::Step() {
-  while (!queue_.empty()) {
-    Entry e = queue_.top();
-    queue_.pop();
-    auto it = pending_.find(e.id);
-    if (it == pending_.end()) continue;  // cancelled
-    pending_.erase(it);
-    PSOODB_DCHECK(e.at >= now_, "event fired in the past");
-    now_ = e.at;
-    ++events_processed_;
-    if (e.handle) {
-      e.handle.resume();
-    } else {
-      e.fn();
-    }
-    return true;
-  }
-  return false;
 }
 
 std::uint64_t Simulation::Run(std::uint64_t max_events) {
@@ -90,13 +51,9 @@ std::uint64_t Simulation::Run(std::uint64_t max_events) {
 }
 
 void Simulation::RunUntil(SimTime t) {
-  while (!queue_.empty()) {
-    const Entry& top = queue_.top();
-    if (pending_.find(top.id) == pending_.end()) {
-      queue_.pop();
-      continue;
-    }
-    if (top.at > t) break;
+  SimTime at;
+  while (heap_.PeekLiveTime(&at)) {
+    if (at > t) break;
     Step();
   }
   if (now_ < t) now_ = t;

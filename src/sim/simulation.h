@@ -2,29 +2,26 @@
 /// Discrete-event simulation engine: virtual clock, cancellable event queue,
 /// and process (Task) management. This is the DeNet replacement at the base
 /// of the page-server OODBMS model.
+///
+/// The event queue is an index-tracked 4-ary tombstone heap (event_heap.h):
+/// scheduling is a heap push, cancellation an O(1) in-place tombstone, and
+/// callback events store small callables inline — no per-event allocation
+/// and no hash lookups anywhere on the hot path.
 
 #ifndef PSOODB_SIM_SIMULATION_H_
 #define PSOODB_SIM_SIMULATION_H_
 
 #include <coroutine>
 #include <cstdint>
-#include <functional>
 #include <limits>
-#include <queue>
-#include <unordered_map>
-#include <unordered_set>
+#include <utility>
 #include <vector>
 
+#include "sim/event_heap.h"
 #include "sim/task.h"
 #include "util/check.h"
 
 namespace psoodb::sim {
-
-/// Simulated time, in seconds.
-using SimTime = double;
-
-/// Identifier of a scheduled event; 0 is never a valid id.
-using EventId = std::uint64_t;
 
 /// The discrete-event simulation engine.
 ///
@@ -42,23 +39,50 @@ class Simulation {
   SimTime now() const { return now_; }
 
   /// Schedules `h` to be resumed at absolute time `at` (>= now()).
-  EventId Schedule(SimTime at, std::coroutine_handle<> h);
+  EventId Schedule(SimTime at, std::coroutine_handle<> h) {
+    PSOODB_CHECK(at >= now_, "cannot schedule into the past (at=%g now=%g)",
+                 at, now_);
+    PSOODB_CHECK(h, "null coroutine handle");
+    return heap_.PushHandle(at < now_ ? now_ : at, h);
+  }
 
-  /// Schedules a plain callback at absolute time `at`.
-  EventId ScheduleCallback(SimTime at, std::function<void()> fn);
+  /// Schedules a plain callable at absolute time `at`. Callables up to
+  /// detail::EventCallback::kInlineBytes are stored inline (no allocation);
+  /// larger ones pay a single heap allocation.
+  template <typename F>
+  EventId ScheduleCallback(SimTime at, F&& fn) {
+    PSOODB_CHECK(at >= now_, "cannot schedule into the past (at=%g now=%g)",
+                 at, now_);
+    if constexpr (std::is_constructible_v<bool, const F&>) {
+      PSOODB_CHECK(static_cast<bool>(fn), "null callback");
+    }
+    return heap_.PushCallback(at < now_ ? now_ : at, std::forward<F>(fn));
+  }
 
   /// Schedules `h` to run after the currently executing event, at now().
   EventId ScheduleNow(std::coroutine_handle<> h) { return Schedule(now_, h); }
 
   /// Cancels a pending event. Safe to call with stale or zero ids.
-  void Cancel(EventId id);
+  void Cancel(EventId id) { heap_.Cancel(id); }
 
   /// Starts `t` as a detached root process owned by the simulation. The task
   /// begins executing immediately (it may run until its first suspension).
   void Spawn(Task t);
 
   /// Processes one event. Returns false if the queue is empty.
-  bool Step();
+  bool Step() {
+    EventHeap::Fired f;
+    if (!heap_.PopLive(&f)) return false;
+    PSOODB_DCHECK(f.at >= now_, "event fired in the past");
+    now_ = f.at;
+    ++events_processed_;
+    if (f.handle) {
+      f.handle.resume();
+    } else {
+      f.callback.Invoke();
+    }
+    return true;
+  }
 
   /// Runs until the event queue is empty or `max_events` events fired.
   /// Returns the number of events processed.
@@ -73,7 +97,21 @@ class Simulation {
   std::uint64_t events_processed() const { return events_processed_; }
 
   /// Number of live detached root processes.
-  std::size_t live_processes() const { return roots_.size(); }
+  std::size_t live_processes() const {
+    std::size_t n = 0;
+    for (detail::TaskPromise* p = roots_head_; p != nullptr; p = p->root_next) {
+      ++n;
+    }
+    return n;
+  }
+
+  /// Pending (schedulable) events.
+  std::size_t live_events() const { return heap_.live(); }
+  /// Heap entries including cancelled tombstones — the queue's memory bound
+  /// (compaction keeps this <= ~2x live_events(); see event_heap.h).
+  std::size_t event_queue_size() const { return heap_.size(); }
+  /// Tombstone compaction passes so far.
+  std::uint64_t queue_compactions() const { return heap_.compactions(); }
 
   /// Awaitable: suspends the calling task for `dt` seconds of simulated time.
   /// Usage: `co_await sim.Delay(0.010);`. Discarding the awaiter (not
@@ -82,36 +120,15 @@ class Simulation {
   [[nodiscard]] DelayAwaiter Delay(SimTime dt);
 
  private:
-  struct Entry {
-    SimTime at;
-    std::uint64_t seq;
-    EventId id;
-    std::coroutine_handle<> handle;  // exactly one of handle/fn is set
-    std::function<void()> fn;
-  };
-  struct EntryLater {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
-  };
-
-  EventId NextId() { return ++last_id_; }
-
   static void FormatCheckContext(const void* arg, char* buf, int buflen);
 
   SimTime now_ = 0.0;
-  std::uint64_t last_id_ = 0;
-  std::uint64_t last_seq_ = 0;
   std::uint64_t events_processed_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, EntryLater> queue_;
-  /// Ids of scheduled-and-not-yet-fired events. An entry popped from the heap
-  /// whose id is absent here was cancelled and is skipped.
-  std::unordered_set<EventId> pending_;
-  /// Live detached root coroutines (owned; destroyed on teardown). Keyed by
-  /// frame address but never iterated in an order-sensitive way (teardown
-  /// destroys every frame; destruction order is unobservable).
-  std::unordered_set<void*> roots_;  // det-ok: set of pointers, never iterated for results
+  EventHeap heap_;
+  /// Head of the intrusive list of live detached root coroutines (owned;
+  /// destroyed on teardown). Completing roots unlink themselves in their
+  /// final awaiter — O(1), no container traffic on the per-spawn hot path.
+  detail::TaskPromise* roots_head_ = nullptr;
   /// Stamps check-failure reports with the simulated time and event count.
   util::CheckContext check_frame_{&FormatCheckContext, this};
 };

@@ -19,8 +19,9 @@
 #include <coroutine>
 #include <cstdlib>
 #include <exception>
-#include <functional>
 #include <utility>
+
+#include "sim/pool.h"
 
 namespace psoodb::sim {
 
@@ -29,12 +30,27 @@ class Task;
 namespace detail {
 
 struct TaskPromise {
+  /// Coroutine frames are allocated and torn down once per simulated
+  /// process — millions of times per run — so they come from the
+  /// thread-local free-list arena (sim/pool.h) instead of the global
+  /// allocator. The compiler passes the full frame size here.
+  static void* operator new(std::size_t n) { return detail::PoolAlloc(n); }
+  static void operator delete(void* p, std::size_t n) noexcept {
+    detail::PoolFree(p, n);
+  }
+
   /// Coroutine to resume when this task completes (the awaiting parent).
   std::coroutine_handle<> continuation;
+  /// Intrusive links in the owner's detached-root list (set by
+  /// Simulation::Spawn). `root_head` points at the list's head pointer, so
+  /// completion unlinks in O(1) with no owner type dependency and no
+  /// allocation — spawning is on the per-message hot path.
+  TaskPromise* root_prev = nullptr;
+  TaskPromise* root_next = nullptr;
+  TaskPromise** root_head = nullptr;
   /// True once detached via Simulation::Spawn: the final awaiter destroys the
-  /// frame itself and invokes `on_complete` so the owner can unregister it.
+  /// frame itself and unlinks it from the owner's root list.
   bool detached = false;
-  std::function<void()> on_complete;
   std::exception_ptr exception;
 
   Task get_return_object();
@@ -53,9 +69,13 @@ struct TaskPromise {
           // nobody to observe them.
           std::abort();
         }
-        std::function<void()> done = std::move(p.on_complete);
+        if (p.root_prev != nullptr) {
+          p.root_prev->root_next = p.root_next;
+        } else {
+          *p.root_head = p.root_next;
+        }
+        if (p.root_next != nullptr) p.root_next->root_prev = p.root_prev;
         h.destroy();
-        if (done) done();
       }
       return cont;
     }

@@ -29,24 +29,25 @@ class LruCache {
 
   std::size_t capacity() const { return capacity_; }
   std::size_t size() const { return map_.size(); }
-  bool Contains(const Key& k) const { return map_.count(k) > 0; }
+  bool Contains(const Key& k) const { return Find(k) != nullptr; }
 
   /// Returns the cached value and marks it most-recently-used, or nullptr.
   Value* Get(const Key& k) {
-    auto it = map_.find(k);
-    if (it == map_.end()) return nullptr;
-    lru_.splice(lru_.begin(), lru_, it->second);
-    return &it->second->value;
+    Node* n = Find(k);
+    if (n == nullptr) return nullptr;
+    // memo_it_ points at n after a successful Find; splice preserves it.
+    lru_.splice(lru_.begin(), lru_, memo_it_);
+    return &n->value;
   }
 
   /// Returns the cached value without touching recency, or nullptr.
   Value* Peek(const Key& k) {
-    auto it = map_.find(k);
-    return it == map_.end() ? nullptr : &it->second->value;
+    Node* n = Find(k);
+    return n == nullptr ? nullptr : &n->value;
   }
   const Value* Peek(const Key& k) const {
-    auto it = map_.find(k);
-    return it == map_.end() ? nullptr : &it->second->value;
+    const Node* n = Find(k);
+    return n == nullptr ? nullptr : &n->value;
   }
 
   struct InsertResult {
@@ -62,9 +63,9 @@ class LruCache {
   /// Precondition: if full, at least one entry must be unpinned.
   InsertResult Insert(const Key& k) {
     InsertResult r;
-    if (auto it = map_.find(k); it != map_.end()) {
-      lru_.splice(lru_.begin(), lru_, it->second);
-      r.value = &it->second->value;
+    if (Node* n = Find(k); n != nullptr) {
+      lru_.splice(lru_.begin(), lru_, memo_it_);
+      r.value = &n->value;
       return r;
     }
     if (map_.size() >= capacity_) {
@@ -72,6 +73,9 @@ class LruCache {
     }
     lru_.push_front(Node{k, Value{}, 0});
     map_[k] = lru_.begin();
+    memo_key_ = k;
+    memo_it_ = lru_.begin();
+    memo_valid_ = true;
     r.value = &lru_.begin()->value;
     r.inserted = true;
     return r;
@@ -82,6 +86,7 @@ class LruCache {
     auto it = map_.find(k);
     if (it == map_.end()) return std::nullopt;
     PSOODB_CHECK(it->second->pins == 0, "removing a pinned entry");
+    if (memo_valid_ && memo_key_ == k) memo_valid_ = false;
     std::optional<Value> v(std::move(it->second->value));
     lru_.erase(it->second);
     map_.erase(it);
@@ -90,19 +95,19 @@ class LruCache {
 
   /// Pins an entry, excluding it from eviction. Pins nest.
   void Pin(const Key& k) {
-    auto it = map_.find(k);
-    PSOODB_DCHECK(it != map_.end(), "pinning an uncached key");
-    ++it->second->pins;
+    Node* n = Find(k);
+    PSOODB_DCHECK(n != nullptr, "pinning an uncached key");
+    ++n->pins;
   }
   void Unpin(const Key& k) {
-    auto it = map_.find(k);
-    PSOODB_DCHECK(it != map_.end(), "unpinning an uncached key");
-    PSOODB_DCHECK(it->second->pins > 0, "unpin without matching pin");
-    --it->second->pins;
+    Node* n = Find(k);
+    PSOODB_DCHECK(n != nullptr, "unpinning an uncached key");
+    PSOODB_DCHECK(n->pins > 0, "unpin without matching pin");
+    --n->pins;
   }
   int pins(const Key& k) const {
-    auto it = map_.find(k);
-    return it == map_.end() ? 0 : static_cast<int>(it->second->pins);
+    const Node* n = Find(k);
+    return n == nullptr ? 0 : static_cast<int>(n->pins);
   }
 
   /// Calls `fn(key, value)` for every entry, in MRU-to-LRU order.
@@ -118,10 +123,26 @@ class LruCache {
     unsigned pins;
   };
 
+  /// Hash lookup with a one-entry memo: consecutive operations on the same
+  /// key (the dominant access pattern — a Contains/Get/Pin run against one
+  /// page) skip the hash probe entirely. List iterators are stable under
+  /// splice, so MRU moves keep the memo valid; erases invalidate it. On a
+  /// successful return, memo_it_ points at the returned node.
+  Node* Find(const Key& k) const {
+    if (memo_valid_ && memo_key_ == k) return &*memo_it_;
+    auto it = map_.find(k);
+    if (it == map_.end()) return nullptr;
+    memo_key_ = k;
+    memo_it_ = it->second;
+    memo_valid_ = true;
+    return &*memo_it_;
+  }
+
   std::pair<Key, Value> EvictOne() {
     for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
       if (it->pins == 0) {
         auto node_it = std::next(it).base();
+        if (memo_valid_ && memo_key_ == node_it->key) memo_valid_ = false;
         std::pair<Key, Value> out{node_it->key, std::move(node_it->value)};
         map_.erase(node_it->key);
         lru_.erase(node_it);
@@ -141,6 +162,10 @@ class LruCache {
   std::size_t capacity_;
   std::list<Node> lru_;
   std::unordered_map<Key, typename std::list<Node>::iterator> map_;
+  // Last-lookup memo (mutable: const reads refresh it).
+  mutable Key memo_key_{};
+  mutable typename std::list<Node>::iterator memo_it_{};
+  mutable bool memo_valid_ = false;
 };
 
 }  // namespace psoodb::storage

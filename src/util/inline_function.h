@@ -1,0 +1,139 @@
+/// \file inline_function.h
+/// Move-only type-erased callable with small-buffer-optimized storage: the
+/// allocation-free replacement for std::function in places that create and
+/// destroy callables at simulation-event rates (event payloads, deferred
+/// client actions, callback-batch completions).
+///
+/// Callables up to `Bytes` that are nothrow-move-constructible live inline;
+/// anything larger falls back to a single heap allocation. Unlike
+/// std::function there is no copy, no target() and no allocator support —
+/// just store, move, call.
+
+#ifndef PSOODB_UTIL_INLINE_FUNCTION_H_
+#define PSOODB_UTIL_INLINE_FUNCTION_H_
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace psoodb::util {
+
+template <typename Sig, std::size_t Bytes = 48>
+class InlineFunction;
+
+template <typename R, typename... Args, std::size_t Bytes>
+class InlineFunction<R(Args...), Bytes> {
+ public:
+  static constexpr std::size_t kInlineBytes = Bytes;
+
+  InlineFunction() = default;
+  /// Converting constructor from any callable.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction>>>
+  InlineFunction(F&& fn) {  // NOLINT(google-explicit-constructor)
+    Emplace(std::forward<F>(fn));
+  }
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction>>>
+  InlineFunction& operator=(F&& fn) {
+    Emplace(std::forward<F>(fn));
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+  InlineFunction(InlineFunction&& other) noexcept : vt_(other.vt_) {
+    if (vt_ != nullptr) {
+      vt_->relocate(buf_, other.buf_);
+      other.vt_ = nullptr;
+    }
+  }
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      vt_ = other.vt_;
+      if (vt_ != nullptr) {
+        vt_->relocate(buf_, other.buf_);
+        other.vt_ = nullptr;
+      }
+    }
+    return *this;
+  }
+  ~InlineFunction() { Reset(); }
+
+  /// Replaces the stored callable. Small nothrow-movable callables are
+  /// stored inline (no allocation); larger ones are boxed on the heap.
+  template <typename F>
+  void Emplace(F&& fn) {
+    using Fn = std::decay_t<F>;
+    Reset();
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(fn));
+      vt_ = &kInlineVTable<Fn>;
+    } else {
+      *reinterpret_cast<Fn**>(buf_) = new Fn(std::forward<F>(fn));
+      vt_ = &kBoxedVTable<Fn>;
+    }
+  }
+
+  explicit operator bool() const { return vt_ != nullptr; }
+
+  /// Calls the stored callable (must be set).
+  R operator()(Args... args) {
+    return vt_->invoke(buf_, std::forward<Args>(args)...);
+  }
+  /// Synonym for operator(), for call sites that read better with a verb.
+  R Invoke(Args... args) {
+    return vt_->invoke(buf_, std::forward<Args>(args)...);
+  }
+
+  /// Destroys the stored callable (if any) without running it.
+  void Reset() noexcept {
+    if (vt_ != nullptr) {
+      vt_->destroy(buf_);
+      vt_ = nullptr;
+    }
+  }
+
+ private:
+  struct VTable {
+    R (*invoke)(void*, Args...);
+    void (*destroy)(void*) noexcept;
+    /// Move-constructs into `dst` from `src` and destroys `src`.
+    void (*relocate)(void* dst, void* src) noexcept;
+  };
+
+  template <typename Fn>
+  static constexpr VTable kInlineVTable = {
+      [](void* p, Args... args) -> R {
+        return (*static_cast<Fn*>(p))(std::forward<Args>(args)...);
+      },
+      [](void* p) noexcept { static_cast<Fn*>(p)->~Fn(); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+        static_cast<Fn*>(src)->~Fn();
+      }};
+
+  template <typename Fn>
+  static constexpr VTable kBoxedVTable = {
+      [](void* p, Args... args) -> R {
+        return (**static_cast<Fn**>(p))(std::forward<Args>(args)...);
+      },
+      [](void* p) noexcept { delete *static_cast<Fn**>(p); },
+      [](void* dst, void* src) noexcept {
+        std::memcpy(dst, src, sizeof(Fn*));
+      }};
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const VTable* vt_ = nullptr;
+};
+
+}  // namespace psoodb::util
+
+#endif  // PSOODB_UTIL_INLINE_FUNCTION_H_

@@ -1,0 +1,301 @@
+// Model-checking tests for the event-heap scheduler (event_heap.h): a
+// brute-force reference scheduler (sorted-vector scan) is driven through
+// randomized schedule/cancel/pop interleavings in lockstep with EventHeap,
+// asserting identical pop sequences (including exact FIFO tie-break at equal
+// timestamps) and identical cancellation outcomes. Plus the tombstone-bound
+// regression test (cancel-heavy queues stay within ~2x live) and behavioral
+// coverage of the small-buffer callable the slots store.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/event_heap.h"
+#include "sim/random.h"
+#include "sim/simulation.h"
+#include "util/inline_function.h"
+
+namespace psoodb::sim {
+namespace {
+
+// --- Reference model --------------------------------------------------------
+
+// The obviously-correct scheduler: a flat list scanned for the (time, seq)
+// minimum on every pop. O(n) per operation, which is exactly why the real
+// kernel doesn't work this way — and why this one is trustworthy.
+class ReferenceScheduler {
+ public:
+  int Schedule(SimTime at, int tag) {
+    items_.push_back({at, next_seq_++, tag, true});
+    return static_cast<int>(items_.size()) - 1;
+  }
+
+  // Returns true if the event was still pending (mirrors EventHeap::Cancel).
+  bool Cancel(int ref) {
+    if (ref < 0 || ref >= static_cast<int>(items_.size())) return false;
+    if (!items_[static_cast<std::size_t>(ref)].alive) return false;
+    items_[static_cast<std::size_t>(ref)].alive = false;
+    return true;
+  }
+
+  // Pops the earliest live event (FIFO at equal times). Returns false if
+  // none remain; otherwise fills (at, tag).
+  bool Pop(SimTime* at, int* tag) {
+    Item* best = nullptr;
+    for (Item& it : items_) {
+      if (!it.alive) continue;
+      if (best == nullptr || it.at < best->at ||
+          (it.at == best->at && it.seq < best->seq)) {
+        best = &it;
+      }
+    }
+    if (best == nullptr) return false;
+    *at = best->at;
+    *tag = best->tag;
+    best->alive = false;
+    return true;
+  }
+
+  std::size_t live() const {
+    std::size_t n = 0;
+    for (const Item& it : items_) n += it.alive ? 1 : 0;
+    return n;
+  }
+
+ private:
+  struct Item {
+    SimTime at;
+    std::uint64_t seq;
+    int tag;
+    bool alive;
+  };
+  std::vector<Item> items_;
+  std::uint64_t next_seq_ = 0;
+};
+
+// --- Model check ------------------------------------------------------------
+
+// One fuzz round: interleave schedules (on a coarse time grid, so timestamp
+// ties are common and the FIFO tie-break is actually exercised), cancels
+// (fresh, already-cancelled, already-fired, and never-issued ids), and pops,
+// asserting the heap and the reference agree on every observable.
+void ModelCheckRound(std::uint64_t seed, int ops) {
+  EventHeap heap;
+  ReferenceScheduler ref;
+  Rng rng(seed);
+
+  struct Issued {
+    EventId id;
+    int ref;
+  };
+  std::vector<Issued> issued;  // every id ever handed out, fired or not
+  std::vector<int> heap_fired;
+  SimTime frontier = 0;  // pops advance this; schedules stay >= it
+  int next_tag = 0;
+
+  for (int op = 0; op < ops; ++op) {
+    const double dice = rng.NextDouble();
+    if (dice < 0.5) {
+      // Schedule. Grid times force ties; +frontier keeps them schedulable.
+      const SimTime at =
+          frontier + 0.25 * static_cast<double>(rng.UniformInt(0, 7));
+      const int tag = next_tag++;
+      const EventId id = heap.PushCallback(
+          at, [tag, &heap_fired] { heap_fired.push_back(tag); });
+      issued.push_back({id, ref.Schedule(at, tag)});
+    } else if (dice < 0.75) {
+      if (issued.empty()) continue;
+      const auto pick = static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(issued.size()) - 1));
+      // Cancel outcomes must agree whether the pick is pending, already
+      // fired, or already cancelled — and double-cancel must stay a no-op.
+      EXPECT_EQ(heap.Cancel(issued[pick].id), ref.Cancel(issued[pick].ref));
+      EXPECT_FALSE(heap.Cancel(issued[pick].id));
+    } else if (dice < 0.8) {
+      // Forged / never-issued ids are harmless no-ops.
+      EXPECT_FALSE(heap.Cancel(rng.Next() | 1));
+      EXPECT_FALSE(heap.Cancel(0));
+    } else {
+      EventHeap::Fired f;
+      SimTime ref_at;
+      int ref_tag;
+      const bool heap_has = heap.PopLive(&f);
+      const bool ref_has = ref.Pop(&ref_at, &ref_tag);
+      ASSERT_EQ(heap_has, ref_has);
+      if (!heap_has) continue;
+      ASSERT_FALSE(f.handle);
+      f.callback.Invoke();
+      ASSERT_FALSE(heap_fired.empty());
+      EXPECT_EQ(heap_fired.back(), ref_tag);
+      EXPECT_EQ(f.at, ref_at);
+      EXPECT_GE(f.at, frontier);
+      frontier = f.at;
+    }
+    ASSERT_EQ(heap.live(), ref.live());
+  }
+
+  // Drain both completely; the remaining sequences must match exactly.
+  std::vector<std::pair<SimTime, int>> heap_rest;
+  std::vector<std::pair<SimTime, int>> ref_rest;
+  EventHeap::Fired f;
+  while (heap.PopLive(&f)) {
+    f.callback.Invoke();
+    heap_rest.emplace_back(f.at, heap_fired.back());
+  }
+  SimTime at;
+  int tag;
+  while (ref.Pop(&at, &tag)) ref_rest.emplace_back(at, tag);
+  EXPECT_EQ(heap_rest, ref_rest);
+}
+
+TEST(EventHeapModelCheck, RandomInterleavingsMatchReferenceScheduler) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    ModelCheckRound(seed, 800);
+  }
+}
+
+TEST(EventHeapModelCheck, CancelEverythingMatchesReference) {
+  // Degenerate profile: cancel-dominated, so compaction fires repeatedly
+  // while the reference keeps the ground truth.
+  EventHeap heap;
+  ReferenceScheduler ref;
+  Rng rng(4242);
+  std::vector<std::pair<EventId, int>> pend;
+  int fired = 0;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 100; ++i) {
+      const SimTime at = 1.0 * round + rng.NextDouble();
+      pend.emplace_back(heap.PushCallback(at, [&fired] { ++fired; }),
+                        ref.Schedule(at, 0));
+    }
+    for (std::size_t i = 0; i < pend.size(); ++i) {
+      if (rng.Bernoulli(0.9)) {
+        EXPECT_EQ(heap.Cancel(pend[i].first), ref.Cancel(pend[i].second));
+      }
+    }
+    pend.clear();
+    ASSERT_EQ(heap.live(), ref.live());
+  }
+  EventHeap::Fired f;
+  int heap_pops = 0;
+  SimTime prev = 0;
+  while (heap.PopLive(&f)) {
+    EXPECT_GE(f.at, prev);
+    prev = f.at;
+    f.callback.Invoke();
+    ++heap_pops;
+  }
+  EXPECT_EQ(static_cast<std::size_t>(heap_pops), ref.live());
+  EXPECT_EQ(fired, heap_pops);
+}
+
+// --- Tombstone bound (the cancel-heavy memory regression test) --------------
+
+TEST(EventHeapBound, CancelHeavyQueueStaysWithinTwiceLive) {
+  // Continuously schedule 4, cancel 3 — the pattern of every timeout racing
+  // a completion. Without compaction the heap would grow by 3 tombstones per
+  // fired event forever; the bound asserts it tracks the live population.
+  Simulation sim;
+  Rng rng(7);
+  std::uint64_t fired = 0;
+  std::size_t max_size = 0;
+  std::vector<EventId> batch;
+  for (int i = 0; i < 50000; ++i) {
+    batch.clear();
+    for (int k = 0; k < 4; ++k) {
+      batch.push_back(sim.ScheduleCallback(sim.now() + rng.Uniform(0.001, 2.0),
+                                           [&fired] { ++fired; }));
+    }
+    for (int k = 0; k < 3; ++k) sim.Cancel(batch[static_cast<std::size_t>(k)]);
+    if (i % 16 == 0) sim.Run(4);  // interleave pops with the churn
+    // Invariant from event_heap.h: dead <= size/2 once size >= the
+    // compaction floor, i.e. size <= 2*live + floor slack.
+    max_size = std::max(max_size, sim.event_queue_size());
+    ASSERT_LE(sim.event_queue_size(), 2 * sim.live_events() + 64);
+  }
+  const std::size_t live_at_peak = sim.live_events();
+  sim.Run();
+  EXPECT_EQ(sim.live_events(), 0u);
+  EXPECT_GT(sim.queue_compactions(), 0u);
+  // The whole run issued 200k events; the queue never held more than ~2x the
+  // live window (live_at_peak <= ~12.5k schedulable at any moment).
+  EXPECT_LE(max_size, 2 * live_at_peak + 2 * 4096);
+}
+
+// --- InlineFunction behavior (the slot payload type) ------------------------
+
+struct InstanceCounter {
+  int* live;
+  explicit InstanceCounter(int* l) : live(l) { ++*live; }
+  InstanceCounter(const InstanceCounter& o) : live(o.live) { ++*live; }
+  InstanceCounter(InstanceCounter&& o) noexcept : live(o.live) { ++*live; }
+  ~InstanceCounter() { --*live; }
+};
+
+TEST(InlineFunction, ResetAndDestructionReleaseTheCallable) {
+  int live = 0;
+  {
+    util::InlineFunction<int()> fn;
+    EXPECT_FALSE(static_cast<bool>(fn));
+    InstanceCounter c(&live);
+    fn = [c] { return 42; };
+    EXPECT_TRUE(static_cast<bool>(fn));
+    EXPECT_EQ(fn(), 42);
+    fn.Reset();
+    EXPECT_FALSE(static_cast<bool>(fn));
+    EXPECT_EQ(live, 1);  // only the local copy remains
+  }
+  EXPECT_EQ(live, 0);
+}
+
+TEST(InlineFunction, MoveRelocatesSmallAndBoxedCallables) {
+  int live = 0;
+  InstanceCounter c(&live);
+  // Small: fits the 48-byte buffer.
+  util::InlineFunction<int(int)> small = [c](int x) { return x + 1; };
+  // Large: 64 bytes of captures forces the boxed fallback.
+  struct Big {
+    double pad[8];
+  } big{{1, 2, 3, 4, 5, 6, 7, 8}};
+  util::InlineFunction<int(int)> boxed = [c, big](int x) {
+    return x + static_cast<int>(big.pad[7]);
+  };
+
+  util::InlineFunction<int(int)> small2 = std::move(small);
+  util::InlineFunction<int(int)> boxed2 = std::move(boxed);
+  EXPECT_FALSE(static_cast<bool>(small));  // NOLINT(bugprone-use-after-move)
+  EXPECT_FALSE(static_cast<bool>(boxed));  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(small2(1), 2);
+  EXPECT_EQ(boxed2(1), 9);
+
+  small2 = std::move(boxed2);  // cross-assign: destroys old target
+  EXPECT_EQ(small2(2), 10);
+  small2.Reset();
+  boxed2.Reset();
+  EXPECT_EQ(live, 1);  // every stored copy destroyed; the local survives
+}
+
+TEST(InlineFunction, ReassignmentDestroysPreviousTarget) {
+  int live = 0;
+  util::InlineFunction<void()> fn;
+  {
+    InstanceCounter a(&live);
+    fn = [a] {};
+    EXPECT_EQ(live, 2);
+  }
+  EXPECT_EQ(live, 1);
+  {
+    InstanceCounter b(&live);
+    fn = [b] {};  // the first callable is destroyed before b is stored
+    EXPECT_EQ(live, 2);
+  }
+  EXPECT_EQ(live, 1);
+  fn.Reset();
+  EXPECT_EQ(live, 0);
+}
+
+}  // namespace
+}  // namespace psoodb::sim
