@@ -16,6 +16,7 @@ int main() {
   opt.normalize_to_psaa = true;
   config::SystemParams sys;
   sys.db_pages = 1250 * 9;
+  bench::ApplyScaleEnv(sys);  // PSOODB_BENCH_CLIENTS / PSOODB_BENCH_SERVERS
   bench::RunFigure(opt, sys, [](const config::SystemParams& s, double wp) {
     auto w = config::MakeHicon(s, config::Locality::kLow, wp);
     w.trans_size_pages *= 3;

@@ -20,6 +20,10 @@
 //                  write_prob 0.20 (paper Figure 8's contention regime) —
 //                  the end-to-end number the ISSUE acceptance criterion
 //                  tracks.
+//   parallel_point one partitioned PS-AA run (4 servers, sim_shards = 4):
+//                  the by-server sharded event loops plus the window
+//                  barrier, mailbox merge and cross-partition transport —
+//                  the intra-run parallel hot path.
 //
 // Each scenario runs PSOODB_BENCH_KERNEL_REPS repetitions (default 3; 1 in
 // --quick mode) and reports the fastest (best-of-N rejects host scheduler
@@ -60,10 +64,13 @@ struct Sizes {
   int nest_iters;
   int fig08_warmup;
   int fig08_commits;
+  int parallel_clients;
+  int parallel_commits;
 };
 
-constexpr Sizes kFull = {512, 2000, 300000, 150000, 64, 4000, 100, 400};
-constexpr Sizes kQuick = {128, 200, 30000, 15000, 32, 400, 30, 100};
+constexpr Sizes kFull = {512, 2000, 300000, 150000, 64, 4000, 100, 400,
+                         200, 2000};
+constexpr Sizes kQuick = {128, 200, 30000, 15000, 32, 400, 30, 100, 48, 300};
 
 double Now() {
   return std::chrono::duration<double>(
@@ -184,6 +191,23 @@ std::uint64_t Fig08Point(const Sizes& sz) {
   return r.events;
 }
 
+// --- parallel_point --------------------------------------------------------
+
+std::uint64_t ParallelPoint(const Sizes& sz) {
+  config::SystemParams sys;
+  sys.num_clients = sz.parallel_clients;
+  sys.num_servers = 4;
+  sys.sim_shards = 4;  // 4 partitions on 4 worker threads
+  core::RunConfig rc;
+  rc.warmup_commits = sz.fig08_warmup;
+  rc.measure_commits = sz.parallel_commits;
+  const config::WorkloadParams wl =
+      config::MakeHotCold(sys, config::Locality::kLow, 0.20);
+  const core::RunResult r =
+      core::RunSimulation(config::Protocol::kPSAA, sys, wl, rc);
+  return r.events;
+}
+
 // --- driver ----------------------------------------------------------------
 
 KernelScenarioResult RunScenario(const char* name,
@@ -243,7 +267,8 @@ int Main(int argc, char** argv) {
                     {"cancel_heavy", CancelHeavy},
                     {"chan_pingpong", ChanPingpong},
                     {"task_nesting", TaskNesting},
-                    {"fig08_point", Fig08Point}};
+                    {"fig08_point", Fig08Point},
+                    {"parallel_point", ParallelPoint}};
 
   std::vector<KernelScenarioResult> rows;
   for (const auto& s : kScenarios) {

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "results_json.h"
+#include "util/check.h"
 #include "util/thread_pool.h"
 
 namespace psoodb::bench {
@@ -69,6 +70,13 @@ int BenchThreads() {
   return n > 0 ? n : 1;
 }
 
+void ApplyScaleEnv(config::SystemParams& sys) {
+  sys.num_clients = EnvInt("PSOODB_BENCH_CLIENTS", sys.num_clients);
+  sys.num_servers = EnvInt("PSOODB_BENCH_SERVERS", sys.num_servers);
+  PSOODB_CHECK(sys.num_clients > 0 && sys.num_servers > 0,
+               "PSOODB_BENCH_CLIENTS/SERVERS must be positive");
+}
+
 std::vector<std::vector<core::RunResult>> RunFigure(
     const SweepOptions& options, const config::SystemParams& sys,
     const WorkloadFactory& factory) {
@@ -80,10 +88,11 @@ std::vector<std::vector<core::RunResult>> RunFigure(
   std::printf("==================================================================\n");
   std::printf("%s: %s\n", opt.figure.c_str(), opt.title.c_str());
   std::printf("  (x-axis: per-object write probability; y: committed txns/sec;\n");
-  std::printf("   %d clients, %d-page DB, %d measured commits per point, "
-              "%d thread%s)\n",
-              sys.num_clients, sys.db_pages, rc.measure_commits, threads,
-              threads == 1 ? "" : "s");
+  std::printf("   %d clients, %d server%s, %d-page DB, %d measured commits "
+              "per point, %d thread%s)\n",
+              sys.num_clients, sys.num_servers,
+              sys.num_servers == 1 ? "" : "s", sys.db_pages,
+              rc.measure_commits, threads, threads == 1 ? "" : "s");
   std::printf("==================================================================\n");
 
   // Wall-clock here only reports sweep duration; no simulation state.

@@ -20,6 +20,12 @@
 ///   PSOODB_BENCH_FULL=1    paper-scale runs (4000 commits, 9 points)
 ///   PSOODB_BENCH_THREADS   worker threads for the sweep
 ///                          (default: hardware concurrency; 1 = sequential)
+///   PSOODB_BENCH_CLIENTS   override SystemParams::num_clients in binaries
+///   PSOODB_BENCH_SERVERS   override SystemParams::num_servers  that call
+///                          ApplyScaleEnv (the scaled Figures 12-14)
+///   PSOODB_SIM_SHARDS      read by core::System itself: > 0 partitions each
+///                          run by server and executes it on that many
+///                          worker threads (see docs/SIMULATOR.md)
 ///   PSOODB_BENCH_JSON_DIR  directory for BENCH_*.json (default ".";
 ///                          empty string disables the JSON output)
 ///   PSOODB_TRACE=1         enable structured event tracing in every run;
@@ -69,6 +75,10 @@ std::vector<double> BenchWriteProbs();
 /// Worker threads for the sweep (PSOODB_BENCH_THREADS, default hardware
 /// concurrency, clamped to >= 1).
 int BenchThreads();
+/// Applies the PSOODB_BENCH_CLIENTS / PSOODB_BENCH_SERVERS overrides (if
+/// set) to `sys`. The scaled-figure binaries (12-14) call this so one build
+/// sweeps 100/500/2000 clients x 2-8 servers from the environment.
+void ApplyScaleEnv(config::SystemParams& sys);
 
 /// Runs the sweep and prints the figure table. Returns the full result grid
 /// indexed [write_prob][protocol].

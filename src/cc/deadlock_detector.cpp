@@ -9,14 +9,20 @@ namespace psoodb::cc {
 
 void DeadlockDetector::OnWait(storage::TxnId waiter,
                               const std::vector<storage::TxnId>& holders) {
+  CheckVictim(waiter);
   auto& out = out_edges_[waiter];
   std::vector<storage::TxnId> added;
   for (storage::TxnId h : holders) {
     if (h == waiter || h == storage::kNoTxn) continue;
     if (out.insert(h).second) added.push_back(h);
   }
+  if (!added.empty()) {
+    ++version_;
+    edges_ += added.size();
+  }
   if (HasCycleFrom(waiter)) {
     for (storage::TxnId h : added) out.erase(h);
+    edges_ -= added.size();
     if (out.empty()) out_edges_.erase(waiter);
     ++deadlocks_;
     throw TxnAborted(waiter, AbortReason::kDeadlock);
@@ -24,12 +30,55 @@ void DeadlockDetector::OnWait(storage::TxnId waiter,
 }
 
 void DeadlockDetector::ClearWaits(storage::TxnId waiter) {
-  out_edges_.erase(waiter);
+  auto it = out_edges_.find(waiter);
+  if (it == out_edges_.end()) return;
+  edges_ -= it->second.size();
+  out_edges_.erase(it);
+  ++version_;
 }
 
 void DeadlockDetector::RemoveTxn(storage::TxnId txn) {
-  out_edges_.erase(txn);
-  for (auto& [_, targets] : out_edges_) targets.erase(txn);  // det-ok: commutative erase
+  std::size_t erased = 0;
+  if (auto it = out_edges_.find(txn); it != out_edges_.end()) {
+    erased += it->second.size();
+    out_edges_.erase(it);
+  }
+  for (auto& [_, targets] : out_edges_) {  // det-ok: commutative erase
+    erased += targets.erase(txn);
+  }
+  if (erased > 0) {
+    ++version_;
+    edges_ -= erased;
+  }
+  victims_.erase(txn);
+  wait_channels_.erase(txn);
+}
+
+void DeadlockDetector::MarkVictim(storage::TxnId txn) {
+  if (victims_.insert(txn).second) ++deadlocks_;
+}
+
+void DeadlockDetector::CheckVictim(storage::TxnId txn) {
+  auto it = victims_.find(txn);
+  if (it == victims_.end()) return;
+  victims_.erase(it);
+  throw TxnAborted(txn, AbortReason::kDeadlock);
+}
+
+void DeadlockDetector::RegisterWaitChannel(storage::TxnId txn,
+                                           sim::CondVar* cv) {
+  wait_channels_[txn] = cv;
+}
+
+void DeadlockDetector::UnregisterWaitChannel(storage::TxnId txn,
+                                             sim::CondVar* cv) {
+  auto it = wait_channels_.find(txn);
+  if (it != wait_channels_.end() && it->second == cv) wait_channels_.erase(it);
+}
+
+sim::CondVar* DeadlockDetector::WaitChannel(storage::TxnId txn) const {
+  auto it = wait_channels_.find(txn);
+  return it != wait_channels_.end() ? it->second : nullptr;
 }
 
 bool DeadlockDetector::HasCycleFrom(storage::TxnId txn) const {
@@ -52,12 +101,6 @@ bool DeadlockDetector::HasCycleFrom(storage::TxnId txn) const {
     push_targets(cur);
   }
   return false;
-}
-
-std::size_t DeadlockDetector::edge_count() const {
-  std::size_t n = 0;
-  for (const auto& [_, targets] : out_edges_) n += targets.size();  // det-ok: commutative sum
-  return n;
 }
 
 std::vector<std::pair<storage::TxnId, storage::TxnId>>

@@ -15,6 +15,10 @@
 
 #include "storage/types.h"
 
+namespace psoodb::sim {
+class CondVar;
+}  // namespace psoodb::sim
+
 namespace psoodb::cc {
 
 class DeadlockDetector {
@@ -37,17 +41,82 @@ class DeadlockDetector {
   bool HasCycleFrom(storage::TxnId txn) const;
 
   std::uint64_t deadlocks_detected() const { return deadlocks_; }
-  std::size_t edge_count() const;
+  /// Current number of waits-for edges, maintained incrementally (O(1)):
+  /// the cross-partition coordinator consults it every window.
+  std::size_t edge_count() const { return edges_; }
 
   /// All current waits-for edges as (waiter, blocker) pairs, sorted so the
   /// result is independent of hash-table iteration order. Used by the
-  /// invariant checker.
+  /// invariant checker and the cross-partition cycle coordinator.
   std::vector<std::pair<storage::TxnId, storage::TxnId>> Edges() const;
+
+  // --- Cross-partition deadlock support (partitioned runs, sim/shard.h) ---
+  //
+  // With one detector per partition, a cycle spanning partitions is
+  // invisible to each detector's immediate OnWait check. The serial-phase
+  // coordinator (core/system.cpp) merges Edges() from every detector, finds
+  // cycles in the union graph, and aborts a victim per cycle. The victim is
+  // parked inside a partition's event loop, so the abort is delivered
+  // asynchronously: MarkVictim() here, a wake poke through the victim's
+  // registered wait channel, and a CheckVictim() throw from the re-entered
+  // wait loop. Victim marks survive ClearWaits (the wait loops clear edges
+  // on wake *before* re-checking) and are erased only by the CheckVictim
+  // throw or RemoveTxn.
+
+  /// Marks `txn` for asynchronous abort and counts the deadlock. The caller
+  /// must also wake the transaction (see WaitChannel()).
+  void MarkVictim(storage::TxnId txn);
+
+  /// True while `txn` is marked and has not yet observed the abort.
+  bool IsVictim(storage::TxnId txn) const {
+    return victims_.find(txn) != victims_.end();
+  }
+
+  /// Throws TxnAborted{txn, kDeadlock} (erasing the mark) if `txn` is a
+  /// marked victim; otherwise a no-op. Wait loops call this on entry and
+  /// after every wake, so a victim aborts even if a racing grant woke it.
+  void CheckVictim(storage::TxnId txn);
+
+  /// Wait-channel registry: while a transaction is parked on a CondVar it
+  /// registers the CondVar here (RAII at the wait sites) so the coordinator
+  /// can wake it. One channel per transaction — a coroutine waits in exactly
+  /// one place.
+  void RegisterWaitChannel(storage::TxnId txn, sim::CondVar* cv);
+  void UnregisterWaitChannel(storage::TxnId txn, sim::CondVar* cv);
+  /// The victim's registered CondVar, or nullptr if it is not parked here.
+  sim::CondVar* WaitChannel(storage::TxnId txn) const;
+
+  /// Bumped whenever the edge set changes; the coordinator skips the union-
+  /// graph search when no detector's version moved since the last window.
+  std::uint64_t version() const { return version_; }
 
  private:
   std::unordered_map<storage::TxnId, std::unordered_set<storage::TxnId>>
       out_edges_;
+  std::unordered_set<storage::TxnId> victims_;
+  std::unordered_map<storage::TxnId, sim::CondVar*> wait_channels_;
   std::uint64_t deadlocks_ = 0;
+  std::uint64_t version_ = 0;
+  std::size_t edges_ = 0;  ///< invariant: sum of out_edges_ set sizes
+};
+
+/// RAII registration of a wait channel, scoped strictly around the
+/// `co_await cv.Wait()` it covers so the detector never holds a dangling
+/// CondVar pointer.
+class ScopedWaitChannel {
+ public:
+  ScopedWaitChannel(DeadlockDetector& d, storage::TxnId txn, sim::CondVar* cv)
+      : d_(d), txn_(txn), cv_(cv) {
+    d_.RegisterWaitChannel(txn_, cv_);
+  }
+  ~ScopedWaitChannel() { d_.UnregisterWaitChannel(txn_, cv_); }
+  ScopedWaitChannel(const ScopedWaitChannel&) = delete;
+  ScopedWaitChannel& operator=(const ScopedWaitChannel&) = delete;
+
+ private:
+  DeadlockDetector& d_;
+  storage::TxnId txn_;
+  sim::CondVar* cv_;
 };
 
 }  // namespace psoodb::cc

@@ -25,6 +25,16 @@ sim::Task LockManager::AcquireX(Table<Key>& table, Key key, PageId page,
   const double wait_start = sim_.now();
   try {
     for (;;) {
+      // A cross-partition deadlock coordinator may have marked this
+      // transaction for abort while it was parked (partitioned runs only;
+      // a no-op otherwise). Check on entry and after every wake, before the
+      // holder re-check: a racing grant must not let a victim slip through.
+      try {
+        detector_.CheckVictim(txn);
+      } catch (...) {
+        MaybeErase(table, key);
+        throw;
+      }
       Entry& e = table[key];
       if (e.holder == kNoTxn || e.holder == txn) {
         if (acquire && e.holder == kNoTxn) {
@@ -62,6 +72,10 @@ sim::Task LockManager::AcquireX(Table<Key>& table, Key key, PageId page,
       if (!e.cv) e.cv = std::make_unique<sim::CondVar>(sim_);
       ++e.waiters;
       try {
+        // Registered strictly for the duration of the wait so the detector
+        // never holds a dangling CondVar pointer (cross-partition victim
+        // pokes go through this channel).
+        ScopedWaitChannel channel(detector_, txn, e.cv.get());
         co_await e.cv->Wait();
       } catch (...) {
         // Wait() does not throw, but keep the waiter count exception-safe.

@@ -8,6 +8,7 @@
 #ifndef PSOODB_CONFIG_PARAMS_H_
 #define PSOODB_CONFIG_PARAMS_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -158,6 +159,58 @@ struct SystemParams {
     int s = page / per;
     return s < num_servers ? s : num_servers - 1;
   }
+  /// Half-open page range [first, last) owned by server `s`, using the same
+  /// ceil-divide arithmetic as ServerOfPage. The last server's range is
+  /// remainder-short when db_pages % num_servers != 0; the two functions
+  /// agree exactly and the ranges tile [0, db_pages) with no gap or overlap.
+  std::pair<storage::PageId, storage::PageId> ServerPageRange(int s) const {
+    const int per = (db_pages + num_servers - 1) / num_servers;
+    const storage::PageId first = std::min(s * per, db_pages);
+    const storage::PageId last = std::min((s + 1) * per, db_pages);
+    return {first, last};
+  }
+  /// Pages owned by server `s` (the size of ServerPageRange(s)).
+  int PagesOwnedByServer(int s) const {
+    auto [first, last] = ServerPageRange(s);
+    return last - first;
+  }
+  /// Server `s`'s share of the total server buffer, proportional to the
+  /// pages it actually owns (ServerPageRange). An even split skews the
+  /// buffer/ownership ratio whenever db_pages % num_servers != 0: every
+  /// server but the last would get buffer for pages it does not own while
+  /// the last is short-changed relative to its (shorter) range.
+  int ServerBufPagesFor(int s) const {
+    const long total = server_buf_pages();
+    const long share = total * PagesOwnedByServer(s) / db_pages;
+    return share > 0 ? static_cast<int>(share) : 1;
+  }
+
+  // --- Intra-run parallel simulation (src/sim/shard.h) --------------------
+  /// When > 0, the simulation runs partitioned by server: each server (and
+  /// the clients homed on it) gets its own event loop, and up to
+  /// `sim_shards` worker threads execute the partitions under conservative
+  /// time windows. Results are byte-identical at any sim_shards >= 1 (the
+  /// partition structure is fixed by num_servers; the thread count only
+  /// changes which thread runs which partition). 0 = the classic single
+  /// event loop. Also settable via PSOODB_SIM_SHARDS=<n>.
+  int sim_shards = 0;
+  /// One-way propagation latency (seconds) of the inter-partition link in
+  /// partitioned mode; it is the conservative lookahead bound, so it must be
+  /// > 0. Cross-partition messages pay this on top of the per-byte wire
+  /// time; intra-partition traffic uses the partition's own network segment.
+  double cross_partition_latency = 100e-6;
+  /// Minimum simulated time (seconds) between union-graph scans of the
+  /// cross-partition deadlock coordinator. Cycles confined to one partition
+  /// are still caught immediately by that partition's detector; only cycles
+  /// spanning partitions wait — up to this long — for the next scan. The
+  /// coordinator always scans before declaring a stall, so a cross-partition
+  /// deadlock that idles the whole system is resolved immediately regardless
+  /// of the interval. The default adds at most 20ms of simulated wait to a
+  /// cross-partition victim — noise next to multi-second contention response
+  /// times — while keeping the scan off the serial critical path. Must be
+  /// >= 0; 0 scans at every window whose edge set changed (the pre-throttle
+  /// behaviour, ~100x more scans under load).
+  double cross_deadlock_interval = 20e-3;
 };
 
 /// Ordering of object references within a transaction (Section 4.2).

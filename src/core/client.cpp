@@ -359,6 +359,9 @@ sim::Task PageFamilyClient::Commit() {
 
   // History is recorded once all involved servers have acked (strict 2PL:
   // all locks were held until here, so the serialization point is sound).
+  // The commit sequence is only minted when history is on: it orders the
+  // recorded commits, and bumping it unconditionally would be a cross-thread
+  // race on the shared Database in partitioned runs (sim/shard.h).
   if (ctx_.history != nullptr) {
     CommittedTxn record;
     record.txn = txn_;
@@ -366,8 +369,6 @@ sim::Task PageFamilyClient::Commit() {
     record.reads = ReadSnapshot();
     record.writes = merged.new_versions;
     ctx_.history->RecordCommit(std::move(record));
-  } else {
-    ctx_.db.NextCommitSeq();
   }
 
   // Refresh retained frames with the new committed versions and clean them.

@@ -56,13 +56,19 @@ struct SystemContext {
   /// Owned by System; null only in unit tests that build a bare context.
   metrics::LatencyRecorder* latency = nullptr;
 
-  /// Next transaction id (monotonically increasing, shared by all clients).
+  /// Next transaction id (monotonically increasing, shared by all clients
+  /// of this context). Partitioned runs (sim/shard.h) stride the ids so
+  /// every partition mints from a disjoint residue class and
+  /// `txn % partitions` recovers the home partition; the legacy
+  /// stride=1/offset=0 form is bit-identical to the old `++next_txn`.
   storage::TxnId next_txn = 0;
+  storage::TxnId txn_stride = 1;
+  storage::TxnId txn_offset = 0;
   /// Running (EWMA) average transaction response time, used as the mean
   /// restart backoff for aborted transactions.
   double avg_response = 0.0;
 
-  storage::TxnId NewTxn() { return ++next_txn; }
+  storage::TxnId NewTxn() { return ++next_txn * txn_stride + txn_offset; }
 
   void NoteResponse(double rt) {
     avg_response = avg_response == 0.0 ? rt : 0.9 * avg_response + 0.1 * rt;

@@ -14,9 +14,11 @@
 #ifndef PSOODB_CORE_MESSAGES_H_
 #define PSOODB_CORE_MESSAGES_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "config/params.h"
@@ -24,6 +26,7 @@
 #include "resources/cpu.h"
 #include "resources/network.h"
 #include "sim/awaitables.h"
+#include "sim/shard.h"
 #include "sim/simulation.h"
 #include "sim/task.h"
 #include "storage/buffer_manager.h"
@@ -137,6 +140,35 @@ class Transport {
   /// then emits kMsgSend at enqueue and kMsgRecv at delivery.
   void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
 
+  // --- Partitioned runs (sim/shard.h) -----------------------------------
+  //
+  // One Transport per partition. Intra-partition traffic uses the legacy
+  // path on the partition's own network segment; cross-partition traffic
+  // leaves through a dedicated point-to-point link per partition pair
+  // ("switched" network — a modeled deviation from the paper's single
+  // shared segment, see docs/SIMULATOR.md) and is handed to the destination
+  // partition through the ShardGroup mailbox. `link_latency` must be >= the
+  // group's lookahead; arrival times preserve per-link FIFO.
+
+  /// Marks this transport as partition `partition` of `group`.
+  void ConfigurePartition(sim::ShardGroup* group, int partition,
+                          double link_latency, double link_seconds_per_byte) {
+    group_ = group;
+    partition_ = partition;
+    link_latency_ = link_latency;
+    link_seconds_per_byte_ = link_seconds_per_byte;
+    link_free_.assign(static_cast<std::size_t>(group->partitions()), 0.0);
+  }
+
+  /// All partitions' transports, indexed by partition (call once after all
+  /// of them are constructed).
+  void SetPeers(std::vector<Transport*> peers) { peers_ = std::move(peers); }
+
+  /// Home partition per client id (servers live in partition == index).
+  void SetClientPartitions(std::vector<int> client_partition) {
+    client_partition_ = std::move(client_partition);
+  }
+
   /// Sends a message: charges sender CPU, wire time, receiver CPU, then runs
   /// `deliver` at the receiver. Non-suspending: the caller's state mutations
   /// immediately before Send() and the send itself are atomic with respect
@@ -149,6 +181,14 @@ class Transport {
   void Send(NodeId from, NodeId to, MsgKind kind, int payload_bytes,
             F&& deliver) {
     NoteSend(from, to, kind, payload_bytes);
+    if (group_ != nullptr) {
+      const int dest = PartitionOf(to);
+      if (dest != partition_) {
+        sim_.Spawn(DeliverCross(dest, from, to, kind, payload_bytes,
+                                std::forward<F>(deliver)));
+        return;
+      }
+    }
     // Spawning enters the sender-CPU queue synchronously (the delivery task
     // runs until its first suspension), so send order == CPU order == wire
     // order for messages from the same node.
@@ -182,9 +222,54 @@ class Transport {
     deliver();
   }
 
+  /// Cross-partition send: sender CPU here, then a point-to-point link with
+  /// per-(src, dest) FIFO (`link_free_` tracks when the link clears), then
+  /// the destination partition runs RemoteTail at the arrival time. The
+  /// latency term makes every arrival land at or after the window edge —
+  /// the conservative-lookahead contract Post() asserts.
+  template <typename F>
+  sim::Task DeliverCross(int dest, NodeId from, NodeId to, MsgKind kind,
+                         int bytes, F deliver) {
+    co_await CpuOf(from)->System(params_.MsgInst(bytes));
+    double& free_at = link_free_[static_cast<std::size_t>(dest)];
+    const double start = std::max(free_at, sim_.now());
+    const double arrival =
+        start + link_latency_ +
+        static_cast<double>(bytes) * link_seconds_per_byte_;
+    free_at = arrival;
+    Transport* peer = peers_[static_cast<std::size_t>(dest)];
+    group_->Post(
+        partition_, dest, arrival,
+        sim::InlineFunction(
+            [peer, from, to, kind, bytes, d = std::move(deliver)]() mutable {
+              peer->sim_.Spawn(
+                  peer->RemoteTail(from, to, kind, bytes, std::move(d)));
+            }));
+  }
+
+  /// Receiver half of a cross-partition delivery, running in the
+  /// destination partition's simulation.
+  template <typename F>
+  sim::Task RemoteTail(NodeId from, NodeId to, MsgKind kind, int bytes,
+                       F deliver) {
+    co_await CpuOf(to)->System(params_.MsgInst(bytes));
+    if (tracer_ != nullptr) {
+      tracer_->Emit(trace::EventKind::kMsgRecv, to, storage::kNoTxn, -1,
+                    bytes, static_cast<std::int64_t>(kind), from);
+    }
+    deliver();
+  }
+
   resources::Cpu* CpuOf(NodeId node) const {
     return node >= 0 ? client_cpus_[static_cast<std::size_t>(node)]
                      : server_cpus_[static_cast<std::size_t>(-1 - node)];
+  }
+
+  int PartitionOf(NodeId node) const {
+    if (node < 0) return -1 - node;  // server i lives in partition i
+    return client_partition_.empty()
+               ? 0
+               : client_partition_[static_cast<std::size_t>(node)];
   }
 
   sim::Simulation& sim_;
@@ -197,6 +282,14 @@ class Transport {
   /// hash probes per message delivery.
   std::vector<resources::Cpu*> client_cpus_;
   std::vector<resources::Cpu*> server_cpus_;
+  // --- partitioned runs only (null/empty otherwise) ---------------------
+  sim::ShardGroup* group_ = nullptr;
+  int partition_ = 0;
+  double link_latency_ = 0.0;
+  double link_seconds_per_byte_ = 0.0;
+  std::vector<double> link_free_;  ///< per-destination link clear time
+  std::vector<Transport*> peers_;
+  std::vector<int> client_partition_;
 };
 
 }  // namespace psoodb::core

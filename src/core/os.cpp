@@ -273,6 +273,8 @@ sim::Task OsClient::Commit() {
                                ack.new_versions.end());
   }
   EndRpc();
+  // Commit sequence minted only with history on (see client.cpp): the bump
+  // would otherwise race on the shared Database in partitioned runs.
   if (ctx_.history != nullptr) {
     CommittedTxn record;
     record.txn = txn_;
@@ -280,8 +282,6 @@ sim::Task OsClient::Commit() {
     record.reads = ReadSnapshot();
     record.writes = merged.new_versions;
     ctx_.history->RecordCommit(std::move(record));
-  } else {
-    ctx_.db.NextCommitSeq();
   }
   for (const auto& [oid, v] : merged.new_versions) {
     if (storage::ObjectFrame* f = cache_.Peek(oid)) {

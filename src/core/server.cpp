@@ -27,10 +27,11 @@ Server::Server(SystemContext& ctx, int index)
            "server-cpu-" + std::to_string(index)),
       disks_(ctx.sim, ctx.params.server_disks, ctx.params.min_disk_time,
              ctx.params.max_disk_time, ctx.params.seed + index),
-      // Each partition server gets a proportional share of the total
-      // server buffer (it owns db_pages / num_servers pages).
-      buffer_(static_cast<std::size_t>(std::max(
-          1, ctx.params.server_buf_pages() / ctx.params.num_servers))),
+      // Each partition server gets a share of the total server buffer
+      // proportional to the pages it owns (the last server's range is
+      // remainder-short; an even split would skew its buffer/ownership
+      // ratio — see SystemParams::ServerBufPagesFor).
+      buffer_(static_cast<std::size_t>(ctx.params.ServerBufPagesFor(index))),
       lm_(ctx.sim, *ctx.detector) {
   ctx_.transport.AttachCpu(node_, &cpu_);
 }
@@ -115,6 +116,11 @@ sim::Task Server::AwaitCallbacks(std::shared_ptr<CallbackBatch> batch,
     // invariant checker must catch (see tests/invariant_test.cpp).
     if (!ctx_.params.test_skip_callback_drain) {
       for (;;) {
+        // A cross-partition deadlock coordinator may have marked this
+        // transaction while it was parked (partitioned runs only); check
+        // before the drain re-check so a victim aborts even if the last ack
+        // arrived in the same window as the poke.
+        ctx_.detector->CheckVictim(txn);
         while (!batch->new_blockers.empty()) {
           TxnId blocker = batch->new_blockers.back();
           batch->new_blockers.pop_back();
@@ -122,7 +128,12 @@ sim::Task Server::AwaitCallbacks(std::shared_ptr<CallbackBatch> batch,
           ctx_.detector->OnWait(txn, {blocker});
         }
         if (batch->pending == 0) break;
-        co_await batch->cv.Wait();
+        {
+          // Registered strictly around the wait so the detector never holds
+          // a dangling CondVar pointer (victim pokes use this channel).
+          cc::ScopedWaitChannel channel(*ctx_.detector, txn, &batch->cv);
+          co_await batch->cv.Wait();
+        }
       }
     }
     ctx_.detector->ClearWaits(txn);

@@ -1,10 +1,14 @@
 #include "core/system.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
+#include <map>
 #include <string>
 #include <type_traits>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "check/invariants.h"
 #include "core/os.h"
@@ -70,29 +74,112 @@ System::System(Protocol protocol, const config::SystemParams& params,
   if (const char* env = std::getenv("PSOODB_TRACE_PAGE"); env != nullptr) {
     params_.trace_page = static_cast<storage::PageId>(std::atol(env));
   }
-
-  detector_ = std::make_unique<cc::DeadlockDetector>();
-  sim_ = std::make_unique<sim::Simulation>();
-  network_ =
-      std::make_unique<resources::Network>(*sim_, params_.network_mbps);
-  transport_ =
-      std::make_unique<Transport>(*sim_, *network_, params_, counters_);
-  ctx_ = std::make_unique<SystemContext>(SystemContext{
-      *sim_, params_, db_, counters_, *transport_, detector_.get(), nullptr,
-      {}});
-  // The tracer must exist before clients/servers are built: they latch the
-  // pointer (clients via LocalTxnLocks::AttachTracing, servers via the lock
-  // manager) at construction time.
-  if (params_.trace) {
-    tracer_ = std::make_unique<trace::Tracer>(
-        *sim_, static_cast<std::size_t>(params_.trace_buffer_events),
-        params_.trace_page);
-    ctx_->tracer = tracer_.get();
+  if (const char* env = std::getenv("PSOODB_SIM_SHARDS"); env != nullptr) {
+    params_.sim_shards = std::atoi(env);
   }
-  ctx_->latency = &latency_;
-  transport_->set_tracer(tracer_.get());
 
-  // One server per data partition; clients route requests by page.
+  const bool partitioned = params_.sim_shards > 0;
+  if (!partitioned) {
+    detector_ = std::make_unique<cc::DeadlockDetector>();
+    sim_ = std::make_unique<sim::Simulation>();
+    network_ =
+        std::make_unique<resources::Network>(*sim_, params_.network_mbps);
+    transport_ =
+        std::make_unique<Transport>(*sim_, *network_, params_, counters_);
+    ctx_ = std::make_unique<SystemContext>(SystemContext{
+        *sim_, params_, db_, counters_, *transport_, detector_.get(), nullptr,
+        {}});
+    // The tracer must exist before clients/servers are built: they latch the
+    // pointer (clients via LocalTxnLocks::AttachTracing, servers via the lock
+    // manager) at construction time.
+    if (params_.trace) {
+      tracer_ = std::make_unique<trace::Tracer>(
+          *sim_, static_cast<std::size_t>(params_.trace_buffer_events),
+          params_.trace_page);
+      ctx_->tracer = tracer_.get();
+    }
+    ctx_->latency = &latency_;
+    transport_->set_tracer(tracer_.get());
+  } else {
+    // Partitioned mode: one event loop per server partition, each with its
+    // own network segment, transport, detector, tracer, counters and
+    // latency recorders. The partition count is fixed by num_servers —
+    // sim_shards only bounds the worker-thread count — so results are
+    // byte-identical at every sim_shards >= 1 (see sim/shard.h).
+    PSOODB_CHECK(params_.cross_partition_latency > 0,
+                 "partitioned runs need cross_partition_latency > 0 "
+                 "(it is the conservative lookahead)");
+    const int P = params_.num_servers;
+    shards_ = std::make_unique<sim::ShardGroup>(
+        P, std::min(params_.sim_shards, P), params_.cross_partition_latency);
+    // A client is homed on the partition of the server its region-0 (hot)
+    // pages live on, so the bulk of its traffic stays intra-partition;
+    // custom workloads fall back to round-robin.
+    client_partition_.resize(static_cast<std::size_t>(params_.num_clients));
+    for (int c = 0; c < params_.num_clients; ++c) {
+      int home = c % P;
+      if (static_cast<std::size_t>(c) < workload_.client_regions.size() &&
+          !workload_.client_regions[static_cast<std::size_t>(c)].empty()) {
+        const config::RegionSpec& r =
+            workload_.client_regions[static_cast<std::size_t>(c)].front();
+        home = params_.ServerOfPage((r.lo + r.hi) / 2);
+      }
+      client_partition_[static_cast<std::size_t>(c)] = home;
+    }
+    const double link_spb = 8.0 / (params_.network_mbps * 1e6);
+    for (int p = 0; p < P; ++p) {
+      auto part = std::make_unique<Partition>();
+      sim::Simulation& psim = shards_->sim(p);
+      part->network =
+          std::make_unique<resources::Network>(psim, params_.network_mbps);
+      part->transport = std::make_unique<Transport>(psim, *part->network,
+                                                    params_, part->counters);
+      part->transport->ConfigurePartition(
+          shards_.get(), p, params_.cross_partition_latency, link_spb);
+      part->detector = std::make_unique<cc::DeadlockDetector>();
+      part->ctx = std::make_unique<SystemContext>(
+          SystemContext{psim, params_, db_, part->counters, *part->transport,
+                        part->detector.get(), nullptr, {}});
+      // Disjoint txn-id residue classes: txn % P recovers the home
+      // partition (the tracer and the deadlock coordinator rely on it).
+      part->ctx->txn_stride = P;
+      part->ctx->txn_offset = p;
+      if (params_.trace) {
+        part->tracer = std::make_unique<trace::Tracer>(
+            psim, static_cast<std::size_t>(params_.trace_buffer_events),
+            params_.trace_page);
+        part->tracer->ConfigurePartition(p, P);
+        part->ctx->tracer = part->tracer.get();
+      }
+      part->ctx->latency = &part->latency;
+      part->transport->set_tracer(part->tracer.get());
+      partitions_.push_back(std::move(part));
+    }
+    std::vector<Transport*> peers;
+    peers.reserve(partitions_.size());
+    for (auto& part : partitions_) peers.push_back(part->transport.get());
+    for (auto& part : partitions_) {
+      part->transport->SetPeers(peers);
+      part->transport->SetClientPartitions(client_partition_);
+    }
+  }
+
+  // One server per data partition; clients route requests by page. In
+  // partitioned mode each node is built against its home partition's
+  // context (its event loop, transport, counters, ...).
+  auto server_ctx = [&](int i) -> SystemContext& {
+    return partitioned ? *partitions_[static_cast<std::size_t>(i)]->ctx
+                       : *ctx_;
+  };
+  auto client_ctx = [&](int c) -> SystemContext& {
+    return partitioned
+               ? *partitions_[static_cast<std::size_t>(
+                                  client_partition_[static_cast<std::size_t>(
+                                      c)])]
+                      ->ctx
+               : *ctx_;
+  };
+
   auto build = [&](auto make_server, auto make_client) {
     using ServerT =
         std::remove_pointer_t<decltype(make_server(0))>;
@@ -109,39 +196,45 @@ System::System(Protocol protocol, const config::SystemParams& params,
 
   switch (protocol_) {
     case Protocol::kPS:
-      build([&](int i) { return new PsServer(*ctx_, i); },
+      build([&](int i) { return new PsServer(server_ctx(i), i); },
             [&](int c, const std::vector<PsServer*>& srvs) {
-              return std::make_unique<PsClient>(*ctx_, c, workload_, srvs);
+              return std::make_unique<PsClient>(client_ctx(c), c, workload_,
+                                                srvs);
             });
       break;
     case Protocol::kOS:
-      build([&](int i) { return new OsServer(*ctx_, i); },
+      build([&](int i) { return new OsServer(server_ctx(i), i); },
             [&](int c, const std::vector<OsServer*>& srvs) {
-              return std::make_unique<OsClient>(*ctx_, c, workload_, srvs);
+              return std::make_unique<OsClient>(client_ctx(c), c, workload_,
+                                                srvs);
             });
       break;
     case Protocol::kPSOO:
-      build([&](int i) { return new PsOoServer(*ctx_, i); },
+      build([&](int i) { return new PsOoServer(server_ctx(i), i); },
             [&](int c, const std::vector<PsOoServer*>& srvs) {
-              return std::make_unique<PsOoClient>(*ctx_, c, workload_, srvs);
+              return std::make_unique<PsOoClient>(client_ctx(c), c, workload_,
+                                                  srvs);
             });
       break;
     case Protocol::kPSOA:
-      build([&](int i) { return new PsOaServer(*ctx_, i); },
+      build([&](int i) { return new PsOaServer(server_ctx(i), i); },
             [&](int c, const std::vector<PsOaServer*>& srvs) {
-              return std::make_unique<PsOaClient>(*ctx_, c, workload_, srvs);
+              return std::make_unique<PsOaClient>(client_ctx(c), c, workload_,
+                                                  srvs);
             });
       break;
     case Protocol::kPSAA:
-      build([&](int i) { return new PsAaServer(*ctx_, i); },
+      build([&](int i) { return new PsAaServer(server_ctx(i), i); },
             [&](int c, const std::vector<PsAaServer*>& srvs) {
-              return std::make_unique<PsAaClient>(*ctx_, c, workload_, srvs);
+              return std::make_unique<PsAaClient>(client_ctx(c), c, workload_,
+                                                  srvs);
             });
       break;
     case Protocol::kPSWT:
-      build([&](int i) { return new PsWtServer(*ctx_, i); },
+      build([&](int i) { return new PsWtServer(server_ctx(i), i); },
             [&](int c, const std::vector<PsWtServer*>& srvs) {
-              return std::make_unique<PsWtClient>(*ctx_, c, workload_, srvs);
+              return std::make_unique<PsWtClient>(client_ctx(c), c, workload_,
+                                                  srvs);
             });
       break;
   }
@@ -150,31 +243,46 @@ System::System(Protocol protocol, const config::SystemParams& params,
   raw.reserve(clients_.size());
   for (auto& c : clients_) raw.push_back(c.get());
   for (auto& srv : servers_) srv->SetClients(raw);
-  for (auto& srv : servers_) {
-    srv->lock_manager().AttachTracing(tracer_.get(), &latency_.lock_wait,
-                                      srv->node());
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    trace::Tracer* tr =
+        partitioned ? partitions_[i]->tracer.get() : tracer_.get();
+    metrics::Histogram* lock_wait =
+        partitioned ? &partitions_[i]->latency.lock_wait : &latency_.lock_wait;
+    servers_[i]->lock_manager().AttachTracing(tr, lock_wait,
+                                              servers_[i]->node());
   }
 
   if (params_.invariant_checks ||
       std::getenv("PSOODB_INVARIANTS") != nullptr) {
-    check::InvariantChecker::Options iopts;
-    iopts.failfast = params_.invariant_failfast;
-    iopts.event_period = params_.invariant_event_period;
-    invariants_ = std::make_unique<check::InvariantChecker>(*this, iopts);
-    ctx_->invariants = invariants_.get();
+    if (partitioned) {
+      // The invariant checker sweeps cross-partition state (client caches
+      // vs. server copy tables) with no synchronization; it only works
+      // under the sequential event loop.
+      std::fprintf(stderr,
+                   "psoodb: invariant checking is unavailable in partitioned "
+                   "runs (sim_shards > 0); disabled\n");
+    } else {
+      check::InvariantChecker::Options iopts;
+      iopts.failfast = params_.invariant_failfast;
+      iopts.event_period = params_.invariant_event_period;
+      invariants_ = std::make_unique<check::InvariantChecker>(*this, iopts);
+      ctx_->invariants = invariants_.get();
+    }
   }
 }
 
 System::~System() {
-  // The Simulation must die first: destroying it destroys every suspended
-  // process, whose awaitable destructors unregister from resource queues and
-  // condition variables that must still be alive. Afterwards the remaining
-  // members (clients, server, transport, network) tear down with empty
-  // queues.
+  // The Simulation(s) must die first: destroying one destroys every
+  // suspended process, whose awaitable destructors unregister from resource
+  // queues and condition variables that must still be alive. Afterwards the
+  // remaining members (clients, servers, transports, networks) tear down
+  // with empty queues.
   sim_.reset();
+  shards_.reset();
 }
 
 RunResult System::Run(const RunConfig& run) {
+  if (shards_ != nullptr) return RunPartitioned(run);
   PSOODB_CHECK(!started_, "System::Run may be called once");
   started_ = true;
 
@@ -314,6 +422,362 @@ RunResult System::Run(const RunConfig& run) {
     meta.seed = params_.seed;
     result.trace_jsonl = tracer_->SerializeJsonl(meta);
     result.trace_chrome = tracer_->SerializeChrome(meta);
+  }
+  return result;
+}
+
+namespace {
+
+/// Finds one cycle in the waits-for union graph (adjacency lists sorted by
+/// the caller), or an empty vector. Deterministic: nodes are visited in id
+/// order and edges in sorted order, so the same graph always yields the
+/// same cycle.
+std::vector<storage::TxnId> FindCycle(
+    const std::map<storage::TxnId, std::vector<storage::TxnId>>& adj) {
+  enum : char { kWhite = 0, kGray, kBlack };
+  static const std::vector<storage::TxnId> kNoEdges;
+  std::unordered_map<storage::TxnId, char> color;
+  std::vector<storage::TxnId> path;
+  struct Frame {
+    storage::TxnId node;
+    std::size_t next;
+  };
+  for (const auto& [root, unused] : adj) {
+    if (color[root] != kWhite) continue;
+    std::vector<Frame> stack;
+    stack.push_back({root, 0});
+    color[root] = kGray;
+    path.push_back(root);
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      auto it = adj.find(f.node);
+      const std::vector<storage::TxnId>& out =
+          it != adj.end() ? it->second : kNoEdges;
+      if (f.next < out.size()) {
+        const storage::TxnId next = out[f.next++];
+        char& c = color[next];
+        if (c == kGray) {
+          auto pos = std::find(path.begin(), path.end(), next);
+          return std::vector<storage::TxnId>(pos, path.end());
+        }
+        if (c == kWhite) {
+          if (adj.find(next) != adj.end()) {
+            c = kGray;
+            path.push_back(next);
+            stack.push_back({next, 0});
+          } else {
+            c = kBlack;  // no out-edges: cannot be on a cycle
+          }
+        }
+      } else {
+        color[f.node] = kBlack;
+        path.pop_back();
+        stack.pop_back();
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+void System::DetectCrossPartitionDeadlocks(
+    std::uint64_t* last_version_sum, std::vector<storage::TxnId>* marked) {
+  const int P = static_cast<int>(partitions_.size());
+  // Version counters are monotone, so an unchanged sum means no detector's
+  // edge set moved since the last window — skip the union-graph work.
+  std::uint64_t version_sum = 0;
+  int with_edges = 0;
+  for (auto& part : partitions_) {
+    version_sum += part->detector->version();
+    if (part->detector->edge_count() > 0) ++with_edges;
+  }
+  if (version_sum == *last_version_sum) return;
+  *last_version_sum = version_sum;
+  // A cycle confined to one partition is caught immediately by that
+  // detector's OnWait; only cycles spanning >= 2 partitions reach here.
+  if (with_edges < 2) return;
+
+  // Drop marks whose victim has since aborted or committed (the detector
+  // erases its mark in CheckVictim/RemoveTxn; txn ids are never reused).
+  marked->erase(std::remove_if(marked->begin(), marked->end(),
+                               [&](storage::TxnId t) {
+                                 for (auto& part : partitions_) {
+                                   if (part->detector->IsVictim(t))
+                                     return false;
+                                 }
+                                 return true;
+                               }),
+                marked->end());
+
+  // Union waits-for graph. Edges touching a still-pending victim are
+  // skipped: its cycles are already being torn down, and double-victimizing
+  // a second transaction for the same cycle would overcount deadlocks.
+  std::map<storage::TxnId, std::vector<storage::TxnId>> adj;
+  std::unordered_map<storage::TxnId, int> waiter_partition;
+  const std::unordered_set<storage::TxnId> marked_set(marked->begin(),
+                                                      marked->end());
+  auto is_marked = [&](storage::TxnId t) {
+    return marked_set.find(t) != marked_set.end();
+  };
+  for (int p = 0; p < P; ++p) {
+    for (auto [waiter, blocker] :
+         partitions_[static_cast<std::size_t>(p)]->detector->Edges()) {
+      if (is_marked(waiter) || is_marked(blocker)) continue;
+      adj[waiter].push_back(blocker);
+      waiter_partition[waiter] = p;
+    }
+  }
+  for (auto& [waiter, out] : adj) std::sort(out.begin(), out.end());
+
+  for (;;) {
+    const std::vector<storage::TxnId> cycle = FindCycle(adj);
+    if (cycle.empty()) break;
+    // Victim: the youngest (highest-id) transaction on the cycle.
+    const storage::TxnId victim =
+        *std::max_element(cycle.begin(), cycle.end());
+    const int home = waiter_partition.at(victim);  // where it is blocked
+    cc::DeadlockDetector& det =
+        *partitions_[static_cast<std::size_t>(home)]->detector;
+    det.MarkVictim(victim);
+    marked->push_back(victim);
+    if (sim::CondVar* cv = det.WaitChannel(victim)) {
+      // Wake it at the window edge — the earliest time the serial phase may
+      // inject an event (sim/shard.h). The wait loop re-runs CheckVictim on
+      // wake and throws TxnAborted{victim, kDeadlock}.
+      shards_->sim(home).ScheduleCallback(shards_->window_end(),
+                                          [cv] { cv->NotifyAll(); });
+    }
+    // Remove the victim's edges and search for further cycles.
+    adj.erase(victim);
+    for (auto& [waiter, out] : adj) {
+      out.erase(std::remove(out.begin(), out.end(), victim), out.end());
+    }
+  }
+}
+
+RunResult System::RunPartitioned(const RunConfig& run) {
+  PSOODB_CHECK(!started_, "System::Run may be called once");
+  started_ = true;
+  PSOODB_CHECK(!run.record_history,
+               "record_history needs the sequential simulator (sim_shards=0): "
+               "the history log is a single serialized stream");
+  PSOODB_CHECK(run.sample_interval <= 0,
+               "sample_interval needs the sequential simulator (sim_shards=0)");
+
+  const int P = shards_->partitions();
+  for (auto& part : partitions_) {
+    Partition* raw = part.get();
+    part->ctx->on_commit = [raw](storage::ClientId, sim::SimTime start,
+                                 sim::SimTime end) {
+      raw->responses.emplace_back(end, end - start);
+    };
+  }
+  for (auto& c : clients_) c->Start();
+
+  RunResult result;
+  result.protocol = protocol_;
+
+  const std::uint64_t warmup_target =
+      static_cast<std::uint64_t>(run.warmup_commits);
+  const std::uint64_t measure_target =
+      static_cast<std::uint64_t>(run.measure_commits);
+
+  bool measuring = false;
+  bool warmup_capped = false;
+  sim::SimTime measure_start = 0;
+  std::uint64_t measure_start_events = 0;
+  std::uint64_t warmup_deadlocks = 0;
+  std::uint64_t warmup_lock_waits = 0;
+  std::uint64_t last_version_sum = 0;
+  std::vector<storage::TxnId> marked_victims;
+  sim::SimTime next_deadlock_scan = 0;
+
+  auto total_commits = [&] {
+    std::uint64_t n = 0;
+    for (auto& part : partitions_) n += part->counters.commits;
+    return n;
+  };
+  auto total_deadlocks = [&] {
+    std::uint64_t n = 0;
+    for (auto& part : partitions_) n += part->detector->deadlocks_detected();
+    return n;
+  };
+  auto total_lock_waits = [&] {
+    std::uint64_t n = 0;
+    for (auto& srv : servers_) n += srv->lock_manager().lock_waits();
+    return n;
+  };
+  // Warmup -> measurement boundary: reset every statistic, in the serial
+  // phase (all workers parked), exactly as the sequential Run does.
+  auto reset_for_measurement = [&] {
+    warmup_deadlocks = total_deadlocks();
+    warmup_lock_waits = total_lock_waits();
+    for (auto& part : partitions_) {
+      part->counters.Reset();
+      part->responses.clear();
+      part->latency.Reset();
+      part->network->ResetStats();
+      if (part->tracer) part->tracer->ResetMeasurement();
+    }
+    for (auto& srv : servers_) {
+      srv->cpu().ResetStats();
+      srv->disks().ResetStats();
+    }
+    for (auto& c : clients_) c->cpu().ResetStats();
+    measure_start = shards_->GlobalNow();
+    measure_start_events = shards_->TotalEvents();
+    measuring = true;
+  };
+
+  sim::ShardGroup::SerialHook hook = [&](sim::ShardGroup& g) -> bool {
+    // Move cross-partition trace attributions to their home tracers in a
+    // fixed (home, source) order so phase sums are thread-count independent.
+    if (params_.trace) {
+      for (int home = 0; home < P; ++home) {
+        for (int src = 0; src < P; ++src) {
+          if (src == home) continue;
+          partitions_[static_cast<std::size_t>(src)]
+              ->tracer->DrainRemoteAttributions(
+                  home, *partitions_[static_cast<std::size_t>(home)]->tracer);
+        }
+      }
+    }
+    // Cross-partition cycle scan, throttled by simulated time: under load
+    // some detector's edge set moves nearly every window, so the version
+    // check alone would run the union-graph search ~every window. Cycles
+    // spanning partitions tolerate the extra latency (their victims are
+    // parked); the one case that cannot wait is a deadlock that drains every
+    // event heap — without the scan's wake-up poke the run would stall — so
+    // an imminent drain forces a scan. GlobalNow() is a pure function of the
+    // event sequence, so the throttle is thread-count independent.
+    sim::SimTime next_event;
+    const bool draining = !g.NextEventTime(&next_event);
+    if (draining || g.GlobalNow() >= next_deadlock_scan) {
+      DetectCrossPartitionDeadlocks(&last_version_sum, &marked_victims);
+      next_deadlock_scan = g.GlobalNow() + params_.cross_deadlock_interval;
+    }
+    const std::uint64_t commits = total_commits();
+    if (!measuring) {
+      if (commits >= warmup_target) {
+        reset_for_measurement();
+        return false;
+      }
+      if (g.TotalEvents() > run.max_events ||
+          g.GlobalNow() > run.max_sim_seconds) {
+        warmup_capped = true;
+        return true;
+      }
+      return false;
+    }
+    if (commits >= measure_target) return true;
+    if (g.TotalEvents() - measure_start_events > run.max_events ||
+        g.GlobalNow() - measure_start > run.max_sim_seconds) {
+      return true;
+    }
+    return false;
+  };
+
+  const sim::ShardGroup::RunResult rr = shards_->Run(hook);
+  // If the run ended during warmup (stall or cap), report an empty
+  // measurement window like the sequential path does.
+  if (!measuring) reset_for_measurement();
+
+  result.stalled = rr.stalled || warmup_capped;
+  result.sim_seconds = shards_->GlobalNow() - measure_start;
+  metrics::Counters merged;
+  for (auto& part : partitions_) merged.Add(part->counters);
+  counters_ = merged;  // keep the counters() accessor meaningful post-run
+  result.measured_commits = merged.commits;
+  result.counters = merged;
+  result.throughput =
+      result.sim_seconds > 0
+          ? static_cast<double>(merged.commits) / result.sim_seconds
+          : 0.0;
+  // Merge per-partition response sequences by (commit time, partition).
+  // Each partition's sequence is already in commit-time order, so this is a
+  // deterministic total order, independent of the worker-thread count.
+  struct Resp {
+    double end;
+    int part;
+    std::size_t idx;
+    double rt;
+  };
+  std::vector<Resp> resp;
+  for (int p = 0; p < P; ++p) {
+    const auto& rs = partitions_[static_cast<std::size_t>(p)]->responses;
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+      resp.push_back({rs[i].first, p, i, rs[i].second});
+    }
+  }
+  std::sort(resp.begin(), resp.end(), [](const Resp& a, const Resp& b) {
+    if (a.end != b.end) return a.end < b.end;
+    if (a.part != b.part) return a.part < b.part;
+    return a.idx < b.idx;
+  });
+  response_times_.clear();
+  response_times_.reserve(resp.size());
+  for (const Resp& r : resp) response_times_.push_back(r.rt);
+  result.response_time =
+      metrics::BatchMeansCI(response_times_, run.ci_batches, 0.90);
+  result.deadlocks = total_deadlocks() - warmup_deadlocks;
+  result.counters.deadlocks = result.deadlocks;
+  result.counters.lock_waits = total_lock_waits() - warmup_lock_waits;
+  double cpu_util = 0, disk_util = 0;
+  for (auto& srv : servers_) {
+    cpu_util += srv->cpu().Utilization();
+    disk_util += srv->disks().AverageUtilization();
+  }
+  result.server_cpu_util = cpu_util / static_cast<double>(servers_.size());
+  result.disk_util = disk_util / static_cast<double>(servers_.size());
+  double net_util = 0;
+  for (auto& part : partitions_) net_util += part->network->Utilization();
+  result.network_util = net_util / static_cast<double>(partitions_.size());
+  double client_util = 0;
+  for (auto& c : clients_) client_util += c->cpu().Utilization();
+  result.avg_client_cpu_util =
+      clients_.empty() ? 0
+                       : client_util / static_cast<double>(clients_.size());
+  result.msgs_per_commit =
+      merged.commits > 0 ? static_cast<double>(merged.msgs_total) /
+                               static_cast<double>(merged.commits)
+                         : 0.0;
+  result.events = shards_->TotalEvents() - measure_start_events;
+  result.shard_busy_seconds.reserve(static_cast<std::size_t>(P));
+  for (int p = 0; p < P; ++p) {
+    result.shard_busy_seconds.push_back(shards_->busy_seconds(p));
+  }
+  result.shard_serial_seconds = shards_->serial_seconds();
+  // Latency histograms: merge in partition order (deterministic FP sums).
+  latency_.Reset();
+  for (auto& part : partitions_) {
+    latency_.response.Merge(part->latency.response);
+    latency_.lock_wait.Merge(part->latency.lock_wait);
+    latency_.callback_round.Merge(part->latency.callback_round);
+  }
+  result.response_hist = latency_.response;
+  result.lock_wait_hist = latency_.lock_wait;
+  result.callback_round_hist = latency_.callback_round;
+  if (params_.trace) {
+    for (auto& part : partitions_) {
+      for (int i = 0; i < trace::kNumPhases; ++i) {
+        result.phase_seconds[static_cast<std::size_t>(i)] +=
+            part->tracer->phase_totals()[i];
+      }
+      result.breakdown_txns += part->tracer->commits();
+      result.breakdown_violations += part->tracer->violations();
+      result.trace_events_dropped += part->tracer->events_dropped();
+    }
+    trace::TraceMeta meta;
+    meta.protocol = config::ProtocolName(protocol_);
+    meta.num_clients = params_.num_clients;
+    meta.num_servers = params_.num_servers;
+    meta.seed = params_.seed;
+    std::vector<trace::Tracer*> tracers;
+    tracers.reserve(partitions_.size());
+    for (auto& part : partitions_) tracers.push_back(part->tracer.get());
+    result.trace_jsonl = trace::Tracer::SerializeJsonlMerged(tracers, meta);
+    result.trace_chrome = trace::Tracer::SerializeChromeMerged(tracers, meta);
   }
   return result;
 }

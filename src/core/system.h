@@ -90,6 +90,14 @@ struct RunResult {
   /// Serialized sinks (empty unless tracing was enabled).
   std::string trace_jsonl;
   std::string trace_chrome;
+
+  // --- Wall-clock accounting (partitioned runs only; reporting only — wall
+  // time is nondeterministic, so these are never serialized into results
+  // JSON and never feed the simulation) -------------------------------------
+  /// Wall seconds executing each partition's events (index = partition).
+  std::vector<double> shard_busy_seconds;
+  /// Wall seconds spent in the serial phase (merge + hook + next window).
+  double shard_serial_seconds = 0;
 };
 
 /// Writes a sampled time series as CSV (header + one row per sample).
@@ -108,11 +116,24 @@ class System {
   /// Runs warmup + measurement and returns the results.
   RunResult Run(const RunConfig& run = RunConfig{});
 
+  /// True when this system runs partitioned (SystemParams::sim_shards > 0 or
+  /// PSOODB_SIM_SHARDS): one event loop per server partition under a
+  /// sim::ShardGroup instead of the single sequential loop.
+  bool partitioned() const { return shards_ != nullptr; }
+
   // --- Introspection (tests, examples) ------------------------------------
-  sim::Simulation& simulation() { return *sim_; }
+  /// The event loop; in partitioned mode, partition 0's loop.
+  sim::Simulation& simulation() {
+    return shards_ != nullptr ? shards_->sim(0) : *sim_;
+  }
   Server& server(int i = 0) { return *servers_.at(i); }
   int num_servers() const { return static_cast<int>(servers_.size()); }
-  cc::DeadlockDetector& detector() { return *detector_; }
+  /// The deadlock detector; in partitioned mode, partition 0's detector
+  /// (each partition has its own; the cross-partition coordinator runs in
+  /// the window serial phase).
+  cc::DeadlockDetector& detector() {
+    return shards_ != nullptr ? *partitions_[0]->detector : *detector_;
+  }
   Client& client(int i) { return *clients_.at(i); }
   int num_clients() const { return static_cast<int>(clients_.size()); }
   metrics::Counters& counters() { return counters_; }
@@ -131,6 +152,27 @@ class System {
   const metrics::LatencyRecorder& latency() const { return latency_; }
 
  private:
+  /// Everything owned per event-loop partition in partitioned mode. The
+  /// partition's servers/clients live in servers_/clients_ as usual but are
+  /// wired to this partition's context/transport/detector/tracer.
+  struct Partition {
+    std::unique_ptr<resources::Network> network;
+    std::unique_ptr<Transport> transport;
+    std::unique_ptr<cc::DeadlockDetector> detector;
+    std::unique_ptr<trace::Tracer> tracer;  ///< null unless tracing
+    std::unique_ptr<SystemContext> ctx;
+    metrics::Counters counters;
+    metrics::LatencyRecorder latency;
+    /// (commit time, response time) per commit, in partition event order.
+    std::vector<std::pair<double, double>> responses;
+  };
+
+  RunResult RunPartitioned(const RunConfig& run);
+  /// Serial-phase coordinator: finds cycles in the union of the per-
+  /// partition waits-for graphs and marks + wakes one victim per cycle.
+  void DetectCrossPartitionDeadlocks(std::uint64_t* last_version_sum,
+                                     std::vector<storage::TxnId>* marked);
+
   config::Protocol protocol_;
   config::SystemParams params_;      // owned copies: callers may pass temporaries
   config::WorkloadParams workload_;
@@ -142,6 +184,11 @@ class System {
   std::unique_ptr<resources::Network> network_;
   std::unique_ptr<Transport> transport_;
   std::unique_ptr<SystemContext> ctx_;
+  // Partitioned mode only (all null/empty otherwise). ~System tears the
+  // ShardGroup (and its Simulations) down before the partitions.
+  std::vector<std::unique_ptr<Partition>> partitions_;
+  std::vector<int> client_partition_;  ///< home partition per client id
+  std::unique_ptr<sim::ShardGroup> shards_;
   std::vector<std::unique_ptr<Server>> servers_;
   std::vector<std::unique_ptr<Client>> clients_;
   std::unique_ptr<check::InvariantChecker> invariants_;

@@ -56,6 +56,42 @@ struct Counters {
   std::uint64_t validity_violations = 0;
 
   void Reset() { *this = Counters{}; }
+
+  /// Field-wise accumulation (partitioned runs merge per-partition counters).
+  void Add(const Counters& o) {
+    commits += o.commits;
+    aborts += o.aborts;
+    deadlocks += o.deadlocks;
+    msgs_total += o.msgs_total;
+    msgs_data += o.msgs_data;
+    msgs_control += o.msgs_control;
+    bytes_sent += o.bytes_sent;
+    read_requests += o.read_requests;
+    write_requests += o.write_requests;
+    callbacks_sent += o.callbacks_sent;
+    callbacks_blocked += o.callbacks_blocked;
+    callback_page_purges += o.callback_page_purges;
+    callback_object_marks += o.callback_object_marks;
+    deescalations += o.deescalations;
+    page_lock_grants += o.page_lock_grants;
+    object_lock_grants += o.object_lock_grants;
+    eviction_notices += o.eviction_notices;
+    cache_hits += o.cache_hits;
+    cache_misses += o.cache_misses;
+    unavailable_rerequests += o.unavailable_rerequests;
+    dirty_evictions += o.dirty_evictions;
+    disk_reads += o.disk_reads;
+    disk_writes += o.disk_writes;
+    log_writes += o.log_writes;
+    merges += o.merges;
+    merged_objects += o.merged_objects;
+    redo_objects += o.redo_objects;
+    token_transfers += o.token_transfers;
+    page_overflows += o.page_overflows;
+    forwards += o.forwards;
+    lock_waits += o.lock_waits;
+    validity_violations += o.validity_violations;
+  }
 };
 
 }  // namespace psoodb::metrics

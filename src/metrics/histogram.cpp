@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/check.h"
+
 namespace psoodb::metrics {
 
 int Histogram::BucketIndex(double x) {
@@ -52,8 +54,13 @@ void Histogram::Merge(const Histogram& other) {
 }
 
 double Histogram::Percentile(double p) const {
+  // Defined edge behavior (enforced in debug builds, clamped in release):
+  // an empty histogram reports 0.0 for every percentile; p outside [0, 1]
+  // (including NaN) is a caller bug and is clamped — NaN to 0.0, since
+  // std::clamp with a NaN bound is undefined.
+  PSOODB_DCHECK(p >= 0.0 && p <= 1.0, "Percentile(p=%g) outside [0,1]", p);
   if (count_ == 0) return 0.0;
-  p = std::clamp(p, 0.0, 1.0);
+  p = std::isnan(p) ? 0.0 : std::clamp(p, 0.0, 1.0);
   // Nearest-rank: the smallest rank r (1-based) with r >= p * count.
   const std::uint64_t rank = std::max<std::uint64_t>(
       1, static_cast<std::uint64_t>(

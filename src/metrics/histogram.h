@@ -44,6 +44,8 @@ class Histogram {
   /// geometric midpoint clamped to the exact observed [min, max], so the
   /// edge cases are exact: empty -> 0, a single sample -> that sample,
   /// all-equal samples -> that value, and overflow-bucket samples -> max.
+  /// `p` outside [0, 1] (NaN included) trips a debug assertion and is
+  /// clamped into range (NaN -> 0.0) in release builds.
   double Percentile(double p) const;
 
   std::uint64_t bucket(int i) const {

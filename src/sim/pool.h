@@ -11,11 +11,17 @@
 /// 64 KiB bump chunks, so even cold allocations amortize the underlying
 /// allocator to one call per thousand frames.
 ///
-/// Threading/determinism: the pool is thread_local. A simulation run is
-/// confined to a single thread (the bench harness runs each (point,
+/// Threading/determinism: the pool is thread_local. A sequential simulation
+/// run is confined to a single thread (the bench harness runs each (point,
 /// protocol) pair entirely on one worker), so blocks never cross threads.
-/// Pointer values are never observable in results (enforced by
-/// psoodb_analyze's det-hazard/unordered-iter checks), so recycling cannot
+/// Partitioned runs (sim/shard.h) may free a block on a different worker
+/// thread than allocated it (e.g. Promise state carried across a partition
+/// boundary); that is safe by construction: each Alloc/Free touches only the
+/// calling thread's free lists, ownership of the block transfers through the
+/// window barrier (happens-before), and backing chunks are never returned to
+/// the OS, so a migrated block can never dangle — it simply joins the freeing
+/// thread's list. Pointer values are never observable in results (enforced
+/// by psoodb_analyze's det-hazard/unordered-iter checks), so recycling cannot
 /// perturb determinism. The pool's chunks live until process exit (see the
 /// destructor note below).
 ///

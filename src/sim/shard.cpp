@@ -1,0 +1,206 @@
+#include "sim/shard.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+#include "util/check.h"
+
+namespace psoodb::sim {
+
+ShardGroup::ShardGroup(int partitions, int threads, double lookahead)
+    : partitions_(partitions),
+      threads_(std::clamp(threads, 1, partitions)),
+      lookahead_(lookahead) {
+  PSOODB_CHECK(partitions >= 1, "ShardGroup needs >= 1 partition (got %d)",
+               partitions);
+  PSOODB_CHECK(lookahead > 0.0,
+               "conservative windows need positive lookahead (got %g)",
+               lookahead);
+  sims_.reserve(static_cast<std::size_t>(partitions_));
+  for (int p = 0; p < partitions_; ++p) {
+    sims_.push_back(std::make_unique<Simulation>());
+  }
+  outbox_.resize(static_cast<std::size_t>(partitions_) *
+                 static_cast<std::size_t>(partitions_) * 2);
+  outbox_min_.resize(outbox_.size(),
+                     std::numeric_limits<SimTime>::infinity());
+  busy_.resize(static_cast<std::size_t>(partitions_));
+}
+
+void ShardGroup::Post(int src, int dest, SimTime at, InlineFunction fn) {
+  PSOODB_DCHECK(src >= 0 && src < partitions_, "bad src partition %d", src);
+  PSOODB_DCHECK(dest >= 0 && dest < partitions_, "bad dest partition %d",
+                dest);
+  // The conservative-window safety invariant: arrivals never land inside the
+  // running window. Holds whenever every cross-partition latency is >= the
+  // lookahead (floating-point safe: round-to-nearest is monotone, so
+  // depart >= T_min and latency >= L imply fl(depart + latency) >=
+  // fl(T_min + L) == window_end_).
+  PSOODB_CHECK(at >= window_end_,
+               "cross-partition delivery at %g lands inside the current "
+               "window (end %g) — lookahead exceeds the actual link latency",
+               at, window_end_);
+  std::vector<Msg>& box = Outbox(src, dest, cur_parity_);
+  box.push_back(Msg{at, src, static_cast<std::uint32_t>(box.size()),
+                    std::move(fn)});
+  const std::size_t slot = OutboxSlot(src, dest, cur_parity_);
+  if (at < outbox_min_[slot]) outbox_min_[slot] = at;
+}
+
+bool ShardGroup::NextEventTime(SimTime* at) {
+  bool any = false;
+  SimTime best = 0.0;
+  for (auto& sim : sims_) {
+    SimTime t;
+    if (sim->PeekNextEventTime(&t) && (!any || t < best)) {
+      any = true;
+      best = t;
+    }
+  }
+  // Cross-partition messages parked in outboxes (merged into the
+  // destination heap only at the next window start) are pending events too.
+  for (SimTime t : outbox_min_) {
+    if (t < std::numeric_limits<SimTime>::infinity() && (!any || t < best)) {
+      any = true;
+      best = t;
+    }
+  }
+  if (any) *at = best;
+  return any;
+}
+
+void ShardGroup::MergeInbox(int dest) {
+  // Drains the *previous* window's buffers (the senders flipped away from
+  // them at the barrier, so they are quiescent). Gather every sender's
+  // outbox and sort by (arrival, src, emission order) — per-sender arrivals
+  // are already emission-ordered, but the sort keeps the invariant even if
+  // a future transport reorders. Scheduling in sorted order plus the heap's
+  // FIFO tie-break makes the merged order a pure function of the
+  // per-partition schedules (thread-count independent).
+  const int parity = 1 - cur_parity_;
+  std::vector<Msg*> merged;
+  for (int src = 0; src < partitions_; ++src) {
+    for (Msg& m : Outbox(src, dest, parity)) merged.push_back(&m);
+  }
+  if (merged.empty()) return;
+  std::sort(merged.begin(), merged.end(), [](const Msg* a, const Msg* b) {
+    if (a->at != b->at) return a->at < b->at;
+    if (a->src != b->src) return a->src < b->src;
+    return a->seq < b->seq;
+  });
+  Simulation& sim = *sims_[static_cast<std::size_t>(dest)];
+  for (Msg* m : merged) sim.ScheduleCallback(m->at, std::move(m->fn));
+  for (int src = 0; src < partitions_; ++src) {
+    Outbox(src, dest, parity).clear();
+    outbox_min_[OutboxSlot(src, dest, parity)] =
+        std::numeric_limits<SimTime>::infinity();
+  }
+}
+
+void ShardGroup::SerialPhase() {
+  const auto serial_t0 = std::chrono::steady_clock::now();  // det-ok: serial-phase accounting for speedup reporting; never feeds the simulation
+  struct SerialTimer {
+    ShardGroup* g;
+    std::chrono::steady_clock::time_point t0;  // det-ok: serial-phase accounting for speedup reporting; never feeds the simulation
+    ~SerialTimer() {
+      g->serial_seconds_ +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)  // det-ok: serial-phase accounting for speedup reporting; never feeds the simulation
+              .count();
+    }
+  } timer{this, serial_t0};
+
+  // Cross-partition deliveries stay parked in their outboxes here; each
+  // destination's worker merges them at the start of the next window
+  // (MergeInbox), in parallel. The hook and the window computation see them
+  // through NextEventTime's outbox-minimum scan.
+  ++windows_;
+
+  // 1. Caller coordination (warmup/measurement state machine, cross-
+  // partition deadlock detection, trace merging). May inject events, but
+  // only at t >= window_end().
+  if (*hook_ != nullptr && (*hook_)(*this)) {
+    done_ = true;
+    return;
+  }
+
+  // 2. Next window. All heaps and outboxes empty after the drain means no
+  // partition can ever make progress again: stall.
+  SimTime t_min;
+  if (!NextEventTime(&t_min)) {
+    stalled_ = true;
+    done_ = true;
+    return;
+  }
+  window_end_ = t_min + lookahead_;
+
+  // 3. Flip the outbox parity: everything posted up to here (workers during
+  // the window, the hook just now) becomes the quiescent buffer the next
+  // window's MergeInbox calls drain.
+  cur_parity_ = 1 - cur_parity_;
+}
+
+void ShardGroup::WorkerLoop(int worker) {
+  for (;;) {
+    for (int p = worker; p < partitions_; p += threads_) {
+      const auto t0 = std::chrono::steady_clock::now();  // det-ok: busy-time accounting for speedup reporting; never feeds the simulation
+      MergeInbox(p);
+      sims_[static_cast<std::size_t>(p)]->RunEventsBefore(window_end_);
+      busy_[static_cast<std::size_t>(p)].s +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)  // det-ok: busy-time accounting for speedup reporting; never feeds the simulation
+              .count();
+    }
+    barrier_->arrive_and_wait();  // completion function == SerialPhase()
+    if (done_) return;
+  }
+}
+
+ShardGroup::RunResult ShardGroup::Run(const SerialHook& hook) {
+  hook_ = &hook;
+  done_ = false;
+  stalled_ = false;
+  const std::uint64_t events_before = TotalEvents();
+  const std::uint64_t windows_before = windows_;
+
+  // Deliver anything still parked in the outboxes by a previous Run that
+  // stopped mid-stream (both parities; we are serial here, so draining the
+  // current buffer is safe too).
+  for (int round = 0; round < 2; ++round) {
+    for (int p = 0; p < partitions_; ++p) MergeInbox(p);
+    cur_parity_ = 1 - cur_parity_;
+  }
+
+  SimTime t_min;
+  if (!NextEventTime(&t_min)) {
+    stalled_ = true;
+  } else {
+    window_end_ = t_min + lookahead_;
+    barrier_.emplace(threads_, Completion{this});
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(threads_ - 1));
+    for (int w = 1; w < threads_; ++w) {
+      workers.emplace_back([this, w] { WorkerLoop(w); });
+    }
+    WorkerLoop(0);
+    for (std::thread& t : workers) t.join();
+    barrier_.reset();
+  }
+
+  hook_ = nullptr;
+  return RunResult{TotalEvents() - events_before, windows_ - windows_before,
+                   stalled_};
+}
+
+SimTime ShardGroup::GlobalNow() const {
+  SimTime t = 0.0;
+  for (const auto& sim : sims_) t = std::max(t, sim->now());
+  return t;
+}
+
+std::uint64_t ShardGroup::TotalEvents() const {
+  std::uint64_t n = 0;
+  for (const auto& sim : sims_) n += sim->events_processed();
+  return n;
+}
+
+}  // namespace psoodb::sim

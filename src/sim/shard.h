@@ -1,0 +1,201 @@
+/// \file shard.h
+/// Deterministic intra-run parallel simulation: a ShardGroup partitions one
+/// discrete-event simulation into P independent `Simulation` instances (one
+/// per server partition, clients grouped with their home server) and runs
+/// them on K worker threads under conservative time windows.
+///
+/// Synchronization model (see docs/SIMULATOR.md "Parallel execution"):
+///
+///  - Every partition owns a private event heap and clock. Within a window,
+///    each partition runs strictly sequentially on one worker thread and
+///    processes every local event with `t < W`, including events it
+///    schedules for itself during the window.
+///  - `W = T_min + L`, where `T_min` is the minimum next-event time over all
+///    partition heaps and `L` (the *lookahead*) is a lower bound on the
+///    cross-partition network latency. Any event processed in the window has
+///    `t >= T_min`, so a cross-partition message it sends arrives at
+///    `t + latency >= T_min + L = W` — never inside the current window.
+///    Cross-partition deliveries therefore never need to interrupt a
+///    running window, which is what makes the windows safe.
+///  - Cross-partition messages are not scheduled directly into the remote
+///    heap (that would race). They are appended to a per-(src, dest) outbox
+///    — written only by src's worker thread, so unsynchronized — and merged
+///    into the destination heap at the start of the next window by the
+///    worker that owns the destination, in exact
+///    `(arrival time, src partition, emission order)` order. The merge for
+///    destination p touches only p's heap and the (src, p) outboxes, so the
+///    per-destination merges are independent; the barrier orders them
+///    against the senders' outbox writes. Together with the event heap's
+///    FIFO tie-break at equal timestamps this makes the merged schedule a
+///    pure function of the per-partition schedules: results are
+///    byte-identical for any worker-thread count, including 1.
+///  - The barrier's completion function is the *serial phase*: it runs a
+///    caller-supplied hook (warmup/measurement state machine, cross-
+///    partition deadlock detection, trace merging) and computes the next
+///    window, taking pending outbox arrivals into account via per-outbox
+///    minimum-arrival registers. `std::barrier` gives the happens-before
+///    edges: every worker's window writes are visible to the serial phase,
+///    and its writes (window_end_) to every worker.
+///
+/// Progress: after a window every heap's next event is `>= W` (locals below
+/// `W` were drained, cross arrivals are `>= W`), so successive windows
+/// advance the front by at least `L`. The serial-phase hook may inject
+/// events, but only at `t >= window_end()` — injecting earlier could send a
+/// cross-partition message into a partition whose clock already passed the
+/// arrival time. `Post` and the scheduling CHECKs enforce this.
+
+#ifndef PSOODB_SIM_SHARD_H_
+#define PSOODB_SIM_SHARD_H_
+
+#include <barrier>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "sim/event_heap.h"
+#include "sim/simulation.h"
+
+namespace psoodb::sim {
+
+class ShardGroup {
+ public:
+  /// Serial-phase hook: runs at every window barrier, after cross-partition
+  /// deliveries are merged, while all worker threads are parked. It may
+  /// inspect and mutate any partition, but may only schedule new events at
+  /// `t >= window_end()`. Returns true to stop the run.
+  using SerialHook = std::function<bool(ShardGroup&)>;
+
+  /// `partitions` >= 1 simulations; `threads` worker threads (clamped to
+  /// [1, partitions]); `lookahead` > 0 seconds, a lower bound on every
+  /// cross-partition delivery latency.
+  ShardGroup(int partitions, int threads, double lookahead);
+  ShardGroup(const ShardGroup&) = delete;
+  ShardGroup& operator=(const ShardGroup&) = delete;
+
+  int partitions() const { return partitions_; }
+  int threads() const { return threads_; }
+  double lookahead() const { return lookahead_; }
+  Simulation& sim(int p) { return *sims_[static_cast<std::size_t>(p)]; }
+
+  /// Cross-partition delivery: runs `fn` in partition `dest` at absolute
+  /// time `at`. Must be called from the worker thread currently executing
+  /// partition `src` (or from the serial phase), with `at >= window_end()`.
+  void Post(int src, int dest, SimTime at, InlineFunction fn);
+
+  struct RunResult {
+    std::uint64_t events = 0;   ///< events processed, summed over partitions
+    std::uint64_t windows = 0;  ///< conservative windows executed
+    bool stalled = false;       ///< stopped because every queue drained
+  };
+
+  /// Runs windows until the hook returns true or every partition stalls.
+  /// Deterministic: the complete event order (and thus every result) is
+  /// independent of `threads`.
+  RunResult Run(const SerialHook& hook);
+
+  /// End of the current (or, inside the serial phase, the just-finished)
+  /// window — the earliest time at which the hook may inject events.
+  SimTime window_end() const { return window_end_; }
+
+  /// The global virtual clock: max over partition clocks. Deterministic
+  /// because each partition clock is.
+  SimTime GlobalNow() const;
+
+  /// Events processed so far, summed over partitions (monotone across Runs).
+  std::uint64_t TotalEvents() const;
+
+  // --- Wall-clock accounting (reporting only; never feeds the simulation,
+  // so determinism is unaffected) -----------------------------------------
+  // On a host with fewer cores than partitions, wall-clock speedup cannot
+  // be observed directly; these let callers do critical-path analysis:
+  // projected T(P) ~= serial_seconds + max_p busy_seconds(p).
+
+  /// Wall seconds spent executing partition `p`'s events, summed over
+  /// windows (regardless of which worker thread ran it).
+  double busy_seconds(int p) const {
+    return busy_[static_cast<std::size_t>(p)].s;
+  }
+  /// Wall seconds spent in the serial phase (merge + hook + next window).
+  double serial_seconds() const { return serial_seconds_; }
+
+ private:
+  struct Msg {
+    SimTime at;
+    int src;
+    std::uint32_t seq;  ///< emission order within (src, dest), for the sort
+    InlineFunction fn;
+  };
+
+  struct Completion {
+    ShardGroup* group;
+    void operator()() noexcept { group->SerialPhase(); }
+  };
+
+  std::size_t OutboxSlot(int src, int dest, int parity) const {
+    return (static_cast<std::size_t>(src) *
+                static_cast<std::size_t>(partitions_) +
+            static_cast<std::size_t>(dest)) *
+               2 +
+           static_cast<std::size_t>(parity);
+  }
+  std::vector<Msg>& Outbox(int src, int dest, int parity) {
+    return outbox_[OutboxSlot(src, dest, parity)];
+  }
+
+  void WorkerLoop(int worker);
+  void SerialPhase();
+  /// Drains every (src, dest) outbox into dest's heap in merged order.
+  /// Touches only dest's state, so concurrent calls for distinct dest are
+  /// safe; the caller must hold a barrier-ordered view of the outboxes.
+  void MergeInbox(int dest);
+
+ public:
+  /// Min next-event time over all partitions; false if every heap is empty.
+  /// Safe to call from the serial-phase hook (e.g. to detect that the run
+  /// will stall unless the hook injects work).
+  bool NextEventTime(SimTime* at);
+
+ private:
+
+  const int partitions_;
+  const int threads_;
+  const double lookahead_;
+  std::vector<std::unique_ptr<Simulation>> sims_;
+  /// Double-buffered by window parity: (src * P + dest) * 2 + parity.
+  /// Post writes the *current* parity (only src's worker touches it);
+  /// MergeInbox drains the *previous* parity at the next window start.
+  /// Merging the current parity instead would race: dest's owner could read
+  /// an outbox another worker is still appending to in the same window. The
+  /// parity split plus the barrier between the windows makes every drained
+  /// buffer quiescent.
+  std::vector<std::vector<Msg>> outbox_;
+  /// Earliest pending arrival per outbox buffer, same indexing (+inf when
+  /// empty). Written under the same single-writer rules as the buffers;
+  /// read by the serial phase to compute the next window without touching
+  /// the message payloads.
+  std::vector<SimTime> outbox_min_;
+  /// Parity Post writes this window; flipped at the end of each serial
+  /// phase, so MergeInbox drains `1 - cur_parity_`.
+  int cur_parity_ = 0;
+  /// Cache-line padded so concurrent per-partition accumulation does not
+  /// perturb the times it measures.
+  struct alignas(64) BusyTime {
+    double s = 0.0;
+  };
+  std::vector<BusyTime> busy_;
+  double serial_seconds_ = 0.0;
+  std::optional<std::barrier<Completion>> barrier_;
+  const SerialHook* hook_ = nullptr;
+  SimTime window_end_ = 0.0;
+  std::uint64_t windows_ = 0;
+  bool done_ = false;
+  bool stalled_ = false;
+};
+
+}  // namespace psoodb::sim
+
+#endif  // PSOODB_SIM_SHARD_H_

@@ -50,6 +50,16 @@ std::uint64_t Simulation::Run(std::uint64_t max_events) {
   return n;
 }
 
+std::uint64_t Simulation::RunEventsBefore(SimTime limit) {
+  std::uint64_t n = 0;
+  SimTime at;
+  while (heap_.PeekLiveTime(&at) && at < limit) {
+    Step();
+    ++n;
+  }
+  return n;
+}
+
 void Simulation::RunUntil(SimTime t) {
   SimTime at;
   while (heap_.PeekLiveTime(&at)) {

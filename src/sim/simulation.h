@@ -93,6 +93,16 @@ class Simulation {
   /// The clock is advanced to `t` even if the queue drains early.
   void RunUntil(SimTime t);
 
+  /// Runs every event strictly before `limit` (events at exactly `limit` do
+  /// NOT fire) and returns the number processed. Unlike RunUntil, the clock
+  /// is left at the last fired event — conservative parallel windows
+  /// (sim/shard.h) need now() to stay a real event time so newly scheduled
+  /// work is never forced forward to the window edge.
+  std::uint64_t RunEventsBefore(SimTime limit);
+
+  /// Time of the earliest pending event, or false if the queue is empty.
+  bool PeekNextEventTime(SimTime* at) { return heap_.PeekLiveTime(at); }
+
   /// Total number of events processed so far.
   std::uint64_t events_processed() const { return events_processed_; }
 

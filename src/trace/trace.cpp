@@ -82,7 +82,30 @@ void Tracer::EmitSpan(double t0, double dur, EventKind kind, int node,
 }
 
 void Tracer::Attribute(std::uint64_t txn, Phase p, double dt) {
+  if (partitions_ > 1) {
+    // Striding txn ids make `txn % partitions` the home partition. A remote
+    // server attributing to a visiting transaction buffers the delta; the
+    // serial phase moves it to the home tracer before the client can read
+    // it (the attribution completes before the reply send in the same
+    // window, the buffer drains at that window's barrier, and the reply
+    // arrives no earlier than the next window).
+    const int home = static_cast<int>(txn % static_cast<std::uint64_t>(
+                                                partitions_));
+    if (home != partition_) {
+      pending_remote_[static_cast<std::size_t>(home)].push_back(
+          RemoteAttribution{txn, p, dt});
+      return;
+    }
+  }
   txn_phases_[txn].Add(p, dt);
+}
+
+void Tracer::DrainRemoteAttributions(int home, Tracer& dest) {
+  auto& pending = pending_remote_[static_cast<std::size_t>(home)];
+  for (const RemoteAttribution& r : pending) {
+    dest.txn_phases_[r.txn].Add(r.phase, r.dt);
+  }
+  pending.clear();
 }
 
 double Tracer::ServerAttributed(std::uint64_t txn) const {
@@ -142,20 +165,32 @@ std::vector<Event> Tracer::Events() const {
   return out;
 }
 
-std::string Tracer::SerializeJsonl(const TraceMeta& meta) const {
-  const std::vector<Event> events = Events();
+namespace {
+
+/// Everything the sinks render, decoupled from Tracer members so the
+/// single-tracer and merged-partition paths share one formatter.
+struct SinkData {
+  std::vector<Event> events;
+  std::uint64_t dropped = 0;
+  std::int32_t page_filter = -1;
+  std::uint64_t commits = 0;
+  std::uint64_t violations = 0;
+  double phase_totals[kNumPhases] = {};
+};
+
+std::string RenderJsonl(const TraceMeta& meta, const SinkData& d) {
   std::string out;
-  out.reserve(events.size() * 96 + 512);
+  out.reserve(d.events.size() * 96 + 512);
   Appendf(out,
           "{\"psoodb_trace\":1,\"protocol\":\"%s\",\"clients\":%d,"
           "\"servers\":%d,\"seed\":%llu,\"events\":%llu,\"dropped\":%llu,"
           "\"page_filter\":%ld}\n",
           meta.protocol.c_str(), meta.num_clients, meta.num_servers,
           static_cast<unsigned long long>(meta.seed),
-          static_cast<unsigned long long>(events.size()),
-          static_cast<unsigned long long>(dropped_),
-          static_cast<long>(page_filter_));
-  for (const Event& e : events) {
+          static_cast<unsigned long long>(d.events.size()),
+          static_cast<unsigned long long>(d.dropped),
+          static_cast<long>(d.page_filter));
+  for (const Event& e : d.events) {
     Appendf(out,
             "{\"t\":%.9f,\"k\":\"%s\",\"node\":%d,\"txn\":%llu,\"page\":%d,"
             "\"a\":%lld,\"b\":%lld,\"aux\":%d,\"dur\":%.9f,\"seq\":%llu}\n",
@@ -167,23 +202,34 @@ std::string Tracer::SerializeJsonl(const TraceMeta& meta) const {
   }
   Appendf(out,
           "{\"summary\":1,\"commits\":%llu,\"violations\":%llu,\"phases\":{",
-          static_cast<unsigned long long>(commits_),
-          static_cast<unsigned long long>(violations_));
+          static_cast<unsigned long long>(d.commits),
+          static_cast<unsigned long long>(d.violations));
   for (int p = 0; p < kNumPhases; ++p) {
     Appendf(out, "%s\"%s\":%.9f", p == 0 ? "" : ",", PhaseName(p),
-            phase_totals_[p]);
+            d.phase_totals[p]);
   }
   out += "}}\n";
   return out;
 }
 
-std::string Tracer::SerializeChrome(const TraceMeta& meta) const {
-  std::vector<Event> events = Events();
-  std::stable_sort(events.begin(), events.end(),
-                   [](const Event& x, const Event& y) {
-                     if (x.t != y.t) return x.t < y.t;
-                     return x.seq < y.seq;
-                   });
+}  // namespace
+
+std::string Tracer::SerializeJsonl(const TraceMeta& meta) const {
+  SinkData d;
+  d.events = Events();
+  d.dropped = dropped_;
+  d.page_filter = page_filter_;
+  d.commits = commits_;
+  d.violations = violations_;
+  for (int p = 0; p < kNumPhases; ++p) d.phase_totals[p] = phase_totals_[p];
+  return RenderJsonl(meta, d);
+}
+
+namespace {
+
+/// `events` must already be sorted by (t, seq).
+std::string RenderChrome(const TraceMeta& meta,
+                         const std::vector<Event>& events) {
   // Name each track once; std::map keeps the metadata block ordered by tid.
   std::map<int, std::string> tracks;
   for (const Event& e : events) {
@@ -242,6 +288,75 @@ std::string Tracer::SerializeChrome(const TraceMeta& meta) const {
   }
   out += "\n]}\n";
   return out;
+}
+
+/// Merges per-partition rings into one event list sorted by (t, partition,
+/// per-partition seq) and renumbers seq in merged order. The partition
+/// index breaks same-timestamp ties between rings, so the result is a pure
+/// function of the per-partition traces (thread-count independent).
+std::vector<Event> MergePartitionEvents(const std::vector<Tracer*>& parts) {
+  struct Tagged {
+    Event e;
+    int part;
+  };
+  std::vector<Tagged> all;
+  for (std::size_t p = 0; p < parts.size(); ++p) {
+    for (const Event& e : parts[p]->Events()) {
+      all.push_back(Tagged{e, static_cast<int>(p)});
+    }
+  }
+  std::sort(all.begin(), all.end(), [](const Tagged& x, const Tagged& y) {
+    if (x.e.t != y.e.t) return x.e.t < y.e.t;
+    if (x.part != y.part) return x.part < y.part;
+    return x.e.seq < y.e.seq;
+  });
+  std::vector<Event> out;
+  out.reserve(all.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    out.push_back(all[i].e);
+    out.back().seq = i;
+  }
+  return out;
+}
+
+/// Aggregates summed in partition order (fixed order: the phase totals are
+/// floating-point sums).
+SinkData MergePartitionData(const std::vector<Tracer*>& parts) {
+  SinkData d;
+  d.events = MergePartitionEvents(parts);
+  for (const Tracer* t : parts) {
+    d.dropped += t->events_dropped();
+    d.commits += t->commits();
+    d.violations += t->violations();
+    for (int p = 0; p < kNumPhases; ++p) {
+      d.phase_totals[p] += t->phase_totals()[p];
+    }
+  }
+  return d;
+}
+
+}  // namespace
+
+std::string Tracer::SerializeChrome(const TraceMeta& meta) const {
+  std::vector<Event> events = Events();
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& x, const Event& y) {
+                     if (x.t != y.t) return x.t < y.t;
+                     return x.seq < y.seq;
+                   });
+  return RenderChrome(meta, events);
+}
+
+std::string Tracer::SerializeJsonlMerged(const std::vector<Tracer*>& parts,
+                                         const TraceMeta& meta) {
+  SinkData d = MergePartitionData(parts);
+  d.page_filter = parts.empty() ? -1 : parts.front()->page_filter_;
+  return RenderJsonl(meta, d);
+}
+
+std::string Tracer::SerializeChromeMerged(const std::vector<Tracer*>& parts,
+                                          const TraceMeta& meta) {
+  return RenderChrome(meta, MergePartitionEvents(parts));
 }
 
 }  // namespace psoodb::trace

@@ -124,6 +124,26 @@ class Tracer {
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
 
+  /// Partitioned runs (sim/shard.h) create one Tracer per partition and
+  /// call this once before the run. `partition` is this tracer's index.
+  /// Attributions to transactions homed elsewhere (home = txn % partitions,
+  /// by construction of the striding txn ids) are buffered and moved to the
+  /// home tracer at window barriers via DrainRemoteAttributions — the
+  /// buffers are written only by this partition's worker thread, the drain
+  /// runs only in the serial phase, and the drain order (source partition,
+  /// then emission order) is fixed, so the floating-point phase sums are
+  /// identical for every worker-thread count.
+  void ConfigurePartition(int partition, int partitions) {
+    partition_ = partition;
+    partitions_ = partitions;
+    pending_remote_.resize(static_cast<std::size_t>(partitions));
+  }
+
+  /// Serial-phase only: moves everything this tracer attributed to
+  /// partition `home`'s transactions into `dest` (the home tracer), in
+  /// emission order.
+  void DrainRemoteAttributions(int home, Tracer& dest);
+
   double now() const { return sim_.now(); }
 
   /// Records an instant event (dur = 0) at now().
@@ -186,6 +206,14 @@ class Tracer {
   /// tracks are pid 1 with tid = client id + 1 or 1000 + server index + 1.
   std::string SerializeChrome(const TraceMeta& meta) const;
 
+  /// Merged sinks for partitioned runs: events from every partition sorted
+  /// by (t, partition, per-partition seq) and renumbered, aggregates summed
+  /// in partition order. Deterministic for any worker-thread count.
+  static std::string SerializeJsonlMerged(const std::vector<Tracer*>& parts,
+                                          const TraceMeta& meta);
+  static std::string SerializeChromeMerged(const std::vector<Tracer*>& parts,
+                                           const TraceMeta& meta);
+
  private:
   sim::Simulation& sim_;
   std::size_t capacity_;
@@ -202,6 +230,18 @@ class Tracer {
   double phase_totals_[kNumPhases] = {};
   std::uint64_t commits_ = 0;
   std::uint64_t violations_ = 0;
+
+  // --- partitioned runs only (see ConfigurePartition) -------------------
+  struct RemoteAttribution {
+    std::uint64_t txn;
+    Phase phase;
+    double dt;
+  };
+  int partition_ = 0;
+  int partitions_ = 1;
+  /// pending_remote_[home]: attributions to remote-homed transactions, in
+  /// emission order, awaiting the next barrier drain.
+  std::vector<std::vector<RemoteAttribution>> pending_remote_;
 };
 
 /// RAII phase attribution for one interval in a coroutine: captures now()

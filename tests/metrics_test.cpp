@@ -176,6 +176,22 @@ TEST(HistogramTest, UnderflowAndOverflowAreClamped) {
   EXPECT_DOUBLE_EQ(h.Percentile(0.0), -1.0);
 }
 
+TEST(HistogramTest, OutOfRangePercentileIsCaught) {
+  metrics::Histogram h;
+  h.Add(1.0);
+#if !defined(NDEBUG) || defined(PSOODB_DCHECK_ON)
+  // Debug builds trap the caller bug at the call site.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(h.Percentile(1.5), "outside \\[0,1\\]");
+  EXPECT_DEATH(h.Percentile(-0.1), "outside \\[0,1\\]");
+#else
+  // Release builds clamp into [0, 1]; NaN maps to p = 0.
+  EXPECT_DOUBLE_EQ(h.Percentile(1.5), h.Percentile(1.0));
+  EXPECT_DOUBLE_EQ(h.Percentile(-0.1), h.Percentile(0.0));
+  EXPECT_DOUBLE_EQ(h.Percentile(std::nan("")), h.Percentile(0.0));
+#endif
+}
+
 TEST(HistogramTest, MergeMatchesCombinedStream) {
   metrics::Histogram a, b, all;
   for (int i = 1; i <= 100; ++i) {

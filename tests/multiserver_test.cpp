@@ -49,6 +49,50 @@ TEST(PartitionTest, ServerOfPageCoversAllPagesContiguously) {
   EXPECT_EQ(sys.ServerOfPage(sys.db_pages - 1), sys.num_servers - 1);
 }
 
+TEST(PartitionTest, NonDivisiblePageCountSplitsConsistently) {
+  // 1250 pages over 4 servers does not divide evenly: ceil-div gives
+  // 313/313/313/311. ServerPageRange, PagesOwnedByServer and ServerOfPage
+  // must all agree on the same tiling, and the buffer split must be
+  // proportional to owned pages, not an even split.
+  SystemParams sys;
+  sys.db_pages = 1250;
+  sys.num_servers = 4;
+  int total_owned = 0;
+  for (int s = 0; s < sys.num_servers; ++s) {
+    const auto [first, last] = sys.ServerPageRange(s);
+    EXPECT_EQ(sys.PagesOwnedByServer(s), last - first);
+    total_owned += sys.PagesOwnedByServer(s);
+    for (storage::PageId p = first; p < last; ++p) {
+      ASSERT_EQ(sys.ServerOfPage(p), s) << "page " << p;
+    }
+  }
+  EXPECT_EQ(total_owned, sys.db_pages);
+  EXPECT_EQ(sys.PagesOwnedByServer(0), 313);
+  EXPECT_EQ(sys.PagesOwnedByServer(3), 311);
+  // Proportional buffer split: every server gets at least one frame, the sum
+  // never exceeds the configured pool, and the short last partition gets no
+  // more frames than the full-sized ones.
+  int total_buf = 0;
+  for (int s = 0; s < sys.num_servers; ++s) {
+    EXPECT_GE(sys.ServerBufPagesFor(s), 1);
+    total_buf += sys.ServerBufPagesFor(s);
+  }
+  EXPECT_LE(total_buf, sys.server_buf_pages());
+  EXPECT_LE(sys.ServerBufPagesFor(3), sys.ServerBufPagesFor(0));
+}
+
+TEST(MultiServerTest, NonDivisiblePageCountRunsHealthy) {
+  SystemParams sys;
+  sys.db_pages = 1250;
+  sys.num_servers = 4;  // 313/313/313/311 page tiling
+  sys.num_clients = 8;
+  sys.invariant_checks = true;
+  sys.invariant_failfast = true;
+  auto w = config::MakeUniform(sys, Locality::kLow, 0.2);
+  ExpectHealthy(RunSimulation(Protocol::kPSAA, sys, w, Quick()),
+                "PS-AA 1250 pages / 4 servers");
+}
+
 class MultiServerCorrectness
     : public ::testing::TestWithParam<std::pair<Protocol, int>> {};
 

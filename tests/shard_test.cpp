@@ -1,0 +1,260 @@
+// Tests for the partitioned (intra-run parallel) simulator: the ShardGroup
+// kernel's deterministic cross-partition merge, and full-System byte
+// determinism across worker-thread counts — the central claim of
+// sim/shard.h is that a partitioned run at any sim_shards >= 1 produces
+// byte-identical results.
+
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "config/params.h"
+#include "core/system.h"
+#include "sim/shard.h"
+#include "sim/simulation.h"
+
+namespace {
+
+using psoodb::sim::ShardGroup;
+using psoodb::sim::SimTime;
+using psoodb::sim::Simulation;
+
+// --- ShardGroup model check -------------------------------------------------
+//
+// A synthetic workload drives both the sharded kernel (cross-partition sends
+// through the window-barrier mailbox) and a plain single-heap reference
+// simulation (cross-"partition" sends scheduled directly). The per-partition
+// event logs must match exactly: the conservative windows and the mailbox
+// merge may not reorder, drop, or duplicate anything.
+
+constexpr int kP = 3;
+constexpr double kLookahead = 1e-3;
+constexpr int kTicks = 40;
+
+struct Entry {
+  double t;
+  int tag;
+  bool operator==(const Entry& o) const { return t == o.t && tag == o.tag; }
+};
+
+struct Harness {
+  std::vector<std::vector<Entry>> logs;
+  std::function<Simulation&(int)> sim_of;
+  std::function<void(int src, int dest, SimTime at, int tag)> post;
+
+  void Tick(int p, int k) {
+    Simulation& s = sim_of(p);
+    logs[static_cast<std::size_t>(p)].push_back({s.now(), p * 1000 + k});
+    // Cross-partition send, arriving 1.7 lookaheads out (>= the lookahead,
+    // as the conservative contract requires).
+    post(p, (p + 1) % kP, s.now() + 1.7 * kLookahead, 10000 + p * 100 + k);
+    if (k + 1 < kTicks) {
+      // Local cadence below the lookahead, so windows hold several events.
+      s.ScheduleCallback(s.now() + 0.13e-3 * (p + 1),
+                         [this, p, k] { Tick(p, k + 1); });
+    }
+  }
+  void Arrive(int dest, int tag) {
+    logs[static_cast<std::size_t>(dest)].push_back(
+        {sim_of(dest).now(), tag});
+  }
+  void Seed() {
+    for (int p = 0; p < kP; ++p) {
+      sim_of(p).ScheduleCallback(0.05e-3 * p, [this, p] { Tick(p, 0); });
+    }
+  }
+};
+
+std::vector<std::vector<Entry>> RunSharded(int threads) {
+  ShardGroup g(kP, threads, kLookahead);
+  Harness h;
+  h.logs.resize(kP);
+  h.sim_of = [&g](int p) -> Simulation& { return g.sim(p); };
+  h.post = [&g, &h](int src, int dest, SimTime at, int tag) {
+    g.Post(src, dest, at,
+           psoodb::sim::InlineFunction([&h, dest, tag] { h.Arrive(dest, tag); }));
+  };
+  h.Seed();
+  const ShardGroup::RunResult rr = g.Run([](ShardGroup&) { return false; });
+  EXPECT_TRUE(rr.stalled);  // finite workload: runs dry
+  EXPECT_GT(rr.windows, 1u);
+  return h.logs;
+}
+
+std::vector<std::vector<Entry>> RunReference() {
+  Simulation sim;
+  Harness h;
+  h.logs.resize(kP);
+  h.sim_of = [&sim](int) -> Simulation& { return sim; };
+  h.post = [&sim, &h](int, int dest, SimTime at, int tag) {
+    sim.ScheduleCallback(at, [&h, dest, tag] { h.Arrive(dest, tag); });
+  };
+  h.Seed();
+  sim.Run(1'000'000);
+  return h.logs;
+}
+
+TEST(ShardGroup, MatchesSequentialReference) {
+  const auto sharded = RunSharded(kP);
+  const auto reference = RunReference();
+  ASSERT_EQ(sharded.size(), reference.size());
+  for (int p = 0; p < kP; ++p) {
+    EXPECT_EQ(sharded[static_cast<std::size_t>(p)],
+              reference[static_cast<std::size_t>(p)])
+        << "partition " << p << " event log diverged from the reference";
+  }
+}
+
+TEST(ShardGroup, DeterministicAcrossThreadCounts) {
+  const auto one = RunSharded(1);
+  const auto two = RunSharded(2);
+  const auto three = RunSharded(3);
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, three);
+}
+
+TEST(ShardGroup, PostRejectsDeliveryInsideWindow) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ShardGroup g(2, 1, kLookahead);
+  g.sim(0).ScheduleCallback(0.0, [] {});
+  // window_end_ is 0 before any Run; a delivery in the past must trip the
+  // lookahead-contract CHECK.
+  EXPECT_DEATH(g.Post(0, 1, -1.0, psoodb::sim::InlineFunction([] {})),
+               "lands inside the current window");
+}
+
+// --- Full-system determinism ------------------------------------------------
+
+using psoodb::config::Protocol;
+
+/// Every result field that could conceivably differ, formatted to full
+/// precision. Two runs are "byte-identical" iff these strings match.
+std::string Fingerprint(const psoodb::core::RunResult& r) {
+  char buf[2048];
+  std::snprintf(
+      buf, sizeof buf,
+      "tput=%.17g rt=%.17g+-%.17g sim_s=%.17g commits=%llu aborts=%llu "
+      "deadlocks=%llu msgs=%llu bytes=%llu lock_waits=%llu cache_hits=%llu "
+      "cache_misses=%llu disk_reads=%llu disk_writes=%llu merges=%llu "
+      "events=%llu cpu=%.17g disk=%.17g net=%.17g client_cpu=%.17g "
+      "p50=%.17g p99=%.17g lw_p99=%.17g violations=%llu stalled=%d",
+      r.throughput, r.response_time.mean, r.response_time.half_width,
+      r.sim_seconds, static_cast<unsigned long long>(r.counters.commits),
+      static_cast<unsigned long long>(r.counters.aborts),
+      static_cast<unsigned long long>(r.deadlocks),
+      static_cast<unsigned long long>(r.counters.msgs_total),
+      static_cast<unsigned long long>(r.counters.bytes_sent),
+      static_cast<unsigned long long>(r.counters.lock_waits),
+      static_cast<unsigned long long>(r.counters.cache_hits),
+      static_cast<unsigned long long>(r.counters.cache_misses),
+      static_cast<unsigned long long>(r.counters.disk_reads),
+      static_cast<unsigned long long>(r.counters.disk_writes),
+      static_cast<unsigned long long>(r.counters.merges),
+      static_cast<unsigned long long>(r.events), r.server_cpu_util,
+      r.disk_util, r.network_util, r.avg_client_cpu_util,
+      r.response_hist.Percentile(0.5), r.response_hist.Percentile(0.99),
+      r.lock_wait_hist.Percentile(0.99),
+      static_cast<unsigned long long>(r.counters.validity_violations),
+      r.stalled ? 1 : 0);
+  return buf;
+}
+
+psoodb::core::RunResult RunPartitioned(int shards, Protocol proto,
+                                       bool trace) {
+  psoodb::config::SystemParams sys;
+  sys.num_clients = 16;
+  sys.num_servers = 4;
+  sys.sim_shards = shards;
+  sys.trace = trace;
+  auto w = psoodb::config::MakeHotCold(sys, psoodb::config::Locality::kLow,
+                                       /*write_prob=*/0.2);
+  psoodb::core::RunConfig rc;
+  rc.warmup_commits = 50;
+  rc.measure_commits = 400;
+  rc.max_sim_seconds = 600;
+  return psoodb::core::RunSimulation(proto, sys, w, rc);
+}
+
+TEST(ShardedSystem, ByteIdenticalAcrossShardCounts) {
+  const auto r1 = RunPartitioned(1, Protocol::kPSAA, /*trace=*/true);
+  const auto r2 = RunPartitioned(2, Protocol::kPSAA, /*trace=*/true);
+  const auto r4 = RunPartitioned(4, Protocol::kPSAA, /*trace=*/true);
+  EXPECT_FALSE(r1.stalled);
+  EXPECT_GE(r1.measured_commits, 400u);
+  EXPECT_EQ(Fingerprint(r1), Fingerprint(r2));
+  EXPECT_EQ(Fingerprint(r1), Fingerprint(r4));
+  // The serialized traces must match byte for byte — including the per-txn
+  // phase decompositions, whose floating-point sums cross partitions.
+  EXPECT_EQ(r1.trace_jsonl, r2.trace_jsonl);
+  EXPECT_EQ(r1.trace_jsonl, r4.trace_jsonl);
+  EXPECT_EQ(r1.trace_chrome, r4.trace_chrome);
+  // Callback-locking validity and the trace sums-to-response invariant must
+  // hold across partition boundaries.
+  EXPECT_EQ(r1.counters.validity_violations, 0u);
+  EXPECT_EQ(r4.breakdown_violations, 0u);
+  EXPECT_GT(r4.breakdown_txns, 0u);
+}
+
+TEST(ShardedSystem, PageServerProtocolAlsoDeterministic) {
+  const auto r1 = RunPartitioned(1, Protocol::kPS, /*trace=*/false);
+  const auto r4 = RunPartitioned(4, Protocol::kPS, /*trace=*/false);
+  EXPECT_FALSE(r1.stalled);
+  EXPECT_EQ(Fingerprint(r1), Fingerprint(r4));
+}
+
+// --- Cross-partition deadlocks ----------------------------------------------
+//
+// Two clients homed on different partitions acquire the same two pages in
+// opposite order (AB-BA): every cycle spans both partitions' waits-for
+// graphs, so only the serial-phase union-graph coordinator can see it. The
+// run must make progress (victims are marked, woken and aborted) and the
+// deadlock count must be deterministic across shard counts.
+
+psoodb::core::RunResult RunAbba(int shards) {
+  psoodb::config::SystemParams sys;
+  sys.num_clients = 2;
+  sys.num_servers = 2;
+  sys.sim_shards = shards;
+  const int opp = sys.objects_per_page;
+  psoodb::config::WorkloadParams w;
+  w.name = "ABBA";
+  w.custom_max_pages = 2;
+  // Page 10 lives on server 0, page 700 on server 1 (db_pages=1250, ceil-div
+  // ranges [0,625) and [625,1250)).
+  const psoodb::storage::ObjectId a = 10 * opp;
+  const psoodb::storage::ObjectId b = 700 * opp;
+  w.custom_generator = [a, b](psoodb::storage::ClientId c, std::uint64_t) {
+    std::vector<psoodb::config::CustomAccess> ops;
+    if (c == 0) {
+      ops = {{a, true}, {b, true}};
+    } else {
+      ops = {{b, true}, {a, true}};
+    }
+    return ops;
+  };
+  psoodb::core::RunConfig rc;
+  rc.warmup_commits = 10;
+  rc.measure_commits = 60;
+  rc.max_sim_seconds = 600;
+  return psoodb::core::RunSimulation(Protocol::kPS, sys, w, rc);
+}
+
+TEST(ShardedSystem, CrossPartitionDeadlocksResolve) {
+  const auto r = RunAbba(2);
+  EXPECT_FALSE(r.stalled);
+  EXPECT_GE(r.measured_commits, 60u);
+  EXPECT_GT(r.deadlocks, 0u);
+  EXPECT_EQ(r.counters.validity_violations, 0u);
+}
+
+TEST(ShardedSystem, CrossPartitionDeadlocksDeterministic) {
+  const auto r1 = RunAbba(1);
+  const auto r2 = RunAbba(2);
+  EXPECT_EQ(Fingerprint(r1), Fingerprint(r2));
+}
+
+}  // namespace

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Regression tests for tools/perf_smoke's malformed-input handling.
+
+The CI perf gate must fail loudly — not vacuously pass — when a broken
+bench run writes an empty or malformed BENCH_kernel.json. Run directly or
+via ctest (registered as `perf_smoke_guard` in tests/CMakeLists.txt).
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TOOL = os.path.join(os.path.dirname(os.path.abspath(__file__)), "perf_smoke")
+
+
+def scenario(name, rate):
+    return {"name": name, "events_per_sec": rate, "events": 1000,
+            "wall_seconds": 0.1}
+
+
+def doc(scenarios):
+    return {"bench": "kernel", "schema_version": 1, "quick": False,
+            "repetitions": 3, "scenarios": scenarios}
+
+
+class PerfSmokeTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+
+    def tearDown(self):
+        self.tmp.cleanup()
+
+    def write(self, name, payload):
+        path = os.path.join(self.tmp.name, name)
+        with open(path, "w") as f:
+            json.dump(payload, f)
+        return path
+
+    def run_tool(self, current, baseline):
+        return subprocess.run(
+            [sys.executable, TOOL, current, baseline],
+            capture_output=True, text=True)
+
+    def test_ok_on_matching_scenarios(self):
+        cur = self.write("cur.json", doc([scenario("sched_churn", 1e6)]))
+        base = self.write("base.json", doc([scenario("sched_churn", 1e6)]))
+        r = self.run_tool(cur, base)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("perf-smoke: OK", r.stdout)
+
+    def test_fails_on_regression(self):
+        cur = self.write("cur.json", doc([scenario("sched_churn", 1e5)]))
+        base = self.write("base.json", doc([scenario("sched_churn", 1e6)]))
+        r = self.run_tool(cur, base)
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("REGRESSION", r.stdout)
+
+    def test_fails_on_empty_current_scenarios(self):
+        # The original bug: an empty current file produced zero comparisons
+        # and therefore a green exit.
+        cur = self.write("cur.json", doc([]))
+        base = self.write("base.json", doc([scenario("sched_churn", 1e6)]))
+        r = self.run_tool(cur, base)
+        self.assertNotEqual(r.returncode, 0)
+        self.assertIn("zero scenarios", r.stderr)
+
+    def test_fails_on_empty_baseline_scenarios(self):
+        cur = self.write("cur.json", doc([scenario("sched_churn", 1e6)]))
+        base = self.write("base.json", doc([]))
+        r = self.run_tool(cur, base)
+        self.assertNotEqual(r.returncode, 0)
+        self.assertIn("zero scenarios", r.stderr)
+
+    def test_fails_on_missing_scenarios_key(self):
+        cur = self.write("cur.json", {"bench": "kernel"})
+        base = self.write("base.json", doc([scenario("sched_churn", 1e6)]))
+        r = self.run_tool(cur, base)
+        self.assertNotEqual(r.returncode, 0)
+        self.assertIn("no 'scenarios' key", r.stderr)
+
+    def test_fails_on_scenario_missing_rate(self):
+        cur = self.write(
+            "cur.json",
+            doc([{"name": "sched_churn", "events": 7}]))
+        base = self.write("base.json", doc([scenario("sched_churn", 1e6)]))
+        r = self.run_tool(cur, base)
+        self.assertNotEqual(r.returncode, 0)
+        self.assertIn("events_per_sec", r.stderr)
+
+    def test_fails_on_disjoint_scenario_sets(self):
+        # Scenario renames on one side only: nothing is compared, which must
+        # be an error rather than a vacuous pass.
+        cur = self.write("cur.json", doc([scenario("new_name", 1e6)]))
+        base = self.write("base.json", doc([scenario("old_name", 1e6)]))
+        r = self.run_tool(cur, base)
+        self.assertNotEqual(r.returncode, 0)
+        self.assertIn("nothing was compared", r.stderr)
+
+    def test_one_sided_scenarios_are_not_failures(self):
+        # Adding a scenario without a lockstep baseline update stays green,
+        # as long as at least one scenario is actually compared.
+        cur = self.write("cur.json", doc([scenario("sched_churn", 1e6),
+                                          scenario("brand_new", 5e5)]))
+        base = self.write("base.json", doc([scenario("sched_churn", 1e6),
+                                            scenario("retired", 2e5)]))
+        r = self.run_tool(cur, base)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("new scenario", r.stdout)
+        self.assertIn("missing from current run", r.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()
