@@ -131,21 +131,18 @@ int main() {
                (r.events != base_events || r.measured_commits != base_commits)) {
       diverged = true;
     }
+    char sp[16];
+    if (shards == 0) {
+      std::snprintf(sp, sizeof sp, "(seq)");
+    } else {
+      std::snprintf(sp, sizeof sp, "%.2fx", base_wall / wall);
+    }
     std::printf(
         "%8d %10.2f %14llu %14.0f %10.0f %8s%s\n", shards, wall,
         static_cast<unsigned long long>(r.events),
         wall > 0 ? static_cast<double>(r.events) / wall : 0,
         r.sim_seconds > 0 ? static_cast<double>(r.events) / r.sim_seconds : 0,
-        [&] {
-          static char sp[16];
-          if (shards == 0) {
-            std::snprintf(sp, sizeof sp, "(seq)");
-          } else {
-            std::snprintf(sp, sizeof sp, "%.2fx", base_wall / wall);
-          }
-          return sp;
-        }(),
-        r.stalled ? "  [stalled!]" : "");
+        sp, r.stalled ? "  [stalled!]" : "");
     if (bench::EnvInt("PSOODB_BENCH_VERBOSE", 0) != 0) {
       std::printf("         tput=%.1f/s resp=%.3fs deadlocks=%llu "
                   "util cpu=%.2f disk=%.2f net=%.2f\n",

@@ -103,7 +103,9 @@ std::vector<std::vector<core::RunResult>> RunFigure(
   // run path touches shared mutable state — so jobs are submitted to the pool
   // and rows are collected (and printed) in deterministic sweep order as they
   // complete. Workloads are built on this thread: factories are not required
-  // to be thread-safe. `sys` and the workload are captured by value.
+  // to be thread-safe. `sys` and the workload are captured by value —
+  // psoodb-analyze's shard-escape check fails the build if a by-reference
+  // capture of partition state ever sneaks into a Submit here.
   util::ThreadPool pool(static_cast<std::size_t>(threads));
   std::vector<std::vector<std::future<core::RunResult>>> futures;
   futures.reserve(opt.write_probs.size());

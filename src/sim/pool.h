@@ -36,6 +36,8 @@
 #include <cstddef>
 #include <new>
 
+#include "util/annotations.h"
+
 #if defined(__SANITIZE_ADDRESS__)
 #define PSOODB_SIM_POOL_PASSTHROUGH 1
 #elif defined(__has_feature)
@@ -117,7 +119,7 @@ class FramePool {
   ChunkHeader* chunks_ = nullptr;
 };
 
-inline thread_local constinit FramePool t_frame_pool;
+inline thread_local constinit FramePool t_frame_pool PSOODB_PARTITION_LOCAL;
 
 inline void* PoolAlloc(std::size_t n) {
 #ifdef PSOODB_SIM_POOL_PASSTHROUGH

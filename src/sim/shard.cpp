@@ -203,4 +203,16 @@ std::uint64_t ShardGroup::TotalEvents() const {
   return n;
 }
 
+#if PSOODB_SEED_CONCURRENCY_BUGS
+// Seeded defect for analyzer_test: hands the destination partition a lambda
+// that mutates this partition's outboxes by reference — exactly the race the
+// parity double-buffering exists to prevent. Never compiled; the suppression
+// keeps the tree gate green while the test asserts the (suppressed)
+// shard-escape finding exists.
+void ShardGroup::SeedEscapeBugForAnalyzerTest(int src, int dest) {
+  Post(src, dest, window_end_,
+       InlineFunction([&] { outbox_.clear(); }));  // analyzer-ok(shard-escape): seeded test-only defect proving the check catches a cross-partition reference capture; block is never compiled
+}
+#endif
+
 }  // namespace psoodb::sim

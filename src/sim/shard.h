@@ -58,6 +58,7 @@
 
 #include "sim/event_heap.h"
 #include "sim/simulation.h"
+#include "util/annotations.h"
 
 namespace psoodb::sim {
 
@@ -148,6 +149,14 @@ class ShardGroup {
 
   void WorkerLoop(int worker);
   void SerialPhase();
+
+#if PSOODB_SEED_CONCURRENCY_BUGS
+  // Test-only seeded defect (never compiled — the flag is never defined).
+  // The analyzer still lexes this block, and tests/analyzer_test.cpp asserts
+  // the shard-escape check catches the by-reference capture crossing the
+  // partition boundary in the definition.
+  void SeedEscapeBugForAnalyzerTest(int src, int dest);
+#endif
   /// Drains every (src, dest) outbox into dest's heap in merged order.
   /// Touches only dest's state, so concurrent calls for distinct dest are
   /// safe; the caller must hold a barrier-ordered view of the outboxes.
@@ -164,7 +173,10 @@ class ShardGroup {
   const int partitions_;
   const int threads_;
   const double lookahead_;
-  std::vector<std::unique_ptr<Simulation>> sims_;
+  /// Partition-owned: element p is touched only by the worker currently
+  /// running partition p (or by the serial phase / hook, while workers are
+  /// parked at the barrier).
+  std::vector<std::unique_ptr<Simulation>> sims_ PSOODB_PARTITION_LOCAL;
   /// Double-buffered by window parity: (src * P + dest) * 2 + parity.
   /// Post writes the *current* parity (only src's worker touches it);
   /// MergeInbox drains the *previous* parity at the next window start.
@@ -172,28 +184,30 @@ class ShardGroup {
   /// an outbox another worker is still appending to in the same window. The
   /// parity split plus the barrier between the windows makes every drained
   /// buffer quiescent.
-  std::vector<std::vector<Msg>> outbox_;
+  std::vector<std::vector<Msg>> outbox_ PSOODB_PARTITION_LOCAL;
   /// Earliest pending arrival per outbox buffer, same indexing (+inf when
   /// empty). Written under the same single-writer rules as the buffers;
   /// read by the serial phase to compute the next window without touching
   /// the message payloads.
-  std::vector<SimTime> outbox_min_;
+  std::vector<SimTime> outbox_min_ PSOODB_PARTITION_LOCAL;
   /// Parity Post writes this window; flipped at the end of each serial
-  /// phase, so MergeInbox drains `1 - cur_parity_`.
-  int cur_parity_ = 0;
+  /// phase, so MergeInbox drains `1 - cur_parity_`. Written only in the
+  /// serial phase; the barrier publishes it to the workers.
+  int cur_parity_ PSOODB_SHARD_SHARED = 0;
   /// Cache-line padded so concurrent per-partition accumulation does not
   /// perturb the times it measures.
   struct alignas(64) BusyTime {
     double s = 0.0;
   };
-  std::vector<BusyTime> busy_;
-  double serial_seconds_ = 0.0;
-  std::optional<std::barrier<Completion>> barrier_;
-  const SerialHook* hook_ = nullptr;
-  SimTime window_end_ = 0.0;
-  std::uint64_t windows_ = 0;
-  bool done_ = false;
-  bool stalled_ = false;
+  std::vector<BusyTime> busy_ PSOODB_PARTITION_LOCAL;
+  /// Serial-phase-written, barrier-published group state.
+  double serial_seconds_ PSOODB_SHARD_SHARED = 0.0;
+  std::optional<std::barrier<Completion>> barrier_ PSOODB_SHARD_SHARED;
+  const SerialHook* hook_ PSOODB_SHARD_SHARED = nullptr;
+  SimTime window_end_ PSOODB_SHARD_SHARED = 0.0;
+  std::uint64_t windows_ PSOODB_SHARD_SHARED = 0;
+  bool done_ PSOODB_SHARD_SHARED = false;
+  bool stalled_ PSOODB_SHARD_SHARED = false;
 };
 
 }  // namespace psoodb::sim

@@ -19,6 +19,7 @@
 
 #include "sim/event_heap.h"
 #include "sim/task.h"
+#include "util/annotations.h"
 #include "util/check.h"
 
 namespace psoodb::sim {
@@ -132,13 +133,16 @@ class Simulation {
  private:
   static void FormatCheckContext(const void* arg, char* buf, int buflen);
 
-  SimTime now_ = 0.0;
-  std::uint64_t events_processed_ = 0;
-  EventHeap heap_;
+  // Under ShardGroup each Simulation is a partition: all four are touched
+  // only by the worker thread currently running this partition's window (or
+  // by the serial phase, while every worker is parked at the barrier).
+  SimTime now_ PSOODB_PARTITION_LOCAL = 0.0;
+  std::uint64_t events_processed_ PSOODB_PARTITION_LOCAL = 0;
+  EventHeap heap_ PSOODB_PARTITION_LOCAL;
   /// Head of the intrusive list of live detached root coroutines (owned;
   /// destroyed on teardown). Completing roots unlink themselves in their
   /// final awaiter — O(1), no container traffic on the per-spawn hot path.
-  detail::TaskPromise* roots_head_ = nullptr;
+  detail::TaskPromise* roots_head_ PSOODB_PARTITION_LOCAL = nullptr;
   /// Stamps check-failure reports with the simulated time and event count.
   util::CheckContext check_frame_{&FormatCheckContext, this};
 };

@@ -37,6 +37,7 @@
 
 #include "sim/simulation.h"
 #include "storage/types.h"
+#include "util/annotations.h"
 
 namespace psoodb::trace {
 
@@ -219,17 +220,22 @@ class Tracer {
   std::size_t capacity_;
   std::int32_t page_filter_;
 
-  std::vector<Event> ring_;
-  std::size_t ring_next_ = 0;  ///< next overwrite slot once ring_ is full
-  std::uint64_t seq_ = 0;
-  std::uint64_t dropped_ = 0;
+  // One Tracer serves one partition's Simulation: all mutable state below
+  // is touched only by that partition's worker (the static *Merged sinks
+  // run in the serial phase / after the run, when workers are quiescent).
+  std::vector<Event> ring_ PSOODB_PARTITION_LOCAL;
+  /// Next overwrite slot once ring_ is full.
+  std::size_t ring_next_ PSOODB_PARTITION_LOCAL = 0;
+  std::uint64_t seq_ PSOODB_PARTITION_LOCAL = 0;
+  std::uint64_t dropped_ PSOODB_PARTITION_LOCAL = 0;
 
   // Lookup/erase only — never iterated, so unordered is determinism-safe.
-  std::unordered_map<std::uint64_t, Breakdown> txn_phases_;
+  std::unordered_map<std::uint64_t, Breakdown> txn_phases_
+      PSOODB_PARTITION_LOCAL;
 
-  double phase_totals_[kNumPhases] = {};
-  std::uint64_t commits_ = 0;
-  std::uint64_t violations_ = 0;
+  double phase_totals_[kNumPhases] PSOODB_PARTITION_LOCAL = {};
+  std::uint64_t commits_ PSOODB_PARTITION_LOCAL = 0;
+  std::uint64_t violations_ PSOODB_PARTITION_LOCAL = 0;
 
   // --- partitioned runs only (see ConfigurePartition) -------------------
   struct RemoteAttribution {
@@ -241,7 +247,8 @@ class Tracer {
   int partitions_ = 1;
   /// pending_remote_[home]: attributions to remote-homed transactions, in
   /// emission order, awaiting the next barrier drain.
-  std::vector<std::vector<RemoteAttribution>> pending_remote_;
+  std::vector<std::vector<RemoteAttribution>> pending_remote_
+      PSOODB_PARTITION_LOCAL;
 };
 
 /// RAII phase attribution for one interval in a coroutine: captures now()

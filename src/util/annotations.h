@@ -1,0 +1,58 @@
+/// \file annotations.h
+/// Concurrency annotation vocabulary for the psoodb tree. Every macro here
+/// expands to nothing: the annotations cost zero at compile time and run
+/// time (simulation outputs are byte-identical with or without them). They
+/// exist for psoodb-analyze (tools/analyzer), whose symbol-index passes read
+/// them textually and enforce the contracts they declare — see
+/// docs/ANALYZER.md "Concurrency checks".
+///
+/// Vocabulary:
+///
+///   PSOODB_GUARDED_BY(mu)   on a data member: every read or write must
+///                           happen in a lexical scope that holds `mu`
+///                           (std::lock_guard/unique_lock/scoped_lock/
+///                           shared_lock, or manual mu.lock()...mu.unlock()).
+///                           Enforced by the `guarded-by` check.
+///
+///   PSOODB_REQUIRES(mu)     after a function's parameter list (before the
+///                           body or `;`): callers must already hold `mu`.
+///                           The analyzer seeds the function's own lock-set
+///                           with `mu` and flags call sites outside a scope
+///                           holding it, across translation units.
+///
+///   PSOODB_PARTITION_LOCAL  on a data member or variable: owned by exactly
+///                           one shard/worker at a time (ShardGroup
+///                           partition state, per-partition Simulation,
+///                           thread-local pools). References, pointers and
+///                           iterators into it must not be handed to another
+///                           thread — captured by a cross-partition Post,
+///                           submitted to a ThreadPool, or parked in a
+///                           global/static. Enforced by `shard-escape`.
+///
+///   PSOODB_SHARD_SHARED     on a data member or variable: deliberately
+///                           visible to multiple worker threads; the
+///                           declaration's comment must say what orders the
+///                           accesses (a mutex, the window barrier, ...).
+///                           Satisfies `unannotated-shared-static` and marks
+///                           escape targets for `shard-escape`.
+///
+/// Usage rules (enforced socially + by the analyzer where it can):
+///  - Annotations go at the end of the declarator, before `;` or `= init`:
+///      std::deque<Job> queue_ PSOODB_GUARDED_BY(mu_);
+///      bool stop_ PSOODB_GUARDED_BY(mu_) = false;
+///      std::vector<Msg> outbox_ PSOODB_PARTITION_LOCAL;
+///      int Helper() PSOODB_REQUIRES(mu_);
+///  - One annotation per declaration; annotate the member, not the type.
+///  - The analyzer indexes names, not types: two fields of the same name in
+///    different classes share one annotation entry, so keep annotated names
+///    unambiguous (the usual `foo_` members are).
+
+#ifndef PSOODB_UTIL_ANNOTATIONS_H_
+#define PSOODB_UTIL_ANNOTATIONS_H_
+
+#define PSOODB_GUARDED_BY(mu)
+#define PSOODB_REQUIRES(mu)
+#define PSOODB_PARTITION_LOCAL
+#define PSOODB_SHARD_SHARED
+
+#endif  // PSOODB_UTIL_ANNOTATIONS_H_

@@ -38,4 +38,13 @@ std::size_t ThreadPool::DefaultThreadCount() {
   return n > 0 ? n : 1;
 }
 
+#if PSOODB_SEED_CONCURRENCY_BUGS
+// Seeded defect for analyzer_test: a racy queue-depth read with no lock.
+// Never compiled; the suppression below keeps the tree gate green while the
+// test asserts the (suppressed) guarded-by finding exists.
+std::size_t ThreadPool::UnlockedDepthForAnalyzerTest() const {
+  return queue_.size();  // analyzer-ok(guarded-by): seeded test-only defect proving the check catches unlocked access; block is never compiled
+}
+#endif
+
 }  // namespace psoodb::util

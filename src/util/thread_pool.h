@@ -20,6 +20,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/annotations.h"
+
 namespace psoodb::util {
 
 class ThreadPool {
@@ -59,11 +61,18 @@ class ThreadPool {
  private:
   void Worker();
 
+#if PSOODB_SEED_CONCURRENCY_BUGS
+  // Test-only seeded defect (never compiled — the flag is never defined).
+  // The analyzer still lexes this block, and tests/analyzer_test.cpp asserts
+  // the guarded-by check catches the unlocked read in the definition.
+  std::size_t UnlockedDepthForAnalyzerTest() const;
+#endif
+
   std::vector<std::thread> threads_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<std::function<void()>> queue_ PSOODB_GUARDED_BY(mu_);
   std::mutex mu_;
   std::condition_variable cv_;
-  bool stop_ = false;
+  bool stop_ PSOODB_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace psoodb::util

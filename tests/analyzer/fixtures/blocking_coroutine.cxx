@@ -1,0 +1,55 @@
+// Fixture: blocking-in-coroutine — direct blocking primitives inside a
+// coroutine body, cross-function propagation through the call graph, and
+// the two false-positive guards (blocking outside coroutines is fine; a
+// nested lambda's body is not the coroutine's body).
+// Lexed only.
+
+std::mutex fx_mu;
+std::condition_variable fx_cv;
+std::future<int> fx_future;
+std::barrier<> fx_barrier{2};
+std::thread fx_worker;
+
+void LockInHelper() {
+  std::lock_guard<std::mutex> lock(fx_mu);
+}
+
+void TransitiveHelper() {
+  LockInHelper();
+}
+
+sim::Task DirectPrimitives() {
+  std::lock_guard<std::mutex> lock(fx_mu);  // EXPECT: blocking-in-coroutine
+  fx_mu.lock();  // EXPECT: blocking-in-coroutine
+  std::unique_lock<std::mutex> lk(fx_mu);  // EXPECT: blocking-in-coroutine
+  fx_cv.wait(lk);  // EXPECT: blocking-in-coroutine
+  int v = fx_future.get();  // EXPECT: blocking-in-coroutine
+  fx_barrier.arrive_and_wait();  // EXPECT: blocking-in-coroutine
+  fx_worker.join();  // EXPECT: blocking-in-coroutine
+  co_return v;
+}
+
+sim::Task CallsBlockingHelper() {
+  LockInHelper();  // EXPECT: blocking-in-coroutine
+  co_return 0;
+}
+
+sim::Task CallsTransitiveHelper() {
+  TransitiveHelper();  // EXPECT: blocking-in-coroutine
+  co_return 0;
+}
+
+int NotACoroutine() {
+  std::lock_guard<std::mutex> lock(fx_mu);  // fine outside a coroutine
+  fx_mu.lock();
+  fx_mu.unlock();
+  return 0;
+}
+
+sim::Task LambdaBodyIsNotTheCoroutine() {
+  auto fn = [] {
+    std::lock_guard<std::mutex> lock(fx_mu);  // lambda runs synchronously...
+  };
+  fn();  // ...and name-based analysis cannot see through the variable
+  co_return 0;
+}

@@ -1,0 +1,65 @@
+// Fixture: the guarded-by check — lexical lock-sets, PSOODB_REQUIRES
+// seeding and call-site propagation, manual lock()/unlock(), guard-object
+// handoff, and the release/re-acquire-across-co_await false-positive guard.
+// Lexed only.
+
+class Account {
+ public:
+  void Deposit(int n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    balance_ += n;  // lock held: no finding
+  }
+
+  int UnlockedRead() const {
+    return balance_;  // EXPECT: guarded-by
+  }
+
+  int ManualLockOk() {
+    mu_.lock();
+    int b = balance_;
+    mu_.unlock();
+    return b;
+  }
+
+  int ManualUnlockTooEarly() {
+    mu_.lock();
+    mu_.unlock();
+    return balance_;  // EXPECT: guarded-by
+  }
+
+  int HelperLocked() PSOODB_REQUIRES(mu_) { return balance_; }
+
+  int CallsHelperLocked() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return HelperLocked();  // caller holds mu_: no finding
+  }
+
+  int CallsHelperUnlocked() {
+    return HelperLocked();  // EXPECT: guarded-by
+  }
+
+  int GuardHandoff() {
+    std::unique_lock<std::mutex> lk(mu_);
+    lk.unlock();
+    lk.lock();
+    return balance_;  // re-acquired through the guard object: no finding
+  }
+
+  // The cooperative-scheduler shape: release before suspending, re-acquire
+  // after. The blocking lock calls are (correctly) flagged for being inside
+  // a coroutine, but the guarded accesses themselves must stay clean.
+  sim::Task CoroutineHandoff() {
+    mu_.lock();  // EXPECT: blocking-in-coroutine
+    int a = balance_;
+    mu_.unlock();
+    co_await Rest();
+    mu_.lock();  // EXPECT: blocking-in-coroutine
+    int b = balance_;
+    mu_.unlock();
+    co_return a + b;
+  }
+
+ private:
+  std::mutex mu_;
+  int balance_ PSOODB_GUARDED_BY(mu_) = 0;
+};

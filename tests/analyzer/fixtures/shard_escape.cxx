@@ -1,0 +1,64 @@
+// Fixture: shard-escape — references, pointers and iterators into
+// PSOODB_PARTITION_LOCAL state crossing a thread boundary via Post/Submit
+// captures or stores into shared/static targets, plus the false-positive
+// guards (by-value captures and aliases that legally stay in-shard).
+// Lexed only.
+
+static std::vector<int>* g_debug_rows;  // EXPECT: unannotated-shared-static
+
+class ShardActor {
+ public:
+  void PostBadRefCapture() {
+    group_.Post(0, 1, 0.0, [&] { local_.clear(); });  // EXPECT: shard-escape
+  }
+
+  void PostThisCapture() {
+    group_.Post(0, 1, 0.0, [this] { local_.pop_back(); });  // EXPECT: shard-escape
+  }
+
+  void PostAliasCapture() {
+    std::vector<int>& rows = local_;
+    group_.Post(0, 1, 0.0, [&rows] { rows.clear(); });  // EXPECT: shard-escape
+  }
+
+  void PostIterCapture() {
+    group_.Post(0, 1, 0.0, [it = local_.begin()] { Use(it); });  // EXPECT: shard-escape
+  }
+
+  void PostAddressArg() {
+    group_.Post(0, 1, 0.0, MakeFn(&local_));  // EXPECT: shard-escape
+  }
+
+  void SubmitIteratorArg() {
+    pool_.Submit(Consume(local_.begin()));  // EXPECT: shard-escape
+  }
+
+  void StoreToStatic() {
+    g_debug_rows = &local_;  // EXPECT: shard-escape
+  }
+
+  void LocalAliasStaysInShardOk() {
+    std::vector<int>& rows = local_;  // alias never leaves the partition
+    rows.push_back(1);
+  }
+
+  void ValueCaptureOk() {
+    group_.Post(0, 1, 0.0, [n = local_.size()] { Use(n); });  // copies: fine
+  }
+
+  void ValueLambdaOk() {
+    int n = 0;
+    group_.Post(0, 1, 0.0, [n] { Use(n); });  // by-value: fine
+  }
+
+  void ThisCaptureCleanBodyOk() {
+    group_.Post(0, 1, 0.0, [this] { Tick(); });  // touches no local state
+  }
+
+ private:
+  void Tick();
+
+  ShardGroup group_;
+  ThreadPool pool_;
+  std::vector<int> local_ PSOODB_PARTITION_LOCAL;
+};

@@ -1,0 +1,25 @@
+// Fixture: unannotated-shared-static — mutable static state must carry a
+// PSOODB_* annotation, be const/thread_local/self-synchronizing, or carry a
+// justified suppression.
+// Lexed only.
+
+static int g_counter;  // EXPECT: unannotated-shared-static
+static std::string g_name = "x";  // EXPECT: unannotated-shared-static
+
+static const int kLimit = 8;           // const: fine
+static constexpr double kRatio = 0.5;  // constexpr: fine
+static thread_local int t_scratch;     // thread-confined: fine
+static std::mutex g_mu;                // sync object orders itself: fine
+static std::atomic<int> g_hits;        // sync object: fine
+static std::once_flag g_once;          // sync object: fine
+static int Helper();                   // function declaration: fine
+
+static int g_documented PSOODB_SHARD_SHARED;  // annotated: fine
+static int g_confined PSOODB_PARTITION_LOCAL;  // annotated: fine
+
+int Fn() {
+  static int calls = 0;  // EXPECT: unannotated-shared-static
+  return ++calls;
+}
+
+static int g_excused;  // analyzer-ok(unannotated-shared-static): fixture justification  // EXPECT-SUPPRESSED: unannotated-shared-static

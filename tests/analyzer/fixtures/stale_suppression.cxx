@@ -1,0 +1,25 @@
+// Fixture: stale-suppression — a suppression marker that matches no finding
+// on its line is itself a finding, so retired hazards cannot leave silent
+// excuses behind.
+// Lexed only.
+
+std::unordered_map<int, int> stale_map;
+
+int LiveMarker() {
+  int s = 0;
+  for (auto& [k, v] : stale_map) s += v;  // det-ok: commutative fold, fixture  // EXPECT-SUPPRESSED: unordered-iter
+  return s;
+}
+
+int RetiredHazard() {
+  int s = 1 + 2;  // det-ok: the hazard this excused is long gone  // EXPECT: stale-suppression
+  return s;
+}
+
+int RetiredNamed() {
+  return 3;  // analyzer-ok(det-hazard): hazard was removed, marker was not  // EXPECT: stale-suppression
+}
+
+// Prose guard: `det-ok` and "analyzer-ok" mentions preceded by a backtick
+// or quote are documentation, not markers, so this comment is not stale.
+int ProseGuard() { return 4; }

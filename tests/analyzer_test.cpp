@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "analyzer/driver.h"
+#include "analyzer/sarif.h"
 #include "gtest/gtest.h"
 
 namespace {
@@ -96,6 +97,17 @@ TEST(AnalyzerFixtures, DetHazard) { RunFixture("det_hazard.cxx"); }
 TEST(AnalyzerFixtures, DcheckSideEffect) { RunFixture("dcheck.cxx"); }
 TEST(AnalyzerFixtures, EnumSwitch) { RunFixture("enum_switch.cxx"); }
 TEST(AnalyzerFixtures, Suppressions) { RunFixture("suppressions.cxx"); }
+TEST(AnalyzerFixtures, GuardedBy) { RunFixture("guarded_by.cxx"); }
+TEST(AnalyzerFixtures, BlockingInCoroutine) {
+  RunFixture("blocking_coroutine.cxx");
+}
+TEST(AnalyzerFixtures, ShardEscape) { RunFixture("shard_escape.cxx"); }
+TEST(AnalyzerFixtures, UnannotatedSharedStatic) {
+  RunFixture("shared_static.cxx");
+}
+TEST(AnalyzerFixtures, StaleSuppression) {
+  RunFixture("stale_suppression.cxx");
+}
 
 TEST(AnalyzerLexer, StringsAndCommentsAreMasked) {
   const AnalysisResult r = AnalyzeSources({{"mask.cpp", R"cpp(
@@ -175,6 +187,146 @@ TEST(AnalyzerReport, JsonShapeAndExitSemantics) {
   EXPECT_NE(json.find("\"unsuppressed\": 1"), std::string::npos);
   EXPECT_NE(json.find("\"check\": \"det-hazard\""), std::string::npos);
   EXPECT_NE(json.find("\"suppressed\": false"), std::string::npos);
+}
+
+TEST(AnalyzerConcurrency, RequiresPropagatesAcrossFiles) {
+  // PSOODB_REQUIRES is declared in one translation unit and violated in
+  // another: the global symbol index must carry the contract across.
+  const AnalysisResult r = AnalyzeSources({
+      {"ledger.h", R"cpp(
+        class Ledger {
+         public:
+          int TotalLocked() PSOODB_REQUIRES(mu_);
+         private:
+          std::mutex mu_;
+          int total_ PSOODB_GUARDED_BY(mu_) = 0;
+        };
+      )cpp"},
+      {"report.cpp", R"cpp(
+        int Report(Ledger& l) {
+          return l.TotalLocked();
+        }
+      )cpp"},
+  });
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].check, "guarded-by");
+  EXPECT_EQ(r.findings[0].file, "report.cpp");
+}
+
+TEST(AnalyzerConcurrency, GuardedFieldAccessIsStemScoped) {
+  // Name-based indexing: a field named like a guarded one but living in an
+  // unrelated file must not be flagged (the documented false-negative trade
+  // that keeps guarded-by free of false positives).
+  const AnalysisResult r = AnalyzeSources({
+      {"ledger.h", R"cpp(
+        class Ledger {
+         private:
+          std::mutex mu_;
+          int total_ PSOODB_GUARDED_BY(mu_) = 0;
+        };
+      )cpp"},
+      {"other.cpp", R"cpp(
+        struct Stats { int total_ = 0; };
+        int Sum(Stats& s) { return s.total_; }
+      )cpp"},
+  });
+  EXPECT_EQ(r.findings.size(), 0u);
+}
+
+TEST(AnalyzerConcurrency, MultiDefinitionNamesDoNotPropagateBlocking) {
+  // `Poll` blocks in one definition but not the other: ambiguous, so a
+  // coroutine calling it stays clean (documented false-negative trade).
+  const AnalysisResult r = AnalyzeSources({
+      {"a.cpp", R"cpp(
+        std::mutex amu;
+        void Poll() { std::lock_guard<std::mutex> lock(amu); }
+      )cpp"},
+      {"b.cpp", R"cpp(
+        void Poll() { }
+        sim::Task Loop() {
+          Poll();
+          co_return 0;
+        }
+      )cpp"},
+  });
+  EXPECT_EQ(r.findings.size(), 0u);
+}
+
+TEST(AnalyzerConcurrency, AnnotationIsTransparentToUnorderedIndexing) {
+  // A trailing annotation must not hide the variable's unordered type from
+  // pass B: the unordered-iter check still fires through it.
+  const AnalysisResult r = AnalyzeSources({{"m.cpp", R"cpp(
+    std::unordered_map<int, int> tallies PSOODB_PARTITION_LOCAL;
+    int Emit() {
+      int s = 0;
+      for (auto& [k, v] : tallies) s = s * 31 + v;
+      return s;
+    }
+  )cpp"}});
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].check, "unordered-iter");
+}
+
+TEST(AnalyzerConcurrency, SeededTreeBugsAreCaughtAndExcused) {
+  // The never-compiled PSOODB_SEED_CONCURRENCY_BUGS blocks in the real tree
+  // exist to prove the checks work on production shapes: the analyzer must
+  // see both seeded defects and both must be suppressed (not silently
+  // missed, not breaking the tree gate). Header + .cpp pairs are analyzed
+  // together because the symbol index is built from the analyzed set only.
+  const std::string root = PSOODB_ANALYZER_SOURCE_DIR;
+  const AnalysisResult pool = AnalyzePaths(
+      {root + "/src/util/thread_pool.h", root + "/src/util/thread_pool.cpp"});
+  bool saw_guarded = false;
+  for (const auto& f : pool.findings) {
+    if (f.check == "guarded-by") {
+      EXPECT_TRUE(f.suppressed);
+      EXPECT_NE(f.justification.find("seeded"), std::string::npos);
+      saw_guarded = true;
+    }
+  }
+  EXPECT_TRUE(saw_guarded) << "seeded guarded-by defect not detected";
+  EXPECT_EQ(pool.Unsuppressed(), 0);
+
+  const AnalysisResult shard = AnalyzePaths(
+      {root + "/src/sim/shard.h", root + "/src/sim/shard.cpp"});
+  bool saw_escape = false;
+  for (const auto& f : shard.findings) {
+    if (f.check == "shard-escape") {
+      EXPECT_TRUE(f.suppressed);
+      EXPECT_NE(f.justification.find("seeded"), std::string::npos);
+      saw_escape = true;
+    }
+  }
+  EXPECT_TRUE(saw_escape) << "seeded shard-escape defect not detected";
+  EXPECT_EQ(shard.Unsuppressed(), 0);
+}
+
+TEST(AnalyzerReport, SarifShape) {
+  const AnalysisResult r = AnalyzeSources({{"s.cpp", R"cpp(
+    static int g_bad;
+    int Seed() { return rand(); }  // det-ok: unit-test justification
+  )cpp"}});
+  const std::string sarif = psoodb::analyzer::SarifReport(r);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"psoodb-analyze\""), std::string::npos);
+  // Every check is a rule, findings carry ruleId + location, suppressed
+  // findings carry an inSource suppression with the justification.
+  EXPECT_NE(sarif.find("\"id\": \"unannotated-shared-static\""),
+            std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"unannotated-shared-static\""),
+            std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 2"), std::string::npos);
+  EXPECT_NE(sarif.find("\"kind\": \"inSource\""), std::string::npos);
+  EXPECT_NE(sarif.find("unit-test justification"), std::string::npos);
+}
+
+TEST(AnalyzerReport, StaleMarkerEscapeRule) {
+  // Backtick/quoted mentions of the marker words are prose, not markers —
+  // no stale-suppression finding for documentation about the grammar.
+  const AnalysisResult r = AnalyzeSources({{"doc.cpp",
+    "// Write `det-ok: <why>` or \"analyzer-ok\" to suppress findings.\n"
+    "int F() { return 1; }\n"}});
+  EXPECT_EQ(r.findings.size(), 0u);
 }
 
 TEST(AnalyzerReport, SuppressedFindingsKeepJustification) {

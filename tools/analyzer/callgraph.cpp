@@ -1,0 +1,145 @@
+#include "analyzer/callgraph.h"
+
+#include <cstddef>
+
+namespace psoodb::analyzer {
+
+namespace {
+
+using Tokens = std::vector<Token>;
+
+bool IsRaiiLockType(const std::string& s) {
+  return s == "lock_guard" || s == "unique_lock" || s == "scoped_lock" ||
+         s == "shared_lock";
+}
+
+/// t[i] is a method name: true for `base . name (` / `base -> name (`.
+bool IsMemberCall(const Tokens& t, std::size_t i) {
+  return i >= 2 && i + 1 < t.size() && t[i + 1].Is("(") &&
+         (t[i - 1].Is(".") || t[i - 1].Is("->"));
+}
+
+/// For a chained call `Callee(...).method()`, t[i] is the `)` before the
+/// `.`: returns the callee name, or "" if the shape doesn't match.
+std::string ChainedCallee(const Tokens& t, std::size_t i) {
+  if (!t[i].Is(")")) return "";
+  int depth = 0;
+  for (std::size_t j = i;; --j) {
+    if (t[j].Is(")")) ++depth;
+    if (t[j].Is("(") && --depth == 0) {
+      return j > 0 && t[j - 1].IsIdent() ? t[j - 1].text : "";
+    }
+    if (j == 0) break;
+  }
+  return "";
+}
+
+}  // namespace
+
+bool IsBlockingPrimitiveAt(const Tokens& t, std::size_t i,
+                           const SymbolIndex& sym, std::string* what) {
+  if (!t[i].IsIdent()) return false;
+  const std::string& s = t[i].text;
+
+  if (IsRaiiLockType(s)) {
+    // Require a declaration shape (`lock_guard<...> g(` / CTAD
+    // `scoped_lock g(`) so a stray mention in a comment-adjacent context
+    // can't fire.
+    if (i + 1 < t.size() && (t[i + 1].Is("<") || t[i + 1].IsIdent())) {
+      *what = "constructs std::" + s + " (blocks acquiring a mutex)";
+      return true;
+    }
+    return false;
+  }
+  if (s == "arrive_and_wait") {
+    *what = "arrives at a std::barrier";
+    return true;
+  }
+  if (!IsMemberCall(t, i)) return false;
+  const Token& base = t[i - 2];
+
+  if (s == "lock" && base.IsIdent() && sym.mutex_vars.count(base.text) != 0) {
+    *what = "calls " + base.text + ".lock()";
+    return true;
+  }
+  if ((s == "wait" || s == "wait_for" || s == "wait_until") &&
+      base.IsIdent() && sym.condvar_vars.count(base.text) != 0) {
+    *what = "waits on condition variable " + base.text;
+    return true;
+  }
+  if (s == "get") {
+    if (base.IsIdent() && sym.future_vars.count(base.text) != 0) {
+      *what = "calls " + base.text + ".get() on a std::future";
+      return true;
+    }
+    if (ChainedCallee(t, i - 2) == "Submit") {
+      *what = "calls .get() on the future returned by Submit";
+      return true;
+    }
+    return false;
+  }
+  if (s == "join" && base.IsIdent()) {
+    *what = "joins a thread";
+    return true;
+  }
+  return false;
+}
+
+void AddCallGraphFacts(const LexedFile& f, const FrameIndex& fx,
+                       const SymbolIndex& sym, CallGraph& cg) {
+  const Tokens& t = f.tokens;
+  for (std::size_t fi = 0; fi < fx.frames.size(); ++fi) {
+    const Frame& fr = fx.frames[fi];
+    if (fr.is_lambda) continue;
+    CallGraph::FnInfo& info = cg.fns[fr.name];
+    ++info.defs;
+    if (fr.is_coroutine) info.coroutine_def = true;
+    bool blocks = false;
+    std::string what;
+    for (int i = fr.body_open + 1; i < fr.body_close; ++i) {
+      if (fx.owner[i] != static_cast<int>(fi)) continue;  // lambda tokens out
+      if (!blocks &&
+          IsBlockingPrimitiveAt(t, static_cast<std::size_t>(i), sym, &what)) {
+        blocks = true;
+      }
+      if (t[i].IsIdent() && i + 1 < fr.body_close && t[i + 1].Is("(") &&
+          !IsCallContextKeyword(t[i].text)) {
+        const Token& prev = t[i - 1];
+        // `Type name(` is a declaration, not a call; `return name(` is one.
+        const bool decl_like =
+            (prev.IsIdent() && !IsCallContextKeyword(prev.text)) ||
+            prev.Is("~");
+        if (!decl_like) info.callees.insert(t[i].text);
+      }
+    }
+    if (blocks) ++info.blocking_defs;
+  }
+}
+
+void FinalizeCallGraph(CallGraph& cg) {
+  // Seeds: every definition of the name blocks directly, none a coroutine.
+  for (const auto& [name, info] : cg.fns) {
+    if (info.defs > 0 && info.blocking_defs == info.defs &&
+        !info.coroutine_def) {
+      cg.may_block[name] = "its body blocks directly";
+    }
+  }
+  // Closure over calls, restricted to unambiguous (single-definition) names.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [name, info] : cg.fns) {
+      if (cg.may_block.count(name) != 0) continue;
+      if (info.defs != 1 || info.coroutine_def) continue;
+      for (const std::string& callee : info.callees) {
+        if (cg.may_block.count(callee) != 0) {
+          cg.may_block[name] = "calls " + callee + ", which may block";
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace psoodb::analyzer

@@ -1,0 +1,66 @@
+/// \file callgraph.h
+/// Cross-TU, name-based call graph for the concurrency checks. Built after
+/// the symbol passes and every file's FrameIndex: each named (non-lambda)
+/// function definition contributes its callee names and whether its body
+/// blocks directly (mutex acquisition, condition-variable wait,
+/// future::get, barrier arrival, thread join). FinalizeCallGraph then
+/// closes `may_block` over the call edges.
+///
+/// Resolution is by name only, so the closure is deliberately conservative
+/// about ambiguity: a name propagates or gains may_block only when every
+/// definition of it agrees ("Run" names half a dozen functions in this tree
+/// and is excluded; "WorkerLoop" is unique and propagates). Coroutine
+/// definitions never enter may_block — a blocking body is reported *inside*
+/// the coroutine by blocking-in-coroutine, and co_awaiting a coroutine is
+/// not itself a block. Lambdas contribute nothing (their bodies usually run
+/// deferred, on whichever thread drains them). All of this trades false
+/// negatives for zero false positives, like the rest of the analyzer.
+
+#ifndef PSOODB_TOOLS_ANALYZER_CALLGRAPH_H_
+#define PSOODB_TOOLS_ANALYZER_CALLGRAPH_H_
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "analyzer/frames.h"
+#include "analyzer/symbols.h"
+#include "analyzer/token.h"
+
+namespace psoodb::analyzer {
+
+struct CallGraph {
+  struct FnInfo {
+    int defs = 0;           ///< definitions seen under this name (all TUs)
+    int blocking_defs = 0;  ///< definitions whose body blocks directly
+    bool coroutine_def = false;  ///< any definition is a coroutine
+    std::set<std::string> callees;  ///< union over all definitions
+  };
+  std::map<std::string, FnInfo> fns;
+  /// Function names whose (unambiguous) definition blocks, directly or
+  /// through calls. Filled by FinalizeCallGraph.
+  std::map<std::string, std::string> may_block;  ///< name -> reason
+
+  bool MayBlock(const std::string& name) const {
+    return may_block.count(name) != 0;
+  }
+};
+
+/// If t[i] starts a directly-blocking construct (std::lock_guard /
+/// unique_lock / scoped_lock / shared_lock declaration, mutex .lock(),
+/// condition-variable .wait*(), future .get(), barrier arrive_and_wait,
+/// thread .join()), fills `*what` with a short description and returns
+/// true. `sym` supplies the mutex/condvar/future variable names.
+bool IsBlockingPrimitiveAt(const std::vector<Token>& t, std::size_t i,
+                           const SymbolIndex& sym, std::string* what);
+
+/// Adds one file's frames to the graph (call after both symbol passes).
+void AddCallGraphFacts(const LexedFile& f, const FrameIndex& fx,
+                       const SymbolIndex& sym, CallGraph& cg);
+
+/// Computes the may_block closure.
+void FinalizeCallGraph(CallGraph& cg);
+
+}  // namespace psoodb::analyzer
+
+#endif  // PSOODB_TOOLS_ANALYZER_CALLGRAPH_H_

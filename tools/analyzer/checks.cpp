@@ -733,9 +733,18 @@ void CheckEnumSwitch(const Ctx& c) {
 }  // namespace
 
 std::vector<std::string> AllCheckNames() {
-  return {kCheckSuspendRef,       kCheckDroppedTask, kCheckUnorderedIter,
-          kCheckDetHazard,        kCheckDcheckSideEffect,
-          kCheckEnumSwitch,       kCheckBadSuppression};
+  return {kCheckSuspendRef,
+          kCheckDroppedTask,
+          kCheckUnorderedIter,
+          kCheckDetHazard,
+          kCheckDcheckSideEffect,
+          kCheckEnumSwitch,
+          kCheckShardEscape,
+          kCheckGuardedBy,
+          kCheckBlockingInCoroutine,
+          kCheckUnannotatedSharedStatic,
+          kCheckBadSuppression,
+          kCheckStaleSuppression};
 }
 
 std::vector<Finding> RunChecks(const LexedFile& f, const FrameIndex& fx,

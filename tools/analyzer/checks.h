@@ -20,6 +20,10 @@
 ///   enum-switch         switch over a protocol enum missing enumerators
 ///                       without a checked default
 ///
+/// The concurrency check family (shard-escape, guarded-by,
+/// blocking-in-coroutine, unannotated-shared-static) lives in
+/// concurrency.h/.cpp; stale-suppression is applied by the driver.
+///
 /// Checks only report; suppression (`det-ok` / `analyzer-ok`) is applied by
 /// the driver using LexedFile::comments_by_line.
 
@@ -52,6 +56,17 @@ inline constexpr const char* kCheckDetHazard = "det-hazard";
 inline constexpr const char* kCheckDcheckSideEffect = "dcheck-side-effect";
 inline constexpr const char* kCheckEnumSwitch = "enum-switch";
 inline constexpr const char* kCheckBadSuppression = "bad-suppression";
+// Concurrency family (tools/analyzer/concurrency.cpp; vocabulary in
+// src/util/annotations.h):
+inline constexpr const char* kCheckShardEscape = "shard-escape";
+inline constexpr const char* kCheckGuardedBy = "guarded-by";
+inline constexpr const char* kCheckBlockingInCoroutine =
+    "blocking-in-coroutine";
+inline constexpr const char* kCheckUnannotatedSharedStatic =
+    "unannotated-shared-static";
+// Driver-level: a suppression marker matching no finding (unsuppressible,
+// like bad-suppression).
+inline constexpr const char* kCheckStaleSuppression = "stale-suppression";
 
 /// All check names, for `--list-checks` and suppression validation.
 std::vector<std::string> AllCheckNames();

@@ -1,0 +1,515 @@
+#include "analyzer/concurrency.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+
+namespace psoodb::analyzer {
+
+namespace {
+
+using Tokens = std::vector<Token>;
+
+struct Ctx {
+  const LexedFile& f;
+  const FrameIndex& fx;
+  const SymbolIndex& sym;
+  const CallGraph& cg;
+  std::string stem;  ///< file stem, for guarded-field locality
+  std::vector<Finding>* out;
+  std::set<std::pair<int, std::string>> reported;  ///< (line, key) dedupe
+};
+
+void Report(Ctx& c, int line, const std::string& check, std::string msg) {
+  if (!c.reported.insert({line, check + msg}).second) return;
+  c.out->push_back(Finding{c.f.path, line, check, std::move(msg), false, ""});
+}
+
+std::string Stem(const std::string& path) {
+  const std::size_t slash = path.find_last_of("/\\");
+  std::string base =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  const std::size_t dot = base.rfind('.');
+  return dot == std::string::npos ? base : base.substr(0, dot);
+}
+
+bool IsRaiiLockType(const std::string& s) {
+  return s == "lock_guard" || s == "unique_lock" || s == "scoped_lock" ||
+         s == "shared_lock";
+}
+
+/// Methods yielding a reference, pointer or iterator into a container.
+bool IsYieldMethod(const std::string& s) {
+  static const std::set<std::string> kYield = {
+      "begin", "end",  "cbegin", "cend", "rbegin", "rend",
+      "data",  "find", "front",  "back", "at"};
+  return kYield.count(s) != 0;
+}
+
+/// tokens[i] == "<": index just past the matching ">" (">>" = two closers).
+std::size_t AngleSkip(const Tokens& t, std::size_t i) {
+  int depth = 0;
+  for (std::size_t j = i; j < t.size(); ++j) {
+    if (t[j].Is("<")) {
+      ++depth;
+    } else if (t[j].Is(">")) {
+      if (--depth == 0) return j + 1;
+    } else if (t[j].Is(">>")) {
+      depth -= 2;
+      if (depth <= 0) return j + 1;
+    } else if (t[j].Is(";") || t[j].Is("{")) {
+      return i + 1;
+    }
+  }
+  return i + 1;
+}
+
+/// Mutex names in a guard constructor's argument list (the last ident of
+/// each ::/->-qualified chunk; lock tags dropped).
+std::vector<std::string> GuardArgMutexes(const Tokens& t, std::size_t open) {
+  std::vector<std::string> out;
+  std::string last;
+  int depth = 0;
+  for (std::size_t j = open; j < t.size(); ++j) {
+    if (t[j].Is("(")) {
+      ++depth;
+      continue;
+    }
+    if (t[j].Is(")")) {
+      if (--depth == 0) {
+        if (!last.empty()) out.push_back(last);
+        break;
+      }
+      continue;
+    }
+    if (depth != 1) continue;
+    if (t[j].Is(",")) {
+      if (!last.empty()) out.push_back(last);
+      last.clear();
+    } else if (t[j].IsIdent() && t[j].text != "std" &&
+               t[j].text != "defer_lock" && t[j].text != "adopt_lock" &&
+               t[j].text != "try_to_lock") {
+      last = t[j].text;
+    }
+  }
+  return out;
+}
+
+/// Lexical lock-set: mutexes held at the current point of a frame walk.
+struct LockSet {
+  std::vector<std::pair<std::string, int>> held;  ///< (mutex, scope depth)
+  std::map<std::string, std::vector<std::string>> guards;  ///< guard -> mus
+
+  bool Holds(const std::string& mu) const {
+    for (const auto& [m, d] : held) {
+      if (m == mu) return true;
+    }
+    return false;
+  }
+  void Acquire(const std::string& mu, int depth) {
+    held.emplace_back(mu, depth);
+  }
+  void Release(const std::string& mu) {
+    for (auto it = held.rbegin(); it != held.rend(); ++it) {
+      if (it->first == mu) {
+        held.erase(std::next(it).base());
+        return;
+      }
+    }
+  }
+  void PopScope(int depth) {
+    held.erase(std::remove_if(held.begin(), held.end(),
+                              [depth](const std::pair<std::string, int>& e) {
+                                return e.second >= depth && e.second >= 0;
+                              }),
+               held.end());
+  }
+};
+
+/// `ident (` at i with a call-shaped left context (not `Type name(`, not a
+/// qualified or destructor declaration).
+bool IsCallSite(const Tokens& t, int i, int lo) {
+  if (i <= lo) return true;
+  const Token& prev = t[i - 1];
+  if (prev.Is("~") || prev.Is("::")) return false;
+  if (prev.IsIdent() && !IsCallContextKeyword(prev.text)) return false;
+  return true;
+}
+
+// --- guarded-by ------------------------------------------------------------
+
+void GuardedByFrame(Ctx& c, int fi) {
+  const Frame& fr = c.fx.frames[fi];
+  const Tokens& t = c.f.tokens;
+  LockSet ls;
+  if (!fr.is_lambda) {
+    auto rq = c.sym.requires_fns.find(fr.name);
+    if (rq != c.sym.requires_fns.end()) {
+      for (const std::string& mu : rq->second) ls.Acquire(mu, -1);
+    }
+  }
+  int depth = 0;
+  for (int i = fr.body_open + 1; i < fr.body_close; ++i) {
+    const Token& tk = t[i];
+    if (tk.Is("{")) {
+      ++depth;
+      continue;
+    }
+    if (tk.Is("}")) {
+      ls.PopScope(depth);
+      --depth;
+      continue;
+    }
+    if (!tk.IsIdent()) continue;
+    const std::string& s = tk.text;
+
+    // RAII guard declaration: lock_guard<...> g(mu) / scoped_lock g(mu, mv).
+    if (IsRaiiLockType(s)) {
+      std::size_t j = static_cast<std::size_t>(i) + 1;
+      if (j < t.size() && t[j].Is("<")) j = AngleSkip(t, j);
+      if (j + 1 < t.size() && t[j].IsIdent() &&
+          (t[j + 1].Is("(") || t[j + 1].Is("{"))) {
+        const std::vector<std::string> mus = GuardArgMutexes(t, j + 1);
+        for (const std::string& mu : mus) ls.Acquire(mu, depth);
+        if (!mus.empty()) ls.guards[t[j].text] = mus;
+        i = static_cast<int>(j);
+      }
+      continue;
+    }
+
+    // Manual lock()/unlock() on a known mutex or a live guard object.
+    if (i + 3 < fr.body_close && (t[i + 1].Is(".") || t[i + 1].Is("->")) &&
+        t[i + 2].IsIdent() && t[i + 3].Is("(")) {
+      const std::string& op = t[i + 2].text;
+      if (op == "lock" || op == "unlock") {
+        if (c.sym.mutex_vars.count(s) != 0) {
+          if (op == "lock") {
+            ls.Acquire(s, depth);
+          } else {
+            ls.Release(s);
+          }
+          i += 3;
+          continue;
+        }
+        auto g = ls.guards.find(s);
+        if (g != ls.guards.end()) {
+          for (const std::string& mu : g->second) {
+            if (op == "lock") {
+              ls.Acquire(mu, depth);
+            } else {
+              ls.Release(mu);
+            }
+          }
+          i += 3;
+          continue;
+        }
+      }
+    }
+
+    // Call sites of PSOODB_REQUIRES functions (any file).
+    auto rq = c.sym.requires_fns.find(s);
+    if (rq != c.sym.requires_fns.end() && i + 1 < fr.body_close &&
+        t[i + 1].Is("(") && s != fr.name) {
+      const Token& prev = t[i - 1];
+      const bool member_call = prev.Is(".") || prev.Is("->");
+      if (member_call || IsCallSite(t, i, fr.body_open)) {
+        for (const std::string& mu : rq->second) {
+          if (!ls.Holds(mu)) {
+            Report(c, tk.line, kCheckGuardedBy,
+                   "call to '" + s + "' requires holding '" + mu +
+                       "' (PSOODB_REQUIRES), which is not held here");
+          }
+        }
+      }
+      continue;
+    }
+
+    // Guarded-field accesses, restricted to the declaring header's stem.
+    auto gf = c.sym.guarded_fields.find(s);
+    if (gf != c.sym.guarded_fields.end() && gf->second.stem == c.stem) {
+      // The declaration itself carries the annotation right after the name.
+      if (i + 1 < fr.body_close && IsAnnotationMacro(t[i + 1].text)) continue;
+      if (!ls.Holds(gf->second.mutex)) {
+        Report(c, tk.line, kCheckGuardedBy,
+               "'" + s + "' is PSOODB_GUARDED_BY(" + gf->second.mutex +
+                   ") but " + gf->second.mutex + " is not held here");
+      }
+    }
+  }
+}
+
+// --- shard-escape ----------------------------------------------------------
+
+struct PlState {
+  std::set<std::string> local;  ///< frame-local aliases into shard state
+};
+
+bool IsPartitionLocal(const Ctx& c, const PlState& pl, const std::string& n) {
+  return c.sym.partition_local.count(n) != 0 || pl.local.count(n) != 0;
+}
+
+/// `expr` mentions partition-local state in an aliasing way: `&pl`,
+/// `pl.begin()` / `.data()` / ..., or an existing local alias (itself a
+/// reference/pointer/iterator).
+bool RangeAliasesPl(const Ctx& c, const PlState& pl, int from, int to,
+                    std::string* which) {
+  const Tokens& t = c.f.tokens;
+  for (int j = from; j < to; ++j) {
+    if (!t[j].IsIdent()) continue;
+    const std::string& n = t[j].text;
+    if (!IsPartitionLocal(c, pl, n)) continue;
+    if (pl.local.count(n) != 0 || (j > 0 && t[j - 1].Is("&")) ||
+        (j + 2 < to + 2 && j + 2 < static_cast<int>(t.size()) &&
+         (t[j + 1].Is(".") || t[j + 1].Is("->")) &&
+         IsYieldMethod(t[j + 2].text))) {
+      *which = n;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Scans a lambda starting at the `[` at index `lb`; returns the index of
+/// the lambda's last token (body `}` if found, else the capture `]`).
+int ScanLambdaForEscape(Ctx& c, const PlState& pl, int lb, int limit,
+                        const std::string& via) {
+  const Tokens& t = c.f.tokens;
+  const int cap_close = c.fx.match[lb];
+  if (cap_close < 0 || cap_close >= limit) return lb;
+  bool body_can_reach_members = false;  // `[&]` or `[this]`-style captures
+  // Walk capture chunks.
+  int j = lb + 1;
+  while (j < cap_close) {
+    int chunk_end = j;
+    int depth = 0;
+    while (chunk_end < cap_close &&
+           !(depth == 0 && t[chunk_end].Is(","))) {
+      if (t[chunk_end].Is("(") || t[chunk_end].Is("[") ||
+          t[chunk_end].Is("{")) {
+        ++depth;
+      }
+      if (t[chunk_end].Is(")") || t[chunk_end].Is("]") ||
+          t[chunk_end].Is("}")) {
+        --depth;
+      }
+      ++chunk_end;
+    }
+    if (chunk_end > j) {
+      if (t[j].Is("&") && chunk_end == j + 1) {
+        body_can_reach_members = true;  // default ref capture
+      } else if (t[j].Is("this") ||
+                 (t[j].Is("&") && j + 1 < chunk_end && t[j + 1].Is("this")) ||
+                 (t[j].Is("*") && j + 1 < chunk_end && t[j + 1].Is("this"))) {
+        body_can_reach_members = true;
+      } else if (t[j].Is("&") && j + 1 < chunk_end && t[j + 1].IsIdent() &&
+                 IsPartitionLocal(c, pl, t[j + 1].text)) {
+        Report(c, t[j + 1].line, kCheckShardEscape,
+               "lambda handed to " + via + " captures partition-local '" +
+                   t[j + 1].text + "' by reference — it will be used on "
+                   "another thread");
+      } else if (t[j].IsIdent() && j + 1 < chunk_end && t[j + 1].Is("=")) {
+        std::string which;
+        if (RangeAliasesPl(c, pl, j + 2, chunk_end, &which)) {
+          Report(c, t[j].line, kCheckShardEscape,
+                 "lambda init-capture '" + t[j].text +
+                     "' aliases partition-local '" + which + "' (handed to " +
+                     via + ")");
+        }
+      }
+    }
+    j = chunk_end + 1;
+  }
+  // Locate the body: optional (params), specifiers, `{`.
+  int b = cap_close + 1;
+  if (b < limit && t[b].Is("(") && c.fx.match[b] > 0) {
+    b = c.fx.match[b] + 1;
+  }
+  while (b < limit && !t[b].Is("{") && !t[b].Is(",") && !t[b].Is(")")) ++b;
+  if (b >= limit || !t[b].Is("{") || c.fx.match[b] < 0) return cap_close;
+  const int body_close = c.fx.match[b];
+  if (body_can_reach_members) {
+    for (int k = b + 1; k < body_close; ++k) {
+      if (t[k].IsIdent() && IsPartitionLocal(c, pl, t[k].text)) {
+        Report(c, t[k].line, kCheckShardEscape,
+               "lambda handed to " + via + " captures by reference and "
+               "touches partition-local '" + t[k].text + "' — it will run "
+               "on another thread");
+        break;
+      }
+    }
+  }
+  return body_close;
+}
+
+void ShardEscapeFrame(Ctx& c, int fi) {
+  const Frame& fr = c.fx.frames[fi];
+  const Tokens& t = c.f.tokens;
+  PlState pl;
+
+  // Pass 1: frame-local aliases (refs/pointers/iterators) into shard state.
+  for (int i = fr.body_open + 2; i < fr.body_close; ++i) {
+    if (!t[i].Is("=") || !t[i - 1].IsIdent()) continue;
+    const std::string& name = t[i - 1].text;
+    const bool ref_decl = t[i - 2].Is("&") || t[i - 2].Is("*");
+    bool mentions = false, aliases = false;
+    for (int j = i + 1; j < fr.body_close && !t[j].Is(";"); ++j) {
+      if (!t[j].IsIdent() || !IsPartitionLocal(c, pl, t[j].text)) continue;
+      mentions = true;
+      if (t[j - 1].Is("&")) aliases = true;
+      if (j + 2 < fr.body_close && (t[j + 1].Is(".") || t[j + 1].Is("->")) &&
+          IsYieldMethod(t[j + 2].text)) {
+        aliases = true;
+      }
+    }
+    if (mentions && (ref_decl || aliases)) pl.local.insert(name);
+  }
+
+  // Pass 2: escape sites.
+  for (int i = fr.body_open + 1; i < fr.body_close; ++i) {
+    const Token& tk = t[i];
+    if (!tk.IsIdent()) continue;
+
+    // (a) cross-thread hand-off spans: Post(...) / Submit(...).
+    if ((tk.Is("Post") || tk.Is("Submit")) && i + 1 < fr.body_close &&
+        t[i + 1].Is("(") && c.fx.match[i + 1] > 0) {
+      const Token& prev = t[i - 1];
+      const bool call = prev.Is(".") || prev.Is("->") ||
+                        IsCallSite(t, i, fr.body_open);
+      if (!call) continue;
+      const std::string via = tk.text == "Post"
+                                  ? "a cross-partition Post"
+                                  : "ThreadPool::Submit";
+      const int close = c.fx.match[i + 1];
+      for (int j = i + 2; j < close; ++j) {
+        if (t[j].Is("[") && c.fx.match[j] > j) {
+          j = ScanLambdaForEscape(c, pl, j, close, via);
+          continue;
+        }
+        if (t[j].Is("&") && j + 1 < close && t[j + 1].IsIdent() &&
+            IsPartitionLocal(c, pl, t[j + 1].text)) {
+          Report(c, t[j + 1].line, kCheckShardEscape,
+                 "address of partition-local '" + t[j + 1].text +
+                     "' passed to " + via);
+        } else if (t[j].IsIdent() && IsPartitionLocal(c, pl, t[j].text) &&
+                   j + 2 < close &&
+                   (t[j + 1].Is(".") || t[j + 1].Is("->")) &&
+                   IsYieldMethod(t[j + 2].text)) {
+          Report(c, t[j].line, kCheckShardEscape,
+                 "iterator/pointer into partition-local '" + t[j].text +
+                     "' passed to " + via);
+        }
+      }
+      continue;
+    }
+
+    // (b) stores into shared/static targets.
+    if (i + 1 < fr.body_close && t[i + 1].Is("=") &&
+        (c.sym.shard_shared.count(tk.text) != 0 ||
+         c.sym.mutable_statics.count(tk.text) != 0)) {
+      int end = i + 2;
+      while (end < fr.body_close && !t[end].Is(";")) ++end;
+      std::string which;
+      if (RangeAliasesPl(c, pl, i + 2, end, &which)) {
+        Report(c, tk.line, kCheckShardEscape,
+               "stores a reference/pointer/iterator into partition-local '" +
+                   which + "' in shared/static '" + tk.text + "'");
+      }
+    }
+  }
+}
+
+// --- blocking-in-coroutine -------------------------------------------------
+
+void BlockingFrame(Ctx& c, int fi) {
+  const Frame& fr = c.fx.frames[fi];
+  if (!fr.is_coroutine) return;
+  const Tokens& t = c.f.tokens;
+  std::set<int> lines;
+  for (int i = fr.body_open + 1; i < fr.body_close; ++i) {
+    if (c.fx.owner[i] != fi) continue;  // nested lambdas are their own frame
+    std::string what;
+    if (IsBlockingPrimitiveAt(t, static_cast<std::size_t>(i), c.sym,
+                              &what)) {
+      if (lines.insert(t[i].line).second) {
+        Report(c, t[i].line, kCheckBlockingInCoroutine,
+               what + " inside a coroutine — a blocked worker thread "
+               "deadlocks the cooperative scheduler");
+      }
+      continue;
+    }
+    if (t[i].IsIdent() && i + 1 < fr.body_close && t[i + 1].Is("(") &&
+        t[i].text != fr.name && c.cg.MayBlock(t[i].text)) {
+      const Token& prev = t[i - 1];
+      const bool member_call = prev.Is(".") || prev.Is("->");
+      if (member_call || IsCallSite(t, i, fr.body_open)) {
+        if (lines.insert(t[i].line).second) {
+          Report(c, t[i].line, kCheckBlockingInCoroutine,
+                 "calls '" + t[i].text + "', which may block (" +
+                     c.cg.may_block.at(t[i].text) +
+                     ") — blocking inside a coroutine deadlocks the "
+                     "cooperative scheduler");
+        }
+      }
+    }
+  }
+}
+
+// --- unannotated-shared-static ---------------------------------------------
+
+void CheckSharedStatics(Ctx& c) {
+  const Tokens& t = c.f.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!t[i].Is("static")) continue;
+    StaticDeclInfo info;
+    if (!ParseStaticDecl(t, i, &info)) continue;
+    if (!info.mutable_shared || info.annotated) continue;
+    Report(c, info.line, kCheckUnannotatedSharedStatic,
+           "mutable static '" + info.name +
+               "' is reachable from multiple worker threads — annotate "
+               "PSOODB_SHARD_SHARED (documenting what orders accesses) or "
+               "PSOODB_PARTITION_LOCAL, make it const/thread_local, or "
+               "suppress with a justification");
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> RunConcurrencyChecks(const LexedFile& f,
+                                          const FrameIndex& fx,
+                                          const SymbolIndex& sym,
+                                          const CallGraph& cg) {
+  std::vector<Finding> out;
+  Ctx c{f, fx, sym, cg, Stem(f.path), &out, {}};
+  CheckSharedStatics(c);
+  // Root frames (not nested in another frame): the guarded-by and
+  // shard-escape walks cover their full ranges including nested lambdas, so
+  // walking non-roots too would double-visit.
+  const std::size_t n = fx.frames.size();
+  std::vector<bool> nested(n, false);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      if (a != b && fx.frames[b].body_open < fx.frames[a].body_open &&
+          fx.frames[b].body_close > fx.frames[a].body_close) {
+        nested[a] = true;
+        break;
+      }
+    }
+  }
+  for (std::size_t fi = 0; fi < n; ++fi) {
+    if (!nested[fi]) {
+      GuardedByFrame(c, static_cast<int>(fi));
+      ShardEscapeFrame(c, static_cast<int>(fi));
+    }
+    BlockingFrame(c, static_cast<int>(fi));
+  }
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    if (a.line != b.line) return a.line < b.line;
+    return a.check < b.check;
+  });
+  return out;
+}
+
+}  // namespace psoodb::analyzer

@@ -1,0 +1,51 @@
+/// \file concurrency.h
+/// The concurrency-safety check family (PR 7). Consumes the annotation
+/// vocabulary of src/util/annotations.h via the SymbolIndex plus the
+/// cross-TU CallGraph:
+///
+///   shard-escape         a reference/pointer/iterator into
+///                        PSOODB_PARTITION_LOCAL state captured by a
+///                        cross-partition Post, handed to
+///                        ThreadPool::Submit, or stored into a
+///                        global/static or PSOODB_SHARD_SHARED target
+///   guarded-by           read/write of a PSOODB_GUARDED_BY field outside
+///                        a lexical scope holding the named mutex; the
+///                        intraprocedural lock-set seeds from
+///                        PSOODB_REQUIRES and call sites of REQUIRES
+///                        functions are checked across TUs
+///   blocking-in-coroutine  mutex acquisition, condition-variable wait,
+///                        future::get, barrier arrival or thread join
+///                        inside a sim::Task coroutine body — including
+///                        calls to helpers the call graph proves may block
+///   unannotated-shared-static  mutable `static` state with neither
+///                        annotation nor a justified suppression
+///
+/// The lock-set is lexical: a frame's entire body is walked with a brace
+/// scope stack, so locks taken inside nested lambdas pop at the lambda's
+/// closing brace and cv-wait predicate lambdas inherit the outer guard.
+/// Guarded-field *access* checks are restricted to files sharing the
+/// declaring file's stem (the header + its .cpp), because the index is
+/// name-based; REQUIRES call-site checks apply everywhere.
+
+#ifndef PSOODB_TOOLS_ANALYZER_CONCURRENCY_H_
+#define PSOODB_TOOLS_ANALYZER_CONCURRENCY_H_
+
+#include <vector>
+
+#include "analyzer/callgraph.h"
+#include "analyzer/checks.h"
+#include "analyzer/frames.h"
+#include "analyzer/symbols.h"
+#include "analyzer/token.h"
+
+namespace psoodb::analyzer {
+
+/// Runs the four concurrency checks over `f`. Findings ordered by line.
+std::vector<Finding> RunConcurrencyChecks(const LexedFile& f,
+                                          const FrameIndex& fx,
+                                          const SymbolIndex& sym,
+                                          const CallGraph& cg);
+
+}  // namespace psoodb::analyzer
+
+#endif  // PSOODB_TOOLS_ANALYZER_CONCURRENCY_H_

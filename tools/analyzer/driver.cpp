@@ -8,6 +8,8 @@
 #include <map>
 #include <sstream>
 
+#include "analyzer/callgraph.h"
+#include "analyzer/concurrency.h"
 #include "analyzer/frames.h"
 #include "analyzer/lexer.h"
 #include "analyzer/symbols.h"
@@ -69,16 +71,32 @@ std::string TrimCopy(const std::string& s) {
 
 struct Marker {
   bool all = false;                 ///< bare `analyzer-ok:` covers every check
-  std::vector<std::string> checks;  ///< named checks (det-ok expands to two)
+  std::vector<std::string> checks;  ///< named checks; `det-ok` expands to two
   std::string justification;
   std::vector<std::string> unknown_checks;
   bool used = false;
 };
 
 bool MarkerCovers(const Marker& m, const std::string& check) {
-  if (check == kCheckBadSuppression) return false;  // never suppressible
+  // Meta-checks about the markers themselves are never suppressible.
+  if (check == kCheckBadSuppression || check == kCheckStaleSuppression) {
+    return false;
+  }
   if (m.all) return true;
   return std::find(m.checks.begin(), m.checks.end(), check) != m.checks.end();
+}
+
+/// Finds a marker word in comment text, skipping mentions escaped by a
+/// preceding backtick or quote (so prose *about* the grammar — like this
+/// file's own doc comments — doesn't parse as a marker).
+std::size_t FindMarker(const std::string& comment, const std::string& word) {
+  std::size_t pos = 0;
+  while ((pos = comment.find(word, pos)) != std::string::npos) {
+    const char before = pos == 0 ? ' ' : comment[pos - 1];
+    if (before != '`' && before != '"' && before != '\'') return pos;
+    pos += word.size();
+  }
+  return std::string::npos;
 }
 
 /// Parses the suppression markers inside one line's comment text.
@@ -86,8 +104,8 @@ std::vector<Marker> ParseMarkers(const std::string& comment) {
   std::vector<Marker> out;
   const std::vector<std::string> valid = AllCheckNames();
 
-  // Legacy: "det-ok" or "det-ok: why". Covers the determinism checks.
-  std::size_t pos = comment.find("det-ok");
+  // Legacy: `det-ok` or `det-ok: why`. Covers the determinism checks.
+  std::size_t pos = FindMarker(comment, "det-ok");
   if (pos != std::string::npos) {
     Marker m;
     m.checks = {kCheckDetHazard, kCheckUnorderedIter};
@@ -101,9 +119,9 @@ std::vector<Marker> ParseMarkers(const std::string& comment) {
     out.push_back(std::move(m));
   }
 
-  // The analyzer-ok grammar: optional parenthesized check list, then a
+  // The `analyzer-ok` grammar: optional parenthesized check list, then a
   // colon and the justification.
-  pos = comment.find("analyzer-ok");
+  pos = FindMarker(comment, "analyzer-ok");
   if (pos != std::string::npos) {
     Marker m;
     std::size_t after = pos + 11;
@@ -176,6 +194,16 @@ void ApplySuppressions(const LexedFile& lf, std::vector<Finding>* findings) {
                                     "' (see --list-checks)",
                                 false, ""});
       }
+      // A marker that suppressed nothing is stale: the hazard it excused is
+      // gone (or never fired). Unknown-check markers already got
+      // bad-suppression above; don't double-report them.
+      if (!m.used && m.unknown_checks.empty()) {
+        extra.push_back(
+            Finding{lf.path, line, kCheckStaleSuppression,
+                    "suppression marker matches no finding on this line — "
+                    "retire it (or fix the marker placement)",
+                    false, ""});
+      }
     }
   }
   findings->insert(findings->end(), extra.begin(), extra.end());
@@ -191,10 +219,24 @@ AnalysisResult Analyze(std::vector<LexedFile> files,
   for (const LexedFile& lf : files) IndexSymbolsPassA(lf, sym);
   for (const LexedFile& lf : files) IndexSymbolsPassB(lf, sym);
 
-  for (const LexedFile& lf : files) {
-    const FrameIndex fx = BuildFrames(lf);
-    std::vector<Finding> found = RunChecks(lf, fx, sym);
-    ApplySuppressions(lf, &found);
+  // Frames for every file up front: the call graph needs the whole tree's
+  // frames before any per-file check can consult MayBlock().
+  std::vector<FrameIndex> frames;
+  frames.reserve(files.size());
+  for (const LexedFile& lf : files) frames.push_back(BuildFrames(lf));
+
+  CallGraph cg;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    AddCallGraphFacts(files[i], frames[i], sym, cg);
+  }
+  FinalizeCallGraph(cg);
+
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    std::vector<Finding> found = RunChecks(files[i], frames[i], sym);
+    std::vector<Finding> conc =
+        RunConcurrencyChecks(files[i], frames[i], sym, cg);
+    found.insert(found.end(), conc.begin(), conc.end());
+    ApplySuppressions(files[i], &found);
     result.findings.insert(result.findings.end(), found.begin(), found.end());
   }
   std::sort(result.findings.begin(), result.findings.end(),
@@ -295,7 +337,7 @@ void PrintReport(const AnalysisResult& r, bool verbose, std::string* out) {
 }
 
 std::string JsonReport(const AnalysisResult& r) {
-  std::string j = "{\n  \"tool\": \"psoodb-analyze\",\n  \"version\": 1,\n";
+  std::string j = "{\n  \"tool\": \"psoodb-analyze\",\n  \"version\": 2,\n";
   j += "  \"files_scanned\": " + std::to_string(r.files_scanned) + ",\n";
   j += "  \"unsuppressed\": " + std::to_string(r.Unsuppressed()) + ",\n";
   j += "  \"findings\": [";

@@ -5,15 +5,17 @@
 ///
 /// Suppression markers (same line as the finding, inside any comment):
 ///
-///   det-ok, followed by a colon and a justification, covers det-hazard and
-///   unordered-iter (legacy grammar inherited from tools/lint_determinism);
-///   analyzer-ok — optionally followed by a parenthesized, comma-separated
+///   `det-ok`, followed by a colon and a justification, covers det-hazard
+///   and unordered-iter (legacy grammar from tools/lint_determinism);
+///   `analyzer-ok` — optionally followed by a parenthesized, comma-separated
 ///   check list — covers the listed checks, or every check on the line when
 ///   no list is given, and likewise takes `: <justification>`.
 ///
 /// A marker that suppresses a finding but carries no justification (or names
-/// an unknown check) produces a `bad-suppression` finding, which cannot
-/// itself be suppressed.
+/// an unknown check) produces a `bad-suppression` finding; a marker that
+/// suppresses nothing at all produces `stale-suppression`. Neither can
+/// itself be suppressed. Marker words preceded by a backtick or quote are
+/// prose, not markers.
 
 #ifndef PSOODB_TOOLS_ANALYZER_DRIVER_H_
 #define PSOODB_TOOLS_ANALYZER_DRIVER_H_

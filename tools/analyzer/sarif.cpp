@@ -1,0 +1,102 @@
+#include "analyzer/sarif.h"
+
+#include <cstdio>
+#include <map>
+
+#include "analyzer/checks.h"
+
+namespace psoodb::analyzer {
+
+namespace {
+
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string SarifReport(const AnalysisResult& r) {
+  const std::vector<std::string> rules = AllCheckNames();
+  std::map<std::string, int> rule_index;
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    rule_index[rules[i]] = static_cast<int>(i);
+  }
+
+  std::string j;
+  j += "{\n";
+  j += "  \"$schema\": "
+       "\"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  j += "  \"version\": \"2.1.0\",\n";
+  j += "  \"runs\": [\n    {\n";
+  j += "      \"tool\": {\n        \"driver\": {\n";
+  j += "          \"name\": \"psoodb-analyze\",\n";
+  j += "          \"informationUri\": \"docs/ANALYZER.md\",\n";
+  j += "          \"rules\": [";
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    j += i == 0 ? "\n" : ",\n";
+    j += "            {\"id\": \"" + Escape(rules[i]) +
+         "\", \"name\": \"" + Escape(rules[i]) +
+         "\", \"defaultConfiguration\": {\"level\": \"error\"}}";
+  }
+  j += "\n          ]\n        }\n      },\n";
+  j += "      \"results\": [";
+  bool first = true;
+  for (const Finding& f : r.findings) {
+    j += first ? "\n" : ",\n";
+    first = false;
+    j += "        {\n";
+    j += "          \"ruleId\": \"" + Escape(f.check) + "\",\n";
+    auto ri = rule_index.find(f.check);
+    if (ri != rule_index.end()) {
+      j += "          \"ruleIndex\": " + std::to_string(ri->second) + ",\n";
+    }
+    j += "          \"level\": \"error\",\n";
+    j += "          \"message\": {\"text\": \"" + Escape(f.message) +
+         "\"},\n";
+    j += "          \"locations\": [{\"physicalLocation\": "
+         "{\"artifactLocation\": {\"uri\": \"" +
+         Escape(f.file) +
+         "\"}, \"region\": {\"startLine\": " + std::to_string(f.line) +
+         "}}}]";
+    if (f.suppressed) {
+      j += ",\n          \"suppressions\": [{\"kind\": \"inSource\", "
+           "\"justification\": \"" +
+           Escape(f.justification) + "\"}]";
+    }
+    j += "\n        }";
+  }
+  j += first ? "]\n" : "\n      ]\n";
+  j += "    }\n  ]\n}\n";
+  return j;
+}
+
+}  // namespace psoodb::analyzer

@@ -1,0 +1,24 @@
+/// \file sarif.h
+/// SARIF 2.1.0 rendering for psoodb-analyze, so findings can be uploaded to
+/// GitHub code scanning (`--sarif out.sarif` + codeql-action/upload-sarif).
+/// One run, one driver ("psoodb-analyze"), one rule per check name; every
+/// finding becomes a result with level "error" and a single physical
+/// location. Suppressed findings are still emitted, carrying an in-source
+/// suppression object with the marker's justification, which code-scanning
+/// UIs render as dismissed.
+
+#ifndef PSOODB_TOOLS_ANALYZER_SARIF_H_
+#define PSOODB_TOOLS_ANALYZER_SARIF_H_
+
+#include <string>
+
+#include "analyzer/driver.h"
+
+namespace psoodb::analyzer {
+
+/// Renders `r` as a SARIF 2.1.0 log (a single JSON document).
+std::string SarifReport(const AnalysisResult& r);
+
+}  // namespace psoodb::analyzer
+
+#endif  // PSOODB_TOOLS_ANALYZER_SARIF_H_

@@ -122,6 +122,167 @@ void IndexAlias(const Tokens& t, std::size_t i, SymbolIndex& idx) {
   }
 }
 
+std::string FileStem(const std::string& path) {
+  const std::size_t slash = path.find_last_of("/\\");
+  std::string base =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  const std::size_t dot = base.rfind('.');
+  return dot == std::string::npos ? base : base.substr(0, dot);
+}
+
+bool IsMutexTypeName(const std::string& s) {
+  return s == "mutex" || s == "shared_mutex" || s == "recursive_mutex" ||
+         s == "timed_mutex" || s == "recursive_timed_mutex";
+}
+
+bool IsCondvarTypeName(const std::string& s) {
+  return s == "condition_variable" || s == "condition_variable_any";
+}
+
+/// Types that order their own accesses — a static of one of these needs no
+/// PSOODB_SHARD_SHARED annotation.
+bool IsSyncTypeName(const std::string& s) {
+  return IsMutexTypeName(s) || IsCondvarTypeName(s) || s == "atomic" ||
+         s == "atomic_flag" || s == "barrier" || s == "latch" ||
+         s == "once_flag" || s == "counting_semaphore" ||
+         s == "binary_semaphore";
+}
+
+/// Comma-separated identifiers inside the paren group opening at t[open]
+/// (the last identifier of each ::-qualified chunk, `std` dropped).
+std::set<std::string> ParenIdents(const Tokens& t, std::size_t open) {
+  std::set<std::string> out;
+  std::string last;
+  int depth = 0;
+  for (std::size_t j = open; j < t.size(); ++j) {
+    if (t[j].Is("(")) {
+      ++depth;
+      continue;
+    }
+    if (t[j].Is(")")) {
+      if (--depth == 0) {
+        if (!last.empty()) out.insert(last);
+        break;
+      }
+      continue;
+    }
+    if (depth != 1) continue;
+    if (t[j].Is(",")) {
+      if (!last.empty()) out.insert(last);
+      last.clear();
+    } else if (t[j].IsIdent() && t[j].text != "std") {
+      last = t[j].text;
+    }
+  }
+  return out;
+}
+
+/// Name of the declarator an annotation at t[i] attaches to: the identifier
+/// just before it, hopping back over an array extent `[...]`. Empty for the
+/// macro's own `#define` line.
+std::string AnnotatedName(const Tokens& t, std::size_t i) {
+  if (i == 0) return "";
+  std::size_t p = i - 1;
+  if (t[p].Is("]")) {
+    int depth = 0;
+    while (p > 0) {
+      if (t[p].Is("]")) ++depth;
+      if (t[p].Is("[") && --depth == 0) {
+        --p;
+        break;
+      }
+      --p;
+    }
+  }
+  if (!t[p].IsIdent() || t[p].text == "define") return "";
+  return t[p].text;
+}
+
+/// Concurrency vocabulary sweep (part of pass A): annotation macros plus
+/// mutex/condvar/future variables and mutable statics.
+void IndexConcurrencyVocab(const LexedFile& f, SymbolIndex& idx) {
+  const Tokens& t = f.tokens;
+  const std::string stem = FileStem(f.path);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!t[i].IsIdent()) continue;
+    const std::string& s = t[i].text;
+
+    if (s == "PSOODB_GUARDED_BY" && i + 1 < t.size() && t[i + 1].Is("(")) {
+      const std::string name = AnnotatedName(t, i);
+      const std::set<std::string> mus = ParenIdents(t, i + 1);
+      if (!name.empty() && !mus.empty()) {
+        idx.guarded_fields[name] =
+            SymbolIndex::GuardedField{*mus.begin(), stem};
+      }
+      continue;
+    }
+    if (s == "PSOODB_REQUIRES" && i + 1 < t.size() && t[i + 1].Is("(") &&
+        i > 0 && t[i - 1].Is(")")) {
+      // Walk back over the parameter list to the declared function's name.
+      int depth = 0;
+      std::size_t p = i - 1;
+      bool found = false;
+      while (true) {
+        if (t[p].Is(")")) {
+          ++depth;
+        } else if (t[p].Is("(") && --depth == 0) {
+          found = p > 0;
+          break;
+        }
+        if (p == 0) break;
+        --p;
+      }
+      if (found && t[p - 1].IsIdent()) {
+        const std::set<std::string> mus = ParenIdents(t, i + 1);
+        if (!mus.empty()) {
+          idx.requires_fns[t[p - 1].text].insert(mus.begin(), mus.end());
+        }
+      }
+      continue;
+    }
+    if (s == "PSOODB_PARTITION_LOCAL" || s == "PSOODB_SHARD_SHARED") {
+      const std::string name = AnnotatedName(t, i);
+      if (!name.empty()) {
+        (s == "PSOODB_PARTITION_LOCAL" ? idx.partition_local
+                                       : idx.shard_shared)
+            .insert(name);
+      }
+      continue;
+    }
+
+    // Mutex / condition-variable / future variable declarations:
+    //   std::mutex mu_;   std::future<int> f = ...;   condition_variable cv;
+    if (IsMutexTypeName(s) || IsCondvarTypeName(s) || s == "future" ||
+        s == "shared_future") {
+      std::size_t j = i + 1;
+      if (j < t.size() && t[j].Is("<")) j = SkipAngles(t, j);
+      while (j < t.size() &&
+             (t[j].Is("*") || t[j].Is("&") || t[j].Is("&&"))) {
+        ++j;
+      }
+      if (j + 1 < t.size() && t[j].IsIdent() &&
+          !IsNonTypeKeyword(t[j].text)) {
+        const Token& after = t[j + 1];
+        if (after.Is(";") || after.Is("=") || after.Is("{") ||
+            after.Is(",") || after.Is(")") || IsAnnotationMacro(after.text)) {
+          ((s == "future" || s == "shared_future")
+               ? idx.future_vars
+               : (IsMutexTypeName(s) ? idx.mutex_vars : idx.condvar_vars))
+              .insert(t[j].text);
+        }
+      }
+      continue;
+    }
+
+    if (s == "static") {
+      StaticDeclInfo info;
+      if (ParseStaticDecl(t, i, &info) && info.mutable_shared) {
+        idx.mutable_statics.insert(info.name);
+      }
+    }
+  }
+}
+
 void IndexSpawnSite(const Tokens& t, std::size_t i, SymbolIndex& idx) {
   // t[i] == "Spawn", t[i+1] == "(": every `ident(` inside the argument list
   // is a candidate coroutine factory for a detached process.
@@ -135,7 +296,71 @@ void IndexSpawnSite(const Tokens& t, std::size_t i, SymbolIndex& idx) {
 
 }  // namespace
 
+bool IsAnnotationMacro(const std::string& s) {
+  return s == "PSOODB_GUARDED_BY" || s == "PSOODB_REQUIRES" ||
+         s == "PSOODB_PARTITION_LOCAL" || s == "PSOODB_SHARD_SHARED";
+}
+
+bool IsCallContextKeyword(const std::string& s) { return IsNonTypeKeyword(s); }
+
+bool ParseStaticDecl(const std::vector<Token>& t, std::size_t i,
+                     StaticDeclInfo* out) {
+  *out = StaticDeclInfo{};
+  bool exempt = false;
+  int angle = 0;
+  std::string last_ident;
+  int last_line = 0;
+  for (std::size_t j = i + 1; j < t.size(); ++j) {
+    const Token& tk = t[j];
+    if (tk.Is("<")) {
+      ++angle;
+      continue;
+    }
+    if (tk.Is(">")) {
+      if (angle > 0) --angle;
+      continue;
+    }
+    if (tk.Is(">>")) {
+      angle = angle >= 2 ? angle - 2 : 0;
+      continue;
+    }
+    if (angle > 0) continue;
+    if (tk.Is("[")) {  // array extent: hop to the matching ]
+      int d = 0;
+      for (; j < t.size(); ++j) {
+        if (t[j].Is("[")) ++d;
+        if (t[j].Is("]") && --d == 0) break;
+      }
+      continue;
+    }
+    if (tk.Is(";") || tk.Is("=") || tk.Is("{")) break;
+    if (tk.Is("(")) return false;  // function declaration or definition
+    if (tk.Is("}") || tk.Is(")")) return false;  // not a declaration
+    if (!tk.IsIdent()) continue;
+    const std::string& s = tk.text;
+    if (s == "const" || s == "constexpr" || s == "thread_local") {
+      exempt = true;
+    } else if (IsAnnotationMacro(s)) {
+      out->annotated = true;
+      if (j + 1 < t.size() && t[j + 1].Is("(")) j = MatchParen(t, j + 1);
+    } else if (IsSyncTypeName(s)) {
+      out->sync_object = true;
+    } else if (s != "inline" && s != "constinit" && s != "struct" &&
+               s != "class" && s != "unsigned" && s != "signed" &&
+               s != "std") {
+      last_ident = s;
+      last_line = tk.line;
+    }
+  }
+  if (last_ident.empty()) return false;
+  out->name = last_ident;
+  out->line = last_line;
+  out->mutable_shared = !exempt && !out->sync_object;
+  return true;
+}
+
 void IndexSymbolsPassA(const LexedFile& f, SymbolIndex& idx) {
+  IndexConcurrencyVocab(f, idx);
   const Tokens& t = f.tokens;
   for (std::size_t i = 0; i < t.size(); ++i) {
     if (!t[i].IsIdent()) continue;
@@ -221,8 +446,11 @@ void IndexSymbolsPassB(const LexedFile& f, SymbolIndex& idx) {
     const std::string& var = t[j].text;
     if (j + 1 >= t.size()) continue;
     const Token& after_var = t[j + 1];
+    // Trailing annotation macros (`... txn_phases_ PSOODB_PARTITION_LOCAL;`)
+    // are transparent: the name before them is still the declared variable.
     if (after_var.Is(";") || after_var.Is("=") || after_var.Is("{") ||
-        after_var.Is(",") || after_var.Is(")")) {
+        after_var.Is(",") || after_var.Is(")") ||
+        IsAnnotationMacro(after_var.text)) {
       bool& flag = idx.unordered_vars[var];
       flag = flag || mapped_unordered;  // merge conservatively on collision
     }

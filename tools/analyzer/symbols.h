@@ -12,6 +12,11 @@
 /// A name declared BOTH with a task-like return type and with any other
 /// return type is ambiguous and dropped from the task set — a documented
 /// false-negative trade that keeps DROPPED-TASK free of false positives.
+///
+/// Pass A also indexes the concurrency vocabulary from src/util/annotations.h
+/// (PSOODB_GUARDED_BY / PSOODB_REQUIRES / PSOODB_PARTITION_LOCAL /
+/// PSOODB_SHARD_SHARED) plus the mutex / condition-variable / future
+/// variables and mutable statics the concurrency checks reason about.
 
 #ifndef PSOODB_TOOLS_ANALYZER_SYMBOLS_H_
 #define PSOODB_TOOLS_ANALYZER_SYMBOLS_H_
@@ -45,6 +50,29 @@ struct SymbolIndex {
   /// enum-class name -> enumerator names.
   std::map<std::string, std::set<std::string>> enums;
 
+  // --- Concurrency vocabulary (see src/util/annotations.h) ---------------
+
+  struct GuardedField {
+    std::string mutex;  ///< name inside PSOODB_GUARDED_BY(...)
+    std::string stem;   ///< declaring file's stem, e.g. "thread_pool"
+  };
+  /// Field name -> its guard. Name-based, so access checks are restricted
+  /// to files sharing the declaring file's stem (header + its .cpp).
+  std::map<std::string, GuardedField> guarded_fields;
+  /// Function name -> mutexes its PSOODB_REQUIRES(...) lists.
+  std::map<std::string, std::set<std::string>> requires_fns;
+  /// Names annotated PSOODB_PARTITION_LOCAL (single-owner shard state).
+  std::set<std::string> partition_local;
+  /// Names annotated PSOODB_SHARD_SHARED (deliberately cross-thread).
+  std::set<std::string> shard_shared;
+  /// Variables of std mutex / condition-variable / future type.
+  std::set<std::string> mutex_vars;
+  std::set<std::string> condvar_vars;
+  std::set<std::string> future_vars;
+  /// Mutable `static`-declared variables (non-const, non-thread_local,
+  /// unannotated or not) — escape targets for shard-escape.
+  std::set<std::string> mutable_statics;
+
   bool IsTaskFunction(const std::string& name) const {
     return task_declared.count(name) != 0 && nontask_declared.count(name) == 0;
   }
@@ -58,10 +86,35 @@ struct SymbolIndex {
   }
 };
 
-/// Pass A: aliases, enums, accessors, task functions, Spawn sites.
+/// Pass A: aliases, enums, accessors, task functions, Spawn sites, and the
+/// concurrency vocabulary (annotations, mutexes, futures, statics).
 void IndexSymbolsPassA(const LexedFile& f, SymbolIndex& idx);
 /// Pass B: unordered-typed variables (requires pass A aliases for all files).
 void IndexSymbolsPassB(const LexedFile& f, SymbolIndex& idx);
+
+/// True for the no-op annotation macro names; declaration parsers treat them
+/// as transparent (they sit between a declarator and its `;` / `= init`).
+bool IsAnnotationMacro(const std::string& s);
+
+/// Keywords that may directly precede a call expression (`return Foo()`),
+/// i.e. an `ident (` preceded by one of these is a call, not a declaration.
+bool IsCallContextKeyword(const std::string& s);
+
+/// Parsed `static` declaration, shared between pass A (mutable_statics) and
+/// the unannotated-shared-static check.
+struct StaticDeclInfo {
+  std::string name;
+  int line = 0;               ///< line of the declared name
+  bool mutable_shared = false;  ///< not const/constexpr/thread_local/function
+  bool annotated = false;       ///< carries a PSOODB_* annotation
+  bool sync_object = false;     ///< mutex/condvar/atomic/... (self-ordering)
+};
+
+/// Parses the declaration starting at the `static` keyword at t[i]. Returns
+/// false for non-declarations (static_cast chains, member fn declarations,
+/// `static` storage-class on function definitions, ...).
+bool ParseStaticDecl(const std::vector<Token>& t, std::size_t i,
+                     StaticDeclInfo* out);
 
 }  // namespace psoodb::analyzer
 
