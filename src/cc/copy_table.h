@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "storage/types.h"
+#include "util/annotations.h"
 #include "util/small_vector.h"
 
 namespace psoodb::cc {
@@ -42,7 +43,7 @@ class CopyTable {
 
   /// Registers that `client` holds a (new) copy of `item`. Re-registering
   /// bumps the epoch: the copy now on the wire supersedes older ones.
-  void Register(ItemId item, storage::ClientId client) {
+  void Register(ItemId item, storage::ClientId client) PSOODB_ACQUIRES(copy) {
     HolderList& holders = table_[item];
     std::size_t i = 0;
     while (i < holders.size() && holders[i].client < client) ++i;
@@ -56,7 +57,8 @@ class CopyTable {
 
   /// Unconditionally removes `client`'s registration (client-initiated
   /// drops: eviction notices, abort purges). No-op if absent.
-  void Unregister(ItemId item, storage::ClientId client) {
+  void Unregister(ItemId item, storage::ClientId client)
+      PSOODB_RELEASES(copy) {
     auto it = table_.find(item);
     if (it == table_.end()) return;
     HolderList& holders = it->second;
@@ -73,7 +75,7 @@ class CopyTable {
   /// Removes `client`'s registration only if it still has the given epoch
   /// (callback acknowledgments). Returns true if removed.
   bool UnregisterIfEpoch(ItemId item, storage::ClientId client,
-                         std::uint64_t epoch) {
+                         std::uint64_t epoch) PSOODB_RELEASES(copy) {
     auto it = table_.find(item);
     if (it == table_.end()) return false;
     HolderList& holders = it->second;

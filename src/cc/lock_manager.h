@@ -27,6 +27,7 @@
 #include "sim/task.h"
 #include "storage/types.h"
 #include "trace/trace.h"
+#include "util/annotations.h"
 
 namespace psoodb::cc {
 
@@ -55,14 +56,16 @@ class LockManager {
   /// throws TxnAborted on deadlock. Re-acquiring a held lock is a no-op.
   /// [[nodiscard]]: dropping the returned Task would skip the acquire.
   [[nodiscard]] sim::Task AcquirePageX(storage::PageId page, storage::TxnId txn,
-                                       storage::ClientId client);
+                                       storage::ClientId client)
+      PSOODB_ACQUIRES(lock);
 
   /// Waits until no *other* transaction holds a page X lock on `page`
   /// without acquiring anything (used by read requests).
   [[nodiscard]] sim::Task WaitPageFree(storage::PageId page,
                                        storage::TxnId txn);
 
-  void ReleasePageX(storage::PageId page, storage::TxnId txn);
+  void ReleasePageX(storage::PageId page, storage::TxnId txn)
+      PSOODB_RELEASES(lock);
   storage::TxnId PageXHolder(storage::PageId page) const;
   storage::ClientId PageXHolderClient(storage::PageId page) const;
 
@@ -72,7 +75,8 @@ class LockManager {
   [[nodiscard]] sim::Task AcquireObjectX(storage::ObjectId oid,
                                          storage::PageId page,
                                          storage::TxnId txn,
-                                         storage::ClientId client);
+                                         storage::ClientId client)
+      PSOODB_ACQUIRES(lock);
 
   /// Waits until no *other* transaction holds an object X lock on `oid`
   /// (which lives on `page`; used only to tag trace events).
@@ -85,9 +89,11 @@ class LockManager {
   /// conflicting holder can exist. Asserts the lock is free (or already
   /// held by `txn`).
   void GrantObjectXDirect(storage::ObjectId oid, storage::PageId page,
-                          storage::TxnId txn, storage::ClientId client);
+                          storage::TxnId txn, storage::ClientId client)
+      PSOODB_ACQUIRES(lock);
 
-  void ReleaseObjectX(storage::ObjectId oid, storage::TxnId txn);
+  void ReleaseObjectX(storage::ObjectId oid, storage::TxnId txn)
+      PSOODB_RELEASES(lock);
   storage::TxnId ObjectXHolder(storage::ObjectId oid) const;
   storage::ClientId ObjectXHolderClient(storage::ObjectId oid) const;
 
@@ -103,7 +109,7 @@ class LockManager {
 
   /// Releases every lock held by `txn` (commit or abort) and removes it from
   /// the waits-for graph. Returns the number of locks released.
-  int ReleaseAll(storage::TxnId txn);
+  int ReleaseAll(storage::TxnId txn) PSOODB_RELEASES(lock);
 
   /// Locks currently held by `txn`.
   const std::unordered_set<storage::PageId>* PagesHeldBy(

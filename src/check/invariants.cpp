@@ -351,6 +351,20 @@ void InvariantChecker::OnCallbacksDrained(core::Server& server,
          U(txn), batch.new_blockers.size());
 }
 
+void InvariantChecker::OnAbortReleased(core::Server& server, TxnId txn) {
+  cc::LockManager& lm = server.lock_manager();
+  const auto* pages = lm.PagesHeldBy(txn);
+  Expect(pages == nullptr || pages->empty(),
+         "aborted txn %llu still holds %zu page lock(s) after the abort "
+         "handler (abort-path lock leak)",
+         U(txn), pages == nullptr ? std::size_t{0} : pages->size());
+  const auto* objects = lm.ObjectsHeldBy(txn);
+  Expect(objects == nullptr || objects->empty(),
+         "aborted txn %llu still holds %zu object lock(s) after the abort "
+         "handler (abort-path lock leak)",
+         U(txn), objects == nullptr ? std::size_t{0} : objects->size());
+}
+
 void InvariantChecker::OnWriteGrant(core::Server& server,
                                     core::GrantLevel level, PageId page,
                                     ObjectId oid, TxnId txn, ClientId client) {

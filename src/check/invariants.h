@@ -81,6 +81,10 @@ class InvariantChecker {
   void OnCallbacksDrained(core::Server& server,
                           const core::CallbackBatch& batch,
                           storage::TxnId txn);
+  /// An abort handler finished: `txn` must hold no locks at this server
+  /// (the abort path released everything — the runtime twin of the
+  /// analyzer's lock-leak abort-path rule).
+  void OnAbortReleased(core::Server& server, storage::TxnId txn);
   /// A write permission is about to be granted to `client` for `txn`.
   /// `oid` is negative for page-level grants without a staked object lock
   /// (plain PS).

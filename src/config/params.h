@@ -122,6 +122,12 @@ struct SystemParams {
   /// Exists to prove the invariant checker catches real protocol bugs
   /// (see tests/invariant_test.cpp); never enable outside tests.
   bool test_skip_callback_drain = false;
+  /// TEST ONLY — seeded protocol bug: the abort handler skips releasing the
+  /// aborting transaction's locks (the runtime twin of the analyzer's
+  /// seeded abort-path lock leak). Exists to prove the same defect class is
+  /// caught at runtime by the invariant checker's OnAbortReleased hook (see
+  /// tests/invariant_test.cpp); never enable outside tests.
+  bool test_skip_abort_release = false;
 
   // --- Event tracing (src/trace/trace.h) ----------------------------------
   /// Enables the deterministic event tracer and per-txn latency breakdown.

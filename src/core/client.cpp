@@ -165,10 +165,10 @@ void Client::OnAdaptiveCallback(PageId, ObjectId, TxnId,
   PSOODB_CHECK(false, "unexpected adaptive callback for this protocol");
 }
 void Client::OnDeEscalate(PageId,
-                          sim::Promise<std::vector<ObjectId>>) {
+                          sim::Promise<std::vector<ObjectId>>) {  // analyzer-ok(reply-obligation): unreachable — the CHECK below aborts before the promise could be consumed
   PSOODB_CHECK(false, "unexpected de-escalation request for this protocol");
 }
-void Client::OnTokenRecall(PageId, sim::Promise<bool>) {
+void Client::OnTokenRecall(PageId, sim::Promise<bool>) {  // analyzer-ok(reply-obligation): unreachable — the CHECK below aborts before the promise could be consumed
   PSOODB_CHECK(false, "unexpected token recall for this protocol");
 }
 

@@ -24,6 +24,7 @@
 #include "storage/buffer_manager.h"
 #include "storage/object_cache.h"
 #include "trace/trace.h"
+#include "util/annotations.h"
 #include "workload/workload.h"
 
 namespace psoodb::core {
@@ -79,30 +80,35 @@ class Client {
   virtual void OnAdaptiveCallback(storage::PageId page, storage::ObjectId oid,
                                   storage::TxnId requester,
                                   std::shared_ptr<CallbackBatch> batch);
-  virtual void OnDeEscalate(storage::PageId page,
-                            sim::Promise<std::vector<storage::ObjectId>> reply);
+  virtual void OnDeEscalate(
+      storage::PageId page,
+      sim::Promise<std::vector<storage::ObjectId>> reply) PSOODB_REPLIES;
   /// PS-WT: surrender the write token for `page`, flushing the current page
   /// image (with any uncommitted updates, staged at the server) first.
-  virtual void OnTokenRecall(storage::PageId page, sim::Promise<bool> done);
+  virtual void OnTokenRecall(storage::PageId page,
+                             sim::Promise<bool> done) PSOODB_REPLIES;
 
  protected:
   // --- Protocol hooks ------------------------------------------------------
-  virtual sim::Task Read(storage::ObjectId oid) = 0;
-  virtual sim::Task Write(storage::ObjectId oid) = 0;
-  virtual sim::Task Commit() = 0;
-  virtual sim::Task Abort() = 0;
+  // Read/Write pin the touched item into the client cache for the life of
+  // the transaction (a cached copy *is* the read permission — see UnpinAll);
+  // Commit/Abort end the transaction and drop every pin.
+  virtual sim::Task Read(storage::ObjectId oid) PSOODB_ACQUIRES(pin) = 0;
+  virtual sim::Task Write(storage::ObjectId oid) PSOODB_ACQUIRES(pin) = 0;
+  virtual sim::Task Commit() PSOODB_RELEASES(pin) = 0;
+  virtual sim::Task Abort() PSOODB_RELEASES(pin) = 0;
 
   // --- Shared machinery ----------------------------------------------------
   sim::Task MainLoop();
   void BeginTxn();
   /// Clears transaction state and runs deferred callback actions.
-  void EndTxnLocal();
+  void EndTxnLocal() PSOODB_RELEASES(pin);
   /// Releases the cache pins of the transaction's footprint. Under Callback
   /// Locking a cached copy *is* the read permission, so items read or
   /// written by the active transaction are pinned until it ends — evicting
   /// one would silently drop a read lock (requires the client cache to be
   /// larger than a transaction's page footprint; System asserts this).
-  virtual void UnpinAll() {}
+  virtual void UnpinAll() PSOODB_RELEASES(pin) {}
   /// Records the version observed by a read (first read wins) and checks the
   /// cache-validity invariant. Call with own_write=true for reads of objects
   /// this transaction has already written (skips both).
@@ -223,21 +229,21 @@ class PageFamilyClient : public Client {
   int ApplyShip(const PageShip& ship);
 
   /// Marks a local update of `oid` in the cached frame (which must exist).
-  void MarkLocalWrite(storage::ObjectId oid);
+  void MarkLocalWrite(storage::ObjectId oid) PSOODB_ACQUIRES(pin);
 
   /// Shared commit: ships still-cached dirty pages + commit record, waits
   /// for the ack, applies new versions, ends the transaction.
-  sim::Task Commit() override;
+  sim::Task Commit() PSOODB_RELEASES(pin) override;
   /// Shared abort: purges dirty pages, notifies the server, resubmits.
-  sim::Task Abort() override;
+  sim::Task Abort() PSOODB_RELEASES(pin) override;
 
   /// Local read bookkeeping once `oid` is cached and available.
-  void LocalRead(storage::ObjectId oid);
+  void LocalRead(storage::ObjectId oid) PSOODB_ACQUIRES(pin);
 
   void HandleEviction(storage::PageId page, storage::PageFrame&& frame);
 
-  void UnpinAll() override;
-  void PinForTxn(storage::PageId page);
+  void UnpinAll() PSOODB_RELEASES(pin) override;
+  void PinForTxn(storage::PageId page) PSOODB_ACQUIRES(pin);
 
   storage::PageCache cache_;
   std::unordered_set<storage::PageId> pinned_pages_;

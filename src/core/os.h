@@ -19,10 +19,10 @@ class OsServer : public Server {
 
   void OnObjectReadReq(storage::ObjectId oid, storage::TxnId txn,
                        storage::ClientId client,
-                       sim::Promise<ObjectShip> reply);
+                       sim::Promise<ObjectShip> reply) PSOODB_REPLIES;
   void OnObjectWriteReq(storage::ObjectId oid, storage::TxnId txn,
                         storage::ClientId client,
-                        sim::Promise<WriteGrant> reply);
+                        sim::Promise<WriteGrant> reply) PSOODB_REPLIES;
 
  protected:
   bool CommitReplacesPage(storage::TxnId, storage::PageId) const override {
@@ -32,12 +32,16 @@ class OsServer : public Server {
   }
 
  private:
+  // HandleRead leaves the object registered in the copy table; HandleWrite
+  // leaves the object X lock held until commit/abort.
   sim::Task HandleRead(storage::ObjectId oid, storage::TxnId txn,
                        storage::ClientId client,
-                       sim::Promise<ObjectShip> reply);
+                       sim::Promise<ObjectShip> reply)
+      PSOODB_ACQUIRES(copy) PSOODB_REPLIES;
   sim::Task HandleWrite(storage::ObjectId oid, storage::TxnId txn,
                         storage::ClientId client,
-                        sim::Promise<WriteGrant> reply);
+                        sim::Promise<WriteGrant> reply)
+      PSOODB_ACQUIRES(lock) PSOODB_REPLIES;
 };
 
 class OsClient : public Client {
@@ -63,16 +67,16 @@ class OsClient : public Client {
   }
 
  protected:
-  sim::Task Read(storage::ObjectId oid) override;
-  sim::Task Write(storage::ObjectId oid) override;
-  sim::Task Commit() override;
-  sim::Task Abort() override;
+  sim::Task Read(storage::ObjectId oid) PSOODB_ACQUIRES(pin) override;
+  sim::Task Write(storage::ObjectId oid) PSOODB_ACQUIRES(pin) override;
+  sim::Task Commit() PSOODB_RELEASES(pin) override;
+  sim::Task Abort() PSOODB_RELEASES(pin) override;
 
  private:
   sim::Task FetchObject(storage::ObjectId oid);
   void HandleEviction(storage::ObjectId oid, storage::ObjectFrame&& frame);
-  void UnpinAll() override;
-  void PinForTxn(storage::ObjectId oid);
+  void UnpinAll() PSOODB_RELEASES(pin) override;
+  void PinForTxn(storage::ObjectId oid) PSOODB_ACQUIRES(pin);
 
   OsServer* OsServerFor(storage::PageId page) const {
     return os_servers_[static_cast<std::size_t>(

@@ -19,11 +19,12 @@ class PsServer : public Server {
 
   /// Client entry: request a copy of `page` for reading.
   void OnPageReadReq(storage::PageId page, storage::TxnId txn,
-                     storage::ClientId client, sim::Promise<PageShip> reply);
+                     storage::ClientId client,
+                     sim::Promise<PageShip> reply) PSOODB_REPLIES;
   /// Client entry: request a page write lock.
   void OnPageWriteReq(storage::PageId page, storage::TxnId txn,
                       storage::ClientId client,
-                      sim::Promise<WriteGrant> reply);
+                      sim::Promise<WriteGrant> reply) PSOODB_REPLIES;
 
  protected:
   bool CommitReplacesPage(storage::TxnId, storage::PageId) const override {
@@ -32,11 +33,17 @@ class PsServer : public Server {
   }
 
  private:
+  // HandleRead leaves the page registered in the copy table (the
+  // registration *is* the client's read permission); HandleWrite leaves the
+  // page X lock held until commit/abort.
   sim::Task HandleRead(storage::PageId page, storage::TxnId txn,
-                       storage::ClientId client, sim::Promise<PageShip> reply);
+                       storage::ClientId client,
+                       sim::Promise<PageShip> reply)
+      PSOODB_ACQUIRES(copy) PSOODB_REPLIES;
   sim::Task HandleWrite(storage::PageId page, storage::TxnId txn,
                         storage::ClientId client,
-                        sim::Promise<WriteGrant> reply);
+                        sim::Promise<WriteGrant> reply)
+      PSOODB_ACQUIRES(lock) PSOODB_REPLIES;
 };
 
 class PsClient : public PageFamilyClient {
@@ -52,8 +59,8 @@ class PsClient : public PageFamilyClient {
                       std::shared_ptr<CallbackBatch> batch) override;
 
  protected:
-  sim::Task Read(storage::ObjectId oid) override;
-  sim::Task Write(storage::ObjectId oid) override;
+  sim::Task Read(storage::ObjectId oid) PSOODB_ACQUIRES(pin) override;
+  sim::Task Write(storage::ObjectId oid) PSOODB_ACQUIRES(pin) override;
 
  private:
   /// Fetches `page` from its owning server and installs it in the cache.

@@ -21,10 +21,11 @@ class PsAaServer : public Server {
   using Server::Server;
 
   void OnObjectReadReq(storage::ObjectId oid, storage::TxnId txn,
-                       storage::ClientId client, sim::Promise<PageShip> reply);
+                       storage::ClientId client,
+                       sim::Promise<PageShip> reply) PSOODB_REPLIES;
   void OnObjectWriteReq(storage::ObjectId oid, storage::TxnId txn,
                         storage::ClientId client,
-                        sim::Promise<WriteGrant> reply);
+                        sim::Promise<WriteGrant> reply) PSOODB_REPLIES;
 
  protected:
   bool CommitReplacesPage(storage::TxnId txn,
@@ -42,15 +43,24 @@ class PsAaServer : public Server {
   /// receive object X locks, and the page lock is released (Section 3.3.3).
   /// `requester` is the transaction waiting on the conflict (the round-trip
   /// is attributed to it as callback wait in traces).
+  ///
+  /// Deliberately carries no obligation annotation: the lock work it does
+  /// (GrantObjectXDirect for the written objects, then ReleasePageX) is
+  /// balanced on every path, and psoodb-analyze's lock-leak check proves it.
   sim::Task DeEscalate(storage::PageId page, storage::TxnId holder,
                        storage::TxnId requester);
 
  private:
+  // As in PS-OO: the copy registration and the X lock (object- or
+  // re-escalated page-level) intentionally outlive the handlers.
   sim::Task HandleRead(storage::ObjectId oid, storage::TxnId txn,
-                       storage::ClientId client, sim::Promise<PageShip> reply);
+                       storage::ClientId client,
+                       sim::Promise<PageShip> reply)
+      PSOODB_ACQUIRES(copy) PSOODB_REPLIES;
   sim::Task HandleWrite(storage::ObjectId oid, storage::TxnId txn,
                         storage::ClientId client,
-                        sim::Promise<WriteGrant> reply);
+                        sim::Promise<WriteGrant> reply)
+      PSOODB_ACQUIRES(lock) PSOODB_REPLIES;
 
   /// Waits out page/object conflicts for (oid, page) on behalf of txn,
   /// de-escalating page locks as needed. On return no *other* transaction
@@ -78,8 +88,8 @@ class PsAaClient : public PageFamilyClient {
       override;
 
  protected:
-  sim::Task Read(storage::ObjectId oid) override;
-  sim::Task Write(storage::ObjectId oid) override;
+  sim::Task Read(storage::ObjectId oid) PSOODB_ACQUIRES(pin) override;
+  sim::Task Write(storage::ObjectId oid) PSOODB_ACQUIRES(pin) override;
 
  private:
   sim::Task FetchFor(storage::ObjectId oid);

@@ -17,10 +17,11 @@ class PsOaServer : public Server {
   using Server::Server;
 
   void OnObjectReadReq(storage::ObjectId oid, storage::TxnId txn,
-                       storage::ClientId client, sim::Promise<PageShip> reply);
+                       storage::ClientId client,
+                       sim::Promise<PageShip> reply) PSOODB_REPLIES;
   void OnObjectWriteReq(storage::ObjectId oid, storage::TxnId txn,
                         storage::ClientId client,
-                        sim::Promise<WriteGrant> reply);
+                        sim::Promise<WriteGrant> reply) PSOODB_REPLIES;
 
  protected:
   bool CommitReplacesPage(storage::TxnId, storage::PageId) const override {
@@ -31,11 +32,16 @@ class PsOaServer : public Server {
                                     storage::TxnId txn) const;
 
  private:
+  // Same obligations as PS-OO: the copy registration and the object X lock
+  // intentionally outlive the handlers.
   sim::Task HandleRead(storage::ObjectId oid, storage::TxnId txn,
-                       storage::ClientId client, sim::Promise<PageShip> reply);
+                       storage::ClientId client,
+                       sim::Promise<PageShip> reply)
+      PSOODB_ACQUIRES(copy) PSOODB_REPLIES;
   sim::Task HandleWrite(storage::ObjectId oid, storage::TxnId txn,
                         storage::ClientId client,
-                        sim::Promise<WriteGrant> reply);
+                        sim::Promise<WriteGrant> reply)
+      PSOODB_ACQUIRES(lock) PSOODB_REPLIES;
 };
 
 class PsOaClient : public PageFamilyClient {
@@ -52,8 +58,8 @@ class PsOaClient : public PageFamilyClient {
                           std::shared_ptr<CallbackBatch> batch) override;
 
  protected:
-  sim::Task Read(storage::ObjectId oid) override;
-  sim::Task Write(storage::ObjectId oid) override;
+  sim::Task Read(storage::ObjectId oid) PSOODB_ACQUIRES(pin) override;
+  sim::Task Write(storage::ObjectId oid) PSOODB_ACQUIRES(pin) override;
 
  private:
   sim::Task FetchFor(storage::ObjectId oid);

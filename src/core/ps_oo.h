@@ -18,10 +18,11 @@ class PsOoServer : public Server {
   using Server::Server;
 
   void OnObjectReadReq(storage::ObjectId oid, storage::TxnId txn,
-                       storage::ClientId client, sim::Promise<PageShip> reply);
+                       storage::ClientId client,
+                       sim::Promise<PageShip> reply) PSOODB_REPLIES;
   void OnObjectWriteReq(storage::ObjectId oid, storage::TxnId txn,
                         storage::ClientId client,
-                        sim::Promise<WriteGrant> reply);
+                        sim::Promise<WriteGrant> reply) PSOODB_REPLIES;
 
   /// Object-granularity copy tracking: dropping a page drops every object
   /// copy the client held on it.
@@ -42,11 +43,16 @@ class PsOoServer : public Server {
                                     storage::TxnId txn) const;
 
  private:
+  // HandleRead leaves the shipped objects registered in the copy table;
+  // HandleWrite leaves the object X lock held until commit/abort.
   sim::Task HandleRead(storage::ObjectId oid, storage::TxnId txn,
-                       storage::ClientId client, sim::Promise<PageShip> reply);
+                       storage::ClientId client,
+                       sim::Promise<PageShip> reply)
+      PSOODB_ACQUIRES(copy) PSOODB_REPLIES;
   sim::Task HandleWrite(storage::ObjectId oid, storage::TxnId txn,
                         storage::ClientId client,
-                        sim::Promise<WriteGrant> reply);
+                        sim::Promise<WriteGrant> reply)
+      PSOODB_ACQUIRES(lock) PSOODB_REPLIES;
 };
 
 class PsOoClient : public PageFamilyClient {
@@ -63,8 +69,8 @@ class PsOoClient : public PageFamilyClient {
                         std::shared_ptr<CallbackBatch> batch) override;
 
  protected:
-  sim::Task Read(storage::ObjectId oid) override;
-  sim::Task Write(storage::ObjectId oid) override;
+  sim::Task Read(storage::ObjectId oid) PSOODB_ACQUIRES(pin) override;
+  sim::Task Write(storage::ObjectId oid) PSOODB_ACQUIRES(pin) override;
 
   /// Fetches the page containing `oid` until the object is readable.
   sim::Task FetchFor(storage::ObjectId oid);

@@ -36,7 +36,7 @@ class PsWtServer : public PsOoServer {
 
   void OnTokenWriteReq(storage::ObjectId oid, storage::TxnId txn,
                        storage::ClientId client,
-                       sim::Promise<TokenWriteGrant> reply);
+                       sim::Promise<TokenWriteGrant> reply) PSOODB_REPLIES;
 
   /// Dropping a page copy surrenders its token.
   void OnClientDroppedPage(storage::PageId page,
@@ -56,9 +56,12 @@ class PsWtServer : public PsOoServer {
   }
 
  private:
+  // Beyond the PS-OO write obligations, a token handoff ships the recalled
+  // page image and registers the shipped objects in the copy table.
   sim::Task HandleWrite(storage::ObjectId oid, storage::TxnId txn,
                         storage::ClientId client,
-                        sim::Promise<TokenWriteGrant> reply);
+                        sim::Promise<TokenWriteGrant> reply)
+      PSOODB_ACQUIRES(lock) PSOODB_ACQUIRES(copy) PSOODB_REPLIES;
 
   std::unordered_map<storage::PageId, storage::ClientId> token_owner_;
 };
@@ -75,7 +78,7 @@ class PsWtClient : public PsOoClient {
   void OnTokenRecall(storage::PageId page, sim::Promise<bool> done) override;
 
  protected:
-  sim::Task Write(storage::ObjectId oid) override;
+  sim::Task Write(storage::ObjectId oid) PSOODB_ACQUIRES(pin) override;
 
  private:
   PsWtServer* WtServerFor(storage::PageId page) const {

@@ -312,9 +312,48 @@ sim::Task Server::HandleAbort(TxnId txn, ClientId client,
     co_await cpu_.System(ctx_.params.lock_inst);
   }
   OnAbortPurge(txn, client, purged_pages, purged_objects);
-  lm_.ReleaseAll(txn);
+  // test_skip_abort_release is a test-only fault injection: the abort path
+  // leaks the transaction's locks, which the OnAbortReleased invariant hook
+  // must catch (see tests/invariant_test.cpp). It is the runtime twin of the
+  // analyzer's seeded abort-path lock-leak (HandleAbortSeededLeak below).
+  if (!ctx_.params.test_skip_abort_release) {
+    lm_.ReleaseAll(txn);
+  }
+  if (ctx_.invariants != nullptr) {
+    ctx_.invariants->OnAbortReleased(*this, txn);
+  }
   SendToClient(client, MsgKind::kControlReply, ctx_.transport.ControlBytes(),
                [reply = std::move(reply)]() mutable { reply.Set(true); });
 }
+
+#if PSOODB_SEED_OBLIGATION_BUGS
+// Test-only seeded defects (never compiled — the flag is never defined, and
+// only `#if 0` blocks are dead to the analyzer's lexer). Each carries the
+// suppression its finding needs so the full-tree scan stays clean; the
+// analyzer unit test asserts the findings fire on exactly these lines.
+
+sim::Task Server::HandleAbortSeededLeak(TxnId txn, ClientId client,
+                                        sim::Promise<bool> reply) {
+  try {
+    co_await lm_.AcquirePageX(0, txn, client);
+    lm_.ReleaseAll(txn);
+    SendToClient(client, MsgKind::kControlReply, ctx_.transport.ControlBytes(),
+                 [reply = std::move(reply)]() mutable { reply.Set(true); });
+  } catch (const cc::TxnAborted&) {  // analyzer-ok(lock-leak): seeded defect — the abort unwind skips ReleaseAll, leaking the page lock
+    SendToClient(client, MsgKind::kControlReply, ctx_.transport.ControlBytes(),
+                 [reply = std::move(reply)]() mutable { reply.Set(false); });
+  }
+}
+
+sim::Task Server::HandleReadSeededDrop(PageId page, TxnId txn, ClientId client,
+                                       sim::Promise<PageShip> reply) {
+  co_await EnsureBuffered(page, /*load=*/true, txn);
+  if (buffer_.Get(page) == nullptr) co_return;  // analyzer-ok(reply-obligation): seeded defect — this early exit drops the reply promise
+  SendToClient(client, MsgKind::kDataReply, ctx_.params.page_size_bytes,
+               [reply = std::move(reply), ship = MakeShip(page, 0)]() mutable {
+                 reply.Set(std::move(ship));
+               });
+}
+#endif  // PSOODB_SEED_OBLIGATION_BUGS
 
 }  // namespace psoodb::core

@@ -21,6 +21,7 @@
 #include "resources/disk.h"
 #include "sim/pool.h"
 #include "storage/buffer_manager.h"
+#include "util/annotations.h"
 
 namespace psoodb::core {
 
@@ -83,11 +84,11 @@ class Server {
                    std::vector<PageUpdate> updates,
                    std::vector<std::pair<storage::ObjectId, storage::Version>>
                        read_versions,
-                   sim::Promise<CommitAck> reply);
+                   sim::Promise<CommitAck> reply) PSOODB_REPLIES;
   void OnAbortReq(storage::TxnId txn, storage::ClientId client,
                   std::vector<storage::PageId> purged_pages,
                   std::vector<storage::ObjectId> purged_objects,
-                  sim::Promise<bool> reply);
+                  sim::Promise<bool> reply) PSOODB_REPLIES;
   void OnDirtyInstall(storage::TxnId txn, storage::PageId page,
                       storage::SlotMask dirty);
   /// A client dropped its cached copy of `page` (clean eviction notice or
@@ -141,7 +142,7 @@ class Server {
   /// Creates a callback batch owned by this server. Pool-allocated: batches
   /// turn over once per write-request handler, and allocate_shared fuses the
   /// batch and its control block into a single pooled block.
-  std::shared_ptr<CallbackBatch> NewBatch() {
+  std::shared_ptr<CallbackBatch> NewBatch() PSOODB_ACQUIRES(batch) {
     auto b = std::allocate_shared<CallbackBatch>(
         sim::detail::PoolAllocator<CallbackBatch>{}, ctx_.sim);
     b->owner = this;
@@ -152,7 +153,7 @@ class Server {
   /// registering waits-for edges for blockers as they appear. Throws
   /// TxnAborted if `txn` closes a deadlock cycle (marking the batch dead).
   sim::Task AwaitCallbacks(std::shared_ptr<CallbackBatch> batch,
-                           storage::TxnId txn);
+                           storage::TxnId txn) PSOODB_RELEASES(batch);
 
   /// Builds the PageShip for `page` (versions from ground truth), marking
   /// `unavailable` slots. Must be called with the page buffered, and with no
@@ -175,11 +176,25 @@ class Server {
                          std::vector<std::pair<storage::ObjectId,
                                                storage::Version>>
                              read_versions,
-                         sim::Promise<CommitAck> reply);
+                         sim::Promise<CommitAck> reply)
+      PSOODB_RELEASES(lock) PSOODB_REPLIES;
   sim::Task HandleAbort(storage::TxnId txn, storage::ClientId client,
                         std::vector<storage::PageId> purged_pages,
                         std::vector<storage::ObjectId> purged_objects,
-                        sim::Promise<bool> reply);
+                        sim::Promise<bool> reply)
+      PSOODB_RELEASES(lock) PSOODB_REPLIES;
+
+#if PSOODB_SEED_OBLIGATION_BUGS
+  // Test-only seeded defects (never compiled — the flag is never defined).
+  // The analyzer still lexes this block; tests/analyzer_test.cpp asserts
+  // that lock-leak catches the abort-path leak and reply-obligation the
+  // dropped reply in the definitions (src/core/server.cpp).
+  sim::Task HandleAbortSeededLeak(storage::TxnId txn, storage::ClientId client,
+                                  sim::Promise<bool> reply) PSOODB_REPLIES;
+  sim::Task HandleReadSeededDrop(storage::PageId page, storage::TxnId txn,
+                                 storage::ClientId client,
+                                 sim::Promise<PageShip> reply) PSOODB_REPLIES;
+#endif
 
   Client* client(storage::ClientId id) { return clients_.at(id); }
 

@@ -56,7 +56,10 @@ struct PageFrame {
   }
 };
 
-/// An LRU cache of page copies.
+/// An LRU cache of page copies. Under Callback Locking a cached copy *is*
+/// the read permission, so clients pin their transaction's footprint
+/// (LruCache::Pin carries PSOODB_ACQUIRES(pin); see util/annotations.h and
+/// docs/ANALYZER.md for the obligation classes psoodb-analyze tracks).
 using PageCache = LruCache<PageId, PageFrame>;
 
 }  // namespace psoodb::storage

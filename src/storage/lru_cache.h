@@ -16,6 +16,7 @@
 #include <optional>
 #include <unordered_map>
 #include <utility>
+#include "util/annotations.h"
 #include "util/check.h"
 
 namespace psoodb::storage {
@@ -94,12 +95,12 @@ class LruCache {
   }
 
   /// Pins an entry, excluding it from eviction. Pins nest.
-  void Pin(const Key& k) {
+  void Pin(const Key& k) PSOODB_ACQUIRES(pin) {
     Node* n = Find(k);
     PSOODB_DCHECK(n != nullptr, "pinning an uncached key");
     ++n->pins;
   }
-  void Unpin(const Key& k) {
+  void Unpin(const Key& k) PSOODB_RELEASES(pin) {
     Node* n = Find(k);
     PSOODB_DCHECK(n != nullptr, "unpinning an uncached key");
     PSOODB_DCHECK(n->pins > 0, "unpin without matching pin");

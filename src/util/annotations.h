@@ -36,13 +36,41 @@
 ///                           Satisfies `unannotated-shared-static` and marks
 ///                           escape targets for `shard-escape`.
 ///
+/// Obligation vocabulary (third-generation checks; see docs/ANALYZER.md
+/// "Obligation checks"):
+///
+///   PSOODB_ACQUIRES(res)    after a function's parameter list: calling this
+///                           function creates an outstanding obligation of
+///                           resource class `res` (`lock`, `pin`, `copy`,
+///                           `batch`) that outlives the call — the caller
+///                           must release it on every exit path or be
+///                           PSOODB_ACQUIRES-annotated itself (ownership
+///                           transfers onward, e.g. to the transaction).
+///                           Enforced by `lock-leak`.
+///
+///   PSOODB_RELEASES(res)    after a function's parameter list: calling this
+///                           function discharges an obligation of `res`.
+///                           Balances PSOODB_ACQUIRES in the caller's
+///                           exit-path analysis.
+///
+///   PSOODB_REPLIES          on a message handler taking a sim::Promise by
+///                           value: the handler owes exactly one reply
+///                           (promise consumption) on every exit path,
+///                           including abort unwinds. Enforced by
+///                           `reply-obligation`; handlers matching the
+///                           On*/Handle* + Promise-parameter shape must
+///                           carry it (`obligation-annotation`).
+///
 /// Usage rules (enforced socially + by the analyzer where it can):
 ///  - Annotations go at the end of the declarator, before `;` or `= init`:
 ///      std::deque<Job> queue_ PSOODB_GUARDED_BY(mu_);
 ///      bool stop_ PSOODB_GUARDED_BY(mu_) = false;
 ///      std::vector<Msg> outbox_ PSOODB_PARTITION_LOCAL;
 ///      int Helper() PSOODB_REQUIRES(mu_);
-///  - One annotation per declaration; annotate the member, not the type.
+///      sim::Task HandleWrite(...) PSOODB_ACQUIRES(lock) PSOODB_REPLIES;
+///  - One annotation per declaration, except that the obligation macros
+///    (ACQUIRES/RELEASES/REPLIES) may be chained on one declarator when a
+///    handler carries several contracts; annotate the member, not the type.
 ///  - The analyzer indexes names, not types: two fields of the same name in
 ///    different classes share one annotation entry, so keep annotated names
 ///    unambiguous (the usual `foo_` members are).
@@ -54,5 +82,8 @@
 #define PSOODB_REQUIRES(mu)
 #define PSOODB_PARTITION_LOCAL
 #define PSOODB_SHARD_SHARED
+#define PSOODB_ACQUIRES(res)
+#define PSOODB_RELEASES(res)
+#define PSOODB_REPLIES
 
 #endif  // PSOODB_UTIL_ANNOTATIONS_H_

@@ -40,7 +40,7 @@ sim::Task CallsTransitiveHelper() {
 }
 
 int NotACoroutine() {
-  std::lock_guard<std::mutex> lock(fx_mu);  // fine outside a coroutine
+  std::lock_guard<std::mutex> lock(fx_mu);  // fine outside a coroutine  // FP-GUARD: blocking-in-coroutine
   fx_mu.lock();
   fx_mu.unlock();
   return 0;

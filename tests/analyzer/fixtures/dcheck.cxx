@@ -9,7 +9,7 @@ struct Vec {
 };
 
 void Mutations(Vec* v) {
-  PSOODB_DCHECK(g_counter == 3, "pure compare");
+  PSOODB_DCHECK(g_counter == 3, "pure compare");  // FP-GUARD: dcheck-side-effect
   PSOODB_DCHECK(g_counter++ < 10, "bump");          // EXPECT: dcheck-side-effect
   PSOODB_DCHECK((g_counter = 5) != 0, "assign");    // EXPECT: dcheck-side-effect
   PSOODB_DCHECK(v->size() >= 0, "pure call");

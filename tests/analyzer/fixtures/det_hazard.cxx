@@ -36,6 +36,6 @@ struct Timer {
 long Guards(Timer* t, long my_time) {
   // steady_clock, rand(), time(NULL) — comment only
   const char* doc = "steady_clock rand() time(NULL) getpid()";
-  long a = t->time(0);
+  long a = t->time(0);  // FP-GUARD: det-hazard
   return a + my_time + (doc != nullptr ? 1 : 0);
 }

@@ -16,7 +16,7 @@ Task Driver(Sim* sim) {
   sim->Delay(0.25);  // EXPECT: dropped-task
   co_await Work(2);
   Task kept = Work(3);
-  sim->Spawn(Work(4));
+  sim->Spawn(Work(4));  // FP-GUARD: dropped-task
   Compute(5);
   co_await kept;
   co_return;

@@ -14,7 +14,7 @@ int HandleMissing(Proto p) {
 }
 
 int HandleAll(Proto p) {
-  switch (p) {
+  switch (p) {  // FP-GUARD: enum-switch
     case Proto::kPS: return 1;
     case Proto::kOS: return 2;
     case Proto::kAA: return 3;

@@ -7,7 +7,7 @@ class Account {
  public:
   void Deposit(int n) {
     std::lock_guard<std::mutex> lock(mu_);
-    balance_ += n;  // lock held: no finding
+    balance_ += n;  // lock held: no finding  // FP-GUARD: guarded-by
   }
 
   int UnlockedRead() const {

@@ -1,0 +1,98 @@
+// Fixture: lock-leak — acquire/release obligation dataflow with exit-path
+// enumeration: a never-released acquire, an early return past one, and an
+// abort (catch) path that skips the cleanup. The annotated declarations
+// below seed the obligation index; the file is lexed only, never compiled.
+
+struct LockManager {
+  sim::Task AcquirePageX(int page, int txn) PSOODB_ACQUIRES(lock);
+  void ReleaseAll(int txn) PSOODB_RELEASES(lock);
+};
+
+struct TxnAborted {};
+
+LockManager lm;
+
+void Note(int txn);
+void Spawn(sim::Task t);
+
+// TP: acquired here, released on no path at all.
+sim::Task NeverReleases(int txn) {
+  co_await lm.AcquirePageX(1, txn);  // EXPECT: lock-leak
+  Note(txn);
+  co_return;
+}
+
+// TP: the conflict path returns without releasing.
+sim::Task EarlyExitLeaks(int txn, bool busy) {
+  co_await lm.AcquirePageX(2, txn);
+  if (busy) {
+    co_return;  // EXPECT: lock-leak
+  }
+  lm.ReleaseAll(txn);
+  co_return;  // FP-GUARD: lock-leak — released above, this exit is clean
+}
+
+// TP: the abort unwind skips ReleaseAll (the catch neither releases,
+// rethrows, nor falls through to a release).
+sim::Task AbortPathLeaks(int txn) {
+  try {
+    co_await lm.AcquirePageX(3, txn);
+    lm.ReleaseAll(txn);
+  } catch (const TxnAborted&) {  // EXPECT: lock-leak
+    Note(txn);
+  }
+  co_return;
+}
+
+// FP guard: releasing after the catch covers the abort path too.
+sim::Task ReleaseAfterCatchOk(int txn) {
+  try {
+    co_await lm.AcquirePageX(4, txn);
+    Note(txn);
+  } catch (const TxnAborted&) {  // FP-GUARD: lock-leak — falls through to the release below
+    Note(txn);
+  }
+  lm.ReleaseAll(txn);
+  co_return;
+}
+
+// FP guard: a rethrowing catch hands the obligation to the caller's unwind.
+sim::Task RethrowOk(int txn) {
+  try {
+    co_await lm.AcquirePageX(5, txn);
+    lm.ReleaseAll(txn);
+  } catch (const TxnAborted&) {  // FP-GUARD: lock-leak — rethrow, caller owns cleanup
+    throw;
+  }
+  co_return;
+}
+
+// FP guard: PSOODB_ACQUIRES on the function declares the transfer — holding
+// past co_return is the contract, not a leak.
+sim::Task HandleWriteTransfer(int txn) PSOODB_ACQUIRES(lock) {
+  co_await lm.AcquirePageX(6, txn);  // FP-GUARD: lock-leak — declared transfer
+  co_return;
+}
+
+// FP guard: obligations inside a Spawn span belong to the spawned coroutine.
+void OnWriteEntry(int txn) {
+  Spawn(HandleWriteTransfer(txn));  // FP-GUARD: lock-leak
+}
+
+// FP guard: a unique, non-coroutine helper that only releases discharges the
+// obligation at its call sites (call-graph release propagation).
+void FinishTxn(int txn) {
+  lm.ReleaseAll(txn);
+}
+
+sim::Task ReleasesViaHelper(int txn) {
+  co_await lm.AcquirePageX(7, txn);
+  FinishTxn(txn);  // FP-GUARD: lock-leak — release propagates through the helper
+  co_return;
+}
+
+// Suppressed: ownership parked where the analyzer cannot see it.
+sim::Task RegistryParked(int txn) {
+  co_await lm.AcquirePageX(8, txn);  // analyzer-ok(lock-leak): fixture — ownership parked in a registry  // EXPECT-SUPPRESSED: lock-leak
+  co_return;
+}

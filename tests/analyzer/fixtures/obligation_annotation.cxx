@@ -1,0 +1,31 @@
+// Fixture: obligation-annotation — conformance of the PSOODB_ACQUIRES /
+// PSOODB_RELEASES / PSOODB_REPLIES macros: arity, known resource classes,
+// placement after a function declarator, and acquire/release contradictions.
+// Lexed only.
+
+struct Api {
+  // FP guard: well-formed annotations on declarations.
+  sim::Task Grab(int k) PSOODB_ACQUIRES(lock);  // FP-GUARD: obligation-annotation
+  void Drop(int k) PSOODB_RELEASES(lock);       // FP-GUARD: obligation-annotation
+  void OnAsk(int k, sim::Promise<int> reply) PSOODB_REPLIES;  // FP-GUARD: obligation-annotation
+};
+
+void NoArgs(int k) PSOODB_ACQUIRES;              // EXPECT: obligation-annotation
+void TwoArgs(int k) PSOODB_ACQUIRES(lock, pin);  // EXPECT: obligation-annotation
+void UnknownClass(int k) PSOODB_ACQUIRES(mutex);  // EXPECT: obligation-annotation
+
+PSOODB_RELEASES(lock);  // EXPECT: obligation-annotation
+
+// TP: the same call cannot both acquire and release one resource class.
+struct Left {
+  void Flip(int k) PSOODB_ACQUIRES(copy);  // EXPECT: obligation-annotation
+};
+struct Right {
+  void Flip(int k) PSOODB_RELEASES(copy);
+};
+
+void OnArged(int k, sim::Promise<bool> reply) PSOODB_REPLIES(now);  // EXPECT: obligation-annotation
+void OnNoPromise(int k) PSOODB_REPLIES;  // EXPECT: obligation-annotation
+
+// Suppressed: a resource class mid-migration.
+void LegacyShim(int k) PSOODB_ACQUIRES(latch);  // analyzer-ok(obligation-annotation): fixture — legacy resource name mid-migration  // EXPECT-SUPPRESSED: obligation-annotation

@@ -1,0 +1,45 @@
+// Fixture: protocol-transition, stem `ps` — never ships page data, so a required state-machine leg is missing.  EXPECT: protocol-transition
+// The sends below pair each remaining kind with its spec'd handler; the
+// wrong pairings are the true positives. Lexed only; the `ps` stem makes
+// the basic-page-server spec table apply to this file.
+
+void OnPageReadReq(int page);
+void OnPageWriteReq(int page);
+void OnPageCallback(int page);
+void OnDeEscalate(int page);
+void Resolve(int page);
+
+struct Transport {
+  template <typename F>
+  void SendToClient(int to, MsgKind kind, int bytes, F&& fn);
+  template <typename F>
+  void SendToServer(int to, MsgKind kind, int bytes, F&& fn);
+};
+
+Transport net;
+
+void ReadPath(int page) {
+  net.SendToServer(0, MsgKind::kReadReq, 16, [page] { OnPageReadReq(page); });  // FP-GUARD: protocol-transition
+}
+
+void WritePath(int page) {
+  net.SendToServer(0, MsgKind::kWriteReq, 16, [page] { OnPageWriteReq(page); });
+}
+
+void CallbackPath(int page) {
+  net.SendToClient(1, MsgKind::kCallbackReq, 16, [page] { OnPageCallback(page); });
+}
+
+void GrantPath(int page) {
+  net.SendToClient(1, MsgKind::kControlReply, 16, [page] { Resolve(page); });  // FP-GUARD: protocol-transition
+}
+
+// TP: a kind from another protocol's state machine.
+void TokenPath(int page) {
+  net.SendToClient(1, MsgKind::kTokenRecall, 16, [page] { Resolve(page); });  // EXPECT: protocol-transition
+}
+
+// TP: delivers a page callback to PS-AA's de-escalation handler.
+void WrongHandler(int page) {
+  net.SendToClient(1, MsgKind::kCallbackReq, 16, [page] { OnDeEscalate(page); });  // EXPECT: protocol-transition
+}

@@ -43,7 +43,7 @@ class ShardActor {
   }
 
   void ValueCaptureOk() {
-    group_.Post(0, 1, 0.0, [n = local_.size()] { Use(n); });  // copies: fine
+    group_.Post(0, 1, 0.0, [n = local_.size()] { Use(n); });  // copies: fine  // FP-GUARD: shard-escape
   }
 
   void ValueLambdaOk() {

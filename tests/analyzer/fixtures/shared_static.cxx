@@ -6,7 +6,7 @@
 static int g_counter;  // EXPECT: unannotated-shared-static
 static std::string g_name = "x";  // EXPECT: unannotated-shared-static
 
-static const int kLimit = 8;           // const: fine
+static const int kLimit = 8;           // const: fine  // FP-GUARD: unannotated-shared-static
 static constexpr double kRatio = 0.5;  // constexpr: fine
 static thread_local int t_scratch;     // thread-confined: fine
 static std::mutex g_mu;                // sync object orders itself: fine

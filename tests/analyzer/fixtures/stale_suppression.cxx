@@ -22,4 +22,4 @@ int RetiredNamed() {
 
 // Prose guard: `det-ok` and "analyzer-ok" mentions preceded by a backtick
 // or quote are documentation, not markers, so this comment is not stale.
-int ProseGuard() { return 4; }
+int ProseGuard() { return 4; }  // FP-GUARD: stale-suppression

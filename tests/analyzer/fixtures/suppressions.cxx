@@ -5,7 +5,7 @@ std::unordered_map<int, int> smap;
 
 int Justified() {
   int s = 0;
-  for (auto& [k, v] : smap) s += v;  // det-ok: commutative fold, fixture  // EXPECT-SUPPRESSED: unordered-iter
+  for (auto& [k, v] : smap) s += v;  // det-ok: commutative fold, fixture  // EXPECT-SUPPRESSED: unordered-iter  // FP-GUARD: bad-suppression
   return s;
 }
 

@@ -45,7 +45,7 @@ void Launch(Sim* sim, Cache& cache) {
 // suspension actually happens.
 Task SameStatementIsSafe(Sim* sim, Cache* cache) {
   int* p = cache->Get(3);
-  co_await Consume(*p);
+  co_await Consume(*p);  // FP-GUARD: suspend-ref
   co_return;
 }
 

@@ -16,7 +16,7 @@ int SumDirect() {
   for (const auto& [k, v] : table) {  // EXPECT: unordered-iter
     s += k + v;
   }
-  for (const auto& [k, v] : ordered) {
+  for (const auto& [k, v] : ordered) {  // FP-GUARD: unordered-iter
     s += k + v;
   }
   return s;

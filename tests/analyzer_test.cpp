@@ -14,11 +14,14 @@
 
 #include <algorithm>
 #include <cctype>
+#include <filesystem>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "analyzer/checks.h"
 #include "analyzer/driver.h"
 #include "analyzer/sarif.h"
 #include "gtest/gtest.h"
@@ -107,6 +110,58 @@ TEST(AnalyzerFixtures, UnannotatedSharedStatic) {
 }
 TEST(AnalyzerFixtures, StaleSuppression) {
   RunFixture("stale_suppression.cxx");
+}
+TEST(AnalyzerFixtures, LockLeak) { RunFixture("lock_leak.cxx"); }
+TEST(AnalyzerFixtures, ReplyObligation) { RunFixture("reply_obligation.cxx"); }
+TEST(AnalyzerFixtures, ObligationAnnotation) {
+  RunFixture("obligation_annotation.cxx");
+}
+TEST(AnalyzerFixtures, ProtocolTransitionPs) { RunFixture("ps.cxx"); }
+TEST(AnalyzerFixtures, ProtocolTransitionOs) { RunFixture("os.cxx"); }
+
+// Coverage guard: every registered check must have at least one true-positive
+// fixture expectation (EXPECT or EXPECT-SUPPRESSED) and at least one marked
+// false-positive guard (FP-GUARD) somewhere under the fixture directory, so
+// new checks cannot land untested in either direction.
+TEST(AnalyzerFixtures, EveryCheckHasFixtureCoverage) {
+  namespace fs = std::filesystem;
+  std::set<std::string> expected;
+  std::set<std::string> guarded;
+  auto collect = [](const std::string& line, const char* marker,
+                    std::set<std::string>* into) {
+    const std::size_t mlen = std::string(marker).size();
+    for (std::size_t pos = 0;
+         (pos = line.find(marker, pos)) != std::string::npos; pos += mlen) {
+      std::size_t b = pos + mlen;
+      while (b < line.size() && line[b] == ' ') ++b;
+      std::size_t e = b;
+      while (e < line.size() &&
+             (std::isalnum(static_cast<unsigned char>(line[e])) ||
+              line[e] == '-')) {
+        ++e;
+      }
+      if (e > b) into->insert(line.substr(b, e - b));
+    }
+  };
+  int fixtures = 0;
+  for (const auto& ent : fs::directory_iterator(PSOODB_ANALYZER_FIXTURE_DIR)) {
+    if (ent.path().extension() != ".cxx") continue;
+    ++fixtures;
+    std::ifstream in(ent.path());
+    std::string line;
+    while (std::getline(in, line)) {
+      collect(line, "EXPECT:", &expected);
+      collect(line, "EXPECT-SUPPRESSED:", &expected);
+      collect(line, "FP-GUARD:", &guarded);
+    }
+  }
+  EXPECT_GE(fixtures, 17);
+  for (const std::string& check : psoodb::analyzer::AllCheckNames()) {
+    EXPECT_NE(expected.count(check), 0u)
+        << "no true-positive fixture expectation for check: " << check;
+    EXPECT_NE(guarded.count(check), 0u)
+        << "no FP-GUARD fixture marker for check: " << check;
+  }
 }
 
 TEST(AnalyzerLexer, StringsAndCommentsAreMasked) {
@@ -299,6 +354,79 @@ TEST(AnalyzerConcurrency, SeededTreeBugsAreCaughtAndExcused) {
   }
   EXPECT_TRUE(saw_escape) << "seeded shard-escape defect not detected";
   EXPECT_EQ(shard.Unsuppressed(), 0);
+}
+
+TEST(AnalyzerObligations, SeededObligationBugsAreCaughtAndExcused) {
+  // The never-compiled PSOODB_SEED_OBLIGATION_BUGS block in server.cpp seeds
+  // an abort-path lock leak and a dropped reply on production handler shapes:
+  // both must be detected, and both must be suppressed by their justified
+  // markers so the tree gate stays clean. The lock_manager header rides along
+  // because the obligation index is built from the analyzed set only.
+  const std::string root = PSOODB_ANALYZER_SOURCE_DIR;
+  const AnalysisResult r = AnalyzePaths({root + "/src/cc/lock_manager.h",
+                                         root + "/src/core/server.h",
+                                         root + "/src/core/server.cpp"});
+  EXPECT_TRUE(r.errors.empty());
+  bool saw_leak = false;
+  bool saw_drop = false;
+  for (const auto& f : r.findings) {
+    if (f.check == "lock-leak") {
+      EXPECT_TRUE(f.suppressed);
+      EXPECT_NE(f.justification.find("seeded"), std::string::npos);
+      saw_leak = true;
+    }
+    if (f.check == "reply-obligation") {
+      EXPECT_TRUE(f.suppressed);
+      EXPECT_NE(f.justification.find("seeded"), std::string::npos);
+      saw_drop = true;
+    }
+  }
+  EXPECT_TRUE(saw_leak) << "seeded abort-path lock leak not detected";
+  EXPECT_TRUE(saw_drop) << "seeded dropped reply not detected";
+  EXPECT_EQ(r.Unsuppressed(), 0);
+}
+
+TEST(AnalyzerObligations, SrcTreeIsCleanAndThreadCountInvariant) {
+  // The whole src/ tree — all sixteen checks including the obligation and
+  // protocol-transition families — must be finding-free modulo justified
+  // suppressions, and the report must be byte-identical at any --threads.
+  namespace fs = std::filesystem;
+  std::vector<std::string> paths;
+  for (const auto& ent : fs::recursive_directory_iterator(
+           std::string(PSOODB_ANALYZER_SOURCE_DIR) + "/src")) {
+    if (!ent.is_regular_file()) continue;
+    const std::string ext = ent.path().extension().string();
+    if (ext == ".h" || ext == ".cpp") paths.push_back(ent.path().string());
+  }
+  std::sort(paths.begin(), paths.end());
+  const AnalysisResult par = AnalyzePaths(paths, 4);
+  EXPECT_TRUE(par.errors.empty());
+  EXPECT_EQ(par.Unsuppressed(), 0) << psoodb::analyzer::JsonReport(par);
+  const AnalysisResult seq = AnalyzePaths(paths, 1);
+  EXPECT_EQ(psoodb::analyzer::JsonReport(par),
+            psoodb::analyzer::JsonReport(seq));
+}
+
+TEST(AnalyzerReport, SarifFingerprintsAreStableAndUnique) {
+  // Two findings with identical check + file + line text: the content hash
+  // matches, so the occurrence counter must keep the fingerprints distinct
+  // (and renumbering-only diffs keep stable ids, since line numbers are not
+  // hashed).
+  const AnalysisResult r = AnalyzeSources({{"fp.cpp",
+    "int A() {\n"
+    "  int a = rand();\n"
+    "  int a = rand();\n"
+    "  return a;\n"
+    "}\n"}});
+  ASSERT_EQ(r.findings.size(), 2u);
+  const std::string sarif = psoodb::analyzer::SarifReport(r);
+  EXPECT_NE(sarif.find("\"partialFingerprints\""), std::string::npos);
+  const std::size_t first = sarif.find("psoodbAnalyzeFingerprint/v1");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_NE(sarif.find("psoodbAnalyzeFingerprint/v1", first + 1),
+            std::string::npos);
+  EXPECT_NE(sarif.find(":0\""), std::string::npos);
+  EXPECT_NE(sarif.find(":1\""), std::string::npos);
 }
 
 TEST(AnalyzerReport, SarifShape) {

@@ -167,6 +167,52 @@ WorkloadParams CrossingWritesWorkload(const SystemParams& sys) {
   return w;
 }
 
+// --- Seeded bug: abort path that leaks the transaction's locks ---------------
+
+TEST(InvariantCheckerDeathTest, FailFastAbortsOnSkippedAbortRelease) {
+  // test_skip_abort_release makes HandleAbort leave every lock behind — the
+  // runtime twin of the analyzer's seeded abort-path lock leak. The
+  // OnAbortReleased hook fires right after the (skipped) release, so the
+  // first deadlock abort trips fail-fast with the leak named explicitly.
+  SystemParams sys;
+  sys.num_clients = 2;
+  sys.db_pages = 200;
+  sys.seed = 5;
+  sys.invariant_checks = true;
+  sys.invariant_failfast = true;
+  sys.invariant_event_period = 50;
+  sys.test_skip_abort_release = true;
+  WorkloadParams w = CrossingWritesWorkload(sys);
+  EXPECT_DEATH(
+      {
+        System system(Protocol::kPS, sys, w);
+        system.Run(QuickRun(60));
+      },
+      "PSOODB CHECK failed");
+}
+
+TEST(InvariantCheckerTest, RecordingModeReportsSkippedAbortRelease) {
+  SystemParams sys;
+  sys.num_clients = 2;
+  sys.db_pages = 200;
+  sys.seed = 5;
+  sys.invariant_checks = true;
+  sys.invariant_event_period = 50;
+  sys.test_skip_abort_release = true;
+  WorkloadParams w = CrossingWritesWorkload(sys);
+  System system(Protocol::kPS, sys, w);
+  RunConfig rc = QuickRun(60);
+  rc.record_history = false;  // corrupted runs may violate serializability
+  system.Run(rc);
+  check::InvariantChecker* inv = system.invariants();
+  ASSERT_NE(inv, nullptr);
+  EXPECT_FALSE(inv->ok());
+  ASSERT_FALSE(inv->violations().empty());
+  EXPECT_NE(inv->violations().front().what.find("abort-path lock leak"),
+            std::string::npos)
+      << inv->violations().front().what;
+}
+
 TEST(InvariantCheckerTest, DetectsDeadlockThroughCallbackBlockers) {
   for (Protocol p : {Protocol::kPS, Protocol::kPSOO, Protocol::kOS}) {
     SystemParams sys;

@@ -18,7 +18,7 @@ struct Ctx {
   std::vector<Finding>* out;
 
   void Report(int line, const char* check, std::string message) const {
-    out->push_back(Finding{f.path, line, check, std::move(message), false, ""});
+    out->push_back(Finding{f.path, line, check, std::move(message), false, "", ""});
   }
 };
 
@@ -743,6 +743,10 @@ std::vector<std::string> AllCheckNames() {
           kCheckGuardedBy,
           kCheckBlockingInCoroutine,
           kCheckUnannotatedSharedStatic,
+          kCheckLockLeak,
+          kCheckReplyObligation,
+          kCheckObligationAnnotation,
+          kCheckProtocolTransition,
           kCheckBadSuppression,
           kCheckStaleSuppression};
 }

@@ -22,7 +22,9 @@
 ///
 /// The concurrency check family (shard-escape, guarded-by,
 /// blocking-in-coroutine, unannotated-shared-static) lives in
-/// concurrency.h/.cpp; stale-suppression is applied by the driver.
+/// concurrency.h/.cpp; the obligation family (lock-leak, reply-obligation,
+/// obligation-annotation) in dataflow.h/.cpp; protocol-transition in
+/// protocol_spec.h/.cpp; stale-suppression is applied by the driver.
 ///
 /// Checks only report; suppression (`det-ok` / `analyzer-ok`) is applied by
 /// the driver using LexedFile::comments_by_line.
@@ -46,6 +48,10 @@ struct Finding {
   std::string message;
   bool suppressed = false;
   std::string justification;
+  /// Source tokens on the finding line, space-joined; filled by the driver
+  /// and hashed into the SARIF partialFingerprints (stable across renames
+  /// and line drift, unlike file:line).
+  std::string snippet;
 };
 
 /// Check-name constants (also the names a suppression marker may list).
@@ -64,6 +70,14 @@ inline constexpr const char* kCheckBlockingInCoroutine =
     "blocking-in-coroutine";
 inline constexpr const char* kCheckUnannotatedSharedStatic =
     "unannotated-shared-static";
+// Obligation family (tools/analyzer/dataflow.cpp; vocabulary in
+// src/util/annotations.h "Obligation vocabulary"):
+inline constexpr const char* kCheckLockLeak = "lock-leak";
+inline constexpr const char* kCheckReplyObligation = "reply-obligation";
+inline constexpr const char* kCheckObligationAnnotation =
+    "obligation-annotation";
+// Protocol state-machine conformance (tools/analyzer/protocol_spec.cpp):
+inline constexpr const char* kCheckProtocolTransition = "protocol-transition";
 // Driver-level: a suppression marker matching no finding (unsuppressible,
 // like bad-suppression).
 inline constexpr const char* kCheckStaleSuppression = "stale-suppression";

@@ -25,7 +25,7 @@ struct Ctx {
 
 void Report(Ctx& c, int line, const std::string& check, std::string msg) {
   if (!c.reported.insert({line, check + msg}).second) return;
-  c.out->push_back(Finding{c.f.path, line, check, std::move(msg), false, ""});
+  c.out->push_back(Finding{c.f.path, line, check, std::move(msg), false, "", ""});
 }
 
 std::string Stem(const std::string& path) {

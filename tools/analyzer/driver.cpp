@@ -5,14 +5,18 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <future>
 #include <map>
 #include <sstream>
 
 #include "analyzer/callgraph.h"
 #include "analyzer/concurrency.h"
+#include "analyzer/dataflow.h"
 #include "analyzer/frames.h"
 #include "analyzer/lexer.h"
+#include "analyzer/protocol_spec.h"
 #include "analyzer/symbols.h"
+#include "util/thread_pool.h"
 
 namespace psoodb::analyzer {
 
@@ -186,13 +190,13 @@ void ApplySuppressions(const LexedFile& lf, std::vector<Finding>* findings) {
             Finding{lf.path, line, kCheckBadSuppression,
                     "suppression marker without a justification — write "
                     "`det-ok: <why>` / `analyzer-ok(...): <why>`",
-                    false, ""});
+                    false, "", ""});
       }
       for (const std::string& u : m.unknown_checks) {
         extra.push_back(Finding{lf.path, line, kCheckBadSuppression,
                                 "analyzer-ok names unknown check '" + u +
                                     "' (see --list-checks)",
-                                false, ""});
+                                false, "", ""});
       }
       // A marker that suppressed nothing is stale: the hazard it excused is
       // gone (or never fired). Unknown-check markers already got
@@ -202,7 +206,7 @@ void ApplySuppressions(const LexedFile& lf, std::vector<Finding>* findings) {
             Finding{lf.path, line, kCheckStaleSuppression,
                     "suppression marker matches no finding on this line — "
                     "retire it (or fix the marker placement)",
-                    false, ""});
+                    false, "", ""});
       }
     }
   }
@@ -210,20 +214,37 @@ void ApplySuppressions(const LexedFile& lf, std::vector<Finding>* findings) {
 }
 
 AnalysisResult Analyze(std::vector<LexedFile> files,
-                       std::vector<std::string> errors) {
+                       std::vector<std::string> errors, int threads) {
   AnalysisResult result;
   result.errors = std::move(errors);
   result.files_scanned = static_cast<int>(files.size());
+  const std::size_t nthreads =
+      threads < 1 ? 1 : static_cast<std::size_t>(threads);
 
+  // The symbol passes and the call graph mutate one shared index and stay
+  // sequential; frame building and the per-file checks are pure functions of
+  // (file, shared indices) and parallelize, collected back in file order so
+  // the report is identical at any thread count.
   SymbolIndex sym;
   for (const LexedFile& lf : files) IndexSymbolsPassA(lf, sym);
   for (const LexedFile& lf : files) IndexSymbolsPassB(lf, sym);
 
   // Frames for every file up front: the call graph needs the whole tree's
   // frames before any per-file check can consult MayBlock().
-  std::vector<FrameIndex> frames;
-  frames.reserve(files.size());
-  for (const LexedFile& lf : files) frames.push_back(BuildFrames(lf));
+  std::vector<FrameIndex> frames(files.size());
+  if (nthreads > 1) {
+    util::ThreadPool pool(nthreads);
+    std::vector<std::future<FrameIndex>> futs;
+    futs.reserve(files.size());
+    for (std::size_t i = 0; i < files.size(); ++i) {
+      futs.push_back(pool.Submit([&files, i] { return BuildFrames(files[i]); }));
+    }
+    for (std::size_t i = 0; i < files.size(); ++i) frames[i] = futs[i].get();
+  } else {
+    for (std::size_t i = 0; i < files.size(); ++i) {
+      frames[i] = BuildFrames(files[i]);
+    }
+  }
 
   CallGraph cg;
   for (std::size_t i = 0; i < files.size(); ++i) {
@@ -231,14 +252,51 @@ AnalysisResult Analyze(std::vector<LexedFile> files,
   }
   FinalizeCallGraph(cg);
 
-  for (std::size_t i = 0; i < files.size(); ++i) {
+  const ObligationIndex oi = BuildObligationIndex(files, frames, sym, cg);
+
+  auto run_file = [&files, &frames, &sym, &cg, &oi](std::size_t i) {
     std::vector<Finding> found = RunChecks(files[i], frames[i], sym);
     std::vector<Finding> conc =
         RunConcurrencyChecks(files[i], frames[i], sym, cg);
     found.insert(found.end(), conc.begin(), conc.end());
+    std::vector<Finding> obli =
+        RunObligationChecks(files[i], frames[i], sym, oi);
+    found.insert(found.end(), obli.begin(), obli.end());
+    std::vector<Finding> proto = RunProtocolChecks(files[i]);
+    found.insert(found.end(), proto.begin(), proto.end());
     ApplySuppressions(files[i], &found);
+    return found;
+  };
+  std::vector<std::vector<Finding>> per_file(files.size());
+  if (nthreads > 1) {
+    util::ThreadPool pool(nthreads);
+    std::vector<std::future<std::vector<Finding>>> futs;
+    futs.reserve(files.size());
+    for (std::size_t i = 0; i < files.size(); ++i) {
+      futs.push_back(pool.Submit([&run_file, i] { return run_file(i); }));
+    }
+    for (std::size_t i = 0; i < files.size(); ++i) per_file[i] = futs[i].get();
+  } else {
+    for (std::size_t i = 0; i < files.size(); ++i) per_file[i] = run_file(i);
+  }
+  for (std::vector<Finding>& found : per_file) {
     result.findings.insert(result.findings.end(), found.begin(), found.end());
   }
+
+  // Snippets for the SARIF fingerprints: the finding line's tokens.
+  std::map<std::string, const LexedFile*> by_path;
+  for (const LexedFile& lf : files) by_path[lf.path] = &lf;
+  for (Finding& f : result.findings) {
+    auto it = by_path.find(f.file);
+    if (it == by_path.end()) continue;
+    for (const Token& tk : it->second->tokens) {
+      if (tk.line > f.line) break;
+      if (tk.line != f.line) continue;
+      if (!f.snippet.empty()) f.snippet += ' ';
+      f.snippet += tk.text;
+    }
+  }
+
   std::sort(result.findings.begin(), result.findings.end(),
             [](const Finding& a, const Finding& b) {
               if (a.file != b.file) return a.file < b.file;
@@ -283,25 +341,55 @@ std::string JsonEscape(const std::string& s) {
 
 }  // namespace
 
-AnalysisResult AnalyzePaths(const std::vector<std::string>& paths) {
+namespace {
+
+/// Reads and lexes one file; a LexedFile with an empty path means the read
+/// failed (path reported via `error`).
+LexedFile ReadAndLex(const std::string& path, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *error = "cannot read: " + path;
+    return LexedFile{};
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return Lex(path, ss.str());
+}
+
+}  // namespace
+
+AnalysisResult AnalyzePaths(const std::vector<std::string>& paths,
+                            int threads) {
   std::vector<std::string> files;
   std::vector<std::string> errors;
   for (const std::string& p : paths) CollectFiles(p, &files, &errors);
 
   std::vector<LexedFile> lexed;
   lexed.reserve(files.size());
-  for (const std::string& path : files) {
-    std::ifstream in(path, std::ios::binary);
-    if (!in) {
-      errors.push_back("cannot read: " + path);
-      continue;
+  std::vector<std::string> read_errors(files.size());
+  if (threads > 1) {
+    util::ThreadPool pool(static_cast<std::size_t>(threads));
+    std::vector<std::future<LexedFile>> futs;
+    futs.reserve(files.size());
+    for (std::size_t i = 0; i < files.size(); ++i) {
+      futs.push_back(pool.Submit([&files, &read_errors, i] {
+        return ReadAndLex(files[i], &read_errors[i]);
+      }));
     }
-    std::ostringstream ss;
-    ss << in.rdbuf();
-    const std::string src = ss.str();
-    lexed.push_back(Lex(path, src));
+    for (std::size_t i = 0; i < files.size(); ++i) {
+      LexedFile lf = futs[i].get();
+      if (!lf.path.empty()) lexed.push_back(std::move(lf));
+    }
+  } else {
+    for (std::size_t i = 0; i < files.size(); ++i) {
+      LexedFile lf = ReadAndLex(files[i], &read_errors[i]);
+      if (!lf.path.empty()) lexed.push_back(std::move(lf));
+    }
   }
-  return Analyze(std::move(lexed), std::move(errors));
+  for (std::string& e : read_errors) {
+    if (!e.empty()) errors.push_back(std::move(e));
+  }
+  return Analyze(std::move(lexed), std::move(errors), threads);
 }
 
 AnalysisResult AnalyzeSources(
@@ -311,7 +399,7 @@ AnalysisResult AnalyzeSources(
   for (const auto& [path, src] : sources) {
     lexed.push_back(Lex(path, src));
   }
-  return Analyze(std::move(lexed), {});
+  return Analyze(std::move(lexed), {}, 1);
 }
 
 void PrintReport(const AnalysisResult& r, bool verbose, std::string* out) {

@@ -66,13 +66,22 @@ BraceClass ClassifyBrace(const Tokens& t, const std::vector<int>& m, int k) {
   BraceClass out;
   int p = k - 1;
   SkipSpecifiersBack(t, p);
-  // A trailing annotation (`void F() PSOODB_REQUIRES(mu_) {`) sits between
-  // the parameter list and the body; skip it like a specifier so the brace
-  // still classifies as a function body named F.
-  while (p >= 1 && t[p].Is(")") && m[p] > 0 &&
-         IsAnnotationMacro(t[m[p] - 1].text)) {
-    p = m[p] - 2;
-    SkipSpecifiersBack(t, p);
+  // A trailing annotation (`void F() PSOODB_REQUIRES(mu_) {`, bare
+  // `PSOODB_REPLIES {`, or a chain of both) sits between the parameter list
+  // and the body; skip it like a specifier so the brace still classifies as
+  // a function body named F.
+  while (p >= 1) {
+    if (t[p].Is(")") && m[p] > 0 && IsAnnotationMacro(t[m[p] - 1].text)) {
+      p = m[p] - 2;
+      SkipSpecifiersBack(t, p);
+      continue;
+    }
+    if (t[p].IsIdent() && IsAnnotationMacro(t[p].text)) {
+      --p;
+      SkipSpecifiersBack(t, p);
+      continue;
+    }
+    break;
   }
   // Trailing return type: `) [specifiers] -> Type {`. Walk back over type
   // tokens; commit only if a `->` is actually found.

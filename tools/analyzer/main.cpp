@@ -2,12 +2,13 @@
 /// CLI for psoodb-analyze.
 ///
 ///   psoodb_analyze [--json FILE] [--sarif FILE] [--only CHECK,...]
-///                  [--verbose] [--list-checks] [PATH...]
+///                  [--threads N] [--verbose] [--list-checks] [PATH...]
 ///
 /// PATHs default to `src bench tests tools` (relative to the working
 /// directory, which ctest pins to the repository root).
 
 #include <algorithm>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -20,24 +21,48 @@ namespace {
 
 constexpr int kUsageError = 125;
 
+/// The registered check names, comma-joined and wrapped for terminal output.
+/// Generated from the registry so --help can never drift from --list-checks.
+std::string CheckCatalog(const std::string& indent) {
+  std::string out;
+  std::string line = indent;
+  for (const std::string& c : psoodb::analyzer::AllCheckNames()) {
+    const std::string item = line.size() == indent.size() ? c : ", " + c;
+    if (line.size() + item.size() > 78) {
+      out += line + ",\n";
+      line = indent + c;
+    } else {
+      line += item;
+    }
+  }
+  out += line + "\n";
+  return out;
+}
+
 int Usage() {
   std::cerr
       << "usage: psoodb_analyze [--json FILE] [--sarif FILE]\n"
-         "                      [--only CHECK[,CHECK...]] [--verbose]\n"
-         "                      [--list-checks] [PATH...]\n"
+         "                      [--only CHECK[,CHECK...]] [--threads N]\n"
+         "                      [--verbose] [--list-checks] [PATH...]\n"
          "\n"
-         "Scope-aware coroutine, determinism & concurrency static analyzer\n"
-         "for the psoodb simulator. PATHs default to: src bench tests tools\n"
+         "Scope-aware coroutine, determinism, concurrency & obligation\n"
+         "static analyzer for the psoodb simulator. PATHs default to:\n"
+         "src bench tests tools\n"
          "\n"
          "  --json FILE    also write the findings as JSON (schema v2)\n"
          "  --sarif FILE   also write SARIF 2.1.0 (GitHub code scanning)\n"
-         "  --only LIST    report only the named checks (comma-separated;\n"
-         "                 see --list-checks); analysis still runs in full,\n"
-         "                 so suppression staleness is judged against every\n"
-         "                 check, not the subset\n"
+         "  --only LIST    report only the named checks (comma-separated);\n"
+         "                 analysis still runs in full, so suppression\n"
+         "                 staleness is judged against every check, not the\n"
+         "                 subset\n"
+         "  --threads N    analyze files on N worker threads (default 1);\n"
+         "                 the report is byte-identical at any N\n"
          "  --verbose      also print suppressed findings\n"
          "  --list-checks  print every check name and exit 0\n"
          "\n"
+         "checks:\n"
+      << CheckCatalog("  ")
+      << "\n"
          "exit status: the number of unsuppressed (reported) findings,\n"
          "capped at 100; 125 means a usage error (bad flag, unknown check\n"
          "name, unwritable output file)\n";
@@ -53,7 +78,8 @@ bool ParseOnly(const std::string& arg, std::vector<std::string>* only) {
       if (!name.empty()) {
         if (std::find(valid.begin(), valid.end(), name) == valid.end()) {
           std::cerr << "psoodb-analyze: unknown check '" << name
-                    << "' (see --list-checks)\n";
+                    << "'; valid checks are:\n"
+                    << CheckCatalog("  ");
           return false;
         }
         only->push_back(name);
@@ -66,6 +92,18 @@ bool ParseOnly(const std::string& arg, std::vector<std::string>* only) {
   return !only->empty();
 }
 
+/// Parses a positive --threads value; returns 0 on bad input.
+int ParseThreads(const std::string& arg) {
+  if (arg.empty() ||
+      !std::all_of(arg.begin(), arg.end(),
+                   [](char c) { return c >= '0' && c <= '9'; })) {
+    return 0;
+  }
+  const long v = std::strtol(arg.c_str(), nullptr, 10);
+  if (v < 1 || v > 256) return 0;
+  return static_cast<int>(v);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -73,6 +111,7 @@ int main(int argc, char** argv) {
   std::string sarif_path;
   std::vector<std::string> only;
   bool verbose = false;
+  int threads = 1;
   std::vector<std::string> paths;
 
   for (int i = 1; i < argc; ++i) {
@@ -88,6 +127,13 @@ int main(int argc, char** argv) {
       if (!ParseOnly(argv[++i], &only)) return kUsageError;
     } else if (arg.rfind("--only=", 0) == 0) {
       if (!ParseOnly(arg.substr(7), &only)) return kUsageError;
+    } else if (arg == "--threads") {
+      if (i + 1 >= argc) return Usage();
+      threads = ParseThreads(argv[++i]);
+      if (threads == 0) return Usage();
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      threads = ParseThreads(arg.substr(10));
+      if (threads == 0) return Usage();
     } else if (arg == "--verbose" || arg == "-v") {
       verbose = true;
     } else if (arg == "--list-checks") {
@@ -107,7 +153,7 @@ int main(int argc, char** argv) {
   if (paths.empty()) paths = {"src", "bench", "tests", "tools"};
 
   psoodb::analyzer::AnalysisResult result =
-      psoodb::analyzer::AnalyzePaths(paths);
+      psoodb::analyzer::AnalyzePaths(paths, threads);
 
   // --only filters *reporting*, after suppression matching, so a marker's
   // staleness never depends on which subset this invocation asked for.

@@ -1,0 +1,271 @@
+#include "analyzer/protocol_spec.h"
+
+#include <algorithm>
+
+namespace psoodb::analyzer {
+
+namespace {
+
+using Tokens = std::vector<Token>;
+
+std::string FileStem(const std::string& path) {
+  const std::size_t slash = path.find_last_of("/\\");
+  std::string base =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  const std::size_t dot = base.rfind('.');
+  return dot == std::string::npos ? base : base.substr(0, dot);
+}
+
+bool HasExt(const std::string& path, const char* ext) {
+  const std::string e(ext);
+  return path.size() >= e.size() &&
+         path.compare(path.size() - e.size(), e.size(), e) == 0;
+}
+
+/// The check diffs the protocol *implementation* units only: the real ones
+/// under src/core/, plus `.cxx` fixtures that adopt a protocol stem.
+bool InProtocolScope(const std::string& path) {
+  if (HasExt(path, ".cxx")) return true;
+  return HasExt(path, ".cpp") && (path.find("src/core/") == 0 ||
+                                  path.find("/src/core/") != std::string::npos);
+}
+
+std::size_t MatchParen(const Tokens& t, std::size_t i) {
+  int depth = 0;
+  for (std::size_t j = i; j < t.size(); ++j) {
+    if (t[j].Is("(")) ++depth;
+    if (t[j].Is(")") && --depth == 0) return j;
+  }
+  return t.size();
+}
+
+bool IsHandlerIdent(const std::string& s) {
+  return s.rfind("On", 0) == 0 && s.size() > 2 && s[2] >= 'A' && s[2] <= 'Z';
+}
+
+std::vector<ProtocolSpec> BuildSpecs() {
+  // Shared shapes: the page-family read/write/callback core, and the
+  // object-server bookkeeping kinds layered on top of it.
+  const std::set<std::string> kPageCore = {
+      "kReadReq", "kWriteReq", "kCallbackReq", "kDataReply", "kControlReply"};
+  const std::set<std::string> kAdaptiveOnly = {"kDeEscalateReq",
+                                               "kDeEscalateReply"};
+  const std::set<std::string> kTokenOnly = {"kTokenRecall", "kTokenFlush",
+                                            "kCallbackAck"};
+  std::set<std::string> kNonPage = kAdaptiveOnly;
+  kNonPage.insert(kTokenOnly.begin(), kTokenOnly.end());
+
+  std::vector<ProtocolSpec> specs;
+
+  {  // B-PS: page locks, page callbacks, page ships.
+    ProtocolSpec s;
+    s.stem = "ps";
+    s.required = kPageCore;
+    s.forbidden = kNonPage;
+    s.handlers = {{"kReadReq", {"OnPageReadReq"}},
+                  {"kWriteReq", {"OnPageWriteReq"}},
+                  {"kCallbackReq", {"OnPageCallback"}},
+                  {"kDataReply", {}},
+                  {"kControlReply", {}}};
+    specs.push_back(std::move(s));
+  }
+  {  // O-OS: object server — object ships plus commit/abort/install traffic.
+    ProtocolSpec s;
+    s.stem = "os";
+    s.required = kPageCore;
+    s.required.insert({"kCommitReq", "kAbortReq", "kDirtyInstall",
+                       "kEvictionNotice"});
+    s.forbidden = kNonPage;
+    s.handlers = {{"kReadReq", {"OnObjectReadReq"}},
+                  {"kWriteReq", {"OnObjectWriteReq"}},
+                  {"kCallbackReq", {"OnObjectCallback"}},
+                  {"kCommitReq", {"OnCommitReq"}},
+                  {"kAbortReq", {"OnAbortReq"}},
+                  // A dirty install may double as the eviction notice for
+                  // the page the object lives on (os.cpp sends both through
+                  // one deliver lambda).
+                  {"kDirtyInstall", {"OnDirtyInstall", "OnObjectEvictionNotice"}},
+                  {"kEvictionNotice", {"OnObjectEvictionNotice"}},
+                  {"kDataReply", {}},
+                  {"kControlReply", {}}};
+    specs.push_back(std::move(s));
+  }
+  {  // PS-OO: page server, object-level callbacks.
+    ProtocolSpec s;
+    s.stem = "ps_oo";
+    s.required = kPageCore;
+    s.forbidden = kNonPage;
+    s.handlers = {{"kReadReq", {"OnObjectReadReq"}},
+                  {"kWriteReq", {"OnObjectWriteReq"}},
+                  {"kCallbackReq", {"OnObjectCallback"}},
+                  {"kDataReply", {}},
+                  {"kControlReply", {}}};
+    specs.push_back(std::move(s));
+  }
+  {  // PS-OA: adaptive page/object callbacks.
+    ProtocolSpec s;
+    s.stem = "ps_oa";
+    s.required = kPageCore;
+    s.forbidden = kNonPage;
+    s.handlers = {{"kReadReq", {"OnObjectReadReq"}},
+                  {"kWriteReq", {"OnObjectWriteReq"}},
+                  {"kCallbackReq", {"OnAdaptiveCallback"}},
+                  {"kDataReply", {}},
+                  {"kControlReply", {}}};
+    specs.push_back(std::move(s));
+  }
+  {  // PS-AA: adaptive granularity — adds the de-escalation sub-protocol.
+    ProtocolSpec s;
+    s.stem = "ps_aa";
+    s.required = kPageCore;
+    s.required.insert(kAdaptiveOnly.begin(), kAdaptiveOnly.end());
+    s.forbidden = kTokenOnly;
+    s.handlers = {{"kReadReq", {"OnObjectReadReq"}},
+                  {"kWriteReq", {"OnObjectWriteReq"}},
+                  {"kCallbackReq", {"OnAdaptiveCallback"}},
+                  {"kDeEscalateReq", {"OnDeEscalate"}},
+                  {"kDeEscalateReply", {}},
+                  {"kDataReply", {}},
+                  {"kControlReply", {}}};
+    specs.push_back(std::move(s));
+  }
+  {  // PS-WT: write tokens — no server read round-trip at all.
+    ProtocolSpec s;
+    s.stem = "ps_wt";
+    s.required = {"kWriteReq",   "kCallbackReq",  "kTokenRecall",
+                  "kTokenFlush", "kCallbackAck",  "kDataReply",
+                  "kControlReply"};
+    s.forbidden = kAdaptiveOnly;
+    s.handlers = {{"kWriteReq", {"OnTokenWriteReq"}},
+                  {"kCallbackReq", {"OnObjectCallback"}},
+                  {"kTokenRecall", {"OnTokenRecall"}},
+                  {"kTokenFlush", {"OnDirtyInstall"}},
+                  {"kCallbackAck", {}},
+                  {"kDataReply", {}},
+                  {"kControlReply", {}}};
+    specs.push_back(std::move(s));
+  }
+
+  std::sort(specs.begin(), specs.end(),
+            [](const ProtocolSpec& a, const ProtocolSpec& b) {
+              return a.stem < b.stem;
+            });
+  return specs;
+}
+
+}  // namespace
+
+const std::vector<ProtocolSpec>& ProtocolSpecs() {
+  static const std::vector<ProtocolSpec> specs = BuildSpecs();
+  return specs;
+}
+
+const ProtocolSpec* FindProtocolSpec(const std::string& stem) {
+  for (const ProtocolSpec& s : ProtocolSpecs()) {
+    if (s.stem == stem) return &s;
+  }
+  return nullptr;
+}
+
+std::vector<Finding> RunProtocolChecks(const LexedFile& f) {
+  std::vector<Finding> out;
+  if (!InProtocolScope(f.path)) return out;
+  const ProtocolSpec* spec = FindProtocolSpec(FileStem(f.path));
+  if (spec == nullptr) return out;
+  const Tokens& t = f.tokens;
+
+  // Every `MsgKind::kX` mention, in order.
+  struct Mention {
+    std::string kind;
+    std::size_t pos;
+    int line;
+  };
+  std::vector<Mention> mentions;
+  for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+    if (t[i].Is("MsgKind") && t[i + 1].Is("::") && t[i + 2].IsIdent()) {
+      mentions.push_back(Mention{t[i + 2].text, i + 2, t[i + 2].line});
+    }
+  }
+
+  std::set<std::string> seen;
+  for (const Mention& m : mentions) seen.insert(m.kind);
+  for (const std::string& req : spec->required) {
+    if (seen.count(req) == 0) {
+      out.push_back(Finding{
+          f.path, 1, kCheckProtocolTransition,
+          "protocol '" + spec->stem + "' never mentions required MsgKind::" +
+              req + " — a state-machine leg of the paper's protocol is "
+              "missing",
+          false, "", ""});
+    }
+  }
+  for (const Mention& m : mentions) {
+    if (spec->forbidden.count(m.kind) != 0) {
+      out.push_back(Finding{
+          f.path, m.line, kCheckProtocolTransition,
+          "MsgKind::" + m.kind + " is not part of protocol '" + spec->stem +
+              "' — this kind belongs to another protocol's state machine",
+          false, "", ""});
+    }
+  }
+
+  // Send spans: the deliver lambda of a SendToClient/SendToServer call must
+  // invoke only the handler(s) the spec pairs with the kind it sends.
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!t[i].IsIdent() ||
+        (!t[i].Is("SendToClient") && !t[i].Is("SendToServer")) ||
+        !t[i + 1].Is("(")) {
+      continue;
+    }
+    const std::size_t open = i + 1;
+    const std::size_t close = MatchParen(t, open);
+    std::vector<const Mention*> kinds;
+    for (const Mention& m : mentions) {
+      if (m.pos > open && m.pos < close) kinds.push_back(&m);
+    }
+    if (kinds.empty()) continue;
+    std::vector<std::pair<std::string, int>> handlers;
+    for (std::size_t j = open + 1; j < close; ++j) {
+      if (t[j].IsIdent() && IsHandlerIdent(t[j].text)) {
+        handlers.emplace_back(t[j].text, t[j].line);
+      }
+    }
+    for (const Mention* m : kinds) {
+      auto it = spec->handlers.find(m->kind);
+      if (it == spec->handlers.end()) continue;
+      const std::set<std::string>& allowed = it->second;
+      // With several kinds in one send (conditional replies), a handler is
+      // wrong only if no kind in the span allows it.
+      for (const auto& [name, line] : handlers) {
+        bool ok = false;
+        for (const Mention* k : kinds) {
+          auto ai = spec->handlers.find(k->kind);
+          if (ai != spec->handlers.end() && ai->second.count(name) != 0) {
+            ok = true;
+            break;
+          }
+        }
+        if (!ok) {
+          out.push_back(Finding{
+              f.path, m->line, kCheckProtocolTransition,
+              "send of MsgKind::" + m->kind + " in protocol '" + spec->stem +
+                  "' delivers to '" + name + "', which the spec does not "
+                  "pair with this kind" +
+                  (allowed.empty()
+                       ? " (this kind resolves a promise, not a handler)"
+                       : ""),
+              false, "", ""});
+        }
+      }
+      break;  // report a bad handler once per span, against the first kind
+    }
+  }
+
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    if (a.line != b.line) return a.line < b.line;
+    return a.message < b.message;
+  });
+  return out;
+}
+
+}  // namespace psoodb::analyzer

@@ -1,5 +1,6 @@
 #include "analyzer/sarif.h"
 
+#include <cstdint>
 #include <cstdio>
 #include <map>
 
@@ -42,6 +43,29 @@ std::string Escape(const std::string& s) {
   return out;
 }
 
+/// FNV-1a 64-bit, the usual offset basis / prime constants.
+std::uint64_t Fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (char ch : s) {
+    h ^= static_cast<unsigned char>(ch);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Stable result identity for GitHub code scanning: hash of the rule, the
+/// file and the finding line's tokens (whitespace-normalized by the lexer),
+/// plus an occurrence index so identical lines in one file stay distinct.
+/// Survives line drift from unrelated edits, unlike the file:line location.
+std::string Fingerprint(const Finding& f, std::map<std::string, int>* seen) {
+  const std::string key = f.check + "|" + f.file + "|" + f.snippet;
+  const int occurrence = (*seen)[key]++;
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(Fnv1a(key)));
+  return std::string(buf) + ":" + std::to_string(occurrence);
+}
+
 }  // namespace
 
 std::string SarifReport(const AnalysisResult& r) {
@@ -70,6 +94,7 @@ std::string SarifReport(const AnalysisResult& r) {
   j += "\n          ]\n        }\n      },\n";
   j += "      \"results\": [";
   bool first = true;
+  std::map<std::string, int> fingerprints_seen;
   for (const Finding& f : r.findings) {
     j += first ? "\n" : ",\n";
     first = false;
@@ -86,7 +111,10 @@ std::string SarifReport(const AnalysisResult& r) {
          "{\"artifactLocation\": {\"uri\": \"" +
          Escape(f.file) +
          "\"}, \"region\": {\"startLine\": " + std::to_string(f.line) +
-         "}}}]";
+         "}}}],\n";
+    j += "          \"partialFingerprints\": "
+         "{\"psoodbAnalyzeFingerprint/v1\": \"" +
+         Escape(Fingerprint(f, &fingerprints_seen)) + "\"}";
     if (f.suppressed) {
       j += ",\n          \"suppressions\": [{\"kind\": \"inSource\", "
            "\"justification\": \"" +

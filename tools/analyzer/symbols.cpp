@@ -198,6 +198,48 @@ std::string AnnotatedName(const Tokens& t, std::size_t i) {
   return t[p].text;
 }
 
+/// Walks back from the obligation macro at t[i] to the function declarator it
+/// annotates. Obligation macros may be chained after trailing specifiers
+/// (`const`, `noexcept`, `override`, `final`) and after each other, so the
+/// walk skips those until it reaches the parameter list's `)`, then matches
+/// back to its `(`; the declared name is the identifier just before it.
+/// Returns "" when the shape doesn't match (e.g. the macro's own #define).
+std::string ObligationTarget(const Tokens& t, std::size_t i) {
+  if (i == 0) return "";
+  std::size_t p = i - 1;
+  while (true) {
+    if (t[p].IsIdent() &&
+        (t[p].text == "override" || t[p].text == "final" ||
+         t[p].text == "const" || t[p].text == "noexcept" ||
+         IsAnnotationMacro(t[p].text))) {
+      if (p == 0) return "";
+      --p;
+      continue;
+    }
+    if (!t[p].Is(")")) return "";
+    // Match back to the opening "(" of this paren group.
+    int depth = 0;
+    std::size_t q = p;
+    while (true) {
+      if (t[q].Is(")")) {
+        ++depth;
+      } else if (t[q].Is("(") && --depth == 0) {
+        break;
+      }
+      if (q == 0) return "";
+      --q;
+    }
+    if (q == 0) return "";
+    const Token& before = t[q - 1];
+    if (before.IsIdent() &&
+        (IsAnnotationMacro(before.text) || before.text == "noexcept")) {
+      p = q - 1;  // argument group of a chained macro: keep walking back
+      continue;
+    }
+    return before.IsIdent() ? before.text : "";
+  }
+}
+
 /// Concurrency vocabulary sweep (part of pass A): annotation macros plus
 /// mutex/condvar/future variables and mutable statics.
 void IndexConcurrencyVocab(const LexedFile& f, SymbolIndex& idx) {
@@ -237,6 +279,28 @@ void IndexConcurrencyVocab(const LexedFile& f, SymbolIndex& idx) {
         if (!mus.empty()) {
           idx.requires_fns[t[p - 1].text].insert(mus.begin(), mus.end());
         }
+      }
+      continue;
+    }
+    if (s == "PSOODB_ACQUIRES" || s == "PSOODB_RELEASES") {
+      if (i + 1 < t.size() && t[i + 1].Is("(")) {
+        const std::string fn = ObligationTarget(t, i);
+        const std::set<std::string> res = ParenIdents(t, i + 1);
+        if (!fn.empty() && !res.empty()) {
+          SymbolIndex::ObligationSig& sig = idx.obligations[fn];
+          (s == "PSOODB_ACQUIRES" ? sig.acquires : sig.releases)
+              .insert(res.begin(), res.end());
+          sig.stems.insert(stem);
+        }
+      }
+      continue;
+    }
+    if (s == "PSOODB_REPLIES") {
+      const std::string fn = ObligationTarget(t, i);
+      if (!fn.empty()) {
+        SymbolIndex::ObligationSig& sig = idx.obligations[fn];
+        sig.replies = true;
+        sig.stems.insert(stem);
       }
       continue;
     }
@@ -298,7 +362,9 @@ void IndexSpawnSite(const Tokens& t, std::size_t i, SymbolIndex& idx) {
 
 bool IsAnnotationMacro(const std::string& s) {
   return s == "PSOODB_GUARDED_BY" || s == "PSOODB_REQUIRES" ||
-         s == "PSOODB_PARTITION_LOCAL" || s == "PSOODB_SHARD_SHARED";
+         s == "PSOODB_PARTITION_LOCAL" || s == "PSOODB_SHARD_SHARED" ||
+         s == "PSOODB_ACQUIRES" || s == "PSOODB_RELEASES" ||
+         s == "PSOODB_REPLIES";
 }
 
 bool IsCallContextKeyword(const std::string& s) { return IsNonTypeKeyword(s); }

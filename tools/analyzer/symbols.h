@@ -73,6 +73,24 @@ struct SymbolIndex {
   /// unannotated or not) — escape targets for shard-escape.
   std::set<std::string> mutable_statics;
 
+  // --- Obligation vocabulary (third-generation checks; see ---------------
+  // --- src/util/annotations.h "Obligation vocabulary") --------------------
+
+  struct ObligationSig {
+    /// Resource classes from PSOODB_ACQUIRES(...) on any declaration.
+    std::set<std::string> acquires;
+    /// Resource classes from PSOODB_RELEASES(...) on any declaration.
+    std::set<std::string> releases;
+    /// Declaration carries PSOODB_REPLIES (owes exactly one promise send).
+    bool replies = false;
+    /// Stems of the files carrying the annotated declarations. Name-based
+    /// resolution, so obligation effects apply only in files sharing a
+    /// declaring stem unless every in-tree definition does (see dataflow.h).
+    std::set<std::string> stems;
+  };
+  /// Function name -> its declared acquire/release/reply contract.
+  std::map<std::string, ObligationSig> obligations;
+
   bool IsTaskFunction(const std::string& name) const {
     return task_declared.count(name) != 0 && nontask_declared.count(name) == 0;
   }
