@@ -16,6 +16,9 @@ int main() {
   opt.normalize_to_psaa = true;
   config::SystemParams sys;
   sys.db_pages = 1250 * 9;
+  // Scaled figures archive time-series telemetry by default; export
+  // PSOODB_TELEMETRY=0 to force it off.
+  sys.telemetry = true;
   bench::ApplyScaleEnv(sys);  // PSOODB_BENCH_CLIENTS / PSOODB_BENCH_SERVERS
   bench::RunFigure(opt, sys, [](const config::SystemParams& s, double wp) {
     auto w = config::MakeUniform(s, config::Locality::kLow, wp);

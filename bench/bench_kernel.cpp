@@ -20,6 +20,9 @@
 //                  write_prob 0.20 (paper Figure 8's contention regime) —
 //                  the end-to-end number the ISSUE acceptance criterion
 //                  tracks.
+//   telemetry_point  fig08_point with time-series telemetry sampling on;
+//                  the perf gate pairs it against fig08_point to bound the
+//                  telemetry overhead at 10%.
 //   parallel_point one partitioned PS-AA run (4 servers, sim_shards = 4):
 //                  the by-server sharded event loops plus the window
 //                  barrier, mailbox merge and cross-partition transport —
@@ -191,6 +194,24 @@ std::uint64_t Fig08Point(const Sizes& sz) {
   return r.events;
 }
 
+// --- telemetry_point -------------------------------------------------------
+
+std::uint64_t TelemetryPoint(const Sizes& sz) {
+  // Identical to Fig08Point but with the time-series registry sampling —
+  // the perf-smoke gate pairs the two scenarios to bound telemetry's
+  // overhead (telemetry_point must stay within 10% of fig08_point).
+  config::SystemParams sys;
+  sys.telemetry = true;
+  core::RunConfig rc;
+  rc.warmup_commits = sz.fig08_warmup;
+  rc.measure_commits = sz.fig08_commits;
+  const config::WorkloadParams wl =
+      config::MakeHicon(sys, config::Locality::kLow, 0.20);
+  const core::RunResult r =
+      core::RunSimulation(config::Protocol::kPSAA, sys, wl, rc);
+  return r.events;
+}
+
 // --- parallel_point --------------------------------------------------------
 
 std::uint64_t ParallelPoint(const Sizes& sz) {
@@ -268,6 +289,7 @@ int Main(int argc, char** argv) {
                     {"chan_pingpong", ChanPingpong},
                     {"task_nesting", TaskNesting},
                     {"fig08_point", Fig08Point},
+                    {"telemetry_point", TelemetryPoint},
                     {"parallel_point", ParallelPoint}};
 
   std::vector<KernelScenarioResult> rows;

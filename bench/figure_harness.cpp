@@ -223,6 +223,25 @@ std::vector<std::vector<core::RunResult>> RunFigure(
     if (trace_files > 0) {
       std::printf("traces: %zu files in %s\n", trace_files, json_dir);
     }
+    // With telemetry on (PSOODB_TELEMETRY=1 / SystemParams::telemetry),
+    // every run's time-series sink lands next to the JSON the same way:
+    // TELEMETRY_<figure>_<proto>_wpNN.jsonl (for timeline_report).
+    std::size_t telemetry_files = 0;
+    for (std::size_t wi = 0; wi < grid.size(); ++wi) {
+      for (const core::RunResult& r : grid[wi]) {
+        if (r.telemetry_jsonl.empty()) continue;
+        char stem[64];
+        std::snprintf(stem, sizeof(stem), "%s_wp%02d",
+                      config::ProtocolName(r.protocol),
+                      static_cast<int>(opt.write_probs[wi] * 100 + 0.5));
+        const std::string base =
+            std::string(json_dir) + "/TELEMETRY_" + fig + "_" + stem;
+        telemetry_files += WriteJsonFile(base + ".jsonl", r.telemetry_jsonl);
+      }
+    }
+    if (telemetry_files > 0) {
+      std::printf("telemetry: %zu files in %s\n", telemetry_files, json_dir);
+    }
   }
 
   const double wall =

@@ -33,6 +33,14 @@
 ///                          .trace.json sinks are written next to the JSON
 ///                          (see docs/OBSERVABILITY.md). Tracing never
 ///                          changes simulation results.
+///   PSOODB_TELEMETRY       time-series telemetry: any non-empty value but
+///                          "0" enables, "0" force-disables (the scaled
+///                          Figures 12-14 default it on); per-run
+///                          TELEMETRY_<figure>_<proto>_wpNN.jsonl sinks are
+///                          written next to the JSON, for timeline_report.
+///                          Telemetry never changes simulation results.
+///   PSOODB_TELEMETRY_TICK  sampling tick in simulated seconds (default
+///                          0.25; see src/metrics/timeseries.h)
 
 #ifndef PSOODB_BENCH_FIGURE_HARNESS_H_
 #define PSOODB_BENCH_FIGURE_HARNESS_H_

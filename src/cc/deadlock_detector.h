@@ -86,6 +86,10 @@ class DeadlockDetector {
   /// The victim's registered CondVar, or nullptr if it is not parked here.
   sim::CondVar* WaitChannel(storage::TxnId txn) const;
 
+  /// Transactions currently parked on a registered wait channel — the
+  /// telemetry "blocked transactions" gauge (size only; never iterated).
+  std::size_t parked() const { return wait_channels_.size(); }
+
   /// Bumped whenever the edge set changes; the coordinator skips the union-
   /// graph search when no detector's version moved since the last window.
   std::uint64_t version() const { return version_; }

@@ -71,6 +71,7 @@ sim::Task LockManager::AcquireX(Table<Key>& table, Key key, PageId page,
       }
       if (!e.cv) e.cv = std::make_unique<sim::CondVar>(sim_);
       ++e.waiters;
+      ++waiting_;
       try {
         // Registered strictly for the duration of the wait so the detector
         // never holds a dangling CondVar pointer (cross-partition victim
@@ -80,10 +81,12 @@ sim::Task LockManager::AcquireX(Table<Key>& table, Key key, PageId page,
       } catch (...) {
         // Wait() does not throw, but keep the waiter count exception-safe.
         --table[key].waiters;
+        --waiting_;
         throw;
       }
       Entry& e2 = table[key];  // rehash-safe: re-lookup after suspension
       --e2.waiters;
+      --waiting_;
       detector_.ClearWaits(txn);
     }
   } catch (...) {

@@ -118,6 +118,11 @@ class LockManager {
       storage::TxnId txn) const;
 
   std::uint64_t lock_waits() const { return lock_waits_; }
+  /// Transactions currently blocked in an AcquireX/Wait* queue across all
+  /// entries — the telemetry "lock-queue depth" gauge. Maintained
+  /// incrementally (O(1)), always on: plain integer arithmetic that never
+  /// feeds back into the simulation.
+  int waiting() const { return waiting_; }
   DeadlockDetector& detector() { return detector_; }
 
   /// Cross-validates the internal tables (forward maps vs. per-txn reverse
@@ -179,6 +184,8 @@ class LockManager {
   std::unordered_map<storage::TxnId, std::unordered_set<storage::ObjectId>>
       objects_by_txn_;
   std::uint64_t lock_waits_ = 0;
+  /// Invariant: sum of Entry::waiters over both tables (see waiting()).
+  int waiting_ = 0;
 };
 
 }  // namespace psoodb::cc

@@ -143,6 +143,21 @@ struct SystemParams {
   /// PSOODB_TRACE_PAGE=<n>; events that carry no page id are filtered out.
   storage::PageId trace_page = -1;
 
+  // --- Time-series telemetry (src/metrics/timeseries.h) -------------------
+  /// Enables the deterministic time-series telemetry registry: kernel /
+  /// protocol / storage counters and gauges sampled every `telemetry_tick`
+  /// simulated seconds, serialized to a TELEMETRY_*.jsonl sink and (when
+  /// tracing is also on) to Chrome counter tracks. Off by default: the
+  /// registry is then never built and results are bit-identical to an
+  /// untelemetered run. Also settable via PSOODB_TELEMETRY — any non-empty
+  /// value enables except "0", which force-disables (so benches that default
+  /// telemetry on can be turned off from the environment).
+  bool telemetry = false;
+  /// Sampling interval in simulated seconds. Contention experiments have
+  /// response times of 0.1-10 s, so 0.25 s resolves per-window behavior at
+  /// a few hundred rows per run; also settable via PSOODB_TELEMETRY_TICK.
+  double telemetry_tick = 0.25;
+
   int object_size_bytes() const { return page_size_bytes / objects_per_page; }
   int client_buf_pages() const {
     int n = static_cast<int>(db_pages * client_buf_fraction);

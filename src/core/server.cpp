@@ -65,7 +65,11 @@ sim::Task Server::DiskIo(bool write, TxnId txn, PageId page) {
 }
 
 sim::Task Server::EnsureBuffered(PageId page, bool load, TxnId txn) {
-  if (buffer_.Get(page) != nullptr) co_return;
+  ++buf_lookups_;
+  if (buffer_.Get(page) != nullptr) {
+    ++buf_hits_;
+    co_return;
+  }
   if (load) {
     co_await DiskIo(/*write=*/false, txn, page);
     // Re-check: a concurrent handler may have buffered it while we read.
@@ -95,9 +99,11 @@ sim::Task Server::AwaitCallbacks(std::shared_ptr<CallbackBatch> batch,
                                  TxnId txn) {
   const int pending0 = batch->pending;
   const double t0 = ctx_.sim.now();
+  if (pending0 > 0) ++cb_rounds_inflight_;
   // Record the round on both exit paths (drained or aborted): the wait
   // interval belongs to `txn` either way.
   const auto record = [this, pending0, t0, txn] {
+    if (pending0 > 0) --cb_rounds_inflight_;
     const double dt = ctx_.sim.now() - t0;
     if (ctx_.latency != nullptr && pending0 > 0) {
       ctx_.latency->callback_round.Add(dt);

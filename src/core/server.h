@@ -71,6 +71,24 @@ class Server {
   resources::Cpu& cpu() { return cpu_; }
   resources::DiskArray& disks() { return disks_; }
   cc::LockManager& lock_manager() { return lm_; }
+
+  // --- Telemetry observation (src/metrics/timeseries.h). Always-on plain
+  // integer bookkeeping; never feeds back into the simulation. -------------
+  /// Buffer-pool probes / hits in EnsureBuffered (first lookup only — the
+  /// post-disk-read re-check is not a second demand miss).
+  std::uint64_t buffer_lookups() const { return buf_lookups_; }
+  std::uint64_t buffer_hits() const { return buf_hits_; }
+  /// Callback fan-out rounds currently awaiting their drain.
+  int callback_rounds_inflight() const { return cb_rounds_inflight_; }
+  /// Dirty pages currently in the buffer pool (O(buffer) scan; telemetry
+  /// probes call it once per tick).
+  int CountDirtyPages() const {
+    int n = 0;
+    buffer_.ForEach([&n](storage::PageId, const storage::PageFrame& f) {
+      if (f.IsDirty()) ++n;
+    });
+    return n;
+  }
   cc::DeadlockDetector& detector() { return *ctx_.detector; }
   storage::PageCache& buffer() { return buffer_; }
   cc::PageCopyTable& page_copies() { return page_copies_; }
@@ -216,6 +234,10 @@ class Server {
   /// initial_fill * page_size); only consulted when size_change_prob > 0.
   std::unordered_map<storage::PageId, double> page_fill_;
   std::vector<Client*> clients_;
+  // Telemetry bookkeeping (see the accessors above).
+  std::uint64_t buf_lookups_ = 0;
+  std::uint64_t buf_hits_ = 0;
+  int cb_rounds_inflight_ = 0;
 };
 
 }  // namespace psoodb::core

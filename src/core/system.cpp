@@ -12,6 +12,7 @@
 
 #include "check/invariants.h"
 #include "core/os.h"
+#include "sim/pool.h"
 #include "core/ps.h"
 #include "core/ps_aa.h"
 #include "core/ps_oa.h"
@@ -76,6 +77,17 @@ System::System(Protocol protocol, const config::SystemParams& params,
   }
   if (const char* env = std::getenv("PSOODB_SIM_SHARDS"); env != nullptr) {
     params_.sim_shards = std::atoi(env);
+  }
+  // Unlike PSOODB_TRACE (enable-only), "0" force-disables: the scaled
+  // figure benches default telemetry *on*, and the environment must be able
+  // to turn it back off.
+  if (const char* env = std::getenv("PSOODB_TELEMETRY");
+      env != nullptr && env[0] != '\0') {
+    params_.telemetry = !(env[0] == '0' && env[1] == '\0');
+  }
+  if (const char* env = std::getenv("PSOODB_TELEMETRY_TICK");
+      env != nullptr) {
+    if (const double t = std::atof(env); t > 0) params_.telemetry_tick = t;
   }
 
   const bool partitioned = params_.sim_shards > 0;
@@ -269,6 +281,162 @@ System::System(Protocol protocol, const config::SystemParams& params,
       ctx_->invariants = invariants_.get();
     }
   }
+
+  BuildTelemetry();
+}
+
+void System::BuildTelemetry() {
+  if (!params_.telemetry) return;
+  telemetry_ = std::make_unique<metrics::TimeSeries>(params_.telemetry_tick);
+  metrics::TimeSeries& ts = *telemetry_;
+  const bool part = partitioned();
+  const int P = part ? static_cast<int>(partitions_.size()) : 0;
+
+  // Every probe is a pure observation of simulation state, evaluated only
+  // from deterministic single-threaded contexts (the sequential run loop /
+  // the window serial phase) in this fixed registration order — the sampled
+  // rows are byte-identical for any sim_shards / worker-thread count.
+
+  // --- Kernel layer --------------------------------------------------------
+  if (!part) {
+    sim::Simulation* s = sim_.get();
+    ts.AddGauge("kernel.live_events",
+                [s] { return static_cast<double>(s->live_events()); });
+    ts.AddGauge("kernel.queue_size",
+                [s] { return static_cast<double>(s->event_queue_size()); });
+    ts.AddGauge("kernel.live_processes",
+                [s] { return static_cast<double>(s->live_processes()); });
+    ts.AddCounter("kernel.queue_compactions",
+                  [s] { return static_cast<double>(s->queue_compactions()); });
+    ts.AddCounter("kernel.events",
+                  [s] { return static_cast<double>(s->events_processed()); });
+    ts.AddGauge("kernel.pool_live_bytes",
+                [this] { return static_cast<double>(pool_bytes_); });
+  } else {
+    shards_->EnablePoolAccounting();
+    shard_stall_.assign(static_cast<std::size_t>(P), 0.0);
+    sim::ShardGroup* g = shards_.get();
+    ts.AddGauge("kernel.live_events", [g, P] {
+      double n = 0;
+      for (int p = 0; p < P; ++p) {
+        n += static_cast<double>(g->sim(p).live_events());
+      }
+      return n;
+    });
+    ts.AddGauge("kernel.queue_size", [g, P] {
+      double n = 0;
+      for (int p = 0; p < P; ++p) {
+        n += static_cast<double>(g->sim(p).event_queue_size());
+      }
+      return n;
+    });
+    ts.AddGauge("kernel.live_processes", [g, P] {
+      double n = 0;
+      for (int p = 0; p < P; ++p) {
+        n += static_cast<double>(g->sim(p).live_processes());
+      }
+      return n;
+    });
+    ts.AddCounter("kernel.queue_compactions", [g, P] {
+      double n = 0;
+      for (int p = 0; p < P; ++p) {
+        n += static_cast<double>(g->sim(p).queue_compactions());
+      }
+      return n;
+    });
+    ts.AddCounter("kernel.events", [g] {
+      return static_cast<double>(g->TotalEvents());
+    });
+    ts.AddGauge("kernel.pool_live_bytes", [g, P] {
+      double n = 0;
+      for (int p = 0; p < P; ++p) {
+        n += static_cast<double>(g->pool_live_bytes(p));
+      }
+      return n;
+    });
+    ts.AddCounter("kernel.windows",
+                  [g] { return static_cast<double>(g->windows()); });
+  }
+
+  // --- Protocol layer ------------------------------------------------------
+  // System-wide counters (summed over partitions in partition order) and
+  // the blocked-transaction gauge. Counters reset once, at the
+  // warmup/measurement boundary.
+  auto counter_track = [&](const char* name,
+                           std::uint64_t metrics::Counters::* field) {
+    ts.AddCounter(name, [this, field] {
+      if (!partitioned()) return static_cast<double>(counters_.*field);
+      double n = 0;
+      for (auto& p : partitions_) {
+        n += static_cast<double>(p->counters.*field);
+      }
+      return n;
+    });
+  };
+  counter_track("commits", &metrics::Counters::commits);
+  counter_track("aborts", &metrics::Counters::aborts);
+  counter_track("callbacks_sent", &metrics::Counters::callbacks_sent);
+  counter_track("msgs", &metrics::Counters::msgs_total);
+  ts.AddGauge("blocked_txns", [this] {
+    if (!partitioned()) return static_cast<double>(detector_->parked());
+    double n = 0;
+    for (auto& p : partitions_) {
+      n += static_cast<double>(p->detector->parked());
+    }
+    return n;
+  });
+
+  // --- Per-server protocol + storage gauges --------------------------------
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    Server* srv = servers_[i].get();
+    const std::string prefix = "server" + std::to_string(i);
+    ts.AddGauge(prefix + ".lock_queue_depth", [srv] {
+      return static_cast<double>(srv->lock_manager().waiting());
+    });
+    ts.AddGauge(prefix + ".cb_rounds", [srv] {
+      return static_cast<double>(srv->callback_rounds_inflight());
+    });
+    ts.AddGauge(prefix + ".dirty_pages", [srv] {
+      return static_cast<double>(srv->CountDirtyPages());
+    });
+    ts.AddGauge(prefix + ".disk_queue", [srv] {
+      return static_cast<double>(srv->disks().QueueLength());
+    });
+    ts.AddGauge(prefix + ".buf_hit_ratio", [srv] {
+      const std::uint64_t lookups = srv->buffer_lookups();
+      return lookups > 0 ? static_cast<double>(srv->buffer_hits()) /
+                               static_cast<double>(lookups)
+                         : 0.0;
+    });
+  }
+
+  // --- Windowed latency histograms (+ per-shard window health) -------------
+  if (!part) {
+    ts.AddWindowedHistogram("lat.response", &latency_.response);
+    ts.AddWindowedHistogram("lat.lock_wait", &latency_.lock_wait);
+    ts.AddWindowedHistogram("lat.cb_round", &latency_.callback_round);
+  } else {
+    sim::ShardGroup* g = shards_.get();
+    for (int p = 0; p < P; ++p) {
+      Partition* pp = partitions_[static_cast<std::size_t>(p)].get();
+      const std::string prefix = "shard" + std::to_string(p);
+      ts.AddWindowedHistogram(prefix + ".lat.response",
+                              &pp->latency.response);
+      ts.AddWindowedHistogram(prefix + ".lat.lock_wait",
+                              &pp->latency.lock_wait);
+      ts.AddWindowedHistogram(prefix + ".lat.cb_round",
+                              &pp->latency.callback_round);
+      ts.AddGauge(prefix + ".outbox_depth", [g, p] {
+        return static_cast<double>(g->OutboxDepth(p));
+      });
+      ts.AddCounter(prefix + ".stall_s", [this, p] {
+        return shard_stall_[static_cast<std::size_t>(p)];
+      });
+      ts.AddGauge(prefix + ".lag", [g, p] {
+        return std::max(0.0, g->window_end() - g->sim(p).now());
+      });
+    }
+  }
 }
 
 System::~System() {
@@ -297,6 +465,11 @@ RunResult System::Run(const RunConfig& run) {
   RunResult result;
   result.protocol = protocol_;
 
+  // Telemetry only: attribute pool allocations/frees during the run to
+  // pool_bytes_ (the kernel.pool_live_bytes gauge). Scoped to this function;
+  // a null scope (telemetry off) keeps accounting disabled.
+  sim::detail::PoolAcctScope pool_acct(telemetry_ ? &pool_bytes_ : nullptr);
+
   // --- Warmup ---------------------------------------------------------------
   const std::uint64_t warmup_target = static_cast<std::uint64_t>(
       run.warmup_commits);
@@ -308,6 +481,7 @@ RunResult System::Run(const RunConfig& run) {
       break;
     }
     if (invariants_) invariants_->OnEvent();
+    if (telemetry_) telemetry_->SampleUpTo(sim_->now());
     if (++events > run.max_events ||
         sim_->now() > run.max_sim_seconds) {
       stalled = true;
@@ -331,6 +505,7 @@ RunResult System::Run(const RunConfig& run) {
   if (tracer_) tracer_->ResetMeasurement();
   const sim::SimTime measure_start = sim_->now();
   const std::uint64_t measure_start_events = sim_->events_processed();
+  if (telemetry_) telemetry_->MarkMeasureStart(measure_start);
 
   // --- Measurement ------------------------------------------------------------
   const std::uint64_t target = static_cast<std::uint64_t>(run.measure_commits);
@@ -344,6 +519,7 @@ RunResult System::Run(const RunConfig& run) {
       break;
     }
     if (invariants_) invariants_->OnEvent();
+    if (telemetry_) telemetry_->SampleUpTo(sim_->now());
     while (sim_->now() >= next_sample) {
       MetricsSample s;
       s.t = next_sample - measure_start;
@@ -407,6 +583,17 @@ RunResult System::Run(const RunConfig& run) {
   result.response_hist = latency_.response;
   result.lock_wait_hist = latency_.lock_wait;
   result.callback_round_hist = latency_.callback_round;
+  std::string counter_fragment;
+  if (telemetry_) {
+    metrics::TimeSeries::Meta tmeta;
+    tmeta.protocol = config::ProtocolName(protocol_);
+    tmeta.num_clients = params_.num_clients;
+    tmeta.num_servers = params_.num_servers;
+    tmeta.seed = params_.seed;
+    tmeta.partitions = 0;
+    result.telemetry_jsonl = telemetry_->SerializeJsonl(tmeta);
+    counter_fragment = telemetry_->RenderChromeCounters();
+  }
   if (tracer_) {
     for (int i = 0; i < trace::kNumPhases; ++i) {
       result.phase_seconds[static_cast<std::size_t>(i)] =
@@ -421,7 +608,8 @@ RunResult System::Run(const RunConfig& run) {
     meta.num_servers = params_.num_servers;
     meta.seed = params_.seed;
     result.trace_jsonl = tracer_->SerializeJsonl(meta);
-    result.trace_chrome = tracer_->SerializeChrome(meta);
+    result.trace_chrome = tracer_->SerializeChrome(
+        meta, counter_fragment.empty() ? nullptr : &counter_fragment);
   }
   return result;
 }
@@ -627,10 +815,40 @@ RunResult System::RunPartitioned(const RunConfig& run) {
     for (auto& c : clients_) c->cpu().ResetStats();
     measure_start = shards_->GlobalNow();
     measure_start_events = shards_->TotalEvents();
+    if (telemetry_) telemetry_->MarkMeasureStart(measure_start);
     measuring = true;
   };
 
+  // Telemetry hook state: end of the previous completed window, for the
+  // per-partition barrier-stall accounting below. Pure function of the
+  // window sequence, which is itself a pure function of the event schedule.
+  sim::SimTime prev_window_end = 0;
+
   sim::ShardGroup::SerialHook hook = [&](sim::ShardGroup& g) -> bool {
+    if (telemetry_) {
+      // Barrier-stall accounting: within the window (W_{k-1}, W_k] a
+      // partition whose local clock stopped at clock_p < W_k spent
+      // W_k - max(clock_p, W_{k-1}) seconds of the window with nothing to
+      // do — it was "stalled" waiting for the barrier. All quantities are
+      // simulated times (pure functions of the event schedule), so the
+      // series is byte-identical at any worker-thread count.
+      const sim::SimTime w_end = g.window_end();
+      const double span = w_end - prev_window_end;
+      if (span > 0) {
+        for (int p = 0; p < P; ++p) {
+          const double idle_from = std::max(g.sim(p).now(), prev_window_end);
+          const double stall = w_end - idle_from;
+          if (stall > 0) {
+            shard_stall_[static_cast<std::size_t>(p)] +=
+                std::min(stall, span);
+          }
+        }
+      }
+      prev_window_end = w_end;
+      // Sample in the serial phase (workers parked): every probe reads
+      // partition state at a deterministic point of the window sequence.
+      telemetry_->SampleUpTo(g.GlobalNow());
+    }
     // Move cross-partition trace attributions to their home tracers in a
     // fixed (home, source) order so phase sums are thread-count independent.
     if (params_.trace) {
@@ -758,6 +976,17 @@ RunResult System::RunPartitioned(const RunConfig& run) {
   result.response_hist = latency_.response;
   result.lock_wait_hist = latency_.lock_wait;
   result.callback_round_hist = latency_.callback_round;
+  std::string counter_fragment;
+  if (telemetry_) {
+    metrics::TimeSeries::Meta tmeta;
+    tmeta.protocol = config::ProtocolName(protocol_);
+    tmeta.num_clients = params_.num_clients;
+    tmeta.num_servers = params_.num_servers;
+    tmeta.seed = params_.seed;
+    tmeta.partitions = P;
+    result.telemetry_jsonl = telemetry_->SerializeJsonl(tmeta);
+    counter_fragment = telemetry_->RenderChromeCounters();
+  }
   if (params_.trace) {
     for (auto& part : partitions_) {
       for (int i = 0; i < trace::kNumPhases; ++i) {
@@ -777,7 +1006,8 @@ RunResult System::RunPartitioned(const RunConfig& run) {
     tracers.reserve(partitions_.size());
     for (auto& part : partitions_) tracers.push_back(part->tracer.get());
     result.trace_jsonl = trace::Tracer::SerializeJsonlMerged(tracers, meta);
-    result.trace_chrome = trace::Tracer::SerializeChromeMerged(tracers, meta);
+    result.trace_chrome = trace::Tracer::SerializeChromeMerged(
+        tracers, meta, counter_fragment.empty() ? nullptr : &counter_fragment);
   }
   return result;
 }

@@ -20,6 +20,7 @@
 #include "metrics/counters.h"
 #include "metrics/histogram.h"
 #include "metrics/stats.h"
+#include "metrics/timeseries.h"
 #include "resources/network.h"
 #include "storage/database.h"
 #include "trace/trace.h"
@@ -90,6 +91,11 @@ struct RunResult {
   /// Serialized sinks (empty unless tracing was enabled).
   std::string trace_jsonl;
   std::string trace_chrome;
+  /// Time-series telemetry JSONL sink (empty unless SystemParams::telemetry
+  /// / PSOODB_TELEMETRY was enabled; see metrics/timeseries.h). Covers
+  /// warmup and measurement — the summary line's measure_start marks the
+  /// boundary. Never serialized into the results JSON.
+  std::string telemetry_jsonl;
 
   // --- Wall-clock accounting (partitioned runs only; reporting only — wall
   // time is nondeterministic, so these are never serialized into results
@@ -148,6 +154,11 @@ class System {
   /// The structured event tracer, or null unless enabled via
   /// SystemParams::trace or the PSOODB_TRACE environment variable.
   trace::Tracer* tracer() { return tracer_.get(); }
+  /// The time-series telemetry registry, or null unless enabled via
+  /// SystemParams::telemetry or PSOODB_TELEMETRY. Retains its sampled rows
+  /// after Run() — psoodb_doctor reads peak queue depths and stall windows
+  /// through it.
+  metrics::TimeSeries* telemetry() { return telemetry_.get(); }
   /// Always-on latency histograms for the current (or last) run.
   const metrics::LatencyRecorder& latency() const { return latency_; }
 
@@ -168,6 +179,9 @@ class System {
   };
 
   RunResult RunPartitioned(const RunConfig& run);
+  /// Builds the telemetry registry (all three instrumentation layers) once
+  /// servers and clients exist; no-op unless params_.telemetry.
+  void BuildTelemetry();
   /// Serial-phase coordinator: finds cycles in the union of the per-
   /// partition waits-for graphs and marks + wakes one victim per cycle.
   void DetectCrossPartitionDeadlocks(std::uint64_t* last_version_sum,
@@ -193,6 +207,14 @@ class System {
   std::vector<std::unique_ptr<Client>> clients_;
   std::unique_ptr<check::InvariantChecker> invariants_;
   std::unique_ptr<trace::Tracer> tracer_;
+  std::unique_ptr<metrics::TimeSeries> telemetry_;
+  /// Net pool bytes during a sequential run (telemetry only; the run loop
+  /// scopes sim::detail::t_pool_acct here). Partitioned runs use the
+  /// ShardGroup's per-partition counters instead.
+  std::int64_t pool_bytes_ = 0;
+  /// Cumulative per-partition barrier-stall seconds, accumulated in the
+  /// window serial hook (telemetry only; pure function of event times).
+  std::vector<double> shard_stall_;
   metrics::LatencyRecorder latency_;
   std::vector<double> response_times_;
   bool started_ = false;

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <limits>
 
+#include "sim/pool.h"
 #include "util/check.h"
 
 namespace psoodb::sim {
@@ -140,10 +141,31 @@ void ShardGroup::SerialPhase() {
   cur_parity_ = 1 - cur_parity_;
 }
 
+std::size_t ShardGroup::OutboxDepth(int src) const {
+  std::size_t n = 0;
+  for (int dest = 0; dest < partitions_; ++dest) {
+    for (int parity = 0; parity < 2; ++parity) {
+      n += outbox_[OutboxSlot(src, dest, parity)].size();
+    }
+  }
+  return n;
+}
+
+void ShardGroup::EnablePoolAccounting() {
+  if (pool_acct_.empty()) {
+    pool_acct_.resize(static_cast<std::size_t>(partitions_));
+  }
+}
+
 void ShardGroup::WorkerLoop(int worker) {
   for (;;) {
     for (int p = worker; p < partitions_; p += threads_) {
       const auto t0 = std::chrono::steady_clock::now();  // det-ok: busy-time accounting for speedup reporting; never feeds the simulation
+      // Pool allocations/frees while this partition runs are attributed to
+      // its counter (telemetry only; see EnablePoolAccounting).
+      detail::PoolAcctScope pool_acct(
+          pool_acct_.empty() ? nullptr
+                             : &pool_acct_[static_cast<std::size_t>(p)].n);
       MergeInbox(p);
       sims_[static_cast<std::size_t>(p)]->RunEventsBefore(window_end_);
       busy_[static_cast<std::size_t>(p)].s +=

@@ -109,6 +109,28 @@ class ShardGroup {
   /// Events processed so far, summed over partitions (monotone across Runs).
   std::uint64_t TotalEvents() const;
 
+  // --- Telemetry observation (src/metrics/timeseries.h) -------------------
+  // Pure reads for the serial-phase telemetry probes; call only from the
+  // serial phase / hook (workers parked) or between Runs.
+
+  /// Conservative windows executed so far (monotone across Runs).
+  std::uint64_t windows() const { return windows_; }
+  /// Cross-partition messages parked in partition `src`'s outboxes (all
+  /// destinations, both parities) awaiting the next window merge.
+  std::size_t OutboxDepth(int src) const;
+
+  /// Opt-in pool live-bytes accounting: allocates one cache-line-padded
+  /// counter per partition; WorkerLoop then scopes sim::detail::t_pool_acct
+  /// to the running partition's counter. Call before Run. Off by default —
+  /// the counters only exist for telemetry-enabled systems.
+  void EnablePoolAccounting();
+  /// Net pool bytes attributed to partition `p` since accounting was
+  /// enabled (may be negative for a partition that frees blocks another
+  /// partition allocated; the sum over partitions is the true live total).
+  std::int64_t pool_live_bytes(int p) const {
+    return pool_acct_.empty() ? 0 : pool_acct_[static_cast<std::size_t>(p)].n;
+  }
+
   // --- Wall-clock accounting (reporting only; never feeds the simulation,
   // so determinism is unaffected) -----------------------------------------
   // On a host with fewer cores than partitions, wall-clock speedup cannot
@@ -200,6 +222,13 @@ class ShardGroup {
     double s = 0.0;
   };
   std::vector<BusyTime> busy_ PSOODB_PARTITION_LOCAL;
+  /// Pool live-bytes accounting (EnablePoolAccounting): element p is written
+  /// only by the worker currently running partition p, cache-line padded for
+  /// the same reason as busy_. Empty unless telemetry enabled it.
+  struct alignas(64) PoolBytes {
+    std::int64_t n = 0;
+  };
+  std::vector<PoolBytes> pool_acct_ PSOODB_PARTITION_LOCAL;
   /// Serial-phase-written, barrier-published group state.
   double serial_seconds_ PSOODB_SHARD_SHARED = 0.0;
   std::optional<std::barrier<Completion>> barrier_ PSOODB_SHARD_SHARED;

@@ -227,9 +227,12 @@ std::string Tracer::SerializeJsonl(const TraceMeta& meta) const {
 
 namespace {
 
-/// `events` must already be sorted by (t, seq).
+/// `events` must already be sorted by (t, seq). `extra_events` (optional) is
+/// a pre-rendered ",\n"-separated fragment appended inside the traceEvents
+/// array — telemetry counter tracks, already time-ordered per track.
 std::string RenderChrome(const TraceMeta& meta,
-                         const std::vector<Event>& events) {
+                         const std::vector<Event>& events,
+                         const std::string* extra_events = nullptr) {
   // Name each track once; std::map keeps the metadata block ordered by tid.
   std::map<int, std::string> tracks;
   for (const Event& e : events) {
@@ -286,6 +289,10 @@ std::string RenderChrome(const TraceMeta& meta,
             static_cast<long long>(e.a), static_cast<long long>(e.b),
             static_cast<int>(e.aux), static_cast<unsigned long long>(e.seq));
   }
+  if (extra_events != nullptr && !extra_events->empty()) {
+    if (!first) out += ",\n";
+    out += *extra_events;
+  }
   out += "\n]}\n";
   return out;
 }
@@ -337,14 +344,15 @@ SinkData MergePartitionData(const std::vector<Tracer*>& parts) {
 
 }  // namespace
 
-std::string Tracer::SerializeChrome(const TraceMeta& meta) const {
+std::string Tracer::SerializeChrome(const TraceMeta& meta,
+                                    const std::string* extra_events) const {
   std::vector<Event> events = Events();
   std::stable_sort(events.begin(), events.end(),
                    [](const Event& x, const Event& y) {
                      if (x.t != y.t) return x.t < y.t;
                      return x.seq < y.seq;
                    });
-  return RenderChrome(meta, events);
+  return RenderChrome(meta, events, extra_events);
 }
 
 std::string Tracer::SerializeJsonlMerged(const std::vector<Tracer*>& parts,
@@ -355,8 +363,9 @@ std::string Tracer::SerializeJsonlMerged(const std::vector<Tracer*>& parts,
 }
 
 std::string Tracer::SerializeChromeMerged(const std::vector<Tracer*>& parts,
-                                          const TraceMeta& meta) {
-  return RenderChrome(meta, MergePartitionEvents(parts));
+                                          const TraceMeta& meta,
+                                          const std::string* extra_events) {
+  return RenderChrome(meta, MergePartitionEvents(parts), extra_events);
 }
 
 }  // namespace psoodb::trace

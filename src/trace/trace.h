@@ -205,15 +205,20 @@ class Tracer {
   /// Chrome trace-event JSON ("traceEvents" array), loadable in Perfetto.
   /// Events are sorted by (t, seq) so timestamps are monotone per track;
   /// tracks are pid 1 with tid = client id + 1 or 1000 + server index + 1.
-  std::string SerializeChrome(const TraceMeta& meta) const;
+  /// `extra_events`, when non-null and non-empty, is a pre-rendered
+  /// ",\n"-separated fragment of additional trace events spliced verbatim
+  /// into the array (telemetry counter tracks; metrics/timeseries.h).
+  std::string SerializeChrome(const TraceMeta& meta,
+                              const std::string* extra_events = nullptr) const;
 
   /// Merged sinks for partitioned runs: events from every partition sorted
   /// by (t, partition, per-partition seq) and renumbered, aggregates summed
   /// in partition order. Deterministic for any worker-thread count.
   static std::string SerializeJsonlMerged(const std::vector<Tracer*>& parts,
                                           const TraceMeta& meta);
-  static std::string SerializeChromeMerged(const std::vector<Tracer*>& parts,
-                                           const TraceMeta& meta);
+  static std::string SerializeChromeMerged(
+      const std::vector<Tracer*>& parts, const TraceMeta& meta,
+      const std::string* extra_events = nullptr);
 
  private:
   sim::Simulation& sim_;

@@ -162,6 +162,28 @@ TEST(FigureHarnessTest, TracesAreIdenticalAcrossThreadCounts) {
   EXPECT_EQ(GridFingerprint(grid1), GridFingerprint(grid4));
 }
 
+TEST(FigureHarnessTest, TelemetryIsIdenticalAcrossThreadCounts) {
+  // Like the trace sinks, the telemetry time series carried in each
+  // RunResult is deterministic output: byte-identical at any
+  // PSOODB_BENCH_THREADS (and the TELEMETRY_* files the harness writes
+  // from it are therefore identical too).
+  ScopedEnv telemetry("PSOODB_TELEMETRY", "1");
+  const auto grid1 = RunTinySweep("1");
+  const auto grid4 = RunTinySweep("4");
+  ASSERT_EQ(grid1.size(), grid4.size());
+  std::size_t telemetered = 0;
+  for (std::size_t i = 0; i < grid1.size(); ++i) {
+    ASSERT_EQ(grid1[i].size(), grid4[i].size());
+    for (std::size_t j = 0; j < grid1[i].size(); ++j) {
+      EXPECT_FALSE(grid1[i][j].telemetry_jsonl.empty());
+      EXPECT_EQ(grid1[i][j].telemetry_jsonl, grid4[i][j].telemetry_jsonl);
+      telemetered += !grid1[i][j].telemetry_jsonl.empty();
+    }
+  }
+  EXPECT_GT(telemetered, 0u);
+  EXPECT_EQ(GridFingerprint(grid1), GridFingerprint(grid4));
+}
+
 /// Checks brace/bracket balance outside of string literals — a cheap
 /// well-formedness proxy that catches truncated or mis-nested output.
 bool BalancedJson(const std::string& s) {

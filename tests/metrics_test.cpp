@@ -207,6 +207,88 @@ TEST(HistogramTest, MergeMatchesCombinedStream) {
   EXPECT_DOUBLE_EQ(a.max(), all.max());
 }
 
+TEST(HistogramTest, MergeEmptyIntoEmptyStaysEmpty) {
+  metrics::Histogram a, b;
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), 0.0);
+  EXPECT_DOUBLE_EQ(a.max(), 0.0);
+  EXPECT_DOUBLE_EQ(a.Percentile(0.5), 0.0);
+}
+
+TEST(HistogramTest, MergeEmptyIntoNonEmptyIsIdentity) {
+  metrics::Histogram a, empty;
+  a.Add(0.002);
+  a.Add(0.004);
+  const metrics::Histogram before = a;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), before.count());
+  EXPECT_DOUBLE_EQ(a.sum(), before.sum());
+  EXPECT_DOUBLE_EQ(a.min(), before.min());
+  EXPECT_DOUBLE_EQ(a.max(), before.max());
+  for (int i = 0; i < metrics::Histogram::kBuckets; ++i) {
+    EXPECT_EQ(a.bucket(i), before.bucket(i));
+  }
+}
+
+TEST(HistogramTest, MergeNonEmptyIntoEmptyCopiesMinMax) {
+  // The empty side's zero-initialized min_/max_ must not leak into the
+  // merged extremes (they are meaningless while count_ == 0).
+  metrics::Histogram a, b;
+  b.Add(0.5);
+  b.Add(2.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.min(), 0.5);
+  EXPECT_DOUBLE_EQ(a.max(), 2.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 2.5);
+}
+
+TEST(HistogramTest, MergeIsExactlyBucketwise) {
+  // Merge must add counts bucket by bucket — including the underflow and
+  // overflow buckets — never re-bucket through BucketIndex.
+  metrics::Histogram a, b;
+  a.Add(0.0);    // underflow (bucket 0)
+  a.Add(1e-3);
+  b.Add(-3.0);   // also bucket 0, negative min
+  b.Add(1e-3);   // same interior bucket as a's
+  b.Add(1e12);   // overflow bucket
+  metrics::Histogram all;
+  for (double x : {0.0, 1e-3, -3.0, 1e-3, 1e12}) all.Add(x);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  for (int i = 0; i < metrics::Histogram::kBuckets; ++i) {
+    EXPECT_EQ(a.bucket(i), all.bucket(i)) << "bucket " << i;
+  }
+  EXPECT_EQ(a.bucket(0), 2u);  // the two sub-kMinValue samples
+  EXPECT_EQ(a.bucket(metrics::Histogram::kBuckets - 1), 1u);  // the overflow
+  EXPECT_DOUBLE_EQ(a.min(), -3.0);
+  EXPECT_DOUBLE_EQ(a.max(), 1e12);
+  EXPECT_DOUBLE_EQ(a.Percentile(1.0), 1e12);  // overflow reports true max
+}
+
+TEST(HistogramTest, MergeIsCommutativeOnAllStats) {
+  metrics::Histogram ab_a, ab_b, ba_a, ba_b;
+  for (int i = 1; i <= 50; ++i) {
+    ab_a.Add(3e-5 * i);
+    ba_a.Add(3e-5 * i);
+  }
+  for (int i = 1; i <= 80; ++i) {
+    ab_b.Add(7e-4 * i);
+    ba_b.Add(7e-4 * i);
+  }
+  ab_a.Merge(ab_b);  // a <- b
+  ba_b.Merge(ba_a);  // b <- a
+  EXPECT_EQ(ab_a.count(), ba_b.count());
+  EXPECT_DOUBLE_EQ(ab_a.sum(), ba_b.sum());
+  EXPECT_DOUBLE_EQ(ab_a.min(), ba_b.min());
+  EXPECT_DOUBLE_EQ(ab_a.max(), ba_b.max());
+  for (int i = 0; i < metrics::Histogram::kBuckets; ++i) {
+    EXPECT_EQ(ab_a.bucket(i), ba_b.bucket(i));
+  }
+}
+
 TEST(HistogramTest, ResetClearsEverything) {
   metrics::Histogram h;
   h.Add(1.0);

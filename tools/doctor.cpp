@@ -3,12 +3,16 @@
 // checkers enabled — including the cross-component invariant checker
 // (src/check/invariants.h) and the trace subsystem's sums-to-response
 // decomposition invariant — and prints PASS/FAIL per protocol plus a
-// latency-breakdown table (where each protocol's response time goes).
+// latency-breakdown table (where each protocol's response time goes), and
+// a telemetry section: per protocol, the peak server lock-queue depth and
+// the top-3 most-stalled shard windows from a small partitioned run
+// (windows more than 90% barrier-stalled are flagged).
 // Useful as a smoke test after modifying protocol code (faster than the
 // full ctest suite's integration portion when iterating).
 //
 //   $ ./build/src/psoodb_doctor        # despite the name: the doctor tool
 
+#include <algorithm>
 #include <array>
 #include <cstdio>
 #include <string>
@@ -17,6 +21,7 @@
 #include "check/invariants.h"
 #include "config/params.h"
 #include "core/system.h"
+#include "metrics/timeseries.h"
 #include "trace/trace.h"
 
 int main() {
@@ -107,6 +112,85 @@ int main() {
       if (share > 0.90) flag = "  <-- dominated by one phase";
     }
     std::printf("%s\n", flag);
+  }
+
+  // --- Telemetry: queue depths and shard stalls per protocol --------------
+  // A small partitioned run (2 servers, 2 worker threads) with the
+  // time-series registry on. For each protocol: the peak per-server lock
+  // queue depth over the run, and the three most-stalled shard windows —
+  // ticks where a partition sat parked at the window barrier for most of
+  // the window span. Windows above 90% stall are flagged: that partition
+  // was effectively idle, so the shard tiling (or the workload skew) is
+  // leaving parallelism on the table.
+  std::printf("\ntelemetry (2 servers, sim_shards=2, hot-cold):\n");
+  std::printf("%-6s %18s   %s\n", "proto", "peak lock queue",
+              "top stalled shard windows (t, shard, stall%)");
+  for (auto protocol : config::AllProtocolsExtended()) {
+    config::SystemParams sys;
+    sys.num_clients = 6;
+    sys.num_servers = 2;
+    sys.sim_shards = 2;
+    sys.seed = 11;
+    sys.telemetry = true;
+    auto w = config::MakeHotCold(sys, config::Locality::kLow, 0.2);
+    core::RunConfig rc;
+    rc.warmup_commits = 50;
+    rc.measure_commits = 300;
+    core::System system(protocol, sys, w);
+    auto r = system.Run(rc);
+    metrics::TimeSeries* ts = system.telemetry();
+    if (ts == nullptr || ts->num_rows() == 0 || r.stalled) {
+      std::printf("%-6s (no telemetry rows)\n", config::ProtocolName(protocol));
+      ++failures;
+      continue;
+    }
+    double peak_depth = 0;
+    for (int srv = 0; srv < sys.num_servers; ++srv) {
+      const int track = ts->FindTrack("server" + std::to_string(srv) +
+                                      ".lock_queue_depth");
+      if (track < 0) continue;
+      for (std::size_t row = 0; row < ts->num_rows(); ++row) {
+        peak_depth = std::max(peak_depth, ts->value(row, track));
+      }
+    }
+    struct StallWindow {
+      double t;
+      int shard;
+      double fraction;
+    };
+    std::vector<StallWindow> stalls;
+    for (int p = 0; p < sys.num_servers; ++p) {
+      const int track =
+          ts->FindTrack("shard" + std::to_string(p) + ".stall_s");
+      if (track < 0) continue;
+      double prev = 0, prev_t = 0;
+      for (std::size_t row = 0; row < ts->num_rows(); ++row) {
+        const double span = ts->row_time(row) - prev_t;
+        // Clamp the negative delta at the warmup->measurement reset.
+        const double stall = std::max(0.0, ts->value(row, track) - prev);
+        prev = ts->value(row, track);
+        prev_t = ts->row_time(row);
+        if (span > 0 && stall > 0) {
+          stalls.push_back(
+              {ts->row_time(row), p, std::min(1.0, stall / span)});
+        }
+      }
+    }
+    std::stable_sort(stalls.begin(), stalls.end(),
+                     [](const StallWindow& a, const StallWindow& b) {
+                       return a.fraction > b.fraction;
+                     });
+    std::printf("%-6s %18.0f  ", config::ProtocolName(protocol), peak_depth);
+    if (stalls.empty()) {
+      std::printf(" (no stalled windows)");
+    }
+    for (std::size_t i = 0; i < std::min<std::size_t>(stalls.size(), 3);
+         ++i) {
+      std::printf("  (%.2f, s%d, %.0f%%%s)", stalls[i].t, stalls[i].shard,
+                  100 * stalls[i].fraction,
+                  stalls[i].fraction > 0.90 ? " **" : "");
+    }
+    std::printf("\n");
   }
   return failures;
 }

@@ -99,6 +99,34 @@ class PerfSmokeTest(unittest.TestCase):
         self.assertNotEqual(r.returncode, 0)
         self.assertIn("nothing was compared", r.stderr)
 
+    def test_telemetry_overhead_within_bound_passes(self):
+        # 8% overhead is inside the default 10% bound.
+        cur = self.write("cur.json", doc([scenario("fig08_point", 1e6),
+                                          scenario("telemetry_point", 0.92e6)]))
+        base = self.write("base.json", doc([scenario("fig08_point", 1e6)]))
+        r = self.run_tool(cur, base)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("telemetry overhead", r.stdout)
+
+    def test_telemetry_overhead_beyond_bound_fails(self):
+        # 20% overhead breaches the 10% bound even though every baseline
+        # comparison is fine — the paired check is its own gate.
+        cur = self.write("cur.json", doc([scenario("fig08_point", 1e6),
+                                          scenario("telemetry_point", 0.8e6)]))
+        base = self.write("base.json", doc([scenario("fig08_point", 1e6)]))
+        r = self.run_tool(cur, base)
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("TELEMETRY OVERHEAD TOO HIGH", r.stdout)
+
+    def test_telemetry_pair_absent_is_not_checked(self):
+        # Runs without the telemetry scenario (e.g. a scenario subset) skip
+        # the paired check rather than failing on a missing key.
+        cur = self.write("cur.json", doc([scenario("fig08_point", 1e6)]))
+        base = self.write("base.json", doc([scenario("fig08_point", 1e6)]))
+        r = self.run_tool(cur, base)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertNotIn("telemetry overhead", r.stdout)
+
     def test_one_sided_scenarios_are_not_failures(self):
         # Adding a scenario without a lockstep baseline update stays green,
         # as long as at least one scenario is actually compared.

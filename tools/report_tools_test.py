@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Regression tests for the offline report tools' malformed-input handling.
+
+trace_report and timeline_report must exit nonzero — not silently skip —
+when fed a truncated or corrupted sink file: a cut-off line, an event line
+without a kind, a missing meta line, or a missing trailing summary line.
+Run via ctest (registered as `report_tools_guard` in tests/CMakeLists.txt),
+which passes the two binary paths:
+
+    report_tools_test.py <trace_report> <timeline_report>
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TRACE_REPORT = None
+TIMELINE_REPORT = None
+
+TRACE_META = ('{"psoodb_trace":1,"protocol":"PS-AA","clients":4,"servers":1,'
+              '"seed":42,"events":2,"dropped":0,"page_filter":-1}')
+TRACE_EVENT = ('{"t":0.001000000,"k":"lock_grant","node":0,"txn":1,"page":7,'
+               '"a":-1,"b":-1,"aux":0,"dur":0.000500000,"seq":1}')
+TRACE_SUMMARY = ('{"summary":1,"commits":1,"violations":0,"phases":{'
+                 '"think":0.1,"backoff":0,"client_cpu":0.01,"network":0.01,'
+                 '"lock_wait":0.001,"callback_wait":0,"server_cpu":0.01,'
+                 '"disk":0.02}}')
+
+TELEM_META = ('{"psoodb_telemetry":1,"protocol":"PS-AA","clients":4,'
+              '"servers":1,"seed":42,"tick":0.25,"partitions":0,"tracks":['
+              '{"name":"kernel.live_events","kind":"gauge"},'
+              '{"name":"commits","kind":"counter"}]}')
+TELEM_ROWS = ['{"t":0.25,"v":[12,0]}', '{"t":0.5,"v":[14,3]}',
+              '{"t":0.75,"v":[13,9]}']
+TELEM_SUMMARY = '{"summary":1,"ticks":3,"measure_start":0.5}'
+
+
+class ReportToolTestBase(unittest.TestCase):
+    tool = None
+
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+
+    def tearDown(self):
+        self.tmp.cleanup()
+
+    def write(self, lines, name="input.jsonl"):
+        path = os.path.join(self.tmp.name, name)
+        with open(path, "w") as f:
+            f.write("\n".join(lines) + "\n")
+        return path
+
+    def run_tool(self, *args):
+        return subprocess.run([self.tool, *args], capture_output=True,
+                              text=True)
+
+
+class TraceReportTest(ReportToolTestBase):
+    def setUp(self):
+        super().setUp()
+        self.tool = TRACE_REPORT
+
+    def test_valid_file_passes(self):
+        path = self.write([TRACE_META, TRACE_EVENT, TRACE_SUMMARY])
+        r = self.run_tool(path)
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("protocol=PS-AA", r.stdout)
+
+    def test_missing_file_fails(self):
+        r = self.run_tool(os.path.join(self.tmp.name, "nope.jsonl"))
+        self.assertNotEqual(r.returncode, 0)
+
+    def test_truncated_line_fails_with_line_number(self):
+        # Cut the event line mid-object, as a crash mid-write would.
+        path = self.write([TRACE_META, TRACE_EVENT[:40], TRACE_SUMMARY])
+        r = self.run_tool(path)
+        self.assertNotEqual(r.returncode, 0)
+        self.assertIn(":2:", r.stderr)
+        self.assertIn("malformed", r.stderr)
+
+    def test_event_without_kind_fails(self):
+        path = self.write([TRACE_META, '{"t":0.5,"node":0}', TRACE_SUMMARY])
+        r = self.run_tool(path)
+        self.assertNotEqual(r.returncode, 0)
+        self.assertIn('"k"', r.stderr)
+
+    def test_missing_summary_fails(self):
+        path = self.write([TRACE_META, TRACE_EVENT])
+        r = self.run_tool(path)
+        self.assertNotEqual(r.returncode, 0)
+        self.assertIn("summary", r.stderr)
+
+    def test_missing_meta_fails(self):
+        path = self.write([TRACE_EVENT, TRACE_SUMMARY])
+        r = self.run_tool(path)
+        self.assertNotEqual(r.returncode, 0)
+        self.assertIn("meta", r.stderr)
+
+    def test_one_bad_file_fails_whole_invocation(self):
+        good = self.write([TRACE_META, TRACE_EVENT, TRACE_SUMMARY], "a.jsonl")
+        bad = self.write([TRACE_META, TRACE_EVENT], "b.jsonl")
+        r = self.run_tool(good, bad)
+        self.assertNotEqual(r.returncode, 0)
+
+
+class TimelineReportTest(ReportToolTestBase):
+    def setUp(self):
+        super().setUp()
+        self.tool = TIMELINE_REPORT
+
+    def test_valid_file_passes(self):
+        path = self.write([TELEM_META] + TELEM_ROWS + [TELEM_SUMMARY])
+        r = self.run_tool(path)
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("kernel.live_events", r.stdout)
+        self.assertIn("commits", r.stdout)
+
+    def test_missing_summary_fails(self):
+        path = self.write([TELEM_META] + TELEM_ROWS)
+        r = self.run_tool(path)
+        self.assertNotEqual(r.returncode, 0)
+        self.assertIn("summary", r.stderr)
+
+    def test_row_value_count_mismatch_fails(self):
+        rows = TELEM_ROWS[:1] + ['{"t":0.5,"v":[14]}'] + TELEM_ROWS[2:]
+        path = self.write([TELEM_META] + rows + [TELEM_SUMMARY])
+        r = self.run_tool(path)
+        self.assertNotEqual(r.returncode, 0)
+        self.assertIn(":3:", r.stderr)
+
+    def test_tick_count_mismatch_fails(self):
+        path = self.write([TELEM_META] + TELEM_ROWS[:2] + [TELEM_SUMMARY])
+        r = self.run_tool(path)
+        self.assertNotEqual(r.returncode, 0)
+        self.assertIn("ticks", r.stderr)
+
+    def test_missing_meta_fails(self):
+        path = self.write(TELEM_ROWS + [TELEM_SUMMARY])
+        r = self.run_tool(path)
+        self.assertNotEqual(r.returncode, 0)
+
+    def test_series_filter(self):
+        path = self.write([TELEM_META] + TELEM_ROWS + [TELEM_SUMMARY])
+        r = self.run_tool("--series=kernel", path)
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("kernel.live_events", r.stdout)
+
+
+if __name__ == "__main__":
+    if len(sys.argv) < 3:
+        sys.exit("usage: report_tools_test.py <trace_report> "
+                 "<timeline_report>")
+    TIMELINE_REPORT = sys.argv.pop()
+    TRACE_REPORT = sys.argv.pop()
+    unittest.main()

@@ -14,6 +14,11 @@
 ///   * for the last N deadlock aborts, a waits-for timeline: every event of
 ///     the aborted transaction plus every lock event naming it as the
 ///     blocking holder, within +/- window seconds of the abort.
+///
+/// Malformed input is a hard error (nonzero exit), not a silent skip: a
+/// truncated or unclosed line, an event line without a kind, a missing meta
+/// line, or a missing trailing summary line all indicate a corrupted or
+/// cut-off trace, and summarizing partial data would mislead.
 
 #include <algorithm>
 #include <cstdint>
@@ -116,8 +121,19 @@ int Report(const char* path, const Options& opt) {
   std::string summary_line;
   std::string line;
   bool have_meta = false;
+  long long lineno = 0;
   while (std::getline(in, line)) {
+    ++lineno;
     if (line.empty()) continue;
+    // Every sink line is a complete flat JSON object. A line that does not
+    // close (or does not open) means the file was truncated mid-write or
+    // corrupted — report it and fail rather than summarizing partial data.
+    if (line.front() != '{' || line.back() != '}') {
+      std::fprintf(stderr,
+                   "trace_report: %s:%lld: malformed line (truncated?)\n",
+                   path, lineno);
+      return 1;
+    }
     if (line.find("\"psoodb_trace\":1") != std::string::npos) {
       have_meta = true;
       std::printf(
@@ -136,7 +152,12 @@ int Report(const char* path, const Options& opt) {
     }
     Ev e;
     e.kind = StrField(line, "k");
-    if (e.kind.empty()) continue;
+    if (e.kind.empty()) {
+      std::fprintf(stderr,
+                   "trace_report: %s:%lld: event line without a \"k\" kind\n",
+                   path, lineno);
+      return 1;
+    }
     e.t = NumField(line, "t");
     e.dur = NumField(line, "dur");
     e.txn = IntField(line, "txn", 0);
@@ -152,9 +173,16 @@ int Report(const char* path, const Options& opt) {
                  path);
     return 1;
   }
+  if (summary_line.empty()) {
+    // The writer always ends with the summary line, so its absence means
+    // the file was cut off before the run finished serializing.
+    std::fprintf(stderr,
+                 "trace_report: %s has no summary line (truncated?)\n", path);
+    return 1;
+  }
 
   // --- Phase breakdown (from the summary line's totals) ----------------
-  if (!summary_line.empty()) {
+  {
     const long long commits = IntField(summary_line, "commits", 0);
     const long long violations = IntField(summary_line, "violations", 0);
     std::printf("\ncommitted txns: %lld   breakdown violations: %lld\n",
