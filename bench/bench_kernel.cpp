@@ -90,7 +90,7 @@ sim::Task Hopper(sim::Simulation& sim, std::uint64_t seed, int hops) {  // analy
   }
 }
 
-std::uint64_t SchedChurn(const Sizes& sz) {
+std::uint64_t SchedChurn(const Sizes& sz, double*) {
   sim::Simulation sim;
   for (int p = 0; p < sz.churn_procs; ++p) {
     sim.Spawn(Hopper(sim, 1000 + static_cast<std::uint64_t>(p),
@@ -102,7 +102,7 @@ std::uint64_t SchedChurn(const Sizes& sz) {
 
 // --- cancel_heavy ----------------------------------------------------------
 
-std::uint64_t CancelHeavy(const Sizes& sz) {
+std::uint64_t CancelHeavy(const Sizes& sz, double*) {
   sim::Simulation sim;
   sim::Rng rng(7);
   std::uint64_t fired = 0;
@@ -146,7 +146,7 @@ sim::Task PingClient(sim::Simulation& sim, int rounds, std::uint64_t* sum) {  //
   }
 }
 
-std::uint64_t ChanPingpong(const Sizes& sz) {
+std::uint64_t ChanPingpong(const Sizes& sz, double*) {
   sim::Simulation sim;
   std::uint64_t sum = 0;
   sim.Spawn(PingClient(sim, sz.pingpong_rounds, &sum));
@@ -170,7 +170,7 @@ sim::Task NestDriver(sim::Simulation& sim, int iters, int depth) {  // analyzer-
   }
 }
 
-std::uint64_t TaskNesting(const Sizes& sz) {
+std::uint64_t TaskNesting(const Sizes& sz, double*) {
   sim::Simulation sim;
   sim.Spawn(NestDriver(sim, sz.nest_iters, sz.nest_depth));
   sim.Run();
@@ -182,7 +182,7 @@ std::uint64_t TaskNesting(const Sizes& sz) {
 
 // --- fig08_point -----------------------------------------------------------
 
-std::uint64_t Fig08Point(const Sizes& sz) {
+std::uint64_t Fig08Point(const Sizes& sz, double*) {
   config::SystemParams sys;
   core::RunConfig rc;
   rc.warmup_commits = sz.fig08_warmup;
@@ -196,7 +196,7 @@ std::uint64_t Fig08Point(const Sizes& sz) {
 
 // --- telemetry_point -------------------------------------------------------
 
-std::uint64_t TelemetryPoint(const Sizes& sz) {
+std::uint64_t TelemetryPoint(const Sizes& sz, double*) {
   // Identical to Fig08Point but with the time-series registry sampling —
   // the perf-smoke gate pairs the two scenarios to bound telemetry's
   // overhead (telemetry_point must stay within 10% of fig08_point).
@@ -214,7 +214,7 @@ std::uint64_t TelemetryPoint(const Sizes& sz) {
 
 // --- parallel_point --------------------------------------------------------
 
-std::uint64_t ParallelPoint(const Sizes& sz) {
+std::uint64_t ParallelPoint(const Sizes& sz, double* serial_share) {
   config::SystemParams sys;
   sys.num_clients = sz.parallel_clients;
   sys.num_servers = 4;
@@ -226,30 +226,44 @@ std::uint64_t ParallelPoint(const Sizes& sz) {
       config::MakeHotCold(sys, config::Locality::kLow, 0.20);
   const core::RunResult r =
       core::RunSimulation(config::Protocol::kPSAA, sys, wl, rc);
+  // Serial share of the partitioned run: the structural health metric the
+  // perf-smoke gate bounds. Busy times are wall-clock but the ratio is
+  // stable across hosts (both numerator and denominator scale together).
+  double busy = 0;
+  for (double b : r.shard_busy_seconds) busy += b;
+  if (r.shard_serial_seconds + busy > 0) {
+    *serial_share = r.shard_serial_seconds / (r.shard_serial_seconds + busy);
+  }
   return r.events;
 }
 
 // --- driver ----------------------------------------------------------------
 
 KernelScenarioResult RunScenario(const char* name,
-                                 std::uint64_t (*fn)(const Sizes&),
+                                 std::uint64_t (*fn)(const Sizes&, double*),
                                  const Sizes& sz, int reps) {
   KernelScenarioResult best;
   best.name = name;
   for (int r = 0; r < reps; ++r) {
     const double t0 = Now();
-    const std::uint64_t events = fn(sz);
+    double serial_share = -1;
+    const std::uint64_t events = fn(sz, &serial_share);
     const double wall = Now() - t0;
     const double rate = wall > 0 ? static_cast<double>(events) / wall : 0;
     if (r == 0 || rate > best.events_per_sec) {
       best.events = events;
       best.wall_seconds = wall;
       best.events_per_sec = rate;
+      best.serial_share = serial_share;
     }
   }
-  std::printf("%-14s %12llu events %10.3fs %14.0f events/sec\n", name,
+  std::printf("%-14s %12llu events %10.3fs %14.0f events/sec", name,
               static_cast<unsigned long long>(best.events), best.wall_seconds,
               best.events_per_sec);
+  if (best.serial_share >= 0) {
+    std::printf("  serial_share=%.3f", best.serial_share);
+  }
+  std::printf("\n");
   std::fflush(stdout);
   return best;
 }
@@ -283,7 +297,7 @@ int Main(int argc, char** argv) {
 
   const struct {
     const char* name;
-    std::uint64_t (*fn)(const Sizes&);
+    std::uint64_t (*fn)(const Sizes&, double*);
   } kScenarios[] = {{"sched_churn", SchedChurn},
                     {"cancel_heavy", CancelHeavy},
                     {"chan_pingpong", ChanPingpong},

@@ -127,6 +127,34 @@ int main() {
                   busy_total, busy_max, serial,
                   projected > 0 ? wall / projected : 0,
                   r.shard_busy_seconds.size());
+      // Serial-phase sub-decomposition: where the non-parallel wall time
+      // actually goes. The hook covers the deadlock scan, telemetry
+      // sampling and trace merging (each timed separately inside it); the
+      // remainder of the serial phase is the window computation and barrier
+      // bookkeeping. The inbox merge runs on the workers (inside busy) but
+      // is listed here because it is synchronization overhead, not
+      // transaction work. Window/scan counters show how often the adaptive
+      // machinery engaged.
+      const double windowing = serial - r.shard_serial_hook_seconds;
+      const double hook_other =
+          r.shard_serial_hook_seconds - r.shard_scan_seconds -
+          r.shard_telemetry_seconds - r.shard_trace_seconds;
+      std::printf(
+          "         serial breakdown: deadlock scan=%.3fs telemetry=%.3fs "
+          "trace=%.3fs hook other=%.3fs windowing+barrier=%.3fs "
+          "(worker-side inbox merge=%.3fs)\n",
+          r.shard_scan_seconds, r.shard_telemetry_seconds,
+          r.shard_trace_seconds, hook_other > 0 ? hook_other : 0,
+          windowing > 0 ? windowing : 0, r.shard_merge_seconds);
+      std::printf(
+          "         windows=%llu (stretched=%llu) scans=%llu (full=%llu, "
+          "skipped no-boundary=%llu) deltas=%llu\n",
+          static_cast<unsigned long long>(r.shard_windows),
+          static_cast<unsigned long long>(r.shard_windows_stretched),
+          static_cast<unsigned long long>(r.shard_scans),
+          static_cast<unsigned long long>(r.shard_full_scans),
+          static_cast<unsigned long long>(r.shard_scans_skipped),
+          static_cast<unsigned long long>(r.shard_deltas_applied));
     } else if (shards > 1 &&
                (r.events != base_events || r.measured_commits != base_commits)) {
       diverged = true;

@@ -63,15 +63,22 @@ struct KernelScenarioResult {
   std::uint64_t events = 0;
   double wall_seconds = 0;
   double events_per_sec = 0;
+  /// Fraction of partitioned wall time spent in the serial phase:
+  /// serial / (serial + sum of per-partition busy). Only the partitioned
+  /// scenario (parallel_point) reports it; -1 means not applicable and the
+  /// field is omitted from the JSON.
+  double serial_share = -1;
 };
 
 /// Renders the kernel-bench document (no trailing newline). Schema:
-///   { "bench": "kernel", "schema_version": 1, "quick": false,
+///   { "bench": "kernel", "schema_version": 2, "quick": false,
 ///     "repetitions": N,
 ///     "scenarios": [ { "name", "events", "wall_seconds",
-///                      "events_per_sec" }, ... ] }
-/// The CI perf-smoke job compares "events_per_sec" per scenario against the
-/// committed baseline in bench/baselines/BENCH_kernel.json.
+///                      "events_per_sec", "serial_share"? }, ... ] }
+/// (2 added the optional per-scenario "serial_share".) The CI perf-smoke
+/// job compares "events_per_sec" per scenario against the committed
+/// baseline in bench/baselines/BENCH_kernel.json and gates parallel_point's
+/// serial_share structurally (--max-serial-share).
 std::string KernelResultsJson(bool quick, int repetitions,
                               const std::vector<KernelScenarioResult>& rows);
 

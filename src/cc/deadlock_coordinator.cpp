@@ -1,0 +1,218 @@
+#include "cc/deadlock_coordinator.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace psoodb::cc {
+
+DeadlockCoordinator::DeadlockCoordinator(int partitions)
+    : partitions_(partitions) {
+  PSOODB_CHECK(partitions >= 1, "DeadlockCoordinator needs >= 1 partition");
+  boundary_in_partition_.assign(static_cast<std::size_t>(partitions), 0);
+}
+
+void DeadlockCoordinator::BumpPartCount(util::SmallVector<PartCount, 2>* v,
+                                        int partition, int delta) {
+  std::size_t pos = 0;
+  while (pos < v->size() && (*v)[pos].partition < partition) ++pos;
+  if (pos < v->size() && (*v)[pos].partition == partition) {
+    if (delta > 0) {
+      ++(*v)[pos].count;
+    } else {
+      PSOODB_DCHECK((*v)[pos].count > 0, "incidence count underflow");
+      if (--(*v)[pos].count == 0) v->erase(pos);
+    }
+    return;
+  }
+  PSOODB_DCHECK(delta > 0, "removing an edge the coordinator never saw");
+  v->insert(pos, PartCount{partition, 1});
+}
+
+void DeadlockCoordinator::BumpIncidence(storage::TxnId txn, int partition,
+                                        int delta) {
+  Node& n = nodes_[txn];
+  const std::size_t before = n.incid.size();
+  BumpPartCount(&n.incid, partition, delta);
+  const std::size_t after = n.incid.size();
+  if (before < 2 && after >= 2) {
+    // Became a boundary transaction: count it in every incident partition.
+    ++boundary_count_;
+    for (const PartCount& pc : n.incid) {
+      ++boundary_in_partition_[static_cast<std::size_t>(pc.partition)];
+    }
+  } else if (before >= 2 && after < 2) {
+    // No longer boundary: uncount from the old set (remaining + removed).
+    --boundary_count_;
+    for (const PartCount& pc : n.incid) {
+      --boundary_in_partition_[static_cast<std::size_t>(pc.partition)];
+    }
+    --boundary_in_partition_[static_cast<std::size_t>(partition)];
+  } else if (before >= 2 && after > before) {
+    ++boundary_in_partition_[static_cast<std::size_t>(partition)];
+  } else if (after >= 2 && after < before) {
+    --boundary_in_partition_[static_cast<std::size_t>(partition)];
+  }
+  if (n.incid.empty()) nodes_.erase(txn);
+}
+
+void DeadlockCoordinator::Apply(int partition, const EdgeDelta* deltas,
+                                std::size_t n) {
+  deltas_applied_ += n;
+  for (std::size_t i = 0; i < n; ++i) {
+    const EdgeDelta& d = deltas[i];
+    Node& w = nodes_[d.waiter];
+    std::size_t pos = 0;
+    while (pos < w.out.size() && w.out[pos].to < d.blocker) ++pos;
+    const bool present = pos < w.out.size() && w.out[pos].to == d.blocker;
+    if (d.add) {
+      if (present) {
+        ++w.out[pos].count;
+      } else {
+        w.out.insert(pos, OutEdge{d.blocker, 1});
+      }
+      BumpPartCount(&w.waits_in, partition, +1);
+      ++edge_count_;
+      dirty_.emplace_back(d.waiter, partition);
+      BumpIncidence(d.waiter, partition, +1);
+      BumpIncidence(d.blocker, partition, +1);
+    } else {
+      PSOODB_CHECK(present, "coordinator missing edge %llu -> %llu",
+                   static_cast<unsigned long long>(d.waiter),
+                   static_cast<unsigned long long>(d.blocker));
+      if (--w.out[pos].count == 0) w.out.erase(pos);
+      BumpPartCount(&w.waits_in, partition, -1);
+      --edge_count_;
+      // May erase the nodes; no access through `w` past this point.
+      BumpIncidence(d.waiter, partition, -1);
+      BumpIncidence(d.blocker, partition, -1);
+    }
+  }
+}
+
+bool DeadlockCoordinator::IsPending(storage::TxnId t) const {
+  return std::binary_search(pending_.begin(), pending_.end(), t);
+}
+
+void DeadlockCoordinator::ClearPending(storage::TxnId txn) {
+  auto it = std::lower_bound(pending_.begin(), pending_.end(), txn);
+  if (it != pending_.end() && *it == txn) pending_.erase(it);
+}
+
+bool DeadlockCoordinator::FindCycleThrough(
+    storage::TxnId seed, std::vector<storage::TxnId>* cycle) const {
+  // Iterative DFS from `seed` over sorted adjacency, looking for a path back
+  // to `seed`; pending victims are invisible (their cycles are already being
+  // torn down). Colors: 0 unvisited, 1 on the current path, 2 exhausted.
+  // Deterministic: edge order is sorted, so the same graph and seed always
+  // yield the same cycle.
+  enum : char { kWhite = 0, kGray, kBlack };
+  struct Frame {
+    storage::TxnId node;
+    std::size_t next;
+  };
+  dfs_color_.clear();
+  dfs_path_.clear();
+  std::vector<Frame> stack;
+  stack.push_back({seed, 0});
+  dfs_path_.push_back(seed);
+  dfs_color_[seed] = kGray;
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    auto it = nodes_.find(f.node);
+    const std::size_t degree = it != nodes_.end() ? it->second.out.size() : 0;
+    if (f.next < degree) {
+      const storage::TxnId t = it->second.out[f.next++].to;
+      if (IsPending(t)) continue;
+      if (t == seed) {
+        *cycle = dfs_path_;
+        return true;
+      }
+      char& c = dfs_color_[t];
+      if (c == kWhite) {
+        c = kGray;
+        dfs_path_.push_back(t);
+        stack.push_back({t, 0});
+      }
+      // kGray (an ancestor: a cycle not through the seed) and kBlack
+      // (exhausted without reaching the seed) are both skipped.
+    } else {
+      dfs_color_[f.node] = kBlack;
+      dfs_path_.pop_back();
+      stack.pop_back();
+    }
+  }
+  return false;
+}
+
+void DeadlockCoordinator::Scan(bool full, std::vector<Victim>* victims) {
+  ++scans_;
+  if (full) ++full_scans_;
+  // Every per-partition graph is acyclic (the detector's OnWait check), so
+  // any union-graph cycle spans >= 2 partitions and contains a transaction
+  // with incident edges in >= 2 of them. No boundary transaction, no cycle.
+  if (boundary_count_ == 0) {
+    ++scans_skipped_no_boundary_;
+    dirty_.clear();
+    return;
+  }
+  seed_scratch_.clear();
+  if (full) {
+    for (const auto& [id, node] : nodes_) {  // det-ok: sorted below
+      if (!node.out.empty()) seed_scratch_.push_back(id);
+    }
+  } else {
+    for (const auto& [waiter, partition] : dirty_) {
+      // A cycle through an edge added in partition p needs a boundary
+      // transaction incident to p; partitions without one are skipped.
+      if (boundary_in_partition_[static_cast<std::size_t>(partition)] == 0) {
+        continue;
+      }
+      seed_scratch_.push_back(waiter);
+    }
+  }
+  dirty_.clear();
+  std::sort(seed_scratch_.begin(), seed_scratch_.end());
+  seed_scratch_.erase(
+      std::unique(seed_scratch_.begin(), seed_scratch_.end()),
+      seed_scratch_.end());
+
+  std::vector<storage::TxnId> cycle;
+  for (storage::TxnId seed : seed_scratch_) {
+    if (IsPending(seed)) continue;
+    for (;;) {
+      auto it = nodes_.find(seed);
+      if (it == nodes_.end() || it->second.out.empty()) break;
+      if (!FindCycleThrough(seed, &cycle)) break;
+      // Victim: the youngest (highest-id) transaction on the cycle.
+      const storage::TxnId victim =
+          *std::max_element(cycle.begin(), cycle.end());
+      const Node& vn = nodes_.at(victim);
+      PSOODB_CHECK(!vn.waits_in.empty(),
+                   "cycle member %llu has no waiting partition",
+                   static_cast<unsigned long long>(victim));
+      // Where it is blocked: the highest-indexed partition currently
+      // publishing out-edges for it (stale lower-indexed entries can linger
+      // while a wait migrates between partitions).
+      const int home = static_cast<int>(vn.waits_in.back().partition);
+      pending_.insert(
+          std::lower_bound(pending_.begin(), pending_.end(), victim), victim);
+      ++victims_marked_;
+      victims->push_back(Victim{victim, home});
+      if (victim == seed) break;  // the seed itself is now invisible
+    }
+  }
+}
+
+std::vector<std::tuple<storage::TxnId, storage::TxnId, std::uint32_t>>
+DeadlockCoordinator::SnapshotEdges() const {
+  std::vector<std::tuple<storage::TxnId, storage::TxnId, std::uint32_t>> out;
+  out.reserve(edge_count_);
+  for (const auto& [id, node] : nodes_) {  // det-ok: sorted below
+    for (const OutEdge& e : node.out) out.emplace_back(id, e.to, e.count);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace psoodb::cc

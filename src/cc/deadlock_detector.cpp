@@ -7,51 +7,77 @@
 
 namespace psoodb::cc {
 
+namespace {
+
+/// Index of `t` in the sorted list, or the insertion position.
+std::size_t LowerBound(const util::SmallVector<storage::TxnId, 8>& v,
+                       storage::TxnId t) {
+  return static_cast<std::size_t>(
+      std::lower_bound(v.begin(), v.end(), t) - v.begin());
+}
+
+}  // namespace
+
 void DeadlockDetector::OnWait(storage::TxnId waiter,
                               const std::vector<storage::TxnId>& holders) {
   CheckVictim(waiter);
-  auto& out = out_edges_[waiter];
-  std::vector<storage::TxnId> added;
+  EdgeList& out = out_edges_[waiter];
+  EdgeList added;
   for (storage::TxnId h : holders) {
     if (h == waiter || h == storage::kNoTxn) continue;
-    if (out.insert(h).second) added.push_back(h);
+    const std::size_t pos = LowerBound(out, h);
+    if (pos < out.size() && out[pos] == h) continue;  // duplicate holder
+    out.insert(pos, h);
+    added.push_back(h);
   }
-  if (!added.empty()) {
-    ++version_;
-    edges_ += added.size();
-  }
+  edges_ += added.size();
   if (HasCycleFrom(waiter)) {
-    for (storage::TxnId h : added) out.erase(h);
+    for (storage::TxnId h : added) out.erase(LowerBound(out, h));
     edges_ -= added.size();
     if (out.empty()) out_edges_.erase(waiter);
     ++deadlocks_;
+    // The rollback leaves the edge set exactly as before the call, so the
+    // delta log (written only below, on success) never sees the round trip.
     throw TxnAborted(waiter, AbortReason::kDeadlock);
   }
+  for (storage::TxnId h : added) LogDelta(waiter, h, /*add=*/true);
 }
 
 void DeadlockDetector::ClearWaits(storage::TxnId waiter) {
   auto it = out_edges_.find(waiter);
   if (it == out_edges_.end()) return;
   edges_ -= it->second.size();
+  for (storage::TxnId t : it->second) LogDelta(waiter, t, /*add=*/false);
   out_edges_.erase(it);
-  ++version_;
 }
 
 void DeadlockDetector::RemoveTxn(storage::TxnId txn) {
-  std::size_t erased = 0;
-  if (auto it = out_edges_.find(txn); it != out_edges_.end()) {
-    erased += it->second.size();
-    out_edges_.erase(it);
+  ClearWaits(txn);
+  // Incoming edges: scan every waiter's sorted list for `txn`. Collect the
+  // affected waiters first so the delta log stays in sorted order rather
+  // than hash order (removals commute in the coordinator fold, but a
+  // deterministic log is simpler to reason about and to test).
+  EdgeList incoming;
+  for (auto& [waiter, targets] : out_edges_) {  // det-ok: sorted below before any ordered use
+    const std::size_t pos = LowerBound(targets, txn);
+    if (pos < targets.size() && targets[pos] == txn) {
+      targets.erase(pos);
+      --edges_;
+      incoming.push_back(waiter);
+    }
   }
-  for (auto& [_, targets] : out_edges_) {  // det-ok: commutative erase
-    erased += targets.erase(txn);
-  }
-  if (erased > 0) {
-    ++version_;
-    edges_ -= erased;
+  std::sort(incoming.begin(), incoming.end());
+  for (storage::TxnId w : incoming) {
+    LogDelta(w, txn, /*add=*/false);
+    if (out_edges_[w].empty()) out_edges_.erase(w);
   }
   victims_.erase(txn);
   wait_channels_.erase(txn);
+}
+
+void DeadlockDetector::DrainDeltas(std::vector<EdgeDelta>* out) {
+  out->insert(out->end(), delta_log_.begin(), delta_log_.end());
+  delta_log_.clear();
 }
 
 void DeadlockDetector::MarkVictim(storage::TxnId txn) {
@@ -59,6 +85,7 @@ void DeadlockDetector::MarkVictim(storage::TxnId txn) {
 }
 
 void DeadlockDetector::CheckVictim(storage::TxnId txn) {
+  if (victims_.empty()) return;  // hot path: no pending cross-partition abort
   auto it = victims_.find(txn);
   if (it == victims_.end()) return;
   victims_.erase(it);
@@ -88,7 +115,7 @@ bool DeadlockDetector::HasCycleFrom(storage::TxnId txn) const {
   auto push_targets = [&](storage::TxnId from) {
     auto it = out_edges_.find(from);
     if (it == out_edges_.end()) return;
-    for (storage::TxnId t : it->second) {  // det-ok: boolean reachability, order-independent
+    for (storage::TxnId t : it->second) {
       if (t == txn) stack.push_back(t);  // found a way back; handled below
       if (visited.insert(t).second) stack.push_back(t);
     }
@@ -108,7 +135,7 @@ DeadlockDetector::Edges() const {
   std::vector<std::pair<storage::TxnId, storage::TxnId>> out;
   out.reserve(edge_count());
   for (const auto& [waiter, targets] : out_edges_) {    // det-ok: sorted below
-    for (storage::TxnId t : targets) out.emplace_back(waiter, t);  // det-ok: sorted below
+    for (storage::TxnId t : targets) out.emplace_back(waiter, t);
   }
   std::sort(out.begin(), out.end());
   return out;

@@ -11,15 +11,30 @@
 #include <cstdint>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "storage/types.h"
+#include "util/small_vector.h"
 
 namespace psoodb::sim {
 class CondVar;
 }  // namespace psoodb::sim
 
 namespace psoodb::cc {
+
+/// One waits-for edge mutation. Detectors with delta logging enabled
+/// (partitioned runs) append every net edge change to an internal log in
+/// event order; the cross-partition DeadlockCoordinator drains the logs each
+/// window and folds them into its persistent union graph, so the serial
+/// phase never rebuilds the graph from scratch. Edges added and removed
+/// again inside one OnWait call (the immediate-cycle rollback path) are net
+/// zero and are never logged.
+struct EdgeDelta {
+  storage::TxnId waiter;
+  storage::TxnId blocker;
+  bool add;  ///< true: edge appeared; false: edge vanished
+};
 
 class DeadlockDetector {
  public:
@@ -41,27 +56,35 @@ class DeadlockDetector {
   bool HasCycleFrom(storage::TxnId txn) const;
 
   std::uint64_t deadlocks_detected() const { return deadlocks_; }
-  /// Current number of waits-for edges, maintained incrementally (O(1)):
-  /// the cross-partition coordinator consults it every window.
+  /// Current number of waits-for edges, maintained incrementally (O(1)).
   std::size_t edge_count() const { return edges_; }
 
   /// All current waits-for edges as (waiter, blocker) pairs, sorted so the
   /// result is independent of hash-table iteration order. Used by the
-  /// invariant checker and the cross-partition cycle coordinator.
+  /// invariant checker and the coordinator cross-validation hook.
   std::vector<std::pair<storage::TxnId, storage::TxnId>> Edges() const;
 
   // --- Cross-partition deadlock support (partitioned runs, sim/shard.h) ---
   //
   // With one detector per partition, a cycle spanning partitions is
   // invisible to each detector's immediate OnWait check. The serial-phase
-  // coordinator (core/system.cpp) merges Edges() from every detector, finds
-  // cycles in the union graph, and aborts a victim per cycle. The victim is
-  // parked inside a partition's event loop, so the abort is delivered
-  // asynchronously: MarkVictim() here, a wake poke through the victim's
-  // registered wait channel, and a CheckVictim() throw from the re-entered
-  // wait loop. Victim marks survive ClearWaits (the wait loops clear edges
-  // on wake *before* re-checking) and are erased only by the CheckVictim
-  // throw or RemoveTxn.
+  // DeadlockCoordinator (cc/deadlock_coordinator.h) folds each detector's
+  // edge deltas into a persistent union graph, finds cycles, and aborts a
+  // victim per cycle. The victim is parked inside a partition's event loop,
+  // so the abort is delivered asynchronously: MarkVictim() here, a wake poke
+  // through the victim's registered wait channel, and a CheckVictim() throw
+  // from the re-entered wait loop. Victim marks survive ClearWaits (the wait
+  // loops clear edges on wake *before* re-checking) and are erased only by
+  // the CheckVictim throw or RemoveTxn.
+
+  /// Enables the edge-delta log (see EdgeDelta). Only partitioned runs turn
+  /// this on; the sequential simulator pays nothing for the machinery.
+  void EnableDeltaLog() { delta_log_enabled_ = true; }
+  /// True when edge mutations are waiting to be drained — the coordinator's
+  /// O(1) per-window "did anything change" probe.
+  bool has_deltas() const { return !delta_log_.empty(); }
+  /// Appends the pending deltas to *out in event order and clears the log.
+  void DrainDeltas(std::vector<EdgeDelta>* out);
 
   /// Marks `txn` for asynchronous abort and counts the deadlock. The caller
   /// must also wake the transaction (see WaitChannel()).
@@ -69,7 +92,7 @@ class DeadlockDetector {
 
   /// True while `txn` is marked and has not yet observed the abort.
   bool IsVictim(storage::TxnId txn) const {
-    return victims_.find(txn) != victims_.end();
+    return !victims_.empty() && victims_.find(txn) != victims_.end();
   }
 
   /// Throws TxnAborted{txn, kDeadlock} (erasing the mark) if `txn` is a
@@ -90,18 +113,23 @@ class DeadlockDetector {
   /// telemetry "blocked transactions" gauge (size only; never iterated).
   std::size_t parked() const { return wait_channels_.size(); }
 
-  /// Bumped whenever the edge set changes; the coordinator skips the union-
-  /// graph search when no detector's version moved since the last window.
-  std::uint64_t version() const { return version_; }
-
  private:
-  std::unordered_map<storage::TxnId, std::unordered_set<storage::TxnId>>
-      out_edges_;
+  /// Sorted out-edge list. Small and flat: the typical waiter blocks on one
+  /// or two holders, so the edges live inline with no per-node allocation
+  /// and iterate in deterministic (sorted) order.
+  using EdgeList = util::SmallVector<storage::TxnId, 8>;
+
+  void LogDelta(storage::TxnId waiter, storage::TxnId blocker, bool add) {
+    if (delta_log_enabled_) delta_log_.push_back({waiter, blocker, add});
+  }
+
+  std::unordered_map<storage::TxnId, EdgeList> out_edges_;
   std::unordered_set<storage::TxnId> victims_;
   std::unordered_map<storage::TxnId, sim::CondVar*> wait_channels_;
+  std::vector<EdgeDelta> delta_log_;
+  bool delta_log_enabled_ = false;
   std::uint64_t deadlocks_ = 0;
-  std::uint64_t version_ = 0;
-  std::size_t edges_ = 0;  ///< invariant: sum of out_edges_ set sizes
+  std::size_t edges_ = 0;  ///< invariant: sum of out_edges_ list sizes
 };
 
 /// RAII registration of a wait channel, scoped strictly around the

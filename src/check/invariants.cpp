@@ -1,9 +1,12 @@
 #include "check/invariants.h"
 
 #include <cstdarg>
+#include <map>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "cc/deadlock_coordinator.h"
+#include "cc/deadlock_detector.h"
 #include "cc/lock_manager.h"
 #include "config/params.h"
 #include "core/client.h"
@@ -437,6 +440,36 @@ void InvariantChecker::OnDeEscalated(core::Server& server, PageId page,
          "client %d retains its page write permission on %d after "
          "de-escalation",
          holder_client, page);
+}
+
+void ValidateDeadlockCoordinator(
+    const cc::DeadlockCoordinator& coordinator,
+    const std::vector<const cc::DeadlockDetector*>& detectors) {
+  // Ground truth: the multiset union of every partition's live edge list.
+  // The coordinator replays the same edges via the delta stream, so after a
+  // fold the two views must agree exactly (edge set and multiplicities).
+  std::map<std::pair<TxnId, TxnId>, std::uint32_t> expect;
+  for (const cc::DeadlockDetector* det : detectors) {
+    for (const auto& e : det->Edges()) ++expect[e];
+  }
+  const auto got = coordinator.SnapshotEdges();
+  PSOODB_CHECK(got.size() == expect.size(),
+               "deadlock coordinator tracks %zu distinct edges but the "
+               "detectors hold %zu",
+               got.size(), expect.size());
+  auto it = expect.begin();
+  for (const auto& [waiter, blocker, count] : got) {
+    PSOODB_CHECK(it->first.first == waiter && it->first.second == blocker,
+                 "deadlock coordinator edge %llu->%llu does not match "
+                 "detector edge %llu->%llu",
+                 U(waiter), U(blocker), U(it->first.first),
+                 U(it->first.second));
+    PSOODB_CHECK(it->second == count,
+                 "deadlock coordinator edge %llu->%llu has multiplicity %u, "
+                 "detectors say %u",
+                 U(waiter), U(blocker), count, it->second);
+    ++it;
+  }
 }
 
 }  // namespace psoodb::check

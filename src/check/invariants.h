@@ -44,6 +44,11 @@ struct CallbackBatch;
 enum class GrantLevel : std::uint8_t;
 }  // namespace psoodb::core
 
+namespace psoodb::cc {
+class DeadlockCoordinator;
+class DeadlockDetector;
+}  // namespace psoodb::cc
+
 namespace psoodb::check {
 
 /// One detected invariant violation.
@@ -131,6 +136,17 @@ class InvariantChecker {
   std::uint64_t events_seen_ = 0;
   std::uint64_t dropped_ = 0;
 };
+
+/// Cross-validates the incremental cross-partition deadlock coordinator
+/// against the ground truth it mirrors: the multiset union of every
+/// partition detector's edge list. Aborts (PSOODB_CHECK) on any divergence
+/// in edges or multiplicities. Called from the partitioned run's serial
+/// phase when SystemParams::invariant_checks is on — the full
+/// InvariantChecker needs the sequential simulator, but this check is
+/// partition-safe because the serial phase parks all workers.
+void ValidateDeadlockCoordinator(
+    const cc::DeadlockCoordinator& coordinator,
+    const std::vector<const cc::DeadlockDetector*>& detectors);
 
 }  // namespace psoodb::check
 

@@ -232,6 +232,19 @@ struct SystemParams {
   /// >= 0; 0 scans at every window whose edge set changed (the pre-throttle
   /// behaviour, ~100x more scans under load).
   double cross_deadlock_interval = 20e-3;
+  /// Adaptive-window stretch for partitioned runs, as a multiple of the
+  /// lookahead: the laggard partition (the one holding the global activity
+  /// minimum T_min) may run its window past the classic uniform bound
+  /// T_min + L, up to min(m2 + L, T_min + sim_window_stretch * L) where m2
+  /// is the second-smallest activity minimum. Clamped to [1, 2]: 2 is the
+  /// causality limit (a chain seeded by the laggard's own next event needs
+  /// two lookaheads to come back to it — see sim/shard.h), 1 restores
+  /// fixed-width uniform windows. Stretching lets the partition limiting
+  /// progress catch up faster, collapsing barrier rounds in skewed phases.
+  /// The window structure is a pure function of the event schedule either
+  /// way, so any value keeps results byte-identical across sim_shards /
+  /// thread counts.
+  double sim_window_stretch = 2;
 };
 
 /// Ordering of object references within a transaction (Section 4.2).

@@ -1,6 +1,7 @@
 #include "core/system.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
@@ -123,7 +124,9 @@ System::System(Protocol protocol, const config::SystemParams& params,
                  "(it is the conservative lookahead)");
     const int P = params_.num_servers;
     shards_ = std::make_unique<sim::ShardGroup>(
-        P, std::min(params_.sim_shards, P), params_.cross_partition_latency);
+        P, std::min(params_.sim_shards, P), params_.cross_partition_latency,
+        params_.sim_window_stretch);
+    coordinator_ = std::make_unique<cc::DeadlockCoordinator>(P);
     // A client is homed on the partition of the server its region-0 (hot)
     // pages live on, so the bulk of its traffic stays intra-partition;
     // custom workloads fall back to round-robin.
@@ -149,6 +152,8 @@ System::System(Protocol protocol, const config::SystemParams& params,
       part->transport->ConfigurePartition(
           shards_.get(), p, params_.cross_partition_latency, link_spb);
       part->detector = std::make_unique<cc::DeadlockDetector>();
+      // Publish edge deltas for the serial-phase DeadlockCoordinator.
+      part->detector->EnableDeltaLog();
       part->ctx = std::make_unique<SystemContext>(
           SystemContext{psim, params_, db_, part->counters, *part->transport,
                         part->detector.get(), nullptr, {}});
@@ -267,12 +272,18 @@ System::System(Protocol protocol, const config::SystemParams& params,
   if (params_.invariant_checks ||
       std::getenv("PSOODB_INVARIANTS") != nullptr) {
     if (partitioned) {
-      // The invariant checker sweeps cross-partition state (client caches
-      // vs. server copy tables) with no synchronization; it only works
-      // under the sequential event loop.
+      // The full invariant checker sweeps cross-partition state (client
+      // caches vs. server copy tables) with no synchronization; it only
+      // works under the sequential event loop. The one partitioned-mode
+      // check that is safe — the serial phase runs with all workers parked —
+      // is the coordinator cross-validation: every scan, the incremental
+      // union graph is compared against the per-partition Edges() rebuilt
+      // from scratch (check::ValidateDeadlockCoordinator).
+      validate_coordinator_ = true;
       std::fprintf(stderr,
                    "psoodb: invariant checking is unavailable in partitioned "
-                   "runs (sim_shards > 0); disabled\n");
+                   "runs (sim_shards > 0); only the deadlock-coordinator "
+                   "cross-validation is enabled\n");
     } else {
       check::InvariantChecker::Options iopts;
       iopts.failfast = params_.invariant_failfast;
@@ -314,7 +325,6 @@ void System::BuildTelemetry() {
                 [this] { return static_cast<double>(pool_bytes_); });
   } else {
     shards_->EnablePoolAccounting();
-    shard_stall_.assign(static_cast<std::size_t>(P), 0.0);
     sim::ShardGroup* g = shards_.get();
     ts.AddGauge("kernel.live_events", [g, P] {
       double n = 0;
@@ -356,6 +366,9 @@ void System::BuildTelemetry() {
     });
     ts.AddCounter("kernel.windows",
                   [g] { return static_cast<double>(g->windows()); });
+    ts.AddCounter("kernel.windows_stretched", [g] {
+      return static_cast<double>(g->windows_stretched());
+    });
   }
 
   // --- Protocol layer ------------------------------------------------------
@@ -429,8 +442,8 @@ void System::BuildTelemetry() {
       ts.AddGauge(prefix + ".outbox_depth", [g, p] {
         return static_cast<double>(g->OutboxDepth(p));
       });
-      ts.AddCounter(prefix + ".stall_s", [this, p] {
-        return shard_stall_[static_cast<std::size_t>(p)];
+      ts.AddCounter(prefix + ".stall_s", [g, p] {
+        return g->stall_seconds(p);
       });
       ts.AddGauge(prefix + ".lag", [g, p] {
         return std::max(0.0, g->window_end() - g->sim(p).now());
@@ -614,133 +627,65 @@ RunResult System::Run(const RunConfig& run) {
   return result;
 }
 
-namespace {
-
-/// Finds one cycle in the waits-for union graph (adjacency lists sorted by
-/// the caller), or an empty vector. Deterministic: nodes are visited in id
-/// order and edges in sorted order, so the same graph always yields the
-/// same cycle.
-std::vector<storage::TxnId> FindCycle(
-    const std::map<storage::TxnId, std::vector<storage::TxnId>>& adj) {
-  enum : char { kWhite = 0, kGray, kBlack };
-  static const std::vector<storage::TxnId> kNoEdges;
-  std::unordered_map<storage::TxnId, char> color;
-  std::vector<storage::TxnId> path;
-  struct Frame {
-    storage::TxnId node;
-    std::size_t next;
-  };
-  for (const auto& [root, unused] : adj) {
-    if (color[root] != kWhite) continue;
-    std::vector<Frame> stack;
-    stack.push_back({root, 0});
-    color[root] = kGray;
-    path.push_back(root);
-    while (!stack.empty()) {
-      Frame& f = stack.back();
-      auto it = adj.find(f.node);
-      const std::vector<storage::TxnId>& out =
-          it != adj.end() ? it->second : kNoEdges;
-      if (f.next < out.size()) {
-        const storage::TxnId next = out[f.next++];
-        char& c = color[next];
-        if (c == kGray) {
-          auto pos = std::find(path.begin(), path.end(), next);
-          return std::vector<storage::TxnId>(pos, path.end());
-        }
-        if (c == kWhite) {
-          if (adj.find(next) != adj.end()) {
-            c = kGray;
-            path.push_back(next);
-            stack.push_back({next, 0});
-          } else {
-            c = kBlack;  // no out-edges: cannot be on a cycle
-          }
-        }
-      } else {
-        color[f.node] = kBlack;
-        path.pop_back();
-        stack.pop_back();
-      }
-    }
-  }
-  return {};
-}
-
-}  // namespace
-
-void System::DetectCrossPartitionDeadlocks(
-    std::uint64_t* last_version_sum, std::vector<storage::TxnId>* marked) {
+void System::CrossPartitionDeadlockStep(bool force_full) {
   const int P = static_cast<int>(partitions_.size());
-  // Version counters are monotone, so an unchanged sum means no detector's
-  // edge set moved since the last window — skip the union-graph work.
-  std::uint64_t version_sum = 0;
-  int with_edges = 0;
-  for (auto& part : partitions_) {
-    version_sum += part->detector->version();
-    if (part->detector->edge_count() > 0) ++with_edges;
-  }
-  if (version_sum == *last_version_sum) return;
-  *last_version_sum = version_sum;
-  // A cycle confined to one partition is caught immediately by that
-  // detector's OnWait; only cycles spanning >= 2 partitions reach here.
-  if (with_edges < 2) return;
-
-  // Drop marks whose victim has since aborted or committed (the detector
-  // erases its mark in CheckVictim/RemoveTxn; txn ids are never reused).
-  marked->erase(std::remove_if(marked->begin(), marked->end(),
-                               [&](storage::TxnId t) {
-                                 for (auto& part : partitions_) {
-                                   if (part->detector->IsVictim(t))
-                                     return false;
-                                 }
-                                 return true;
-                               }),
-                marked->end());
-
-  // Union waits-for graph. Edges touching a still-pending victim are
-  // skipped: its cycles are already being torn down, and double-victimizing
-  // a second transaction for the same cycle would overcount deadlocks.
-  std::map<storage::TxnId, std::vector<storage::TxnId>> adj;
-  std::unordered_map<storage::TxnId, int> waiter_partition;
-  const std::unordered_set<storage::TxnId> marked_set(marked->begin(),
-                                                      marked->end());
-  auto is_marked = [&](storage::TxnId t) {
-    return marked_set.find(t) != marked_set.end();
-  };
+  // 1. Fold every partition's published edge deltas into the persistent
+  // union graph, in partition order (deterministic fold order). has_deltas()
+  // makes an unchanged partition an O(1) no-op.
   for (int p = 0; p < P; ++p) {
-    for (auto [waiter, blocker] :
-         partitions_[static_cast<std::size_t>(p)]->detector->Edges()) {
-      if (is_marked(waiter) || is_marked(blocker)) continue;
-      adj[waiter].push_back(blocker);
-      waiter_partition[waiter] = p;
+    cc::DeadlockDetector* det =
+        partitions_[static_cast<std::size_t>(p)]->detector.get();
+    if (det->has_deltas()) {
+      delta_scratch_.clear();
+      det->DrainDeltas(&delta_scratch_);
+      coordinator_->Apply(p, delta_scratch_.data(), delta_scratch_.size());
     }
   }
-  for (auto& [waiter, out] : adj) std::sort(out.begin(), out.end());
-
-  for (;;) {
-    const std::vector<storage::TxnId> cycle = FindCycle(adj);
-    if (cycle.empty()) break;
-    // Victim: the youngest (highest-id) transaction on the cycle.
-    const storage::TxnId victim =
-        *std::max_element(cycle.begin(), cycle.end());
-    const int home = waiter_partition.at(victim);  // where it is blocked
+  // 2. Retire victims whose abort has been observed (the detector erases
+  // its mark in CheckVictim/RemoveTxn; txn ids are never reused). A retired
+  // victim's residual edges rejoin future searches.
+  if (!coordinator_->pending().empty()) {
+    pending_scratch_ = coordinator_->pending();
+    for (storage::TxnId t : pending_scratch_) {
+      bool still_marked = false;
+      for (auto& part : partitions_) {
+        if (part->detector->IsVictim(t)) {
+          still_marked = true;
+          break;
+        }
+      }
+      if (!still_marked) coordinator_->ClearPending(t);
+    }
+  }
+  // 3. Cycle search: incremental over the dirty seeds, or every waiter when
+  // forced (the scan-on-drain liveness rule). Nothing dirty means no new
+  // edge since the last scan, hence no new cycle (the post-scan graph is
+  // acyclic).
+  if (!coordinator_->has_dirty() && !force_full) return;
+  victim_scratch_.clear();
+  coordinator_->Scan(force_full, &victim_scratch_);
+  for (const cc::DeadlockCoordinator::Victim& v : victim_scratch_) {
     cc::DeadlockDetector& det =
-        *partitions_[static_cast<std::size_t>(home)]->detector;
-    det.MarkVictim(victim);
-    marked->push_back(victim);
-    if (sim::CondVar* cv = det.WaitChannel(victim)) {
-      // Wake it at the window edge — the earliest time the serial phase may
-      // inject an event (sim/shard.h). The wait loop re-runs CheckVictim on
-      // wake and throws TxnAborted{victim, kDeadlock}.
-      shards_->sim(home).ScheduleCallback(shards_->window_end(),
-                                          [cv] { cv->NotifyAll(); });
+        *partitions_[static_cast<std::size_t>(v.partition)]->detector;
+    det.MarkVictim(v.txn);
+    if (sim::CondVar* cv = det.WaitChannel(v.txn)) {
+      // Wake it at its partition's window edge — the earliest time the
+      // serial phase may inject an event there (sim/shard.h) — clamped to
+      // the local clock as defence in depth (both are pure simulated-time
+      // quantities, so the wake time stays deterministic). The wait loop
+      // re-runs CheckVictim on wake and throws TxnAborted{v.txn,
+      // kDeadlock}.
+      const sim::SimTime wake = std::max(
+          shards_->window_end(v.partition), shards_->sim(v.partition).now());
+      shards_->sim(v.partition)
+          .ScheduleCallback(wake, [cv] { cv->NotifyAll(); });
     }
-    // Remove the victim's edges and search for further cycles.
-    adj.erase(victim);
-    for (auto& [waiter, out] : adj) {
-      out.erase(std::remove(out.begin(), out.end(), victim), out.end());
-    }
+  }
+  if (validate_coordinator_) {
+    std::vector<const cc::DeadlockDetector*> dets;
+    dets.reserve(partitions_.size());
+    for (auto& part : partitions_) dets.push_back(part->detector.get());
+    check::ValidateDeadlockCoordinator(*coordinator_, dets);
   }
 }
 
@@ -777,8 +722,6 @@ RunResult System::RunPartitioned(const RunConfig& run) {
   std::uint64_t measure_start_events = 0;
   std::uint64_t warmup_deadlocks = 0;
   std::uint64_t warmup_lock_waits = 0;
-  std::uint64_t last_version_sum = 0;
-  std::vector<storage::TxnId> marked_victims;
   sim::SimTime next_deadlock_scan = 0;
 
   auto total_commits = [&] {
@@ -819,39 +762,23 @@ RunResult System::RunPartitioned(const RunConfig& run) {
     measuring = true;
   };
 
-  // Telemetry hook state: end of the previous completed window, for the
-  // per-partition barrier-stall accounting below. Pure function of the
-  // window sequence, which is itself a pure function of the event schedule.
-  sim::SimTime prev_window_end = 0;
-
   sim::ShardGroup::SerialHook hook = [&](sim::ShardGroup& g) -> bool {
+    // Per-partition barrier-stall accounting moved into the worker loop
+    // (sim/shard.cpp WorkerLoop): it is pure simulated-time arithmetic, so
+    // running it in parallel changes nothing and shortens the serial phase.
     if (telemetry_) {
-      // Barrier-stall accounting: within the window (W_{k-1}, W_k] a
-      // partition whose local clock stopped at clock_p < W_k spent
-      // W_k - max(clock_p, W_{k-1}) seconds of the window with nothing to
-      // do — it was "stalled" waiting for the barrier. All quantities are
-      // simulated times (pure functions of the event schedule), so the
-      // series is byte-identical at any worker-thread count.
-      const sim::SimTime w_end = g.window_end();
-      const double span = w_end - prev_window_end;
-      if (span > 0) {
-        for (int p = 0; p < P; ++p) {
-          const double idle_from = std::max(g.sim(p).now(), prev_window_end);
-          const double stall = w_end - idle_from;
-          if (stall > 0) {
-            shard_stall_[static_cast<std::size_t>(p)] +=
-                std::min(stall, span);
-          }
-        }
-      }
-      prev_window_end = w_end;
       // Sample in the serial phase (workers parked): every probe reads
       // partition state at a deterministic point of the window sequence.
+      const auto t0 = std::chrono::steady_clock::now();  // det-ok: wall-clock serial-phase accounting; never feeds the simulation
       telemetry_->SampleUpTo(g.GlobalNow());
+      telemetry_seconds_ +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)  // det-ok: wall-clock serial-phase accounting; never feeds the simulation
+              .count();
     }
     // Move cross-partition trace attributions to their home tracers in a
     // fixed (home, source) order so phase sums are thread-count independent.
     if (params_.trace) {
+      const auto t0 = std::chrono::steady_clock::now();  // det-ok: wall-clock serial-phase accounting; never feeds the simulation
       for (int home = 0; home < P; ++home) {
         for (int src = 0; src < P; ++src) {
           if (src == home) continue;
@@ -860,19 +787,26 @@ RunResult System::RunPartitioned(const RunConfig& run) {
                   home, *partitions_[static_cast<std::size_t>(home)]->tracer);
         }
       }
+      trace_seconds_ +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)  // det-ok: wall-clock serial-phase accounting; never feeds the simulation
+              .count();
     }
     // Cross-partition cycle scan, throttled by simulated time: under load
-    // some detector's edge set moves nearly every window, so the version
-    // check alone would run the union-graph search ~every window. Cycles
-    // spanning partitions tolerate the extra latency (their victims are
-    // parked); the one case that cannot wait is a deadlock that drains every
-    // event heap — without the scan's wake-up poke the run would stall — so
-    // an imminent drain forces a scan. GlobalNow() is a pure function of the
-    // event sequence, so the throttle is thread-count independent.
+    // some detector's edge set moves nearly every window, so scanning every
+    // window would dominate the serial phase. Cycles spanning partitions
+    // tolerate the extra latency (their victims are parked); the one case
+    // that cannot wait is a deadlock that drains every event heap — without
+    // the scan's wake-up poke the run would stall — so an imminent drain
+    // forces a full scan. GlobalNow() is a pure function of the event
+    // sequence, so the throttle is thread-count independent.
     sim::SimTime next_event;
     const bool draining = !g.NextEventTime(&next_event);
     if (draining || g.GlobalNow() >= next_deadlock_scan) {
-      DetectCrossPartitionDeadlocks(&last_version_sum, &marked_victims);
+      const auto t0 = std::chrono::steady_clock::now();  // det-ok: wall-clock serial-phase accounting; never feeds the simulation
+      CrossPartitionDeadlockStep(/*force_full=*/draining);
+      scan_seconds_ +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)  // det-ok: wall-clock serial-phase accounting; never feeds the simulation
+              .count();
       next_deadlock_scan = g.GlobalNow() + params_.cross_deadlock_interval;
     }
     const std::uint64_t commits = total_commits();
@@ -966,6 +900,19 @@ RunResult System::RunPartitioned(const RunConfig& run) {
     result.shard_busy_seconds.push_back(shards_->busy_seconds(p));
   }
   result.shard_serial_seconds = shards_->serial_seconds();
+  double merge_total = 0;
+  for (int p = 0; p < P; ++p) merge_total += shards_->merge_seconds(p);
+  result.shard_merge_seconds = merge_total;
+  result.shard_serial_hook_seconds = shards_->serial_hook_seconds();
+  result.shard_scan_seconds = scan_seconds_;
+  result.shard_telemetry_seconds = telemetry_seconds_;
+  result.shard_trace_seconds = trace_seconds_;
+  result.shard_windows = rr.windows;
+  result.shard_windows_stretched = shards_->windows_stretched();
+  result.shard_scans = coordinator_->scans();
+  result.shard_full_scans = coordinator_->full_scans();
+  result.shard_scans_skipped = coordinator_->scans_skipped_no_boundary();
+  result.shard_deltas_applied = coordinator_->deltas_applied();
   // Latency histograms: merge in partition order (deterministic FP sums).
   latency_.Reset();
   for (auto& part : partitions_) {

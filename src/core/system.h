@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "cc/deadlock_coordinator.h"
 #include "config/params.h"
 #include "core/client.h"
 #include "core/history.h"
@@ -24,6 +25,7 @@
 #include "resources/network.h"
 #include "storage/database.h"
 #include "trace/trace.h"
+#include "util/annotations.h"
 
 namespace psoodb::check {
 class InvariantChecker;
@@ -102,8 +104,32 @@ struct RunResult {
   // JSON and never feed the simulation) -------------------------------------
   /// Wall seconds executing each partition's events (index = partition).
   std::vector<double> shard_busy_seconds;
-  /// Wall seconds spent in the serial phase (merge + hook + next window).
+  /// Wall seconds of shard_busy_seconds spent merging inbound outboxes
+  /// into the partition heaps, summed over partitions.
+  double shard_merge_seconds = 0;
+  /// Wall seconds spent in the serial phase (hook + next-window
+  /// computation).
   double shard_serial_seconds = 0;
+  /// Sub-decomposition of the serial phase (bench_parallel_speedup reports
+  /// these so serial-phase regressions are attributable): the caller hook
+  /// total, and within it the cross-partition deadlock work (delta fold +
+  /// cycle search + victim wake), telemetry sampling, and trace draining.
+  double shard_serial_hook_seconds = 0;
+  double shard_scan_seconds = 0;
+  double shard_telemetry_seconds = 0;
+  double shard_trace_seconds = 0;
+
+  // --- Parallel-kernel counters (partitioned runs only; deterministic —
+  // pure functions of the event schedule — but reporting-only and kept out
+  // of the results JSON with the fields above) ------------------------------
+  std::uint64_t shard_windows = 0;  ///< conservative windows executed
+  /// Windows where an adaptive per-partition end ran past T_min + L.
+  std::uint64_t shard_windows_stretched = 0;
+  std::uint64_t shard_scans = 0;       ///< coordinator cycle searches
+  std::uint64_t shard_full_scans = 0;  ///< forced by an imminent drain
+  /// Searches answered by the zero-boundary proof without graph traversal.
+  std::uint64_t shard_scans_skipped = 0;
+  std::uint64_t shard_deltas_applied = 0;  ///< edge deltas folded
 };
 
 /// Writes a sampled time series as CSV (header + one row per sample).
@@ -182,10 +208,11 @@ class System {
   /// Builds the telemetry registry (all three instrumentation layers) once
   /// servers and clients exist; no-op unless params_.telemetry.
   void BuildTelemetry();
-  /// Serial-phase coordinator: finds cycles in the union of the per-
-  /// partition waits-for graphs and marks + wakes one victim per cycle.
-  void DetectCrossPartitionDeadlocks(std::uint64_t* last_version_sum,
-                                     std::vector<storage::TxnId>* marked);
+  /// One serial-phase step of cross-partition deadlock handling: folds every
+  /// detector's edge deltas into the coordinator's union graph, retires
+  /// victims whose abort was observed, runs the (incremental, or full when
+  /// `force_full`) cycle search, and marks + wakes one victim per cycle.
+  void CrossPartitionDeadlockStep(bool force_full);
 
   config::Protocol protocol_;
   config::SystemParams params_;      // owned copies: callers may pass temporaries
@@ -203,6 +230,24 @@ class System {
   std::vector<std::unique_ptr<Partition>> partitions_;
   std::vector<int> client_partition_;  ///< home partition per client id
   std::unique_ptr<sim::ShardGroup> shards_;
+  /// Incremental cross-partition deadlock coordination. Touched only from
+  /// the window serial phase (all workers parked at the barrier), hence
+  /// shard-shared in the annotation scheme checked by psoodb-analyze.
+  std::unique_ptr<cc::DeadlockCoordinator> coordinator_ PSOODB_SHARD_SHARED;
+  /// When set (PSOODB_INVARIANTS / SystemParams::invariant_checks), every
+  /// coordinator scan is cross-validated against the union of the per-
+  /// partition detectors' Edges() (check::ValidateDeadlockCoordinator).
+  bool validate_coordinator_ = false;
+  // Serial-phase scratch, reused across windows to avoid reallocation.
+  std::vector<cc::EdgeDelta> delta_scratch_ PSOODB_SHARD_SHARED;
+  std::vector<cc::DeadlockCoordinator::Victim> victim_scratch_
+      PSOODB_SHARD_SHARED;
+  std::vector<storage::TxnId> pending_scratch_ PSOODB_SHARD_SHARED;
+  // Serial-phase sub-decomposition accumulators (wall clock; reporting
+  // only — see RunResult::shard_scan_seconds and friends).
+  double scan_seconds_ PSOODB_SHARD_SHARED = 0;
+  double telemetry_seconds_ PSOODB_SHARD_SHARED = 0;
+  double trace_seconds_ PSOODB_SHARD_SHARED = 0;
   std::vector<std::unique_ptr<Server>> servers_;
   std::vector<std::unique_ptr<Client>> clients_;
   std::unique_ptr<check::InvariantChecker> invariants_;
@@ -212,9 +257,6 @@ class System {
   /// scopes sim::detail::t_pool_acct here). Partitioned runs use the
   /// ShardGroup's per-partition counters instead.
   std::int64_t pool_bytes_ = 0;
-  /// Cumulative per-partition barrier-stall seconds, accumulated in the
-  /// window serial hook (telemetry only; pure function of event times).
-  std::vector<double> shard_stall_;
   metrics::LatencyRecorder latency_;
   std::vector<double> response_times_;
   bool started_ = false;

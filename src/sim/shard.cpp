@@ -9,10 +9,16 @@
 
 namespace psoodb::sim {
 
-ShardGroup::ShardGroup(int partitions, int threads, double lookahead)
+namespace {
+constexpr SimTime kInf = std::numeric_limits<SimTime>::infinity();
+}  // namespace
+
+ShardGroup::ShardGroup(int partitions, int threads, double lookahead,
+                       double max_window_stretch)
     : partitions_(partitions),
       threads_(std::clamp(threads, 1, partitions)),
-      lookahead_(lookahead) {
+      lookahead_(lookahead),
+      stretch_(std::clamp(max_window_stretch, 1.0, 2.0)) {
   PSOODB_CHECK(partitions >= 1, "ShardGroup needs >= 1 partition (got %d)",
                partitions);
   PSOODB_CHECK(lookahead > 0.0,
@@ -24,9 +30,10 @@ ShardGroup::ShardGroup(int partitions, int threads, double lookahead)
   }
   outbox_.resize(static_cast<std::size_t>(partitions_) *
                  static_cast<std::size_t>(partitions_) * 2);
-  outbox_min_.resize(outbox_.size(),
-                     std::numeric_limits<SimTime>::infinity());
-  busy_.resize(static_cast<std::size_t>(partitions_));
+  outbox_min_.resize(outbox_.size(), kInf);
+  merge_scratch_.resize(static_cast<std::size_t>(partitions_));
+  clock_.resize(static_cast<std::size_t>(partitions_));
+  window_ends_.resize(static_cast<std::size_t>(partitions_), 0.0);
 }
 
 void ShardGroup::Post(int src, int dest, SimTime at, InlineFunction fn) {
@@ -34,14 +41,18 @@ void ShardGroup::Post(int src, int dest, SimTime at, InlineFunction fn) {
   PSOODB_DCHECK(dest >= 0 && dest < partitions_, "bad dest partition %d",
                 dest);
   // The conservative-window safety invariant: arrivals never land inside the
-  // running window. Holds whenever every cross-partition latency is >= the
-  // lookahead (floating-point safe: round-to-nearest is monotone, so
-  // depart >= T_min and latency >= L imply fl(depart + latency) >=
-  // fl(T_min + L) == window_end_).
-  PSOODB_CHECK(at >= window_end_,
+  // destination's running window. Holds whenever every cross-partition
+  // latency is >= the lookahead: the sender departs at t >= a_src, and the
+  // destination's window end is <= a_src + L — for an unstretched
+  // destination W_dest = m1 + L <= a_src + L; for the stretched laggard
+  // W_dest <= m2 + L and every *other* partition's a_src >= m2
+  // (floating-point safe: round-to-nearest is monotone, so depart >= a_src
+  // and latency >= L imply fl(depart + latency) >= fl(a_src + L) >=
+  // window_ends_[dest]).
+  PSOODB_CHECK(at >= window_ends_[static_cast<std::size_t>(dest)],
                "cross-partition delivery at %g lands inside the current "
                "window (end %g) — lookahead exceeds the actual link latency",
-               at, window_end_);
+               at, window_ends_[static_cast<std::size_t>(dest)]);
   std::vector<Msg>& box = Outbox(src, dest, cur_parity_);
   box.push_back(Msg{at, src, static_cast<std::uint32_t>(box.size()),
                     std::move(fn)});
@@ -62,7 +73,7 @@ bool ShardGroup::NextEventTime(SimTime* at) {
   // Cross-partition messages parked in outboxes (merged into the
   // destination heap only at the next window start) are pending events too.
   for (SimTime t : outbox_min_) {
-    if (t < std::numeric_limits<SimTime>::infinity() && (!any || t < best)) {
+    if (t < kInf && (!any || t < best)) {
       any = true;
       best = t;
     }
@@ -74,29 +85,105 @@ bool ShardGroup::NextEventTime(SimTime* at) {
 void ShardGroup::MergeInbox(int dest) {
   // Drains the *previous* window's buffers (the senders flipped away from
   // them at the barrier, so they are quiescent). Gather every sender's
-  // outbox and sort by (arrival, src, emission order) — per-sender arrivals
-  // are already emission-ordered, but the sort keeps the invariant even if
-  // a future transport reorders. Scheduling in sorted order plus the heap's
-  // FIFO tie-break makes the merged order a pure function of the
-  // per-partition schedules (thread-count independent).
+  // outbox and sort by (arrival, src, emission order). The gather visits
+  // senders in ascending order and each buffer is already emission-ordered,
+  // so the concatenation is sorted exactly when the arrival times are
+  // non-decreasing — the common case (one active sender, or sparse traffic),
+  // detected during the gather to skip the sort. Scheduling in sorted order
+  // plus the heap's FIFO tie-break makes the merged order a pure function of
+  // the per-partition schedules (thread-count independent).
   const int parity = 1 - cur_parity_;
-  std::vector<Msg*> merged;
+  std::vector<Msg*>& merged = merge_scratch_[static_cast<std::size_t>(dest)];
+  merged.clear();
+  bool sorted = true;
+  SimTime prev_at = -kInf;
   for (int src = 0; src < partitions_; ++src) {
-    for (Msg& m : Outbox(src, dest, parity)) merged.push_back(&m);
+    for (Msg& m : Outbox(src, dest, parity)) {
+      if (m.at < prev_at) sorted = false;
+      prev_at = m.at;
+      merged.push_back(&m);
+    }
   }
   if (merged.empty()) return;
-  std::sort(merged.begin(), merged.end(), [](const Msg* a, const Msg* b) {
-    if (a->at != b->at) return a->at < b->at;
-    if (a->src != b->src) return a->src < b->src;
-    return a->seq < b->seq;
-  });
+  if (!sorted) {
+    std::sort(merged.begin(), merged.end(), [](const Msg* a, const Msg* b) {
+      if (a->at != b->at) return a->at < b->at;
+      if (a->src != b->src) return a->src < b->src;
+      return a->seq < b->seq;
+    });
+  }
   Simulation& sim = *sims_[static_cast<std::size_t>(dest)];
-  for (Msg* m : merged) sim.ScheduleCallback(m->at, std::move(m->fn));
+  for (Msg* m : merged) {
+    // Causality guard: the destination clock never passes a buffered
+    // arrival (every clock stays below all future window ends — see
+    // ComputeWindows). A failure here means a window bound was unsafe.
+    PSOODB_CHECK(m->at >= sim.now(),
+                 "cross-partition message from %d arrives at %g but "
+                 "partition %d already simulated to %g",
+                 m->src, m->at, dest, sim.now());
+    sim.ScheduleCallback(m->at, std::move(m->fn));
+  }
+  merged.clear();
   for (int src = 0; src < partitions_; ++src) {
     Outbox(src, dest, parity).clear();
-    outbox_min_[OutboxSlot(src, dest, parity)] =
-        std::numeric_limits<SimTime>::infinity();
+    outbox_min_[OutboxSlot(src, dest, parity)] = kInf;
   }
+}
+
+bool ShardGroup::ComputeWindows() {
+  // Per-partition earliest pending activity a_p: the heap minimum and every
+  // inbound outbox-minimum register (both parities — the hook may have just
+  // posted into the current one). Only the two smallest values matter:
+  // partition p's bound is min over the *other* partitions' minima.
+  SimTime m1 = kInf, m2 = kInf;
+  int i1 = -1;
+  for (int p = 0; p < partitions_; ++p) {
+    SimTime a = kInf;
+    SimTime t;
+    if (sims_[static_cast<std::size_t>(p)]->PeekNextEventTime(&t)) a = t;
+    for (int src = 0; src < partitions_; ++src) {
+      for (int parity = 0; parity < 2; ++parity) {
+        const SimTime o = outbox_min_[OutboxSlot(src, p, parity)];
+        if (o < a) a = o;
+      }
+    }
+    if (a < m1) {
+      m2 = m1;
+      m1 = a;
+      i1 = p;
+    } else if (a < m2) {
+      m2 = a;
+    }
+  }
+  if (m1 == kInf) return false;  // nothing pending anywhere: stall
+  // Classic conservative bound for everyone: partition i1's pending
+  // activity at m1 can reach any other partition directly at m1 + L, so no
+  // other window may pass that. Partition i1 itself is different: the
+  // earliest message that can ever reach *it* is generated either by some
+  // other partition's own pending activity (>= m2, arriving >= m2 + L) or
+  // by a causal chain seeded from i1's own next event — which must cross to
+  // a neighbour (>= m1 + L) and come back (>= m1 + 2L). So the laggard
+  // partition — exactly the one limiting progress — may run to
+  // min(m2, m1 + stretch*L) + L with stretch <= 2, letting it catch up two
+  // hops per window (or jump straight to second place) instead of one.
+  //
+  // Stretching anyone else is unsound: it breaks the invariant that every
+  // clock stays below all *future* window ends. With only i1 stretched the
+  // invariant holds — after this window every activity minimum is
+  // >= min(m2, m1 + L), so the next classic bound min(m2, m1 + L) + L
+  // exceeds every clock, including i1's stretched one.
+  const SimTime classic = m1 + lookahead_;
+  SimTime wi1 = classic;
+  if (stretch_ > 1.0) {
+    const SimTime cap = m1 + lookahead_ * stretch_;
+    wi1 = m2 == kInf ? cap : std::min(m2 + lookahead_, cap);
+    if (wi1 > classic) ++windows_stretched_;
+  }
+  for (int p = 0; p < partitions_; ++p) {
+    window_ends_[static_cast<std::size_t>(p)] = p == i1 ? wi1 : classic;
+  }
+  window_end_min_ = partitions_ == 1 ? wi1 : classic;
+  return true;
 }
 
 void ShardGroup::SerialPhase() {
@@ -114,26 +201,34 @@ void ShardGroup::SerialPhase() {
   // Cross-partition deliveries stay parked in their outboxes here; each
   // destination's worker merges them at the start of the next window
   // (MergeInbox), in parallel. The hook and the window computation see them
-  // through NextEventTime's outbox-minimum scan.
+  // through the outbox-minimum registers.
   ++windows_;
 
   // 1. Caller coordination (warmup/measurement state machine, cross-
-  // partition deadlock detection, trace merging). May inject events, but
-  // only at t >= window_end().
-  if (*hook_ != nullptr && (*hook_)(*this)) {
-    done_ = true;
-    return;
+  // partition deadlock coordination, trace merging). May inject events into
+  // partition p, but only at t >= max(window_end(p), sim(p).now()): under
+  // adaptive windows a partition that ran ahead can have a clock past its
+  // next window edge.
+  if (*hook_ != nullptr) {
+    const auto hook_t0 = std::chrono::steady_clock::now();  // det-ok: serial-phase accounting for speedup reporting; never feeds the simulation
+    const bool stop = (*hook_)(*this);
+    serial_hook_seconds_ +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -  // det-ok: serial-phase accounting for speedup reporting; never feeds the simulation
+                                      hook_t0)
+            .count();
+    if (stop) {
+      done_ = true;
+      return;
+    }
   }
 
-  // 2. Next window. All heaps and outboxes empty after the drain means no
+  // 2. Next windows. All heaps and outboxes empty after the drain means no
   // partition can ever make progress again: stall.
-  SimTime t_min;
-  if (!NextEventTime(&t_min)) {
+  if (!ComputeWindows()) {
     stalled_ = true;
     done_ = true;
     return;
   }
-  window_end_ = t_min + lookahead_;
 
   // 3. Flip the outbox parity: everything posted up to here (workers during
   // the window, the hook just now) becomes the quiescent buffer the next
@@ -160,6 +255,7 @@ void ShardGroup::EnablePoolAccounting() {
 void ShardGroup::WorkerLoop(int worker) {
   for (;;) {
     for (int p = worker; p < partitions_; p += threads_) {
+      PartitionClock& pc = clock_[static_cast<std::size_t>(p)];
       const auto t0 = std::chrono::steady_clock::now();  // det-ok: busy-time accounting for speedup reporting; never feeds the simulation
       // Pool allocations/frees while this partition runs are attributed to
       // its counter (telemetry only; see EnablePoolAccounting).
@@ -167,10 +263,24 @@ void ShardGroup::WorkerLoop(int worker) {
           pool_acct_.empty() ? nullptr
                              : &pool_acct_[static_cast<std::size_t>(p)].n);
       MergeInbox(p);
-      sims_[static_cast<std::size_t>(p)]->RunEventsBefore(window_end_);
-      busy_[static_cast<std::size_t>(p)].s +=
+      const auto t1 = std::chrono::steady_clock::now();  // det-ok: busy-time accounting for speedup reporting; never feeds the simulation
+      pc.merge += std::chrono::duration<double>(t1 - t0).count();
+      Simulation& sim = *sims_[static_cast<std::size_t>(p)];
+      const SimTime w = window_ends_[static_cast<std::size_t>(p)];
+      sim.RunEventsBefore(w);
+      pc.busy +=
           std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)  // det-ok: busy-time accounting for speedup reporting; never feeds the simulation
               .count();
+      // Barrier-stall bookkeeping: within the window (prev, w] a partition
+      // whose clock stopped at now() < w had w - max(now(), prev) seconds of
+      // simulated time with nothing to do. Pure simulated-time arithmetic —
+      // byte-identical at any worker-thread count.
+      const double span = w - pc.prev_window_end;
+      if (span > 0) {
+        const double stall = w - std::max(sim.now(), pc.prev_window_end);
+        if (stall > 0) pc.stall += std::min(stall, span);
+      }
+      pc.prev_window_end = w;
     }
     barrier_->arrive_and_wait();  // completion function == SerialPhase()
     if (done_) return;
@@ -192,11 +302,9 @@ ShardGroup::RunResult ShardGroup::Run(const SerialHook& hook) {
     cur_parity_ = 1 - cur_parity_;
   }
 
-  SimTime t_min;
-  if (!NextEventTime(&t_min)) {
+  if (!ComputeWindows()) {
     stalled_ = true;
   } else {
-    window_end_ = t_min + lookahead_;
     barrier_.emplace(threads_, Completion{this});
     std::vector<std::thread> workers;
     workers.reserve(static_cast<std::size_t>(threads_ - 1));
@@ -232,7 +340,7 @@ std::uint64_t ShardGroup::TotalEvents() const {
 // keeps the tree gate green while the test asserts the (suppressed)
 // shard-escape finding exists.
 void ShardGroup::SeedEscapeBugForAnalyzerTest(int src, int dest) {
-  Post(src, dest, window_end_,
+  Post(src, dest, window_end_min_,
        InlineFunction([&] { outbox_.clear(); }));  // analyzer-ok(shard-escape): seeded test-only defect proving the check catches a cross-partition reference capture; block is never compiled
 }
 #endif

@@ -8,15 +8,28 @@
 ///
 ///  - Every partition owns a private event heap and clock. Within a window,
 ///    each partition runs strictly sequentially on one worker thread and
-///    processes every local event with `t < W`, including events it
+///    processes every local event with `t < W_p`, including events it
 ///    schedules for itself during the window.
-///  - `W = T_min + L`, where `T_min` is the minimum next-event time over all
-///    partition heaps and `L` (the *lookahead*) is a lower bound on the
-///    cross-partition network latency. Any event processed in the window has
-///    `t >= T_min`, so a cross-partition message it sends arrives at
-///    `t + latency >= T_min + L = W` — never inside the current window.
-///    Cross-partition deliveries therefore never need to interrupt a
-///    running window, which is what makes the windows safe.
+///  - Windows are *per partition and adaptive*. Let `a_q` be partition q's
+///    earliest pending activity (heap minimum and inbound outbox-minimum
+///    registers), `m1 <= m2` the two smallest activity minima, and `L` (the
+///    *lookahead*) a lower bound on every cross-partition delivery latency.
+///    Every partition gets at least the classic uniform window `m1 + L` —
+///    the partition holding `m1` can reach anyone directly at `m1 + L`, so
+///    no more is safe for the others. The `m1` holder itself — the laggard
+///    limiting progress — gets more: the earliest message that can reach
+///    *it* is either another partition's own activity (arriving
+///    `>= m2 + L`) or a causal chain seeded by its own next event, which
+///    must cross to a neighbour (`>= m1 + L`) and come back (`>= m1 + 2L`).
+///    Its window end therefore jumps to
+///      min(m2 + L, m1 + stretch * L),   stretch in [1, 2]
+///    letting the laggard catch up two lookaheads per window — or straight
+///    to second place — instead of one. Stretching any *other* partition is
+///    unsound (its clock could pass a later window's bound and receive a
+///    message from its own causal past); with only the laggard stretched,
+///    every activity minimum after the window is `>= min(m2, m1 + L)`, so
+///    the next windows bound every clock and causality is preserved.
+///    `max_window_stretch` <= 1 restores uniform windows.
 ///  - Cross-partition messages are not scheduled directly into the remote
 ///    heap (that would race). They are appended to a per-(src, dest) outbox
 ///    — written only by src's worker thread, so unsynchronized — and merged
@@ -31,18 +44,17 @@
 ///    byte-identical for any worker-thread count, including 1.
 ///  - The barrier's completion function is the *serial phase*: it runs a
 ///    caller-supplied hook (warmup/measurement state machine, cross-
-///    partition deadlock detection, trace merging) and computes the next
-///    window, taking pending outbox arrivals into account via per-outbox
-///    minimum-arrival registers. `std::barrier` gives the happens-before
-///    edges: every worker's window writes are visible to the serial phase,
-///    and its writes (window_end_) to every worker.
+///    partition deadlock coordination, trace merging) and computes the next
+///    windows from the per-partition activity minima. `std::barrier` gives
+///    the happens-before edges: every worker's window writes are visible to
+///    the serial phase, and its writes (window_ends_) to every worker.
 ///
-/// Progress: after a window every heap's next event is `>= W` (locals below
-/// `W` were drained, cross arrivals are `>= W`), so successive windows
-/// advance the front by at least `L`. The serial-phase hook may inject
-/// events, but only at `t >= window_end()` — injecting earlier could send a
-/// cross-partition message into a partition whose clock already passed the
-/// arrival time. `Post` and the scheduling CHECKs enforce this.
+/// Progress: after a window every heap's next event is `>= W_p >= T_min + L`
+/// (locals below `W_p` were drained, cross arrivals are `>= T_min + L`), so
+/// successive windows advance the front by at least `L`. The serial-phase
+/// hook may inject events into partition p, but only at `t >= window_end(p)`
+/// — injecting earlier could land behind a clock that already passed the
+/// time. `Post` and the scheduling CHECKs enforce this per destination.
 
 #ifndef PSOODB_SIM_SHARD_H_
 #define PSOODB_SIM_SHARD_H_
@@ -64,18 +76,26 @@ namespace psoodb::sim {
 
 class ShardGroup {
  public:
-  /// Serial-phase hook: runs at every window barrier, after cross-partition
-  /// deliveries are merged, while all worker threads are parked. It may
-  /// inspect and mutate any partition, but may only schedule new events at
-  /// `t >= window_end()`. Returns true to stop the run.
+  /// Serial-phase hook: runs at every window barrier, after the windows'
+  /// events, while all worker threads are parked. It may inspect and mutate
+  /// any partition, but may only schedule new events into partition p at
+  /// `t >= window_end(p)` (`window_end()` is a safe bound for every
+  /// partition). Returns true to stop the run.
   using SerialHook = std::function<bool(ShardGroup&)>;
 
   /// `partitions` >= 1 simulations; `threads` worker threads (clamped to
   /// [1, partitions]); `lookahead` > 0 seconds, a lower bound on every
-  /// cross-partition delivery latency.
-  ShardGroup(int partitions, int threads, double lookahead);
+  /// cross-partition delivery latency. `max_window_stretch` caps how far
+  /// the laggard partition's adaptive window may run past the classic
+  /// uniform bound, as a multiple of the lookahead; clamped to [1, 2] — 2
+  /// is the causality limit (see the file comment), 1 restores uniform
+  /// windows.
+  ShardGroup(int partitions, int threads, double lookahead,
+             double max_window_stretch = kDefaultWindowStretch);
   ShardGroup(const ShardGroup&) = delete;
   ShardGroup& operator=(const ShardGroup&) = delete;
+
+  static constexpr double kDefaultWindowStretch = 2.0;
 
   int partitions() const { return partitions_; }
   int threads() const { return threads_; }
@@ -84,7 +104,8 @@ class ShardGroup {
 
   /// Cross-partition delivery: runs `fn` in partition `dest` at absolute
   /// time `at`. Must be called from the worker thread currently executing
-  /// partition `src` (or from the serial phase), with `at >= window_end()`.
+  /// partition `src` (or from the serial phase), with `at >=
+  /// window_end(dest)`.
   void Post(int src, int dest, SimTime at, InlineFunction fn);
 
   struct RunResult {
@@ -98,9 +119,15 @@ class ShardGroup {
   /// independent of `threads`.
   RunResult Run(const SerialHook& hook);
 
-  /// End of the current (or, inside the serial phase, the just-finished)
-  /// window — the earliest time at which the hook may inject events.
-  SimTime window_end() const { return window_end_; }
+  /// End of partition p's current (or, inside the serial phase, the just-
+  /// finished) window — the earliest time at which the hook may inject
+  /// events into p.
+  SimTime window_end(int p) const {
+    return window_ends_[static_cast<std::size_t>(p)];
+  }
+  /// Minimum window end over all partitions: a time safe for injection into
+  /// *any* partition.
+  SimTime window_end() const { return window_end_min_; }
 
   /// The global virtual clock: max over partition clocks. Deterministic
   /// because each partition clock is.
@@ -115,9 +142,20 @@ class ShardGroup {
 
   /// Conservative windows executed so far (monotone across Runs).
   std::uint64_t windows() const { return windows_; }
+  /// Windows in which the laggard partition's adaptive end ran past the
+  /// classic uniform `T_min + L` bound.
+  std::uint64_t windows_stretched() const { return windows_stretched_; }
   /// Cross-partition messages parked in partition `src`'s outboxes (all
   /// destinations, both parities) awaiting the next window merge.
   std::size_t OutboxDepth(int src) const;
+
+  /// Per-partition barrier-stall seconds: simulated time inside past windows
+  /// during which the partition had nothing to run (clock stopped short of
+  /// the window end). A pure function of the event schedule — byte-identical
+  /// at any worker-thread count — maintained by the workers themselves.
+  double stall_seconds(int p) const {
+    return clock_[static_cast<std::size_t>(p)].stall;
+  }
 
   /// Opt-in pool live-bytes accounting: allocates one cache-line-padded
   /// counter per partition; WorkerLoop then scopes sim::detail::t_pool_acct
@@ -138,12 +176,21 @@ class ShardGroup {
   // projected T(P) ~= serial_seconds + max_p busy_seconds(p).
 
   /// Wall seconds spent executing partition `p`'s events, summed over
-  /// windows (regardless of which worker thread ran it).
+  /// windows (regardless of which worker thread ran it). Includes the
+  /// inbox merge (see merge_seconds).
   double busy_seconds(int p) const {
-    return busy_[static_cast<std::size_t>(p)].s;
+    return clock_[static_cast<std::size_t>(p)].busy;
   }
-  /// Wall seconds spent in the serial phase (merge + hook + next window).
+  /// Wall seconds of busy_seconds(p) spent merging the partition's inbound
+  /// outboxes into its heap.
+  double merge_seconds(int p) const {
+    return clock_[static_cast<std::size_t>(p)].merge;
+  }
+  /// Wall seconds spent in the serial phase (hook + next-window
+  /// computation).
   double serial_seconds() const { return serial_seconds_; }
+  /// Wall seconds of serial_seconds() spent inside the caller's hook.
+  double serial_hook_seconds() const { return serial_hook_seconds_; }
 
  private:
   struct Msg {
@@ -171,6 +218,9 @@ class ShardGroup {
 
   void WorkerLoop(int worker);
   void SerialPhase();
+  /// Computes the per-partition adaptive window ends from the activity
+  /// minima; false if every heap and outbox is empty (stall).
+  bool ComputeWindows();
 
 #if PSOODB_SEED_CONCURRENCY_BUGS
   // Test-only seeded defect (never compiled — the flag is never defined).
@@ -195,6 +245,7 @@ class ShardGroup {
   const int partitions_;
   const int threads_;
   const double lookahead_;
+  const double stretch_;  ///< max_window_stretch, clamped to [1, 2]
   /// Partition-owned: element p is touched only by the worker currently
   /// running partition p (or by the serial phase / hook, while workers are
   /// parked at the barrier).
@@ -209,32 +260,44 @@ class ShardGroup {
   std::vector<std::vector<Msg>> outbox_ PSOODB_PARTITION_LOCAL;
   /// Earliest pending arrival per outbox buffer, same indexing (+inf when
   /// empty). Written under the same single-writer rules as the buffers;
-  /// read by the serial phase to compute the next window without touching
+  /// read by the serial phase to compute the next windows without touching
   /// the message payloads.
   std::vector<SimTime> outbox_min_ PSOODB_PARTITION_LOCAL;
+  /// Per-destination gather scratch for MergeInbox, reused across windows
+  /// so the merge allocates only on high-water growth. Element p is touched
+  /// only by the worker currently merging destination p.
+  std::vector<std::vector<Msg*>> merge_scratch_ PSOODB_PARTITION_LOCAL;
   /// Parity Post writes this window; flipped at the end of each serial
   /// phase, so MergeInbox drains `1 - cur_parity_`. Written only in the
   /// serial phase; the barrier publishes it to the workers.
   int cur_parity_ PSOODB_SHARD_SHARED = 0;
   /// Cache-line padded so concurrent per-partition accumulation does not
-  /// perturb the times it measures.
-  struct alignas(64) BusyTime {
-    double s = 0.0;
+  /// perturb the times it measures. busy/merge are wall clock (reporting
+  /// only); stall/prev_window_end are simulated time (deterministic).
+  struct alignas(64) PartitionClock {
+    double busy = 0.0;
+    double merge = 0.0;
+    double stall = 0.0;
+    SimTime prev_window_end = 0.0;
   };
-  std::vector<BusyTime> busy_ PSOODB_PARTITION_LOCAL;
+  std::vector<PartitionClock> clock_ PSOODB_PARTITION_LOCAL;
   /// Pool live-bytes accounting (EnablePoolAccounting): element p is written
   /// only by the worker currently running partition p, cache-line padded for
-  /// the same reason as busy_. Empty unless telemetry enabled it.
+  /// the same reason as clock_. Empty unless telemetry enabled it.
   struct alignas(64) PoolBytes {
     std::int64_t n = 0;
   };
   std::vector<PoolBytes> pool_acct_ PSOODB_PARTITION_LOCAL;
   /// Serial-phase-written, barrier-published group state.
   double serial_seconds_ PSOODB_SHARD_SHARED = 0.0;
+  double serial_hook_seconds_ PSOODB_SHARD_SHARED = 0.0;
   std::optional<std::barrier<Completion>> barrier_ PSOODB_SHARD_SHARED;
   const SerialHook* hook_ PSOODB_SHARD_SHARED = nullptr;
-  SimTime window_end_ PSOODB_SHARD_SHARED = 0.0;
+  /// Adaptive per-partition window ends, recomputed each serial phase.
+  std::vector<SimTime> window_ends_ PSOODB_SHARD_SHARED;
+  SimTime window_end_min_ PSOODB_SHARD_SHARED = 0.0;
   std::uint64_t windows_ PSOODB_SHARD_SHARED = 0;
+  std::uint64_t windows_stretched_ PSOODB_SHARD_SHARED = 0;
   bool done_ PSOODB_SHARD_SHARED = false;
   bool stalled_ PSOODB_SHARD_SHARED = false;
 };

@@ -60,6 +60,7 @@ class SmallVector {
   T& operator[](std::size_t i) { return data_[i]; }
   const T& operator[](std::size_t i) const { return data_[i]; }
   T& back() { return data_[size_ - 1]; }
+  const T& back() const { return data_[size_ - 1]; }
 
   void push_back(const T& v) {
     if (size_ == capacity_) Grow();

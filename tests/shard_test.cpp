@@ -214,11 +214,14 @@ TEST(ShardedSystem, PageServerProtocolAlsoDeterministic) {
 // run must make progress (victims are marked, woken and aborted) and the
 // deadlock count must be deterministic across shard counts.
 
-psoodb::core::RunResult RunAbba(int shards) {
+psoodb::core::RunResult RunAbba(int shards, double deadlock_interval = 20e-3,
+                                bool invariants = false) {
   psoodb::config::SystemParams sys;
   sys.num_clients = 2;
   sys.num_servers = 2;
   sys.sim_shards = shards;
+  sys.cross_deadlock_interval = deadlock_interval;
+  sys.invariant_checks = invariants;
   const int opp = sys.objects_per_page;
   psoodb::config::WorkloadParams w;
   w.name = "ABBA";
@@ -255,6 +258,71 @@ TEST(ShardedSystem, CrossPartitionDeadlocksDeterministic) {
   const auto r1 = RunAbba(1);
   const auto r2 = RunAbba(2);
   EXPECT_EQ(Fingerprint(r1), Fingerprint(r2));
+}
+
+// Liveness of the force-scan-on-drain rule in isolation: with the scan
+// interval pushed beyond the whole run, the throttled path never fires, so
+// the *only* thing standing between an AB-BA cross-partition cycle and a
+// permanent stall is the scan forced when every event heap drains. The run
+// must still resolve every deadlock and finish — and a drained-heap scan
+// must never be reported as a stall (the wake poke re-fills the heaps).
+TEST(ShardedSystem, ForceScanOnDrainIsTheOnlyDetectionPath) {
+  const auto r = RunAbba(2, /*deadlock_interval=*/1e9);
+  EXPECT_FALSE(r.stalled);
+  EXPECT_GE(r.measured_commits, 60u);
+  EXPECT_GT(r.deadlocks, 0u);
+  EXPECT_GT(r.shard_full_scans, 0u);  // drain-forced scans actually ran
+}
+
+// Runs the deadlock-heavy workload with invariant checking enabled: in
+// partitioned mode that turns on the serial-phase cross-validation of the
+// coordinator's union graph against the multiset union of every partition
+// detector's Edges() (check::ValidateDeadlockCoordinator), which CHECK-
+// aborts the process on any divergence. Passing means the incremental
+// bookkeeping stayed exact through every add/remove/abort of the run.
+TEST(ShardedSystem, CoordinatorCrossValidatesAgainstDetectors) {
+  const auto r = RunAbba(2, 20e-3, /*invariants=*/true);
+  EXPECT_FALSE(r.stalled);
+  EXPECT_GT(r.deadlocks, 0u);
+  EXPECT_GT(r.shard_scans, 0u);
+}
+
+// --- Adaptive windows --------------------------------------------------------
+
+TEST(ShardedSystem, AdaptiveWindowsEngageAndStayDeterministic) {
+  // The default stretch (2, the causality limit) must actually engage on a
+  // partitioned run — the laggard partition's window passing the classic
+  // T_min + L bound — while results stay byte-identical across worker
+  // thread counts (covered by ByteIdenticalAcrossShardCounts above, which
+  // runs at the same default).
+  const auto r = RunPartitioned(4, Protocol::kPSAA, /*trace=*/false);
+  EXPECT_GT(r.shard_windows, 0u);
+  EXPECT_GT(r.shard_windows_stretched, 0u);
+}
+
+TEST(ShardedSystem, UniformWindowsAlsoDeterministic) {
+  // stretch <= 1 restores fixed-width uniform windows; determinism across
+  // shard counts must hold there too (regression guard for the window
+  // computation's uniform path).
+  auto run = [](int shards) {
+    psoodb::config::SystemParams sys;
+    sys.num_clients = 16;
+    sys.num_servers = 4;
+    sys.sim_shards = shards;
+    sys.sim_window_stretch = 1;
+    auto w = psoodb::config::MakeHotCold(sys, psoodb::config::Locality::kLow,
+                                         /*write_prob=*/0.2);
+    psoodb::core::RunConfig rc;
+    rc.warmup_commits = 50;
+    rc.measure_commits = 400;
+    rc.max_sim_seconds = 600;
+    return psoodb::core::RunSimulation(Protocol::kPSAA, sys, w, rc);
+  };
+  const auto r1 = run(1);
+  const auto r4 = run(4);
+  EXPECT_FALSE(r1.stalled);
+  EXPECT_EQ(Fingerprint(r1), Fingerprint(r4));
+  EXPECT_EQ(r1.shard_windows_stretched, 0u);
 }
 
 }  // namespace

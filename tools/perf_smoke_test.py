@@ -16,9 +16,12 @@ import unittest
 TOOL = os.path.join(os.path.dirname(os.path.abspath(__file__)), "perf_smoke")
 
 
-def scenario(name, rate):
-    return {"name": name, "events_per_sec": rate, "events": 1000,
-            "wall_seconds": 0.1}
+def scenario(name, rate, serial_share=None):
+    s = {"name": name, "events_per_sec": rate, "events": 1000,
+         "wall_seconds": 0.1}
+    if serial_share is not None:
+        s["serial_share"] = serial_share
+    return s
 
 
 def doc(scenarios):
@@ -126,6 +129,34 @@ class PerfSmokeTest(unittest.TestCase):
         r = self.run_tool(cur, base)
         self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
         self.assertNotIn("telemetry overhead", r.stdout)
+
+    def test_serial_share_within_bound_passes(self):
+        cur = self.write("cur.json", doc(
+            [scenario("parallel_point", 1e6, serial_share=0.25)]))
+        base = self.write("base.json", doc([scenario("parallel_point", 1e6)]))
+        r = self.run_tool(cur, base)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("serial_share=0.250", r.stdout)
+
+    def test_serial_share_beyond_bound_fails(self):
+        # A serial phase eating most of the run is a structural regression
+        # even when the absolute event rate still clears the 40% margin.
+        cur = self.write("cur.json", doc(
+            [scenario("parallel_point", 1e6, serial_share=0.85)]))
+        base = self.write("base.json", doc([scenario("parallel_point", 1e6)]))
+        r = self.run_tool(cur, base)
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("SERIAL SHARE TOO HIGH", r.stdout)
+
+    def test_serial_share_absent_is_not_checked(self):
+        # Scenarios without the field (every non-partitioned scenario, and
+        # older baselines) skip the bound rather than failing on a missing
+        # key.
+        cur = self.write("cur.json", doc([scenario("parallel_point", 1e6)]))
+        base = self.write("base.json", doc([scenario("parallel_point", 1e6)]))
+        r = self.run_tool(cur, base)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertNotIn("serial_share", r.stdout)
 
     def test_one_sided_scenarios_are_not_failures(self):
         # Adding a scenario without a lockstep baseline update stays green,
